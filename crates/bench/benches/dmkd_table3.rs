@@ -1,0 +1,34 @@
+//! DMKD 2004, Table 3 — horizontal aggregation strategies: SPJ vs CASE,
+//! each computed directly from `F` or indirectly from the `FV` partial.
+//!
+//! SPJ on the `subdeptId` rows (N = 100 filtered scans + 100 outer joins)
+//! is the expensive end even at smoke scale — exactly the paper's point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pa_bench::{dmkd_queries, install_all};
+use pa_core::{HorizontalOptions, HorizontalStrategy, PercentageEngine};
+use pa_storage::Catalog;
+use pa_workload::Scale;
+
+fn bench_dmkd3(c: &mut Criterion) {
+    let catalog = Catalog::new();
+    install_all(&catalog, Scale::SMOKE);
+    let engine = PercentageEngine::new(&catalog);
+    for q in dmkd_queries() {
+        let hq = q.hagg();
+        let mut group = c.benchmark_group(format!("dmkd3/{}", q.label()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for strategy in HorizontalStrategy::all() {
+            let opts = HorizontalOptions::with_strategy(strategy);
+            group.bench_function(strategy.label(), |b| {
+                b.iter(|| engine.horizontal_with(&hq, &opts).expect("bench query"));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_dmkd3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! SIGMOD 2004, Table 4 — query optimizations for `Vpct()`.
+//!
+//! One Criterion group per query row; one benchmark per strategy column.
+//! Runs at smoke scale so `cargo bench` completes quickly; the `repro`
+//! binary covers larger scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pa_bench::{install_all, sigmod_queries, table4_strategies};
+use pa_core::PercentageEngine;
+use pa_storage::Catalog;
+use pa_workload::Scale;
+
+fn bench_table4(c: &mut Criterion) {
+    let catalog = Catalog::new();
+    install_all(&catalog, Scale::SMOKE);
+    let engine = PercentageEngine::new(&catalog);
+    for q in sigmod_queries() {
+        let vq = q.vertical();
+        let mut group = c.benchmark_group(format!("table4/{}", q.label()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for (name, strat) in table4_strategies() {
+            group.bench_function(name, |b| {
+                b.iter(|| engine.vpct_with(&vq, &strat).expect("bench query"));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! SIGMOD 2004, Table 5 — `Hpct()` computed from `FV` vs directly from `F`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pa_bench::{install_all, sigmod_queries};
+use pa_core::{HorizontalOptions, HorizontalStrategy, PercentageEngine};
+use pa_storage::Catalog;
+use pa_workload::Scale;
+
+fn bench_table5(c: &mut Criterion) {
+    let catalog = Catalog::new();
+    install_all(&catalog, Scale::SMOKE);
+    let engine = PercentageEngine::new(&catalog);
+    for q in sigmod_queries() {
+        let hq = q.horizontal();
+        let mut group = c.benchmark_group(format!("table5/{}", q.label()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for (name, strategy) in [
+            ("from FV", HorizontalStrategy::CaseFromFv),
+            ("from F", HorizontalStrategy::CaseDirect),
+        ] {
+            let opts = HorizontalOptions::with_strategy(strategy);
+            group.bench_function(name, |b| {
+                b.iter(|| engine.horizontal_with(&hq, &opts).expect("bench query"));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

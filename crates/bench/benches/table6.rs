@@ -1,0 +1,37 @@
+//! SIGMOD 2004, Table 6 — percentage aggregations vs the OLAP-extensions
+//! (window function) baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pa_bench::{install_all, sigmod_queries};
+use pa_core::{choose_horizontal_strategy, HorizontalOptions, PercentageEngine, VpctStrategy};
+use pa_storage::Catalog;
+use pa_workload::Scale;
+
+fn bench_table6(c: &mut Criterion) {
+    let catalog = Catalog::new();
+    install_all(&catalog, Scale::SMOKE);
+    let engine = PercentageEngine::new(&catalog);
+    for q in sigmod_queries() {
+        let vq = q.vertical();
+        let hq = q.horizontal();
+        let hstrat = choose_horizontal_strategy(&catalog, &hq).expect("table exists");
+        let hopts = HorizontalOptions::with_strategy(hstrat);
+        let mut group = c.benchmark_group(format!("table6/{}", q.label()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.bench_function("Vpct best", |b| {
+            b.iter(|| engine.vpct_with(&vq, &VpctStrategy::best()).expect("bench query"));
+        });
+        group.bench_function("Hpct best", |b| {
+            b.iter(|| engine.horizontal_with(&hq, &hopts).expect("bench query"));
+        });
+        group.bench_function("OLAP extensions", |b| {
+            b.iter(|| engine.vpct_olap(&vq).expect("bench query"));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

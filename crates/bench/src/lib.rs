@@ -1,0 +1,288 @@
+//! # pa-bench — the papers' evaluation, as a reusable harness
+//!
+//! Declares every query configuration from SIGMOD 2004 Tables 4–6 and DMKD
+//! 2004 Table 3, the workload setup they run on, and timing helpers shared
+//! by the Criterion benches and the `repro` binary.
+
+#![warn(missing_docs)]
+
+pub mod paper;
+
+use pa_core::{
+    HorizontalOptions, HorizontalQuery, HorizontalStrategy, PercentageEngine, VpctQuery,
+    VpctStrategy,
+};
+use pa_storage::Catalog;
+use pa_workload::{
+    CensusConfig, EmployeeConfig, SalesConfig, Scale, TransactionConfig,
+};
+use std::time::Instant;
+
+/// Which generated table a query runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// SIGMOD `employee` (paper n = 1M).
+    Employee,
+    /// SIGMOD `sales` (paper n = 10M).
+    Sales,
+    /// DMKD `transactionLine` at base scale (paper n = 1M).
+    Transaction1M,
+    /// DMKD `transactionLine` at double scale (paper n = 2M).
+    Transaction2M,
+    /// DMKD census-like (paper n = 200k).
+    Census,
+}
+
+impl Dataset {
+    /// Catalog table name.
+    pub fn table_name(&self) -> &'static str {
+        match self {
+            Dataset::Employee => "employee",
+            Dataset::Sales => "sales",
+            Dataset::Transaction1M => "transactionLine",
+            Dataset::Transaction2M => "transactionLine2M",
+            Dataset::Census => "uscensus",
+        }
+    }
+
+    /// Measure column used by the papers' queries on this table.
+    pub fn measure(&self) -> &'static str {
+        match self {
+            Dataset::Employee => "salary",
+            Dataset::Sales => "salesAmt",
+            Dataset::Transaction1M | Dataset::Transaction2M => "salesAmt",
+            Dataset::Census => "dIncome",
+        }
+    }
+}
+
+/// One evaluation-table query configuration: `GROUP BY D1..Dk` with the
+/// totals key `D1..Dj` (vertical form), equivalently `GROUP BY D1..Dj` with
+/// `BY Dj+1..Dk` (horizontal form).
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Data set.
+    pub dataset: Dataset,
+    /// `D1..Dj` — the totals key / horizontal GROUP BY.
+    pub totals: Vec<&'static str>,
+    /// `Dj+1..Dk` — the BY columns.
+    pub by: Vec<&'static str>,
+}
+
+impl BenchQuery {
+    fn new(dataset: Dataset, totals: &[&'static str], by: &[&'static str]) -> BenchQuery {
+        BenchQuery {
+            dataset,
+            totals: totals.to_vec(),
+            by: by.to_vec(),
+        }
+    }
+
+    /// Row label in the papers' tables, e.g. `sales dept,store | dweek,monthNo`.
+    pub fn label(&self) -> String {
+        let t = if self.totals.is_empty() {
+            "-".to_string()
+        } else {
+            self.totals.join(",")
+        };
+        format!("{} {t} | {}", self.dataset.table_name(), self.by.join(","))
+    }
+
+    /// The vertical form: `GROUP BY D1..Dk`, `Vpct(A BY Dj+1..Dk)`.
+    pub fn vertical(&self) -> VpctQuery {
+        let group_by: Vec<&str> = self.totals.iter().chain(&self.by).copied().collect();
+        VpctQuery::single(
+            self.dataset.table_name(),
+            &group_by,
+            self.dataset.measure(),
+            &self.by,
+        )
+    }
+
+    /// The horizontal percentage form: `GROUP BY D1..Dj`, `Hpct(A BY ...)`.
+    pub fn horizontal(&self) -> HorizontalQuery {
+        HorizontalQuery::hpct(
+            self.dataset.table_name(),
+            &self.totals,
+            self.dataset.measure(),
+            &self.by,
+        )
+    }
+
+    /// The horizontal plain-aggregation form (DMKD): `sum(A BY ...)`.
+    pub fn hagg(&self) -> HorizontalQuery {
+        HorizontalQuery::hagg(
+            self.dataset.table_name(),
+            &self.totals,
+            pa_engine::AggFunc::Sum,
+            self.dataset.measure(),
+            &self.by,
+        )
+    }
+}
+
+/// The eight query configurations of SIGMOD Tables 4–6 (four on `employee`,
+/// four on `sales`), in table order.
+pub fn sigmod_queries() -> Vec<BenchQuery> {
+    vec![
+        BenchQuery::new(Dataset::Employee, &[], &["gender"]),
+        BenchQuery::new(Dataset::Employee, &["gender"], &["marstatus"]),
+        BenchQuery::new(Dataset::Employee, &["gender"], &["educat", "marstatus"]),
+        BenchQuery::new(Dataset::Employee, &["gender", "educat"], &["age", "marstatus"]),
+        BenchQuery::new(Dataset::Sales, &[], &["dweek"]),
+        BenchQuery::new(Dataset::Sales, &["monthNo"], &["dweek"]),
+        BenchQuery::new(Dataset::Sales, &["dept"], &["dweek", "monthNo"]),
+        BenchQuery::new(Dataset::Sales, &["dept", "store"], &["dweek", "monthNo"]),
+    ]
+}
+
+/// The seventeen configurations of DMKD Table 3: five on the census-like
+/// set, six on `transactionLine` at 1M, the same six at 2M.
+pub fn dmkd_queries() -> Vec<BenchQuery> {
+    let mut out = vec![
+        BenchQuery::new(Dataset::Census, &[], &["iSchool"]),
+        BenchQuery::new(Dataset::Census, &[], &["iClass"]),
+        BenchQuery::new(Dataset::Census, &[], &["iMarital"]),
+        BenchQuery::new(Dataset::Census, &["dAge"], &["iMarital"]),
+        BenchQuery::new(Dataset::Census, &["dAge", "iClass"], &["iSchool", "iSex"]),
+    ];
+    for dataset in [Dataset::Transaction1M, Dataset::Transaction2M] {
+        out.push(BenchQuery::new(dataset, &[], &["regionId"]));
+        out.push(BenchQuery::new(dataset, &[], &["monthNo"]));
+        out.push(BenchQuery::new(dataset, &[], &["subdeptId"]));
+        out.push(BenchQuery::new(dataset, &["monthNo"], &["dayOfWeekNo"]));
+        out.push(BenchQuery::new(dataset, &["deptId"], &["dayOfWeekNo", "monthNo"]));
+        out.push(BenchQuery::new(
+            dataset,
+            &["deptId", "storeId"],
+            &["dayOfWeekNo", "monthNo"],
+        ));
+    }
+    out
+}
+
+/// Install every data set the benches use, at the given scale.
+pub fn install_all(catalog: &Catalog, scale: Scale) {
+    pa_workload::install_employee(catalog, &EmployeeConfig::at_scale(scale))
+        .expect("fresh catalog");
+    pa_workload::install_sales(catalog, &SalesConfig::at_scale(scale)).expect("fresh catalog");
+    pa_workload::install_transaction_line(catalog, &TransactionConfig::at_scale(scale))
+        .expect("fresh catalog");
+    // The paper's second transactionLine size (2M base) under its own name.
+    let config2 = TransactionConfig {
+        rows: scale.rows(2_000_000),
+        seed: 0x54_58_4e + 1,
+    };
+    let t2 = pa_workload::transaction_line_table(&config2);
+    catalog
+        .create_table("transactionLine2M", t2)
+        .expect("fresh catalog");
+    pa_workload::install_uscensus(catalog, &CensusConfig::at_scale(scale))
+        .expect("fresh catalog");
+}
+
+/// Milliseconds spent running `f` once.
+pub fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64() * 1e3, r)
+}
+
+/// Best-of-`iters` milliseconds for `f`.
+pub fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let (ms, _) = time_ms(&mut f);
+        best = best.min(ms);
+    }
+    best
+}
+
+/// SIGMOD Table 4's four strategy columns, in table order:
+/// (1) best, (2) no subkey index, (3) UPDATE instead of INSERT,
+/// (4) `Fj` from `F` instead of from `Fk`.
+pub fn table4_strategies() -> [(&'static str, VpctStrategy); 4] {
+    [
+        ("(1) best", VpctStrategy::best()),
+        ("(2) no idx", VpctStrategy::without_index()),
+        ("(3) update", VpctStrategy::with_update()),
+        ("(4) Fj from F", VpctStrategy::fj_from_f()),
+    ]
+}
+
+/// Run one vertical query under one strategy, returning wall ms and stats.
+pub fn run_vertical(
+    engine: &PercentageEngine<'_>,
+    q: &VpctQuery,
+    strat: &VpctStrategy,
+) -> (f64, pa_engine::ExecStats) {
+    let (ms, result) = time_ms(|| engine.vpct_with(q, strat).expect("bench query"));
+    (ms, result.stats)
+}
+
+/// Run one horizontal query under one strategy.
+pub fn run_horizontal(
+    engine: &PercentageEngine<'_>,
+    q: &HorizontalQuery,
+    strategy: HorizontalStrategy,
+) -> (f64, pa_engine::ExecStats) {
+    let opts = HorizontalOptions {
+        strategy,
+        // DMKD's subdeptId query needs 100 columns at one-row-per-group —
+        // fits the default 2048; keep defaults.
+        ..HorizontalOptions::default()
+    };
+    let (ms, result) = time_ms(|| engine.horizontal_with(q, &opts).expect("bench query"));
+    (ms, result.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_lists_match_paper_row_counts() {
+        assert_eq!(sigmod_queries().len(), 8);
+        assert_eq!(dmkd_queries().len(), 17);
+    }
+
+    #[test]
+    fn labels_read_like_table_rows() {
+        let qs = sigmod_queries();
+        assert_eq!(qs[1].label(), "employee gender | marstatus");
+        assert_eq!(qs[7].label(), "sales dept,store | dweek,monthNo");
+        assert_eq!(qs[4].label(), "sales - | dweek");
+    }
+
+    #[test]
+    fn vertical_and_horizontal_forms_are_consistent() {
+        for q in sigmod_queries() {
+            let v = q.vertical();
+            let h = q.horizontal();
+            v.validate().unwrap();
+            h.validate().unwrap();
+            assert_eq!(v.totals_key(&v.terms[0]), h.group_by);
+        }
+        for q in dmkd_queries() {
+            q.hagg().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn smoke_scale_end_to_end() {
+        let catalog = Catalog::new();
+        install_all(&catalog, Scale(0.001));
+        let engine = PercentageEngine::new(&catalog);
+        for q in sigmod_queries() {
+            let (_, stats) = run_vertical(&engine, &q.vertical(), &VpctStrategy::best());
+            assert!(stats.rows_scanned > 0, "{}", q.label());
+        }
+        // A couple of DMKD configs through all four strategies.
+        for q in dmkd_queries().into_iter().take(2) {
+            for strategy in HorizontalStrategy::all() {
+                let (_, stats) = run_horizontal(&engine, &q.hagg(), strategy);
+                assert!(stats.rows_scanned > 0, "{} {}", q.label(), strategy.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Hash-dispatch pivot operator — the paper's "future work" optimization.
+//!
+//! SIGMOD §3.2 observes that the CASE strategy makes the evaluator test `N`
+//! disjoint boolean conjunctions per input row because "the query optimizer
+//! has no way to stop comparisons", and that a hash-based search would cut
+//! the per-row cost from `O(N)` to `O(1)`. This operator is that evaluator:
+//! one pass over the source, one group-key probe plus one subgroup-key probe
+//! per row, accumulating straight into the `groups × cells` matrix.
+//!
+//! The output layout is identical to the CASE strategy's raw table
+//! (`[D1..Dj][term cells × lanes][term total?][extra lanes]`), so the
+//! surrounding pipeline cannot tell which evaluator produced it — only the
+//! work counters differ (`case_condition_evals` stays at zero).
+
+use crate::error::Result;
+use pa_engine::{AggFunc, ExecStats, Expr, RowKeyMap};
+use pa_storage::{DataType, Field, Schema, Table, Value};
+
+/// One horizontal term's piece of a pivot pass.
+#[derive(Debug, Clone)]
+pub struct PivotTask {
+    /// Subgrouping columns in the source table.
+    pub by_cols: Vec<usize>,
+    /// Aggregations feeding each cell lane.
+    pub lanes: Vec<(AggFunc, Expr)>,
+    /// The distinct subgroup combinations, in result-column order.
+    pub combos: Vec<Vec<Value>>,
+    /// Group-total sum expression for percentage terms.
+    pub total: Option<Expr>,
+}
+
+#[derive(Debug, Clone)]
+enum Acc {
+    Sum { sum: f64, any: bool },
+    Count(i64),
+    CountDistinct(pa_storage::FxHashSet<Value>),
+    CountStar(i64),
+    Avg { sum: f64, n: i64 },
+    Min(Value),
+    Max(Value),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Sum => Acc::Sum { sum: 0.0, any: false },
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::CountDistinct => Acc::CountDistinct(Default::default()),
+            AggFunc::CountStar => Acc::CountStar(0),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(Value::Null),
+            AggFunc::Max => Acc::Max(Value::Null),
+        }
+    }
+
+    fn update(&mut self, v: &Value) {
+        match self {
+            Acc::CountStar(n) => *n += 1,
+            _ if v.is_null() => {}
+            Acc::Sum { sum, any } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *any = true;
+                }
+            }
+            Acc::Count(n) => *n += 1,
+            Acc::CountDistinct(seen) => {
+                seen.insert(v.clone());
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            Acc::Min(m) => {
+                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Less {
+                    *m = v.clone();
+                }
+            }
+            Acc::Max(m) => {
+                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Greater {
+                    *m = v.clone();
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Sum { sum, any } => {
+                if *any {
+                    Value::Float(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Count(n) | Acc::CountStar(n) => Value::Int(*n),
+            Acc::CountDistinct(seen) => Value::Int(seen.len() as i64),
+            Acc::Avg { sum, n } => {
+                if *n > 0 {
+                    Value::Float(sum / *n as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.clone(),
+        }
+    }
+}
+
+fn lane_dtype(func: AggFunc, input: &Expr, schema: &Schema) -> DataType {
+    match func {
+        AggFunc::Sum | AggFunc::Avg => DataType::Float,
+        AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar => DataType::Int,
+        AggFunc::Min | AggFunc::Max => input.output_type(schema).unwrap_or(DataType::Float),
+    }
+}
+
+/// One-pass pivot aggregation with O(1) cell dispatch per row.
+///
+/// Produces the raw horizontal table: the `j_cols` key columns followed by,
+/// for each task, `lanes × combos` cell columns (lane-major within a combo)
+/// and the optional total column, then the flattened extra lanes.
+pub fn pivot_aggregate(
+    src: &Table,
+    j_cols: &[usize],
+    tasks: &[PivotTask],
+    extra_lanes: &[(AggFunc, Expr)],
+    stats: &mut ExecStats,
+) -> Result<Table> {
+    stats.statements += 1;
+    // Per-task subgroup-combination maps (combo tuple → cell index).
+    let mut combo_maps: Vec<RowKeyMap> = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        let mut m = RowKeyMap::with_capacity(task.combos.len());
+        let mut discard = ExecStats::default();
+        for combo in &task.combos {
+            m.get_or_insert_key(combo, &mut discard);
+        }
+        combo_maps.push(m);
+    }
+
+    // Row width of the accumulator matrix.
+    let mut task_base: Vec<usize> = Vec::with_capacity(tasks.len());
+    let mut width = 0usize;
+    for task in tasks {
+        task_base.push(width);
+        width += task.lanes.len() * task.combos.len() + usize::from(task.total.is_some());
+    }
+    let extra_base = width;
+    width += extra_lanes.len();
+
+    let template: Vec<Acc> = {
+        let mut t = Vec::with_capacity(width);
+        for task in tasks {
+            for _combo in &task.combos {
+                for (func, _) in &task.lanes {
+                    t.push(Acc::new(*func));
+                }
+            }
+            if task.total.is_some() {
+                t.push(Acc::new(AggFunc::Sum));
+            }
+        }
+        for (func, _) in extra_lanes {
+            t.push(Acc::new(*func));
+        }
+        t
+    };
+
+    let mut groups = RowKeyMap::new();
+    let mut accs: Vec<Acc> = Vec::new();
+    let n = src.num_rows();
+    stats.rows_scanned += n as u64;
+    for row in 0..n {
+        let gid = if j_cols.is_empty() {
+            if groups.is_empty() {
+                groups.get_or_insert_key(&[], stats);
+            }
+            0
+        } else {
+            groups.get_or_insert_row(src, j_cols, row, stats)
+        };
+        if (gid + 1) * width > accs.len() {
+            accs.extend_from_slice(&template);
+        }
+        let base = gid * width;
+        for (t, task) in tasks.iter().enumerate() {
+            // O(1): one probe finds the cell, no CASE chain.
+            let Some(cid) = groups_lookup(&combo_maps[t], src, &task.by_cols, row, stats) else {
+                continue;
+            };
+            let cell = base + task_base[t] + cid * task.lanes.len();
+            for (l, (_func, input)) in task.lanes.iter().enumerate() {
+                let v = input.eval(src, row, stats)?;
+                accs[cell + l].update(&v);
+            }
+            if let Some(total) = &task.total {
+                let tpos = base + task_base[t] + task.lanes.len() * task.combos.len();
+                let v = total.eval(src, row, stats)?;
+                accs[tpos].update(&v);
+            }
+        }
+        for (x, (_func, input)) in extra_lanes.iter().enumerate() {
+            let v = input.eval(src, row, stats)?;
+            accs[base + extra_base + x].update(&v);
+        }
+    }
+    // Global aggregation yields one row even over empty input.
+    if j_cols.is_empty() && groups.is_empty() {
+        groups.get_or_insert_key(&[], stats);
+        accs.extend_from_slice(&template);
+    }
+
+    // Materialize in the CASE raw layout.
+    let src_schema = src.schema();
+    let mut fields: Vec<Field> = j_cols
+        .iter()
+        .map(|&c| src_schema.field_at(c).clone())
+        .collect();
+    for (t, task) in tasks.iter().enumerate() {
+        for i in 0..task.combos.len() {
+            for (l, (func, input)) in task.lanes.iter().enumerate() {
+                fields.push(Field::new(
+                    format!("__c{t}_{i}_{l}"),
+                    lane_dtype(*func, input, src_schema),
+                ));
+            }
+        }
+        if task.total.is_some() {
+            fields.push(Field::new(format!("__tot{t}"), DataType::Float));
+        }
+    }
+    for (x, (func, input)) in extra_lanes.iter().enumerate() {
+        fields.push(Field::new(
+            format!("__x{x}_0"),
+            lane_dtype(*func, input, src_schema),
+        ));
+    }
+    let schema = Schema::new(fields)?.into_shared();
+    let n_groups = groups.len();
+    let mut out = Table::with_capacity(schema, n_groups);
+    for gid in 0..n_groups {
+        let mut row: Vec<Value> = groups.keys()[gid].clone();
+        let base = gid * width;
+        for w in 0..width {
+            row.push(accs[base + w].finish());
+        }
+        out.push_row(&row)?;
+    }
+    stats.rows_materialized += n_groups as u64;
+    Ok(out)
+}
+
+fn groups_lookup(
+    map: &RowKeyMap,
+    src: &Table,
+    cols: &[usize],
+    row: usize,
+    stats: &mut ExecStats,
+) -> Option<usize> {
+    map.lookup_row(src, cols, row, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("store", DataType::Int),
+            ("dweek", DataType::Str),
+            ("amt", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::empty(schema);
+        for (s, d, a) in [
+            (1, "Mon", 10.0),
+            (1, "Tue", 30.0),
+            (2, "Mon", 5.0),
+            (1, "Mon", 10.0),
+            (2, "Tue", 15.0),
+        ] {
+            t.push_row(&[Value::Int(s), Value::str(d), Value::Float(a)])
+                .unwrap();
+        }
+        t
+    }
+
+    fn task(t: &Table) -> PivotTask {
+        PivotTask {
+            by_cols: vec![1],
+            lanes: vec![(AggFunc::Sum, Expr::col(t.schema(), "amt").unwrap())],
+            combos: vec![vec![Value::str("Mon")], vec![Value::str("Tue")]],
+            total: Some(Expr::col(t.schema(), "amt").unwrap()),
+        }
+    }
+
+    #[test]
+    fn pivot_matches_manual_sums() {
+        let t = sales();
+        let mut st = ExecStats::default();
+        let raw = pivot_aggregate(&t, &[0], &[task(&t)], &[], &mut st).unwrap();
+        let raw = raw.sorted_by(&[0]);
+        // store 1: Mon 20, Tue 30, total 50; store 2: Mon 5, Tue 15, total 20.
+        assert_eq!(raw.get(0, 1), Value::Float(20.0));
+        assert_eq!(raw.get(0, 2), Value::Float(30.0));
+        assert_eq!(raw.get(0, 3), Value::Float(50.0));
+        assert_eq!(raw.get(1, 1), Value::Float(5.0));
+        assert_eq!(raw.get(1, 3), Value::Float(20.0));
+        assert_eq!(st.case_condition_evals, 0, "no CASE chain evaluated");
+    }
+
+    #[test]
+    fn global_group_and_extras() {
+        let t = sales();
+        let mut st = ExecStats::default();
+        let extras = vec![(AggFunc::CountStar, Expr::lit(1))];
+        let raw = pivot_aggregate(&t, &[], &[task(&t)], &extras, &mut st).unwrap();
+        assert_eq!(raw.num_rows(), 1);
+        assert_eq!(raw.get(0, 0), Value::Float(25.0)); // Mon global
+        assert_eq!(raw.get(0, 1), Value::Float(45.0)); // Tue global
+        assert_eq!(raw.get(0, 2), Value::Float(70.0)); // total
+        assert_eq!(raw.get(0, 3), Value::Int(5)); // count(*)
+    }
+
+    #[test]
+    fn empty_input_global_row() {
+        let t = Table::empty(sales().schema().clone());
+        let mut st = ExecStats::default();
+        let raw = pivot_aggregate(&t, &[], &[task(&t)], &[], &mut st).unwrap();
+        assert_eq!(raw.num_rows(), 1);
+        assert_eq!(raw.get(0, 0), Value::Null);
+    }
+
+    #[test]
+    fn min_max_and_avg_lanes() {
+        let t = sales();
+        let amt = Expr::col(t.schema(), "amt").unwrap();
+        let task = PivotTask {
+            by_cols: vec![1],
+            lanes: vec![
+                (AggFunc::Min, amt.clone()),
+                (AggFunc::Max, amt.clone()),
+                (AggFunc::Avg, amt),
+            ],
+            combos: vec![vec![Value::str("Mon")], vec![Value::str("Tue")]],
+            total: None,
+        };
+        let mut st = ExecStats::default();
+        let raw = pivot_aggregate(&t, &[0], &[task], &[], &mut st)
+            .unwrap()
+            .sorted_by(&[0]);
+        // store 1 Mon: amounts 10,10 → min 10, max 10, avg 10.
+        assert_eq!(raw.get(0, 1), Value::Float(10.0));
+        assert_eq!(raw.get(0, 2), Value::Float(10.0));
+        assert_eq!(raw.get(0, 3), Value::Float(10.0));
+        // store 2 Tue: 15.
+        assert_eq!(raw.get(1, 4), Value::Float(15.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Core error type.
+
+use pa_engine::EngineError;
+use pa_sql::SqlError;
+use pa_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the percentage-aggregation framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Storage failure.
+    Storage(StorageError),
+    /// Operator failure.
+    Engine(EngineError),
+    /// SQL parse/validation failure.
+    Sql(SqlError),
+    /// Query definition invalid against the target table's schema.
+    InvalidQuery(String),
+    /// A horizontal result would exceed the configured column limit and
+    /// partitioned output was not requested (SIGMOD §3.2 / DMKD §3.6).
+    TooManyColumns {
+        /// Columns the result needs.
+        needed: usize,
+        /// Configured ceiling.
+        limit: usize,
+    },
+    /// A feature was asked of a query shape that does not support it.
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Engine(e) => write!(f, "engine: {e}"),
+            CoreError::Sql(e) => write!(f, "sql: {e}"),
+            CoreError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            CoreError::TooManyColumns { needed, limit } => write!(
+                f,
+                "horizontal result needs {needed} columns, exceeding the {limit}-column limit; \
+                 use partitioned evaluation"
+            ),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
+            CoreError::Sql(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<SqlError> for CoreError {
+    fn from(e: SqlError) -> Self {
+        CoreError::Sql(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_layer_errors() {
+        let e: CoreError = StorageError::TableNotFound("F".into()).into();
+        assert!(e.to_string().contains("table not found"));
+        let e: CoreError = EngineError::ExprType("x".into()).into();
+        assert!(e.to_string().starts_with("engine:"));
+        let e: CoreError = SqlError::Rule("r".into()).into();
+        assert!(e.to_string().starts_with("sql:"));
+    }
+
+    #[test]
+    fn column_limit_message() {
+        let e = CoreError::TooManyColumns {
+            needed: 5000,
+            limit: 2048,
+        };
+        assert!(e.to_string().contains("5000"));
+        assert!(e.to_string().contains("2048"));
+    }
+}

@@ -1,0 +1,514 @@
+//! High-level facade: the percentage-query engine.
+//!
+//! [`PercentageEngine`] ties the pieces together — parse SQL (or take typed
+//! queries), pick a strategy (explicitly or via the heuristic optimizer),
+//! evaluate, and manage temporary-table naming.
+
+use crate::error::{CoreError, Result};
+use crate::horizontal::{eval_horizontal, HorizontalResult};
+use crate::missing::{postprocess_pad, preprocess_pad, MissingRows};
+use crate::olap::eval_vpct_olap;
+use crate::optimizer::{choose_horizontal_strategy, choose_vpct_strategy};
+use crate::query::{from_sql, HorizontalQuery, Query, VpctQuery};
+use crate::strategy::{HorizontalOptions, VpctStrategy};
+use crate::vertical::{eval_vpct, QueryResult};
+use pa_storage::Catalog;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Outcome of executing a SQL statement: the family is decided by the
+/// validator.
+#[derive(Debug)]
+pub enum SqlOutcome {
+    /// A `Vpct` statement.
+    Vertical(QueryResult),
+    /// An `Hpct`/`Hagg` statement.
+    Horizontal(HorizontalResult),
+}
+
+impl SqlOutcome {
+    /// The result table regardless of family (single-partition horizontal
+    /// results only).
+    pub fn table(&self) -> pa_storage::SharedTable {
+        match self {
+            SqlOutcome::Vertical(r) => r.table.clone(),
+            SqlOutcome::Horizontal(r) => r.table(),
+        }
+    }
+
+    /// Work counters regardless of family.
+    pub fn stats(&self) -> pa_engine::ExecStats {
+        match self {
+            SqlOutcome::Vertical(r) => r.stats,
+            SqlOutcome::Horizontal(r) => r.stats,
+        }
+    }
+}
+
+/// The percentage-query engine over a catalog.
+///
+/// ```
+/// use pa_core::{PercentageEngine, SqlOutcome};
+/// use pa_storage::{Catalog, DataType, Schema, Table, Value};
+///
+/// let catalog = Catalog::new();
+/// let schema = Schema::from_pairs(&[("state", DataType::Str), ("amt", DataType::Float)])
+///     .unwrap()
+///     .into_shared();
+/// let mut f = Table::empty(schema);
+/// f.push_row(&[Value::str("CA"), Value::Float(30.0)]).unwrap();
+/// f.push_row(&[Value::str("TX"), Value::Float(70.0)]).unwrap();
+/// catalog.create_table("sales", f).unwrap();
+///
+/// let engine = PercentageEngine::new(&catalog);
+/// let out = engine
+///     .execute_sql("SELECT state, Vpct(amt) FROM sales GROUP BY state ORDER BY state;")
+///     .unwrap();
+/// let table = out.table();
+/// let t = table.read();
+/// assert_eq!(t.get(0, 1), Value::Float(0.3));
+/// assert_eq!(t.get(1, 1), Value::Float(0.7));
+/// ```
+#[derive(Debug)]
+pub struct PercentageEngine<'a> {
+    catalog: &'a Catalog,
+    counter: AtomicU64,
+    reuse_temps: bool,
+}
+
+impl<'a> PercentageEngine<'a> {
+    /// Engine that reuses one set of temporary-table names (`tmp_Fk`, ...),
+    /// replacing them per query — the right mode for benchmarks and
+    /// single-threaded use.
+    pub fn new(catalog: &'a Catalog) -> PercentageEngine<'a> {
+        PercentageEngine {
+            catalog,
+            counter: AtomicU64::new(0),
+            reuse_temps: true,
+        }
+    }
+
+    /// Engine that mints fresh temporary names per query (`q3_Fk`, ...),
+    /// keeping every intermediate inspectable.
+    pub fn with_unique_temps(catalog: &'a Catalog) -> PercentageEngine<'a> {
+        PercentageEngine {
+            catalog,
+            counter: AtomicU64::new(0),
+            reuse_temps: false,
+        }
+    }
+
+    /// The catalog this engine runs against.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    fn prefix(&self) -> String {
+        if self.reuse_temps {
+            "tmp_".to_string()
+        } else {
+            format!("q{}_", self.counter.fetch_add(1, Ordering::Relaxed))
+        }
+    }
+
+    /// Evaluate a vertical percentage query with the recommended strategy.
+    /// Multi-term queries (`m > 1`) evaluate bottom-up on the dimension
+    /// lattice (SIGMOD §3.1: "partial aggregations need to be computed
+    /// bottom-up based on the dimension lattice").
+    pub fn vpct(&self, q: &VpctQuery) -> Result<QueryResult> {
+        if q.terms.len() > 1 {
+            return crate::lattice::eval_vpct_lattice(self.catalog, q, &self.prefix());
+        }
+        let strat = choose_vpct_strategy(self.catalog, q);
+        self.vpct_with(q, &strat)
+    }
+
+    /// Evaluate a batch of percentage queries with one shared summary
+    /// (SIGMOD §6 future work). See [`crate::lattice::eval_vpct_batch`].
+    pub fn vpct_batch(&self, queries: &[VpctQuery]) -> Result<Vec<QueryResult>> {
+        crate::lattice::eval_vpct_batch(self.catalog, queries, &self.prefix())
+    }
+
+    /// Evaluate a vertical percentage query with an explicit strategy.
+    pub fn vpct_with(&self, q: &VpctQuery, strat: &VpctStrategy) -> Result<QueryResult> {
+        eval_vpct(self.catalog, q, strat, &self.prefix())
+    }
+
+    /// Evaluate with explicit strategy and missing-row handling.
+    pub fn vpct_with_missing(
+        &self,
+        q: &VpctQuery,
+        strat: &VpctStrategy,
+        missing: MissingRows,
+    ) -> Result<QueryResult> {
+        match missing {
+            MissingRows::Ignore => self.vpct_with(q, strat),
+            MissingRows::PreProcess => {
+                let mut stats = pa_engine::ExecStats::default();
+                preprocess_pad(self.catalog, q, &mut stats)?;
+                let mut result = self.vpct_with(q, strat)?;
+                result.stats += stats;
+                Ok(result)
+            }
+            MissingRows::PostProcess => {
+                let mut result = self.vpct_with(q, strat)?;
+                let mut stats = pa_engine::ExecStats::default();
+                postprocess_pad(self.catalog, q, &result, &mut stats)?;
+                result.stats += stats;
+                Ok(result)
+            }
+        }
+    }
+
+    /// Evaluate a vertical percentage query through the OLAP window-function
+    /// baseline (the comparison of SIGMOD Table 6).
+    pub fn vpct_olap(&self, q: &VpctQuery) -> Result<QueryResult> {
+        eval_vpct_olap(self.catalog, q, &self.prefix())
+    }
+
+    /// Evaluate a horizontal query, picking the CASE source heuristically.
+    pub fn horizontal(&self, q: &HorizontalQuery) -> Result<HorizontalResult> {
+        let strategy = choose_horizontal_strategy(self.catalog, q)?;
+        self.horizontal_with(q, &HorizontalOptions::with_strategy(strategy))
+    }
+
+    /// Evaluate a horizontal query with explicit options.
+    pub fn horizontal_with(
+        &self,
+        q: &HorizontalQuery,
+        opts: &HorizontalOptions,
+    ) -> Result<HorizontalResult> {
+        eval_horizontal(self.catalog, q, opts, &self.prefix())
+    }
+
+    /// Parse, validate and execute a SQL statement in the percentage
+    /// dialect. A `WHERE` clause is applied to the fact table first ("F can
+    /// be a temporary table resulting from some query", SIGMOD §2); an
+    /// `ORDER BY` clause sorts the materialized result (result rows "can be
+    /// returned in the order given by GROUP BY").
+    pub fn execute_sql(&self, sql: &str) -> Result<SqlOutcome> {
+        let stmt = pa_sql::parse(sql)?;
+        let mut query = from_sql(&stmt)?;
+        self.apply_where(&stmt, &mut query)?;
+        let outcome = match query {
+            Query::Vertical(q) => SqlOutcome::Vertical(self.vpct(&q)?),
+            Query::Horizontal(q) => SqlOutcome::Horizontal(self.horizontal(&q)?),
+        };
+        apply_order(&outcome, &stmt.order_by)?;
+        Ok(outcome)
+    }
+
+    /// Like [`PercentageEngine::execute_sql`] but with explicit strategy
+    /// knobs for each family.
+    pub fn execute_sql_with(
+        &self,
+        sql: &str,
+        vstrat: &VpctStrategy,
+        hopts: &HorizontalOptions,
+    ) -> Result<SqlOutcome> {
+        let stmt = pa_sql::parse(sql)?;
+        let mut query = from_sql(&stmt)?;
+        self.apply_where(&stmt, &mut query)?;
+        let outcome = match query {
+            Query::Vertical(q) => SqlOutcome::Vertical(self.vpct_with(&q, vstrat)?),
+            Query::Horizontal(q) => SqlOutcome::Horizontal(self.horizontal_with(&q, hopts)?),
+        };
+        apply_order(&outcome, &stmt.order_by)?;
+        Ok(outcome)
+    }
+
+    /// Materialize the WHERE-filtered fact table as a view-like temporary
+    /// and point the query at it.
+    fn apply_where(&self, stmt: &pa_sql::SelectStmt, query: &mut Query) -> Result<()> {
+        let Some(pred) = &stmt.where_clause else {
+            return Ok(());
+        };
+        let table = match query {
+            Query::Vertical(q) => q.table.clone(),
+            Query::Horizontal(q) => q.table.clone(),
+        };
+        let shared = self.catalog.table(&table)?;
+        let filtered = {
+            let f = shared.read();
+            let expr = crate::query::ast_to_expr(pred, f.schema())?;
+            let mut stats = pa_engine::ExecStats::default();
+            pa_engine::filter(&f, &expr, &mut stats)?
+        };
+        let view_name = format!("{}Fwhere", self.prefix());
+        self.catalog.create_or_replace_table(&view_name, filtered);
+        match query {
+            Query::Vertical(q) => q.table = view_name,
+            Query::Horizontal(q) => q.table = view_name,
+        }
+        Ok(())
+    }
+
+    /// Generated SQL for a statement without executing it (the paper's
+    /// code-generator use case).
+    pub fn explain_sql(&self, sql: &str) -> Result<Vec<String>> {
+        let stmt = pa_sql::parse(sql)?;
+        match from_sql(&stmt)? {
+            Query::Vertical(q) => {
+                let strat = choose_vpct_strategy(self.catalog, &q);
+                Ok(crate::codegen::vpct_statements(&q, &strat))
+            }
+            Query::Horizontal(q) => {
+                let strategy = choose_horizontal_strategy(self.catalog, &q)?;
+                Ok(crate::codegen::horizontal_statements(&q, strategy, None))
+            }
+        }
+    }
+}
+
+/// Sort a freshly materialized result in place by the named columns.
+fn apply_order(outcome: &SqlOutcome, order_by: &[String]) -> Result<()> {
+    if order_by.is_empty() {
+        return Ok(());
+    }
+    let shared = outcome.table();
+    let mut t = shared.write();
+    let cols = order_by
+        .iter()
+        .map(|n| {
+            t.schema()
+                .index_of(n)
+                .map_err(|_| CoreError::InvalidQuery(format!("ORDER BY column {n} not in result")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    *t = t.sorted_by(&cols);
+    Ok(())
+}
+
+// Re-exported here so `use pa_core::executor::*` is self-sufficient.
+pub use crate::missing::MissingRows as Missing;
+
+impl CoreError {
+    /// Helper: whether this error is a usage-rule violation (parse-level or
+    /// structural), as opposed to an execution failure.
+    pub fn is_rule_violation(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Sql(pa_sql::SqlError::Rule(_)) | CoreError::InvalidQuery(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertical::tests::sales_catalog;
+    use pa_storage::Value;
+
+    #[test]
+    fn sql_round_trip_vertical() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let out = engine
+            .execute_sql(
+                "SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city;",
+            )
+            .unwrap();
+        let SqlOutcome::Vertical(r) = out else {
+            panic!("expected vertical")
+        };
+        let t = r.snapshot().sorted_by(&[0, 1]);
+        assert_eq!(t.get(0, 2), Value::Float(23.0 / 106.0));
+    }
+
+    #[test]
+    fn sql_round_trip_horizontal() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let out = engine
+            .execute_sql(
+                "SELECT state, Hpct(salesAmt BY city), sum(salesAmt) FROM sales GROUP BY state;",
+            )
+            .unwrap();
+        let SqlOutcome::Horizontal(r) = out else {
+            panic!("expected horizontal")
+        };
+        let t = r.snapshot().sorted_by(&[0]);
+        assert_eq!(t.num_columns(), 6, "state + 4 cities + total");
+        // CA row, cities sorted: Dallas 0%, Houston 0%, LA 23/106, SF 83/106.
+        assert_eq!(t.get(0, 1), Value::Float(0.0));
+        assert_eq!(t.get(0, 3), Value::Float(23.0 / 106.0));
+        assert_eq!(t.get(0, 4), Value::Float(83.0 / 106.0));
+        assert_eq!(t.get(0, 5), Value::Float(106.0));
+    }
+
+    #[test]
+    fn rule_violations_surface() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let err = engine
+            .execute_sql("SELECT Vpct(salesAmt BY city) FROM sales")
+            .unwrap_err();
+        assert!(err.is_rule_violation(), "{err}");
+    }
+
+    #[test]
+    fn unique_temp_mode_keeps_intermediates() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::with_unique_temps(&catalog);
+        engine
+            .execute_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city")
+            .unwrap();
+        engine
+            .execute_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city")
+            .unwrap();
+        assert!(catalog.contains("q0_FV"));
+        assert!(catalog.contains("q1_FV"));
+    }
+
+    #[test]
+    fn reuse_mode_replaces_temps() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        engine
+            .execute_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city")
+            .unwrap();
+        let names_before = catalog.table_names().len();
+        engine
+            .execute_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city")
+            .unwrap();
+        assert_eq!(catalog.table_names().len(), names_before);
+    }
+
+    #[test]
+    fn explain_returns_generated_statements() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let stmts = engine
+            .explain_sql(
+                "SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city",
+            )
+            .unwrap();
+        assert!(stmts[0].starts_with("INSERT INTO Fk"));
+        assert!(!catalog.contains("tmp_Fk"), "explain does not execute");
+    }
+
+    #[test]
+    fn missing_row_modes_via_engine() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let q = VpctQuery::single("sales", &["state", "city"], "salesAmt", &["city"]);
+        let plain = engine
+            .vpct_with_missing(&q, &VpctStrategy::best(), MissingRows::Ignore)
+            .unwrap();
+        let n_plain = plain.snapshot().num_rows();
+        let padded = engine
+            .vpct_with_missing(&q, &VpctStrategy::best(), MissingRows::PostProcess)
+            .unwrap();
+        // 2 states × 4 cities = 8 cells; 4 exist.
+        assert_eq!(n_plain, 4);
+        assert_eq!(padded.snapshot().num_rows(), 8);
+    }
+
+    #[test]
+    fn where_clause_filters_the_fact_table() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let out = engine
+            .execute_sql(
+                "SELECT state,city,Vpct(salesAmt BY city) FROM sales \
+                 WHERE state = 'TX' GROUP BY state,city;",
+            )
+            .unwrap();
+        let t = out.table();
+        let t = t.read().sorted_by(&[0, 1]);
+        assert_eq!(t.num_rows(), 2, "only TX cities");
+        assert_eq!(t.get(0, 2), Value::Float(85.0 / 149.0)); // Dallas
+        assert_eq!(t.get(1, 2), Value::Float(64.0 / 149.0)); // Houston
+
+        // Numeric predicate on the measure.
+        let out = engine
+            .execute_sql(
+                "SELECT state, Hpct(salesAmt BY city) FROM sales \
+                 WHERE salesAmt > 30 GROUP BY state;",
+            )
+            .unwrap();
+        let t = out.table();
+        assert!(t.read().num_rows() >= 1);
+
+        // Unknown column in WHERE errors.
+        assert!(engine
+            .execute_sql(
+                "SELECT state,city,Vpct(salesAmt BY city) FROM sales \
+                 WHERE bogus = 1 GROUP BY state,city"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn order_by_sorts_the_result() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let out = engine
+            .execute_sql(
+                "SELECT state,city,Vpct(salesAmt BY city) AS pct FROM sales \
+                 GROUP BY state,city ORDER BY pct;",
+            )
+            .unwrap();
+        let t = out.table();
+        let t = t.read();
+        let mut prev = f64::NEG_INFINITY;
+        for r in 0..t.num_rows() {
+            let p = t.get(r, 2).as_f64().unwrap();
+            assert!(p >= prev, "row {r} out of order");
+            prev = p;
+        }
+        // Positional and plain-column ORDER BY.
+        assert!(engine
+            .execute_sql(
+                "SELECT state,city,Vpct(salesAmt BY city) FROM sales \
+                 GROUP BY state,city ORDER BY 1,2"
+            )
+            .is_ok());
+        // Unknown ORDER BY column errors.
+        assert!(engine
+            .execute_sql(
+                "SELECT state,city,Vpct(salesAmt BY city) FROM sales \
+                 GROUP BY state,city ORDER BY bogus"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn multi_term_sql_goes_through_the_lattice() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let out = engine
+            .execute_sql(
+                "SELECT state, city, Vpct(salesAmt BY city) AS within_state, \
+                 Vpct(salesAmt BY state, city) AS global_share \
+                 FROM sales GROUP BY state, city;",
+            )
+            .unwrap();
+        let t = out.table();
+        let t = t.read().sorted_by(&[0, 1]);
+        assert_eq!(t.get(0, 2), Value::Float(23.0 / 106.0));
+        assert_eq!(t.get(0, 3), Value::Float(23.0 / 255.0));
+    }
+
+    #[test]
+    fn batch_api_through_engine() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let q1 = VpctQuery::single("sales", &["state", "city"], "salesAmt", &["city"]);
+        let q2 = VpctQuery::single("sales", &["state"], "salesAmt", &[]);
+        let results = engine.vpct_batch(&[q1, q2]).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].snapshot().num_rows(), 2);
+    }
+
+    #[test]
+    fn olap_via_engine_matches() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let q = VpctQuery::single("sales", &["state", "city"], "salesAmt", &["city"]);
+        let fast = engine.vpct(&q).unwrap();
+        let olap = engine.vpct_olap(&q).unwrap();
+        let a: Vec<Vec<Value>> = fast.snapshot().sorted_by(&[0, 1]).rows().collect();
+        let b: Vec<Vec<Value>> = olap.snapshot().sorted_by(&[0, 1]).rows().collect();
+        assert_eq!(a, b);
+    }
+}

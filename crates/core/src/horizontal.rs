@@ -1,0 +1,1126 @@
+//! Horizontal aggregation evaluation (SIGMOD §3.2 and DMKD §3).
+//!
+//! All four strategies the papers benchmark are implemented over a shared
+//! pipeline:
+//!
+//! 1. (indirect variants) compute the vertical pre-aggregate `FV` grouped by
+//!    `D1..Dk`;
+//! 2. discover the `N` distinct subgroup combinations (`SELECT DISTINCT
+//!    Dj+1..Dk`), which define the result columns;
+//! 3. produce a *raw* table `[D1..Dj][cell lanes][totals][extras]` — via
+//!    CASE-guarded aggregates (one scan, O(N) conditions per row), via the
+//!    hash-dispatch pivot operator (one scan, O(1) per row — the paper's
+//!    "future work" optimization), or via SPJ (`N` filtered aggregation
+//!    passes assembled with `N` left outer joins onto `F0`);
+//! 4. post-project: percentage division (`Hpct` cells divide by the group
+//!    total; missing cells count as 0, matching SIGMOD's `ELSE 0` CASE
+//!    form), `DEFAULT 0` substitution, column naming, optional vertical
+//!    partitioning when the column limit is exceeded.
+
+use crate::error::{CoreError, Result};
+use crate::naming::{cell_column_name, dedup_names, partition_ranges};
+use crate::query::{ExtraAgg, HorizontalQuery};
+use crate::strategy::{HorizontalOptions, HorizontalStrategy};
+use crate::vertical::QueryResult;
+use pa_engine::{
+    create_table_as, distinct_keys, filter, hash_aggregate, hash_join, project, AggFunc, AggSpec,
+    ExecStats, Expr, JoinType, ProjSpec,
+};
+use pa_storage::{Catalog, DataType, Schema, SharedTable, Table, Value};
+
+/// Result of a horizontal query: one table normally, several when the
+/// column limit forces vertical partitioning (each partition repeats the
+/// `D1..Dj` key — DMKD §3.6).
+#[derive(Debug)]
+pub struct HorizontalResult {
+    /// Result partitions (`FH`, or `FH_p0..`), registered in the catalog.
+    pub partitions: Vec<SharedTable>,
+    /// Work counters for the whole plan.
+    pub stats: ExecStats,
+    /// Generated SQL transcript.
+    pub statements: Vec<String>,
+    /// Names of the generated cell columns, per term.
+    pub cell_columns: Vec<Vec<String>>,
+}
+
+impl HorizontalResult {
+    /// The single result table; panics if partitioned (tests/examples).
+    pub fn table(&self) -> SharedTable {
+        assert_eq!(self.partitions.len(), 1, "result is partitioned");
+        self.partitions[0].clone()
+    }
+
+    /// Owned snapshot of the single result table.
+    pub fn snapshot(&self) -> Table {
+        self.table().read().clone()
+    }
+
+    /// Convert into a [`QueryResult`] (single-partition results only).
+    pub fn into_query_result(self) -> QueryResult {
+        assert_eq!(self.partitions.len(), 1, "result is partitioned");
+        QueryResult {
+            table: self.partitions.into_iter().next().expect("one partition"),
+            stats: self.stats,
+            statements: self.statements,
+        }
+    }
+}
+
+/// How one term's raw lanes combine into the final cell value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Combine {
+    /// One raw lane per cell.
+    Single,
+    /// Two lanes, `sum / count` (avg re-aggregated from `FV`).
+    AvgPair,
+}
+
+/// Per-term plan against the chosen source table (`F` or `FV`).
+#[derive(Debug)]
+struct TermPlan {
+    by_src_cols: Vec<usize>,
+    /// Aggregations computing each cell lane from source rows.
+    lanes: Vec<(AggFunc, Expr)>,
+    combine: Combine,
+    /// Group-total aggregation for percentage terms.
+    total: Option<Expr>,
+    combos: Vec<Vec<Value>>,
+    names: Vec<String>,
+}
+
+impl TermPlan {
+    fn lanes_per_cell(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+fn extra_direct_spec(extra: &ExtraAgg, schema: &Schema, name: &str) -> Result<AggSpec> {
+    let input = match (&extra.func, &extra.measure) {
+        (AggFunc::CountStar, _) => Expr::lit(1),
+        (_, Some(m)) => m.to_expr(schema)?,
+        (f, None) => {
+            return Err(CoreError::InvalidQuery(format!(
+                "{} requires a measure",
+                f.sql_name()
+            )));
+        }
+    };
+    Ok(AggSpec::new(extra.func, input, name))
+}
+
+/// Distributive re-aggregation of a partial aggregate (Gray et al.): how
+/// `func` partials computed at the `D1..Dk` level combine into `D1..Dj`.
+fn reagg_func(func: AggFunc) -> AggFunc {
+    match func {
+        AggFunc::Sum | AggFunc::Count | AggFunc::CountStar => AggFunc::Sum,
+        AggFunc::Min => AggFunc::Min,
+        AggFunc::Max => AggFunc::Max,
+        AggFunc::Avg => unreachable!("avg is handled as a sum/count pair"),
+        AggFunc::CountDistinct => {
+            unreachable!("count(distinct) is holistic; FV strategies reject it upstream")
+        }
+    }
+}
+
+/// The table horizontal aggregation reads from: the fact table (held via
+/// its read guard) or the owned `FV` pre-aggregate.
+enum Source<'a> {
+    Fact(parking_lot::RwLockReadGuard<'a, Table>),
+    Fv(Table),
+}
+
+impl Source<'_> {
+    fn table(&self) -> &Table {
+        match self {
+            Source::Fact(g) => g,
+            Source::Fv(t) => t,
+        }
+    }
+}
+
+/// Evaluate a horizontal query under the given options. Temporaries are
+/// registered as `{prefix}FV`, `{prefix}F0`/`{prefix}F{i}` (SPJ) and the
+/// result as `{prefix}FH` (or `{prefix}FH_p0..` when partitioned).
+pub fn eval_horizontal(
+    catalog: &Catalog,
+    q: &HorizontalQuery,
+    opts: &HorizontalOptions,
+    prefix: &str,
+) -> Result<HorizontalResult> {
+    q.validate()?;
+    let mut stats = ExecStats::default();
+
+    let f_shared = catalog.table(&q.table)?;
+    let f_guard = f_shared.read();
+    let f_schema = f_guard.schema().clone();
+
+    for term in &q.terms {
+        for b in &term.by {
+            f_schema
+                .index_of(b)
+                .map_err(|_| CoreError::InvalidQuery(format!("unknown BY column {b}")))?;
+        }
+    }
+    let j_cols_f: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|n| {
+            f_schema
+                .index_of(n)
+                .map_err(|_| CoreError::InvalidQuery(format!("unknown GROUP BY column {n}")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    // ---------- Build the source (F directly, or the FV pre-aggregate) and
+    // the per-term / per-extra lane descriptions against it. ----------
+    type TermLanes = (Vec<(AggFunc, Expr)>, Combine, Option<Expr>);
+    let mut term_lanes: Vec<TermLanes> = Vec::new();
+    let mut extra_specs_src: Vec<(Vec<(AggFunc, Expr)>, Combine)> = Vec::new();
+    let (source, j_cols): (Source<'_>, Vec<usize>) = if opts.strategy.uses_fv() {
+        // Holistic aggregates cannot be re-aggregated from the FV partial
+        // (Gray et al.): reject rather than silently double-count.
+        for term in q.terms.iter() {
+            if term.func == AggFunc::CountDistinct {
+                return Err(CoreError::Unsupported(
+                    "count(DISTINCT ..) is holistic and cannot use an FV-based \
+                     strategy; evaluate it with CaseDirect or SpjDirect"
+                        .into(),
+                ));
+            }
+        }
+        for extra in &q.extra {
+            if extra.func == AggFunc::CountDistinct {
+                return Err(CoreError::Unsupported(
+                    "count(DISTINCT ..) is holistic and cannot use an FV-based \
+                     strategy; evaluate it with CaseDirect or SpjDirect"
+                        .into(),
+                ));
+            }
+        }
+        // FV keys: group_by then each term's by columns (deduped).
+        let mut key_names: Vec<String> = q.group_by.clone();
+        for term in &q.terms {
+            for b in &term.by {
+                if !key_names.iter().any(|c| c.eq_ignore_ascii_case(b)) {
+                    key_names.push(b.clone());
+                }
+            }
+        }
+        let key_cols_f: Vec<usize> = key_names
+            .iter()
+            .map(|n| f_schema.index_of(n).map_err(CoreError::from))
+            .collect::<Result<Vec<_>>>()?;
+
+        let mut specs: Vec<AggSpec> = Vec::new();
+        let mut partial_pos: Vec<Vec<usize>> = Vec::new(); // per term, lane cols
+        let mut term_funcs: Vec<AggFunc> = Vec::new();
+        for (t, term) in q.terms.iter().enumerate() {
+            let measure = term.measure.to_expr(&f_schema)?;
+            let base = key_cols_f.len() + specs.len();
+            term_funcs.push(term.func);
+            match term.func {
+                AggFunc::Avg => {
+                    specs.push(AggSpec::new(AggFunc::Sum, measure.clone(), format!("__ps{t}")));
+                    specs.push(AggSpec::new(AggFunc::Count, measure, format!("__pc{t}")));
+                    partial_pos.push(vec![base, base + 1]);
+                }
+                func => {
+                    specs.push(AggSpec::new(func, measure, format!("__p{t}")));
+                    partial_pos.push(vec![base]);
+                }
+            }
+        }
+        let mut extra_partial_pos: Vec<Vec<usize>> = Vec::new();
+        for (e, extra) in q.extra.iter().enumerate() {
+            let base = key_cols_f.len() + specs.len();
+            match extra.func {
+                AggFunc::Avg => {
+                    let m = extra
+                        .measure
+                        .as_ref()
+                        .ok_or_else(|| CoreError::InvalidQuery("avg requires a measure".into()))?
+                        .to_expr(&f_schema)?;
+                    specs.push(AggSpec::new(AggFunc::Sum, m.clone(), format!("__es{e}")));
+                    specs.push(AggSpec::new(AggFunc::Count, m, format!("__ec{e}")));
+                    extra_partial_pos.push(vec![base, base + 1]);
+                }
+                _ => {
+                    specs.push(extra_direct_spec(extra, &f_schema, &format!("__e{e}"))?);
+                    extra_partial_pos.push(vec![base]);
+                }
+            }
+        }
+        let fv = hash_aggregate(&f_guard, &key_cols_f, &specs, &mut stats)?;
+        drop(f_guard);
+        create_table_as(catalog, &format!("{prefix}FV"), fv.clone(), &mut stats)?;
+
+        for (t, term) in q.terms.iter().enumerate() {
+            let lanes: Vec<(AggFunc, Expr)> = match term.func {
+                AggFunc::Avg => vec![
+                    (AggFunc::Sum, Expr::Col(partial_pos[t][0])),
+                    (AggFunc::Sum, Expr::Col(partial_pos[t][1])),
+                ],
+                func => vec![(reagg_func(func), Expr::Col(partial_pos[t][0]))],
+            };
+            let combine = if term.func == AggFunc::Avg {
+                Combine::AvgPair
+            } else {
+                Combine::Single
+            };
+            let total = term
+                .percentage
+                .then(|| Expr::Col(partial_pos[t][0]));
+            term_lanes.push((lanes, combine, total));
+        }
+        for (e, extra) in q.extra.iter().enumerate() {
+            match extra.func {
+                AggFunc::Avg => extra_specs_src.push((
+                    vec![
+                        (AggFunc::Sum, Expr::Col(extra_partial_pos[e][0])),
+                        (AggFunc::Sum, Expr::Col(extra_partial_pos[e][1])),
+                    ],
+                    Combine::AvgPair,
+                )),
+                func => extra_specs_src.push((
+                    vec![(reagg_func(func), Expr::Col(extra_partial_pos[e][0]))],
+                    Combine::Single,
+                )),
+            }
+        }
+        let j_cols_fv: Vec<usize> = (0..q.group_by.len()).collect();
+        (Source::Fv(fv), j_cols_fv)
+    } else {
+        for term in &q.terms {
+            let measure = term.measure.to_expr(&f_schema)?;
+            let total = term.percentage.then(|| measure.clone());
+            term_lanes.push((vec![(term.func, measure)], Combine::Single, total));
+        }
+        for extra in &q.extra {
+            let spec = extra_direct_spec(extra, &f_schema, "__tmp")?;
+            extra_specs_src.push((vec![(spec.func, spec.input)], Combine::Single));
+        }
+        (Source::Fact(f_guard), j_cols_f)
+    };
+    let src = source.table();
+    let src_schema = src.schema().clone();
+
+    // ---------- Distinct subgroup combinations → result columns. ----------
+    let multi_term = q.terms.len() > 1;
+    let mut plans: Vec<TermPlan> = Vec::new();
+    for (t, term) in q.terms.iter().enumerate() {
+        let by_src_cols: Vec<usize> = term
+            .by
+            .iter()
+            .map(|n| src_schema.index_of(n).map_err(CoreError::from))
+            .collect::<Result<Vec<_>>>()?;
+        let mut combos = distinct_keys(src, &by_src_cols, &mut stats)?;
+        combos.sort_by(|a, b| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let prefix_name = if multi_term { term.name.as_str() } else { "" };
+        let mut names: Vec<String> = combos
+            .iter()
+            .map(|c| cell_column_name(prefix_name, &term.by, c))
+            .collect();
+        dedup_names(&mut names);
+        let (lanes, combine, total) = {
+            let (l, c, tot) = &term_lanes[t];
+            (l.clone(), *c, tot.clone())
+        };
+        plans.push(TermPlan {
+            by_src_cols,
+            lanes,
+            combine,
+            total,
+            combos,
+            names,
+        });
+    }
+
+    // Column budget (DMKD §3.6).
+    let n_cells: usize = plans.iter().map(|p| p.combos.len()).sum();
+    let total_cols = q.group_by.len() + n_cells + q.extra.len();
+    let partitioned = total_cols > opts.max_columns;
+    if partitioned && !opts.allow_partitioning {
+        return Err(CoreError::TooManyColumns {
+            needed: total_cols,
+            limit: opts.max_columns,
+        });
+    }
+
+    let statements = crate::codegen::horizontal_statements(
+        q,
+        opts.strategy,
+        plans.first().map(|p| p.combos.as_slice()),
+    );
+
+    // ---------- Raw table: [j][term0 lanes×cells][term0 total?].. [extras] --
+    let raw = match opts.strategy {
+        HorizontalStrategy::CaseDirect | HorizontalStrategy::CaseFromFv => {
+            if opts.hash_dispatch {
+                let flat_extras: Vec<(AggFunc, Expr)> = extra_specs_src
+                    .iter()
+                    .flat_map(|(lanes, _)| lanes.iter().cloned())
+                    .collect();
+                crate::dispatch::pivot_aggregate(
+                    src,
+                    &j_cols,
+                    &plans_as_tasks(&plans),
+                    &flat_extras,
+                    &mut stats,
+                )?
+            } else {
+                case_raw(src, &j_cols, &plans, &extra_specs_src, &mut stats)?
+            }
+        }
+        HorizontalStrategy::SpjDirect | HorizontalStrategy::SpjFromFv => {
+            spj_raw(catalog, src, &j_cols, &plans, &extra_specs_src, prefix, &mut stats)?
+        }
+    };
+    drop(source);
+
+    // ---------- Post-projection. ----------
+    let j_len = q.group_by.len();
+    let mut proj: Vec<ProjSpec> = Vec::new();
+    for (i, name) in q.group_by.iter().enumerate() {
+        proj.push(ProjSpec::typed(
+            Expr::Col(i),
+            name.clone(),
+            raw.schema().field_at(i).dtype,
+        ));
+    }
+    let mut pos = j_len;
+    let mut cell_columns: Vec<Vec<String>> = Vec::new();
+    for (term, plan) in q.terms.iter().zip(&plans) {
+        let lanes = plan.lanes_per_cell();
+        let cell_base = pos;
+        let total_pos = cell_base + plan.combos.len() * lanes;
+        for (i, name) in plan.names.iter().enumerate() {
+            let raw_cell: Expr = match plan.combine {
+                Combine::Single => Expr::Col(cell_base + i * lanes),
+                Combine::AvgPair => Expr::Col(cell_base + i * lanes)
+                    .safe_div(Expr::Col(cell_base + i * lanes + 1)),
+            };
+            let mut cell = raw_cell;
+            if term.percentage {
+                // Missing cells count as 0 in the numerator (SIGMOD's
+                // `ELSE 0`), while a zero/NULL group total yields NULL.
+                let zero_if_missing = Expr::Case {
+                    branches: vec![(Expr::IsNull(Box::new(cell.clone())), Expr::lit(0.0))],
+                    else_value: Some(Box::new(cell)),
+                };
+                cell = zero_if_missing.safe_div(Expr::Col(total_pos));
+            }
+            // Count of no qualifying rows is 0, not NULL — uniformly across
+            // strategies (the outer-join variants produce NULL there).
+            let count_term = matches!(
+                term.func,
+                AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar
+            );
+            if term.default_zero || (count_term && !term.percentage) {
+                cell = Expr::Case {
+                    branches: vec![(Expr::IsNull(Box::new(cell.clone())), Expr::lit(0))],
+                    else_value: Some(Box::new(cell)),
+                };
+            }
+            let dtype = match (term.percentage, plan.combine, term.func) {
+                (true, _, _) | (_, Combine::AvgPair, _) => DataType::Float,
+                (_, _, AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar) => DataType::Int,
+                _ => raw
+                    .schema()
+                    .field_at(cell_base + i * lanes)
+                    .dtype,
+            };
+            // Re-aggregated counts come back as float sums; keep the
+            // user-facing column Int regardless of strategy.
+            if dtype == DataType::Int {
+                cell = Expr::Cast(DataType::Int, Box::new(cell));
+            }
+            proj.push(ProjSpec::typed(cell, name.clone(), dtype));
+        }
+        cell_columns.push(plan.names.clone());
+        pos = total_pos + usize::from(plan.total.is_some());
+    }
+    for (extra, (lanes, combine)) in q.extra.iter().zip(&extra_specs_src) {
+        let mut expr = match combine {
+            Combine::Single => Expr::Col(pos),
+            Combine::AvgPair => Expr::Col(pos).safe_div(Expr::Col(pos + 1)),
+        };
+        let dtype = match (combine, extra.func) {
+            (Combine::AvgPair, _) | (_, AggFunc::Avg | AggFunc::Sum) => DataType::Float,
+            (_, AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar) => DataType::Int,
+            _ => raw.schema().field_at(pos).dtype,
+        };
+        if dtype == DataType::Int {
+            expr = Expr::Cast(DataType::Int, Box::new(expr));
+        }
+        proj.push(ProjSpec::typed(expr, extra.name.clone(), dtype));
+        pos += lanes.len();
+    }
+    let fh = project(&raw, &proj, &mut stats)?;
+
+    // ---------- Partitioning & registration. ----------
+    let partitions: Vec<SharedTable> = if !partitioned {
+        vec![create_table_as(catalog, &format!("{prefix}FH"), fh, &mut stats)?]
+    } else {
+        let n_key = j_len;
+        let cells_total = fh.num_columns() - n_key;
+        let ranges = partition_ranges(cells_total, n_key, opts.max_columns);
+        let mut out = Vec::with_capacity(ranges.len());
+        for (p, range) in ranges.into_iter().enumerate() {
+            let mut fields: Vec<pa_storage::Field> =
+                fh.schema().fields()[..n_key].to_vec();
+            let mut cols: Vec<pa_storage::Column> = fh.columns()[..n_key].to_vec();
+            for c in range {
+                fields.push(fh.schema().field_at(n_key + c).clone());
+                cols.push(fh.column(n_key + c).clone());
+            }
+            let part = Table::from_columns(Schema::new(fields)?.into_shared(), cols)?;
+            out.push(create_table_as(
+                catalog,
+                &format!("{prefix}FH_p{p}"),
+                part,
+                &mut stats,
+            )?);
+        }
+        out
+    };
+
+    Ok(HorizontalResult {
+        partitions,
+        stats,
+        statements,
+        cell_columns,
+    })
+}
+
+/// CASE strategy: one aggregation pass with `N` CASE-guarded terms.
+fn case_raw(
+    src: &Table,
+    j_cols: &[usize],
+    plans: &[TermPlan],
+    extras: &[(Vec<(AggFunc, Expr)>, Combine)],
+    stats: &mut ExecStats,
+) -> Result<Table> {
+    let mut specs: Vec<AggSpec> = Vec::new();
+    for (t, plan) in plans.iter().enumerate() {
+        for (i, combo) in plan.combos.iter().enumerate() {
+            let pred = Expr::key_match(
+                &plan
+                    .by_src_cols
+                    .iter()
+                    .zip(combo)
+                    .map(|(&c, v)| (c, v.clone()))
+                    .collect::<Vec<_>>(),
+            );
+            for (l, (func, input)) in plan.lanes.iter().enumerate() {
+                // count(*) must only count the rows matching this cell:
+                // under CASE it becomes count(CASE WHEN pred THEN 1 END).
+                let (func, input) = if *func == AggFunc::CountStar {
+                    (AggFunc::Count, Expr::lit(1))
+                } else {
+                    (*func, input.clone())
+                };
+                let case = Expr::Case {
+                    branches: vec![(pred.clone(), input)],
+                    else_value: None,
+                };
+                specs.push(AggSpec::new(func, case, format!("__c{t}_{i}_{l}")));
+            }
+        }
+        if let Some(total) = &plan.total {
+            specs.push(AggSpec::new(AggFunc::Sum, total.clone(), format!("__tot{t}")));
+        }
+    }
+    for (e, (lanes, _)) in extras.iter().enumerate() {
+        for (l, (func, input)) in lanes.iter().enumerate() {
+            specs.push(AggSpec::new(*func, input.clone(), format!("__x{e}_{l}")));
+        }
+    }
+    Ok(hash_aggregate(src, j_cols, &specs, stats)?)
+}
+
+/// SPJ strategy: `F0` = distinct groups; one filtered aggregation per
+/// combination; assemble with left outer joins; project into the raw layout.
+fn spj_raw(
+    catalog: &Catalog,
+    src: &Table,
+    j_cols: &[usize],
+    plans: &[TermPlan],
+    extras: &[(Vec<(AggFunc, Expr)>, Combine)],
+    prefix: &str,
+    stats: &mut ExecStats,
+) -> Result<Table> {
+    let j_len = j_cols.len();
+    if j_len == 0 {
+        // Global group: every per-combination aggregate is a one-row table;
+        // splice them into a single raw row.
+        let mut row: Vec<Value> = Vec::new();
+        let mut fields: Vec<pa_storage::Field> = Vec::new();
+        let mut idx = 0usize;
+        for plan in plans {
+            for combo in &plan.combos {
+                let pred = Expr::key_match(
+                    &plan
+                        .by_src_cols
+                        .iter()
+                        .zip(combo)
+                        .map(|(&c, v)| (c, v.clone()))
+                        .collect::<Vec<_>>(),
+                );
+                let filtered = filter(src, &pred, stats)?;
+                for (func, input) in &plan.lanes {
+                    let agg = hash_aggregate(
+                        &filtered,
+                        &[],
+                        &[AggSpec::new(*func, input.clone(), "v")],
+                        stats,
+                    )?;
+                    row.push(agg.get(0, 0));
+                    fields.push(pa_storage::Field::new(
+                        format!("__r{idx}"),
+                        agg.schema().field_at(0).dtype,
+                    ));
+                    idx += 1;
+                }
+            }
+            if let Some(total) = &plan.total {
+                let agg = hash_aggregate(
+                    src,
+                    &[],
+                    &[AggSpec::new(AggFunc::Sum, total.clone(), "t")],
+                    stats,
+                )?;
+                row.push(agg.get(0, 0));
+                fields.push(pa_storage::Field::new(format!("__r{idx}"), DataType::Float));
+                idx += 1;
+            }
+        }
+        for (lanes, _) in extras {
+            for (func, input) in lanes {
+                let agg = hash_aggregate(
+                    src,
+                    &[],
+                    &[AggSpec::new(*func, input.clone(), "e")],
+                    stats,
+                )?;
+                row.push(agg.get(0, 0));
+                fields.push(pa_storage::Field::new(
+                    format!("__r{idx}"),
+                    agg.schema().field_at(0).dtype,
+                ));
+                idx += 1;
+            }
+        }
+        let mut raw = Table::empty(Schema::new(fields)?.into_shared());
+        raw.push_row(&row)?;
+        return Ok(raw);
+    }
+
+    // F0: every existing group combination (defines the result rows).
+    let f0 = pa_engine::distinct(src, j_cols, stats)?;
+    create_table_as(catalog, &format!("{prefix}F0"), f0.clone(), stats)?;
+
+    // Per-combination filtered aggregations F1..FN, left-outer-joined onto F0.
+    let mut joined = f0;
+    let f0_keys: Vec<usize> = (0..j_len).collect();
+    let mut value_cols: Vec<usize> = Vec::new();
+    let mut spj_index = 1usize;
+    for plan in plans {
+        for combo in &plan.combos {
+            let pred = Expr::key_match(
+                &plan
+                    .by_src_cols
+                    .iter()
+                    .zip(combo)
+                    .map(|(&c, v)| (c, v.clone()))
+                    .collect::<Vec<_>>(),
+            );
+            let filtered = filter(src, &pred, stats)?;
+            let specs: Vec<AggSpec> = plan
+                .lanes
+                .iter()
+                .enumerate()
+                .map(|(l, (func, input))| AggSpec::new(*func, input.clone(), format!("v{l}")))
+                .collect();
+            let fi = hash_aggregate(&filtered, j_cols, &specs, stats)?;
+            create_table_as(catalog, &format!("{prefix}F{spj_index}"), fi.clone(), stats)?;
+            spj_index += 1;
+            let base = joined.num_columns();
+            let fi_keys: Vec<usize> = (0..j_len).collect();
+            joined = hash_join(
+                &joined,
+                &fi,
+                &f0_keys,
+                &fi_keys,
+                JoinType::LeftOuter,
+                None,
+                stats,
+            )?;
+            for l in 0..plan.lanes.len() {
+                value_cols.push(base + j_len + l);
+            }
+        }
+        if let Some(total) = &plan.total {
+            let fi = hash_aggregate(
+                src,
+                j_cols,
+                &[AggSpec::new(AggFunc::Sum, total.clone(), "t")],
+                stats,
+            )?;
+            let base = joined.num_columns();
+            joined = hash_join(
+                &joined,
+                &fi,
+                &f0_keys,
+                &(0..j_len).collect::<Vec<_>>(),
+                JoinType::LeftOuter,
+                None,
+                stats,
+            )?;
+            value_cols.push(base + j_len);
+        }
+    }
+    for (lanes, _) in extras {
+        let specs: Vec<AggSpec> = lanes
+            .iter()
+            .enumerate()
+            .map(|(l, (func, input))| AggSpec::new(*func, input.clone(), format!("e{l}")))
+            .collect();
+        let fi = hash_aggregate(src, j_cols, &specs, stats)?;
+        let base = joined.num_columns();
+        joined = hash_join(
+            &joined,
+            &fi,
+            &f0_keys,
+            &(0..j_len).collect::<Vec<_>>(),
+            JoinType::LeftOuter,
+            None,
+            stats,
+        )?;
+        for l in 0..lanes.len() {
+            value_cols.push(base + j_len + l);
+        }
+    }
+
+    // Project into the standard raw layout (this is the final
+    // `INSERT INTO FH SELECT F0.D1.., F1.A, F2.A, ..` statement).
+    let mut proj: Vec<ProjSpec> = Vec::new();
+    for (i, &c) in f0_keys.iter().enumerate() {
+        let _ = i;
+        proj.push(ProjSpec::typed(
+            Expr::Col(c),
+            joined.schema().field_at(c).name.clone(),
+            joined.schema().field_at(c).dtype,
+        ));
+    }
+    for (i, &c) in value_cols.iter().enumerate() {
+        proj.push(ProjSpec::typed(
+            Expr::Col(c),
+            format!("__r{i}"),
+            joined.schema().field_at(c).dtype,
+        ));
+    }
+    Ok(project(&joined, &proj, stats)?)
+}
+
+/// Bridge the per-term plans into the dispatch operator's task form.
+fn plans_as_tasks(plans: &[TermPlan]) -> Vec<crate::dispatch::PivotTask> {
+    plans
+        .iter()
+        .map(|p| crate::dispatch::PivotTask {
+            by_cols: p.by_src_cols.clone(),
+            lanes: p.lanes.clone(),
+            combos: p.combos.clone(),
+            total: p.total.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{HorizontalTerm, Measure};
+    use pa_engine::AggFunc;
+
+    /// A small version of the store/day-of-week table behind SIGMOD Table 3.
+    fn store_sales_catalog() -> Catalog {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[
+            ("store", DataType::Int),
+            ("dweek", DataType::Str),
+            ("salesAmt", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::empty(schema);
+        // Store 2 sells Mon+Tue, store 4 only Tue (0% Monday — the paper
+        // points at exactly this cell), store 7 only Mon.
+        for (s, d, a) in [
+            (2, "Mon", 100.0),
+            (2, "Tue", 300.0),
+            (2, "Mon", 100.0),
+            (4, "Tue", 500.0),
+            (4, "Tue", 300.0),
+            (7, "Mon", 250.0),
+        ] {
+            t.push_row(&[Value::Int(s), Value::str(d), Value::Float(a)])
+                .unwrap();
+        }
+        catalog.create_table("sales", t).unwrap();
+        catalog
+    }
+
+    fn hpct_query() -> HorizontalQuery {
+        let mut q = HorizontalQuery::hpct("sales", &["store"], "salesAmt", &["dweek"]);
+        q.extra.push(ExtraAgg::sum("salesAmt", "total_sales"));
+        q
+    }
+
+    fn all_option_sets() -> Vec<HorizontalOptions> {
+        let mut out = Vec::new();
+        for strategy in HorizontalStrategy::all() {
+            out.push(HorizontalOptions::with_strategy(strategy));
+        }
+        for strategy in [HorizontalStrategy::CaseDirect, HorizontalStrategy::CaseFromFv] {
+            out.push(HorizontalOptions {
+                strategy,
+                hash_dispatch: true,
+                ..HorizontalOptions::default()
+            });
+        }
+        out
+    }
+
+    fn check_table3_shape(result: &HorizontalResult) {
+        let t = result.snapshot().sorted_by(&[0]);
+        assert_eq!(t.num_rows(), 3);
+        // Columns: store, dweek=Mon, dweek=Tue, total_sales.
+        assert_eq!(t.num_columns(), 4);
+        assert_eq!(t.schema().field_at(1).name, "dweek=Mon");
+        assert_eq!(t.schema().field_at(2).name, "dweek=Tue");
+        // Store 2: 40% Mon, 60% Tue, 500 total.
+        assert_eq!(t.get(0, 1), Value::Float(0.4));
+        assert_eq!(t.get(0, 2), Value::Float(0.6));
+        assert_eq!(t.get(0, 3), Value::Float(500.0));
+        // Store 4: 0% Monday — "observe the 0% for store 4 on Monday".
+        assert_eq!(t.get(1, 1), Value::Float(0.0));
+        assert_eq!(t.get(1, 2), Value::Float(1.0));
+        // Store 7: 100% Monday, 0% Tuesday.
+        assert_eq!(t.get(2, 1), Value::Float(1.0));
+        assert_eq!(t.get(2, 2), Value::Float(0.0));
+    }
+
+    #[test]
+    fn paper_table3_every_strategy() {
+        for (i, opts) in all_option_sets().into_iter().enumerate() {
+            let catalog = store_sales_catalog();
+            let result = eval_horizontal(&catalog, &hpct_query(), &opts, "t_")
+                .unwrap_or_else(|e| panic!("options {i}: {e}"));
+            check_table3_shape(&result);
+        }
+    }
+
+    #[test]
+    fn percentage_rows_sum_to_one() {
+        let catalog = store_sales_catalog();
+        let result = eval_horizontal(
+            &catalog,
+            &hpct_query(),
+            &HorizontalOptions::default(),
+            "s_",
+        )
+        .unwrap();
+        let t = result.snapshot();
+        for r in 0..t.num_rows() {
+            let sum = match (t.get(r, 1), t.get(r, 2)) {
+                (Value::Float(a), Value::Float(b)) => a + b,
+                other => panic!("{other:?}"),
+            };
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hagg_missing_cells_are_null_unless_default_zero() {
+        let catalog = store_sales_catalog();
+        let q = HorizontalQuery::hagg("sales", &["store"], AggFunc::Sum, "salesAmt", &["dweek"]);
+        let result =
+            eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "n_").unwrap();
+        let t = result.snapshot().sorted_by(&[0]);
+        assert_eq!(t.get(1, 1), Value::Null, "store 4 Monday: NULL per DMKD");
+        assert_eq!(t.get(1, 2), Value::Float(800.0));
+
+        let mut qz = q.clone();
+        qz.terms[0] = qz.terms[0].clone().with_default_zero();
+        let result = eval_horizontal(&catalog, &qz, &HorizontalOptions::default(), "z_").unwrap();
+        let t = result.snapshot().sorted_by(&[0]);
+        assert_eq!(t.get(1, 1), Value::Float(0.0), "DEFAULT 0");
+    }
+
+    #[test]
+    fn hagg_all_strategies_agree() {
+        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let mut reference: Option<Vec<Vec<Value>>> = None;
+            for opts in all_option_sets() {
+                let catalog = store_sales_catalog();
+                let q = HorizontalQuery::hagg("sales", &["store"], func, "salesAmt", &["dweek"]);
+                let result = eval_horizontal(&catalog, &q, &opts, "a_")
+                    .unwrap_or_else(|e| panic!("{func:?} {}: {e}", opts.strategy.label()));
+                let rows: Vec<Vec<Value>> = result.snapshot().sorted_by(&[0]).rows().collect();
+                match &reference {
+                    None => reference = Some(rows),
+                    Some(r) => assert_eq!(
+                        r, &rows,
+                        "{func:?} under {} (dispatch={})",
+                        opts.strategy.label(),
+                        opts.hash_dispatch
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_coding_idiom() {
+        // DMKD: SELECT tid, max(1 BY dweek DEFAULT 0) FROM sales GROUP BY store.
+        let catalog = store_sales_catalog();
+        let q = HorizontalQuery {
+            table: "sales".into(),
+            group_by: vec!["store".into()],
+            terms: vec![
+                HorizontalTerm::hagg(AggFunc::Max, Measure::LitInt(1), &["dweek"])
+                    .with_default_zero(),
+            ],
+            extra: vec![],
+        };
+        let result = eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "b_").unwrap();
+        let t = result.snapshot().sorted_by(&[0]);
+        // Store 2: bought both days → 1,1. Store 4: 0,1. Store 7: 1,0.
+        assert_eq!(t.get(0, 1), Value::Int(1));
+        assert_eq!(t.get(0, 2), Value::Int(1));
+        assert_eq!(t.get(1, 1), Value::Int(0));
+        assert_eq!(t.get(1, 2), Value::Int(1));
+        assert_eq!(t.get(2, 1), Value::Int(1));
+        assert_eq!(t.get(2, 2), Value::Int(0));
+    }
+
+    #[test]
+    fn no_group_by_yields_one_global_row() {
+        for opts in all_option_sets() {
+            let catalog = store_sales_catalog();
+            let q = HorizontalQuery::hpct("sales", &[], "salesAmt", &["dweek"]);
+            let result = eval_horizontal(&catalog, &q, &opts, "g_")
+                .unwrap_or_else(|e| panic!("{}: {e}", opts.strategy.label()));
+            let t = result.snapshot();
+            assert_eq!(t.num_rows(), 1, "{}", opts.strategy.label());
+            // Mon = 450/1550, Tue = 1100/1550.
+            assert!((t.get(0, 0).as_f64().unwrap() - 450.0 / 1550.0).abs() < 1e-12);
+            assert!((t.get(0, 1).as_f64().unwrap() - 1100.0 / 1550.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiple_terms_prefix_column_names() {
+        let catalog = store_sales_catalog();
+        let q = HorizontalQuery {
+            table: "sales".into(),
+            group_by: vec!["store".into()],
+            terms: vec![
+                HorizontalTerm::hpct("salesAmt", &["dweek"]),
+                HorizontalTerm::hagg(AggFunc::CountStar, Measure::LitInt(1), &["dweek"]),
+            ],
+            extra: vec![],
+        };
+        let result = eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "m_").unwrap();
+        let t = result.snapshot().sorted_by(&[0]);
+        assert_eq!(t.num_columns(), 5);
+        assert!(t.schema().field_at(1).name.starts_with("hpct_salesAmt:"));
+        assert!(t.schema().field_at(3).name.contains("dweek=Mon"));
+        // Store 2 made 2 Monday transactions.
+        assert_eq!(t.get(0, 3), Value::Int(2));
+    }
+
+    #[test]
+    fn column_limit_enforced_and_partitioning_works() {
+        let catalog = store_sales_catalog();
+        let q = hpct_query();
+        let strict = HorizontalOptions {
+            max_columns: 3, // store + 2 cells + total_sales = 4 > 3
+            ..HorizontalOptions::default()
+        };
+        assert!(matches!(
+            eval_horizontal(&catalog, &q, &strict, "l_"),
+            Err(CoreError::TooManyColumns { needed: 4, limit: 3 })
+        ));
+
+        let partitioned = HorizontalOptions {
+            max_columns: 3,
+            allow_partitioning: true,
+            ..HorizontalOptions::default()
+        };
+        let result = eval_horizontal(&catalog, &q, &partitioned, "p_").unwrap();
+        assert_eq!(result.partitions.len(), 2);
+        for part in &result.partitions {
+            let t = part.read();
+            assert!(t.num_columns() <= 3);
+            assert_eq!(t.schema().field_at(0).name, "store", "key repeated");
+            assert_eq!(t.num_rows(), 3);
+        }
+        assert!(catalog.contains("p_FH_p0"));
+        assert!(catalog.contains("p_FH_p1"));
+    }
+
+    #[test]
+    fn case_direct_cost_is_n_conditions_per_row_dispatch_is_constant() {
+        // Blow the example up so the per-row CASE chain dominates the small
+        // fixed cost of the post-projection guards.
+        let catalog = store_sales_catalog();
+        {
+            let f = catalog.table("sales").unwrap();
+            let mut t = f.write();
+            let copy = t.clone();
+            for _ in 0..9 {
+                t.extend_from(&copy).unwrap();
+            }
+            assert_eq!(t.num_rows(), 60);
+        }
+        let q = HorizontalQuery::hpct("sales", &["store"], "salesAmt", &["dweek"]);
+        let case = eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "c1_").unwrap();
+        // Raw phase: 60 rows × 2 combos = 120 conditions, plus a small
+        // post-projection constant (3 groups × 2 cells × 2 guards).
+        assert!(
+            case.stats.case_condition_evals >= 120,
+            "{}",
+            case.stats.case_condition_evals
+        );
+        let dispatch = eval_horizontal(
+            &catalog,
+            &q,
+            &HorizontalOptions {
+                hash_dispatch: true,
+                ..HorizontalOptions::default()
+            },
+            "c2_",
+        )
+        .unwrap();
+        // Dispatch pays only the post-projection guards — independent of n.
+        assert_eq!(dispatch.stats.case_condition_evals, 12);
+        assert!(dispatch.stats.case_condition_evals * 5 < case.stats.case_condition_evals);
+    }
+
+    #[test]
+    fn spj_is_more_expensive_than_case() {
+        let catalog = store_sales_catalog();
+        let q = hpct_query();
+        let case = eval_horizontal(
+            &catalog,
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect),
+            "x1_",
+        )
+        .unwrap();
+        let spj = eval_horizontal(
+            &catalog,
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::SpjDirect),
+            "x2_",
+        )
+        .unwrap();
+        assert!(
+            spj.stats.rows_scanned > case.stats.rows_scanned,
+            "spj {} vs case {}",
+            spj.stats.rows_scanned,
+            case.stats.rows_scanned
+        );
+        assert!(spj.stats.statements > case.stats.statements);
+        // SPJ registered its temporaries.
+        assert!(catalog.contains("x2_F0"));
+        assert!(catalog.contains("x2_F1"));
+    }
+
+    #[test]
+    fn statements_transcript_present() {
+        let catalog = store_sales_catalog();
+        let result = eval_horizontal(
+            &catalog,
+            &hpct_query(),
+            &HorizontalOptions::with_strategy(HorizontalStrategy::CaseFromFv),
+            "st_",
+        )
+        .unwrap();
+        assert!(result.statements[0].contains("INSERT INTO FV"));
+        assert!(result
+            .statements
+            .last()
+            .unwrap()
+            .contains("INSERT INTO FH"));
+        assert!(catalog.contains("st_FV"));
+    }
+
+    #[test]
+    fn unknown_columns_rejected() {
+        let catalog = store_sales_catalog();
+        let q = HorizontalQuery::hpct("sales", &["store"], "nope", &["dweek"]);
+        assert!(eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "e_").is_err());
+        let q = HorizontalQuery::hpct("sales", &["store"], "salesAmt", &["nope"]);
+        assert!(eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "e_").is_err());
+    }
+
+    #[test]
+    fn null_dimension_value_is_a_column() {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[
+            ("g", DataType::Int),
+            ("d", DataType::Str),
+            ("a", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::Int(1), Value::str("x"), Value::Float(3.0)])
+            .unwrap();
+        t.push_row(&[Value::Int(1), Value::Null, Value::Float(1.0)])
+            .unwrap();
+        catalog.create_table("f", t).unwrap();
+        let q = HorizontalQuery::hpct("f", &["g"], "a", &["d"]);
+        for opts in all_option_sets() {
+            let result = eval_horizontal(&catalog, &q, &opts, "nu_")
+                .unwrap_or_else(|e| panic!("{}: {e}", opts.strategy.label()));
+            let t = result.snapshot();
+            assert_eq!(t.num_columns(), 3, "{}", opts.strategy.label());
+            assert_eq!(t.schema().field_at(1).name, "d=NULL");
+            assert_eq!(t.get(0, 1), Value::Float(0.25), "{}", opts.strategy.label());
+            assert_eq!(t.get(0, 2), Value::Float(0.75));
+        }
+    }
+
+    #[test]
+    fn zero_total_group_percentages_are_null() {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[
+            ("g", DataType::Int),
+            ("d", DataType::Str),
+            ("a", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::Int(1), Value::str("x"), Value::Float(5.0)])
+            .unwrap();
+        t.push_row(&[Value::Int(1), Value::str("y"), Value::Float(-5.0)])
+            .unwrap();
+        catalog.create_table("f", t).unwrap();
+        let q = HorizontalQuery::hpct("f", &["g"], "a", &["d"]);
+        for opts in all_option_sets() {
+            let result = eval_horizontal(&catalog, &q, &opts, "zz_").unwrap();
+            let t = result.snapshot();
+            assert_eq!(t.get(0, 1), Value::Null, "{}", opts.strategy.label());
+            assert_eq!(t.get(0, 2), Value::Null);
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! Dimension-lattice planning — the paper's multi-term and multi-query
+//! optimizations.
+//!
+//! SIGMOD §3.1: "If m > 1 then partial aggregations need to be computed
+//! bottom-up based on the dimension lattice to speed up computation", and
+//! §6 (future work): "A set of percentage queries on the same table may be
+//! efficiently evaluated using shared summaries."
+//!
+//! Both reduce to the same idea, borrowed from cube computation
+//! [Gray et al. 1996]: an aggregation level `L` (a set of grouping columns)
+//! can be computed from any already-materialized level `S ⊇ L` because
+//! `sum()` is distributive — and the smallest such ancestor is the cheapest
+//! source. [`plan_levels`] orders the needed levels top-down and picks each
+//! level's minimal ancestor; [`eval_vpct_lattice`] evaluates a multi-term
+//! `Vpct` query with that plan; [`eval_vpct_batch`] shares one partial
+//! aggregate across a whole set of percentage queries.
+
+use crate::error::{CoreError, Result};
+use crate::query::VpctQuery;
+use crate::vertical::QueryResult;
+use pa_engine::{
+    create_table_as, hash_join, multi_hash_aggregate, AggFunc, AggSpec, ExecStats, Expr,
+    JoinType, ProjSpec,
+};
+use pa_storage::{Catalog, Table};
+
+/// One aggregation level: a set of grouping columns (stored sorted,
+/// case-normalized, deduplicated).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Level(Vec<String>);
+
+impl Level {
+    /// Normalize a column list into a level.
+    pub fn new(cols: &[String]) -> Level {
+        let mut v: Vec<String> = cols.iter().map(|c| c.to_ascii_lowercase()).collect();
+        v.sort();
+        v.dedup();
+        Level(v)
+    }
+
+    /// Number of grouping columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether `self` can be computed from `other` (`self ⊆ other`).
+    pub fn subset_of(&self, other: &Level) -> bool {
+        self.0.iter().all(|c| other.0.binary_search(c).is_ok())
+    }
+
+    /// The normalized columns.
+    pub fn columns(&self) -> &[String] {
+        &self.0
+    }
+}
+
+/// Where a level's aggregation reads from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LevelSource {
+    /// Scan the fact table.
+    FactTable,
+    /// Re-aggregate the previously planned level at this index.
+    Planned(usize),
+}
+
+/// One step of a lattice plan: materialize `level` from `source`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStep {
+    /// The level to materialize.
+    pub level: Level,
+    /// Its cheapest available ancestor.
+    pub source: LevelSource,
+}
+
+/// Plan the materialization order for a set of needed levels plus the root
+/// (the full GROUP BY). Returns steps root-first; each non-root level reads
+/// from its minimal already-planned ancestor, falling back to the fact
+/// table when none covers it (which can only happen for the root).
+pub fn plan_levels(root: &Level, needed: &[Level]) -> Vec<LevelStep> {
+    let mut steps = vec![LevelStep {
+        level: root.clone(),
+        source: LevelSource::FactTable,
+    }];
+    // Distinct needed levels, widest first so later levels can reuse them.
+    let mut levels: Vec<Level> = Vec::new();
+    for l in needed {
+        if l != root && !levels.contains(l) {
+            levels.push(l.clone());
+        }
+    }
+    levels.sort_by_key(|l| std::cmp::Reverse(l.arity()));
+    for level in levels {
+        // Minimal ancestor among already-planned steps.
+        let mut best: Option<(usize, usize)> = None; // (step idx, arity)
+        for (i, step) in steps.iter().enumerate() {
+            if level.subset_of(&step.level) {
+                let arity = step.level.arity();
+                if best.is_none_or(|(_, a)| arity < a) {
+                    best = Some((i, arity));
+                }
+            }
+        }
+        let source = match best {
+            Some((i, _)) => LevelSource::Planned(i),
+            None => LevelSource::FactTable,
+        };
+        steps.push(LevelStep { level, source });
+    }
+    steps
+}
+
+/// Evaluate a multi-term vertical percentage query bottom-up on the
+/// dimension lattice: `Fk` once from `F`, then every distinct totals level
+/// from its minimal ancestor, then one join-and-divide pass. Produces the
+/// same table as [`crate::eval_vpct`]; identical totals levels across terms
+/// are computed once.
+pub fn eval_vpct_lattice(catalog: &Catalog, q: &VpctQuery, prefix: &str) -> Result<QueryResult> {
+    q.validate()?;
+    let mut stats = ExecStats::default();
+    let statements = crate::codegen::vpct_statements(q, &crate::strategy::VpctStrategy::best());
+
+    let f_shared = catalog.table(&q.table)?;
+    let f = f_shared.read();
+    let f_schema = f.schema().clone();
+    let k_cols: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|n| {
+            f_schema
+                .index_of(n)
+                .map_err(|_| CoreError::InvalidQuery(format!("unknown GROUP BY column {n}")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let k_len = k_cols.len();
+
+    // Plan the lattice.
+    let root = Level::new(&q.group_by);
+    let needed: Vec<Level> = q.terms.iter().map(|t| Level::new(&q.totals_key(t))).collect();
+    let steps = plan_levels(&root, &needed);
+
+    // Root: Fk with one sum per term plus extras, exactly like eval_vpct.
+    let mut fk_specs: Vec<AggSpec> = Vec::new();
+    for term in &q.terms {
+        fk_specs.push(AggSpec::new(
+            AggFunc::Sum,
+            term.measure.to_expr(&f_schema)?,
+            term.name.clone(),
+        ));
+    }
+    for extra in &q.extra {
+        let input = match (&extra.func, &extra.measure) {
+            (AggFunc::CountStar, _) => Expr::lit(1),
+            (_, Some(m)) => m.to_expr(&f_schema)?,
+            (f, None) => {
+                return Err(CoreError::InvalidQuery(format!(
+                    "{} requires a measure",
+                    f.sql_name()
+                )));
+            }
+        };
+        fk_specs.push(AggSpec::new(extra.func, input, extra.name.clone()));
+    }
+    let fk = multi_hash_aggregate(&f, &[(k_cols, fk_specs)], &mut stats)?
+        .pop()
+        .expect("one level");
+    drop(f);
+
+    // Materialize each planned level. A level's table layout is
+    // [its columns in normalized order][one sum column per term].
+    let mut level_tables: Vec<Table> = vec![fk];
+    for (idx, step) in steps.iter().enumerate().skip(1) {
+        let src = match step.source {
+            LevelSource::Planned(i) => &level_tables[i],
+            LevelSource::FactTable => unreachable!("only the root reads F"),
+        };
+        let src_schema = src.schema();
+        let group_cols: Vec<usize> = step
+            .level
+            .columns()
+            .iter()
+            .map(|n| src_schema.index_of(n).map_err(CoreError::from))
+            .collect::<Result<Vec<_>>>()?;
+        // Re-aggregate every term's sum column (distributive).
+        let specs: Vec<AggSpec> = q
+            .terms
+            .iter()
+            .map(|t| {
+                let pos = src_schema.index_of(&t.name)?;
+                Ok(AggSpec::new(AggFunc::Sum, Expr::Col(pos), t.name.clone()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let table = multi_hash_aggregate(src, &[(group_cols, specs)], &mut stats)?
+            .pop()
+            .expect("one level");
+        debug_assert_eq!(idx, level_tables.len());
+        level_tables.push(table);
+    }
+
+    // Join Fk against each term's totals level and divide.
+    let mut cur = level_tables[0].clone();
+    let fk_width_orig = cur.num_columns();
+    let mut pct_exprs: Vec<Expr> = Vec::new();
+    for (t, term) in q.terms.iter().enumerate() {
+        let totals_level = Level::new(&q.totals_key(term));
+        let sum_pos = k_len + t;
+        if totals_level.arity() == 0 {
+            // Global totals: the paper's corner case; take the grand total
+            // from the root's sums.
+            let mut grand = 0.0;
+            let mut any = false;
+            for r in 0..level_tables[0].num_rows() {
+                if let Some(x) = level_tables[0].get(r, sum_pos).as_f64() {
+                    grand += x;
+                    any = true;
+                }
+            }
+            stats.rows_scanned += level_tables[0].num_rows() as u64;
+            let total = if any {
+                pa_storage::Value::Float(grand)
+            } else {
+                pa_storage::Value::Null
+            };
+            pct_exprs.push(Expr::Col(sum_pos).safe_div(Expr::Lit(total)));
+            continue;
+        }
+        let (step_idx, _) = steps
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.level == totals_level)
+            .expect("level was planned");
+        let fj = &level_tables[step_idx];
+        let j_len = totals_level.arity();
+        // Join keys: totals columns, positioned in `cur` via the root's
+        // group-by order, and 0..j_len in the level table.
+        let cur_keys: Vec<usize> = totals_level
+            .columns()
+            .iter()
+            .map(|n| {
+                q.group_by
+                    .iter()
+                    .position(|g| g.eq_ignore_ascii_case(n))
+                    .expect("totals ⊆ group_by")
+            })
+            .collect();
+        let fj_keys: Vec<usize> = (0..j_len).collect();
+        // Level tables carry one re-aggregated sum per term, in term order;
+        // term t's total lands just past the joined-in key columns.
+        let total_pos = cur.num_columns() + j_len + t;
+        cur = hash_join(&cur, fj, &cur_keys, &fj_keys, JoinType::Inner, None, &mut stats)?;
+        pct_exprs.push(Expr::Col(sum_pos).safe_div(Expr::Col(total_pos)));
+    }
+
+    // Final projection, matching eval_vpct's output layout.
+    let mut projections: Vec<ProjSpec> = Vec::new();
+    for (i, name) in q.group_by.iter().enumerate() {
+        projections.push(ProjSpec::typed(
+            Expr::Col(i),
+            name.clone(),
+            cur.schema().field_at(i).dtype,
+        ));
+    }
+    for (t, term) in q.terms.iter().enumerate() {
+        projections.push(ProjSpec::typed(
+            pct_exprs[t].clone(),
+            term.name.clone(),
+            pa_storage::DataType::Float,
+        ));
+    }
+    for (e, extra) in q.extra.iter().enumerate() {
+        let pos = k_len + q.terms.len() + e;
+        debug_assert!(pos < fk_width_orig);
+        projections.push(ProjSpec::typed(
+            Expr::Col(pos),
+            extra.name.clone(),
+            cur.schema().field_at(pos).dtype,
+        ));
+    }
+    let fv = pa_engine::project(&cur, &projections, &mut stats)?;
+    let shared = create_table_as(catalog, &format!("{prefix}FV"), fv, &mut stats)?;
+    Ok(QueryResult {
+        table: shared,
+        stats,
+        statements,
+    })
+}
+
+/// Evaluate a batch of single-measure percentage queries against the same
+/// fact table with one **shared summary**: a partial aggregate at the union
+/// of every query's GROUP BY, from which each query's `Fk` re-aggregates
+/// (SIGMOD §6 future work). Queries must share the table and carry no extra
+/// aggregate terms. Results are returned in input order and registered as
+/// `{prefix}q{i}_FV`.
+pub fn eval_vpct_batch(
+    catalog: &Catalog,
+    queries: &[VpctQuery],
+    prefix: &str,
+) -> Result<Vec<QueryResult>> {
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let table = &queries[0].table;
+    for q in queries {
+        q.validate()?;
+        if &q.table != table {
+            return Err(CoreError::Unsupported(
+                "batched queries must target the same fact table".into(),
+            ));
+        }
+        if !q.extra.is_empty() {
+            return Err(CoreError::Unsupported(
+                "batched evaluation supports percentage terms only".into(),
+            ));
+        }
+    }
+
+    // Distinct measures across the batch, and the union grouping level.
+    let mut measures: Vec<crate::query::Measure> = Vec::new();
+    for q in queries {
+        for t in &q.terms {
+            if !measures.contains(&t.measure) {
+                measures.push(t.measure.clone());
+            }
+        }
+    }
+    let mut union_cols: Vec<String> = Vec::new();
+    for q in queries {
+        for g in &q.group_by {
+            if !union_cols.iter().any(|c| c.eq_ignore_ascii_case(g)) {
+                union_cols.push(g.clone());
+            }
+        }
+    }
+
+    // One scan of F builds the shared summary.
+    let mut stats = ExecStats::default();
+    let f_shared = catalog.table(table)?;
+    let f = f_shared.read();
+    let f_schema = f.schema().clone();
+    let union_idx: Vec<usize> = union_cols
+        .iter()
+        .map(|n| f_schema.index_of(n).map_err(CoreError::from))
+        .collect::<Result<Vec<_>>>()?;
+    let specs: Vec<AggSpec> = measures
+        .iter()
+        .enumerate()
+        .map(|(i, m)| Ok(AggSpec::new(AggFunc::Sum, m.to_expr(&f_schema)?, format!("__m{i}"))))
+        .collect::<Result<Vec<_>>>()?;
+    let summary = multi_hash_aggregate(&f, &[(union_idx, specs)], &mut stats)?
+        .pop()
+        .expect("one level");
+    drop(f);
+    let summary_name = format!("{prefix}summary");
+    create_table_as(catalog, &summary_name, summary, &mut stats)?;
+
+    // Each query runs against the summary: its measure column is the
+    // summary's partial sum (distributive), its fact table is the summary.
+    let mut out = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let mut rq = q.clone();
+        rq.table = summary_name.clone();
+        for term in &mut rq.terms {
+            let m_idx = measures.iter().position(|m| m == &term.measure).expect("collected");
+            term.measure = crate::query::Measure::Column(format!("__m{m_idx}"));
+        }
+        let mut result = crate::vertical::eval_vpct(
+            catalog,
+            &rq,
+            &crate::strategy::VpctStrategy::best(),
+            &format!("{prefix}q{i}_"),
+        )?;
+        // Fold the shared-summary cost into the first result's accounting.
+        if i == 0 {
+            result.stats += stats;
+        }
+        out.push(result);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::VpctTerm;
+    use crate::strategy::VpctStrategy;
+    use crate::vertical::eval_vpct;
+    use crate::vertical::tests::sales_catalog;
+    use pa_storage::Value;
+
+    fn level(cols: &[&str]) -> Level {
+        Level::new(&cols.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn level_normalization_and_subset() {
+        let a = level(&["B", "a"]);
+        assert_eq!(a.columns(), &["a".to_string(), "b".to_string()]);
+        assert!(level(&["a"]).subset_of(&a));
+        assert!(!a.subset_of(&level(&["a"])));
+        assert!(level(&[]).subset_of(&a));
+        assert_eq!(level(&["a", "a"]).arity(), 1);
+    }
+
+    #[test]
+    fn plan_chains_nested_levels() {
+        // Root {a,b,c,d}; needed {a,b,c}, {a,b}, {a}: each from the previous.
+        let root = level(&["a", "b", "c", "d"]);
+        let needed = vec![level(&["a"]), level(&["a", "b", "c"]), level(&["a", "b"])];
+        let steps = plan_levels(&root, &needed);
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps[0].source, LevelSource::FactTable);
+        assert_eq!(steps[1].level, level(&["a", "b", "c"]));
+        assert_eq!(steps[1].source, LevelSource::Planned(0));
+        assert_eq!(steps[2].level, level(&["a", "b"]));
+        assert_eq!(steps[2].source, LevelSource::Planned(1), "minimal ancestor");
+        assert_eq!(steps[3].source, LevelSource::Planned(2));
+    }
+
+    #[test]
+    fn plan_deduplicates_levels() {
+        let root = level(&["a", "b"]);
+        let needed = vec![level(&["a"]), level(&["a"]), root.clone()];
+        let steps = plan_levels(&root, &needed);
+        assert_eq!(steps.len(), 2, "duplicate + root folded away");
+    }
+
+    #[test]
+    fn plan_incomparable_levels_both_read_root() {
+        let root = level(&["a", "b"]);
+        let needed = vec![level(&["a"]), level(&["b"])];
+        let steps = plan_levels(&root, &needed);
+        assert_eq!(steps[1].source, LevelSource::Planned(0));
+        assert_eq!(steps[2].source, LevelSource::Planned(0));
+    }
+
+    #[test]
+    fn lattice_matches_reference_on_multi_term_query() {
+        let catalog = sales_catalog();
+        let q = VpctQuery {
+            table: "sales".into(),
+            group_by: vec!["state".into(), "city".into()],
+            terms: vec![
+                VpctTerm::new("salesAmt", &["city"]),
+                VpctTerm::new("salesAmt", &["state", "city"]),
+            ],
+            extra: vec![],
+        };
+        let reference = eval_vpct(&catalog, &q, &VpctStrategy::best(), "r_").unwrap();
+        let lattice = eval_vpct_lattice(&catalog, &q, "l_").unwrap();
+        let a: Vec<Vec<Value>> = reference.snapshot().sorted_by(&[0, 1]).rows().collect();
+        let b: Vec<Vec<Value>> = lattice.snapshot().sorted_by(&[0, 1]).rows().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lattice_shares_duplicate_totals_levels() {
+        // Two terms with the same BY list: the totals level is computed once.
+        let catalog = sales_catalog();
+        let q = VpctQuery {
+            table: "sales".into(),
+            group_by: vec!["state".into(), "city".into()],
+            terms: vec![
+                VpctTerm::new("salesAmt", &["city"]),
+                {
+                    let mut t = VpctTerm::new("salesAmt", &["city"]);
+                    t.name = "second_copy".into();
+                    t
+                },
+            ],
+            extra: vec![],
+        };
+        let per_term = eval_vpct(&catalog, &q, &VpctStrategy::best(), "p_").unwrap();
+        let lattice = eval_vpct_lattice(&catalog, &q, "l_").unwrap();
+        let a: Vec<Vec<Value>> = per_term.snapshot().sorted_by(&[0, 1]).rows().collect();
+        let b: Vec<Vec<Value>> = lattice.snapshot().sorted_by(&[0, 1]).rows().collect();
+        assert_eq!(a, b);
+        assert!(
+            lattice.stats.rows_scanned < per_term.stats.rows_scanned,
+            "lattice {} vs per-term {}",
+            lattice.stats.rows_scanned,
+            per_term.stats.rows_scanned
+        );
+    }
+
+    #[test]
+    fn batch_shares_one_summary() {
+        let catalog = sales_catalog();
+        let q1 = VpctQuery::single("sales", &["state", "city"], "salesAmt", &["city"]);
+        let q2 = VpctQuery::single("sales", &["state"], "salesAmt", &[]);
+        let results = eval_vpct_batch(&catalog, &[q1.clone(), q2.clone()], "b_").unwrap();
+        assert_eq!(results.len(), 2);
+        // Batched results equal per-query evaluation.
+        for (q, r) in [(q1, &results[0]), (q2, &results[1])] {
+            let solo = eval_vpct(&catalog, &q, &VpctStrategy::best(), "s_").unwrap();
+            let a: Vec<Vec<Value>> = solo.snapshot().sorted_by(&[0]).rows().collect();
+            let b: Vec<Vec<Value>> = r.snapshot().sorted_by(&[0]).rows().collect();
+            assert_eq!(a, b, "{}", q.terms[0].name);
+        }
+        assert!(catalog.contains("b_summary"));
+    }
+
+    #[test]
+    fn batch_rejects_mixed_tables_and_extras() {
+        let catalog = sales_catalog();
+        let q1 = VpctQuery::single("sales", &["state"], "salesAmt", &[]);
+        let mut q2 = q1.clone();
+        q2.table = "other".into();
+        assert!(matches!(
+            eval_vpct_batch(&catalog, &[q1.clone(), q2], "x_"),
+            Err(CoreError::Unsupported(_))
+        ));
+        let mut q3 = q1.clone();
+        q3.extra.push(crate::query::ExtraAgg::count_star("n"));
+        assert!(matches!(
+            eval_vpct_batch(&catalog, &[q3], "x_"),
+            Err(CoreError::Unsupported(_))
+        ));
+        assert!(eval_vpct_batch(&catalog, &[], "x_").unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_term_lattice_equals_reference() {
+        let catalog = sales_catalog();
+        let q = VpctQuery::single("sales", &["state", "city"], "salesAmt", &["city"]);
+        let reference = eval_vpct(&catalog, &q, &VpctStrategy::best(), "r_").unwrap();
+        let lattice = eval_vpct_lattice(&catalog, &q, "l_").unwrap();
+        let a: Vec<Vec<Value>> = reference.snapshot().sorted_by(&[0, 1]).rows().collect();
+        let b: Vec<Vec<Value>> = lattice.snapshot().sorted_by(&[0, 1]).rows().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lattice_handles_global_totals_term() {
+        let catalog = sales_catalog();
+        let q = VpctQuery {
+            table: "sales".into(),
+            group_by: vec!["state".into()],
+            terms: vec![VpctTerm::new("salesAmt", &[])],
+            extra: vec![],
+        };
+        let result = eval_vpct_lattice(&catalog, &q, "g_").unwrap();
+        let t = result.snapshot().sorted_by(&[0]);
+        assert_eq!(t.get(0, 1), Value::Float(106.0 / 255.0));
+        assert_eq!(t.get(1, 1), Value::Float(149.0 / 255.0));
+    }
+}

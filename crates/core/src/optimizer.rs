@@ -1,0 +1,164 @@
+//! Heuristic strategy selection — the papers' recommendations as code.
+//!
+//! SIGMOD §4.1 distills the experiments into rules of thumb:
+//!
+//! * vertical: "we recommend creating indexes on the common subkey of `Fk`
+//!   and `Fj`, using INSERT instead of UPDATE ... and computing `Fj` from
+//!   `Fk`" — i.e. [`VpctStrategy::best`], unconditionally.
+//! * horizontal: "computing `FH` directly from `F` when there are no more
+//!   than two columns in the list `Dj+1..Dk` and each of them has low
+//!   selectivity, and computing `FH` from `FV` ... when there are three or
+//!   more grouping columns or when the grouping columns have high
+//!   selectivity."
+//!
+//! Selectivity is estimated by sampling distinct counts from a prefix of
+//! the table (dictionary sizes give exact answers for string dimensions).
+
+use crate::error::Result;
+use crate::query::{HorizontalQuery, VpctQuery};
+use crate::strategy::{HorizontalStrategy, VpctStrategy};
+use pa_storage::{Catalog, Column, FxHashSet, Table};
+
+/// Distinct values of one column above which it counts as "high
+/// selectivity". The paper's low-cardinality dimensions top out at
+/// monthNo(12); the selective ones start at dept(100) and age(100).
+pub const LOW_SELECTIVITY_MAX: usize = 32;
+
+/// Rows sampled when estimating a column's distinct count.
+const SAMPLE_ROWS: usize = 100_000;
+
+/// Estimate the number of distinct values in a column by scanning a prefix
+/// sample. Dictionary-encoded strings are answered exactly from the
+/// dictionary. The estimate is a lower bound, which is the safe direction
+/// for the "low selectivity" test.
+pub fn estimate_distinct(table: &Table, col: usize) -> usize {
+    match table.column(col) {
+        Column::Str { dict, .. } => dict.len(),
+        column => {
+            let n = table.num_rows().min(SAMPLE_ROWS);
+            let mut seen: FxHashSet<Option<i64>> = FxHashSet::default();
+            for row in 0..n {
+                seen.insert(column.key_fragment(row));
+                if seen.len() > LOW_SELECTIVITY_MAX {
+                    // Early exit: already high selectivity.
+                    return seen.len();
+                }
+            }
+            seen.len()
+        }
+    }
+}
+
+/// Pick the strategy for a vertical percentage query. Per the paper's
+/// findings the recommended configuration dominates, so this is constant;
+/// it exists as the seam where a cost model would plug in.
+pub fn choose_vpct_strategy(_catalog: &Catalog, _q: &VpctQuery) -> VpctStrategy {
+    VpctStrategy::best()
+}
+
+/// Pick the CASE evaluation source for a horizontal query per the paper's
+/// rule: direct from `F` for at most two low-selectivity subgrouping
+/// columns, from `FV` otherwise.
+pub fn choose_horizontal_strategy(
+    catalog: &Catalog,
+    q: &HorizontalQuery,
+) -> Result<HorizontalStrategy> {
+    // Holistic aggregates cannot re-aggregate from FV at all.
+    if q.terms.iter().any(|t| t.func == pa_engine::AggFunc::CountDistinct)
+        || q.extra.iter().any(|e| e.func == pa_engine::AggFunc::CountDistinct)
+    {
+        return Ok(HorizontalStrategy::CaseDirect);
+    }
+    let f_shared = catalog.table(&q.table)?;
+    let f = f_shared.read();
+    for term in &q.terms {
+        if term.by.len() > 2 {
+            return Ok(HorizontalStrategy::CaseFromFv);
+        }
+        for b in &term.by {
+            let col = f.schema().index_of(b)?;
+            if estimate_distinct(&f, col) > LOW_SELECTIVITY_MAX {
+                return Ok(HorizontalStrategy::CaseFromFv);
+            }
+        }
+    }
+    Ok(HorizontalStrategy::CaseDirect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_storage::{Catalog, DataType, Schema, Value};
+
+    fn catalog(day_card: i64) -> Catalog {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[
+            ("store", DataType::Int),
+            ("day", DataType::Int),
+            ("dept", DataType::Str),
+            ("amt", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = pa_storage::Table::empty(schema);
+        for i in 0..500i64 {
+            t.push_row(&[
+                Value::Int(i % 10),
+                Value::Int(i % day_card),
+                Value::str(format!("dept{}", i % 100)),
+                Value::Float(i as f64),
+            ])
+            .unwrap();
+        }
+        catalog.create_table("sales", t).unwrap();
+        catalog
+    }
+
+    #[test]
+    fn distinct_estimates() {
+        let catalog = catalog(7);
+        let f = catalog.table("sales").unwrap();
+        let t = f.read();
+        assert_eq!(estimate_distinct(&t, 1), 7);
+        assert_eq!(estimate_distinct(&t, 2), 100, "dictionary is exact");
+        assert!(estimate_distinct(&t, 3) > LOW_SELECTIVITY_MAX);
+    }
+
+    #[test]
+    fn low_selectivity_small_by_goes_direct() {
+        let catalog = catalog(7);
+        let q = crate::HorizontalQuery::hpct("sales", &["store"], "amt", &["day"]);
+        assert_eq!(
+            choose_horizontal_strategy(&catalog, &q).unwrap(),
+            HorizontalStrategy::CaseDirect
+        );
+    }
+
+    #[test]
+    fn high_selectivity_goes_indirect() {
+        let catalog = catalog(7);
+        let q = crate::HorizontalQuery::hpct("sales", &["store"], "amt", &["dept"]);
+        assert_eq!(
+            choose_horizontal_strategy(&catalog, &q).unwrap(),
+            HorizontalStrategy::CaseFromFv
+        );
+    }
+
+    #[test]
+    fn three_by_columns_go_indirect() {
+        let catalog = catalog(2);
+        let mut q = crate::HorizontalQuery::hpct("sales", &[], "amt", &["store", "day", "dept"]);
+        q.terms[0].by = vec!["store".into(), "day".into(), "dept".into()];
+        assert_eq!(
+            choose_horizontal_strategy(&catalog, &q).unwrap(),
+            HorizontalStrategy::CaseFromFv
+        );
+    }
+
+    #[test]
+    fn vpct_choice_is_the_recommended_default() {
+        let catalog = catalog(7);
+        let q = crate::VpctQuery::single("sales", &["store", "day"], "amt", &["day"]);
+        assert_eq!(choose_vpct_strategy(&catalog, &q), VpctStrategy::best());
+    }
+}

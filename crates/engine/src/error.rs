@@ -1,0 +1,62 @@
+//! Engine error type.
+
+use pa_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the execution engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// An expression applied an operator to incompatible values.
+    ExprType(String),
+    /// An operator was invoked with inconsistent arguments
+    /// (mismatched key arity, unknown columns, ...).
+    InvalidOperator(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::ExprType(msg) => write!(f, "expression type error: {msg}"),
+            EngineError::InvalidOperator(msg) => write!(f, "invalid operator: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Convenience alias used across the engine crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_storage_errors() {
+        let e: EngineError = StorageError::TableNotFound("F".into()).into();
+        assert_eq!(e.to_string(), "storage: table not found: F");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn expr_type_display() {
+        let e = EngineError::ExprType("cannot add Str".into());
+        assert!(e.to_string().contains("cannot add Str"));
+    }
+}

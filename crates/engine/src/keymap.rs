@@ -1,0 +1,226 @@
+//! Grouping hash table shared by aggregation, join, and DISTINCT.
+//!
+//! Maps a tuple of key values to a dense group id. Input rows are hashed
+//! straight from their columns (no per-row key allocation); a key tuple is
+//! materialized only once per *distinct* group. Collisions are resolved by
+//! value comparison.
+
+use crate::stats::ExecStats;
+use pa_storage::hash::FxHashMap;
+use pa_storage::{FxHasher, Table, Value};
+use std::hash::Hasher;
+
+/// Hash table from key tuples to dense group ids.
+#[derive(Debug, Default)]
+pub struct RowKeyMap {
+    buckets: FxHashMap<u64, Vec<u32>>,
+    keys: Vec<Vec<Value>>,
+}
+
+fn hash_row(table: &Table, cols: &[usize], row: usize) -> u64 {
+    let mut h = FxHasher::default();
+    for &c in cols {
+        table.column(c).get(row).key_hash(&mut h);
+    }
+    h.finish()
+}
+
+fn hash_key(key: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in key {
+        v.key_hash(&mut h);
+    }
+    h.finish()
+}
+
+fn row_matches(table: &Table, cols: &[usize], row: usize, key: &[Value]) -> bool {
+    cols.iter()
+        .zip(key)
+        .all(|(&c, v)| table.column(c).get(row).key_eq(v))
+}
+
+impl RowKeyMap {
+    /// Empty map.
+    pub fn new() -> RowKeyMap {
+        RowKeyMap::default()
+    }
+
+    /// Empty map pre-sized for roughly `capacity` distinct groups.
+    pub fn with_capacity(capacity: usize) -> RowKeyMap {
+        RowKeyMap {
+            buckets: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            keys: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of distinct groups seen.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no groups have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Key tuples, indexed by group id.
+    pub fn keys(&self) -> &[Vec<Value>] {
+        &self.keys
+    }
+
+    /// Group id for the key formed by `cols` of `table[row]`, inserting a
+    /// new group when unseen.
+    pub fn get_or_insert_row(
+        &mut self,
+        table: &Table,
+        cols: &[usize],
+        row: usize,
+        stats: &mut ExecStats,
+    ) -> usize {
+        stats.hash_probes += 1;
+        let h = hash_row(table, cols, row);
+        let bucket = self.buckets.entry(h).or_default();
+        for &gid in bucket.iter() {
+            if row_matches(table, cols, row, &self.keys[gid as usize]) {
+                return gid as usize;
+            }
+        }
+        let gid = self.keys.len() as u32;
+        let key: Vec<Value> = cols.iter().map(|&c| table.column(c).get(row)).collect();
+        self.keys.push(key);
+        bucket.push(gid);
+        stats.hash_build_rows += 1;
+        gid as usize
+    }
+
+    /// Group id for an existing key formed from a row, without inserting.
+    pub fn lookup_row(
+        &self,
+        table: &Table,
+        cols: &[usize],
+        row: usize,
+        stats: &mut ExecStats,
+    ) -> Option<usize> {
+        stats.hash_probes += 1;
+        let h = hash_row(table, cols, row);
+        self.buckets.get(&h).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|&&gid| row_matches(table, cols, row, &self.keys[gid as usize]))
+                .map(|&gid| gid as usize)
+        })
+    }
+
+    /// Group id for an explicit key tuple, without inserting.
+    pub fn lookup_key(&self, key: &[Value], stats: &mut ExecStats) -> Option<usize> {
+        stats.hash_probes += 1;
+        let h = hash_key(key);
+        self.buckets.get(&h).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|&&gid| {
+                    self.keys[gid as usize]
+                        .iter()
+                        .zip(key)
+                        .all(|(a, b)| a.key_eq(b))
+                })
+                .map(|&gid| gid as usize)
+        })
+    }
+
+    /// Group id for an explicit key tuple, inserting when unseen.
+    pub fn get_or_insert_key(&mut self, key: &[Value], stats: &mut ExecStats) -> usize {
+        stats.hash_probes += 1;
+        let h = hash_key(key);
+        let bucket = self.buckets.entry(h).or_default();
+        for &gid in bucket.iter() {
+            if self.keys[gid as usize]
+                .iter()
+                .zip(key)
+                .all(|(a, b)| a.key_eq(b))
+            {
+                return gid as usize;
+            }
+        }
+        let gid = self.keys.len() as u32;
+        self.keys.push(key.to_vec());
+        bucket.push(gid);
+        stats.hash_build_rows += 1;
+        gid as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_storage::{DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[("state", DataType::Str), ("x", DataType::Int)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        for (s, x) in [("CA", 1), ("TX", 2), ("CA", 3), ("TX", 4), ("CA", 5)] {
+            t.push_row(&[Value::str(s), Value::Int(x)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn assigns_dense_group_ids() {
+        let t = table();
+        let mut m = RowKeyMap::new();
+        let mut st = ExecStats::default();
+        let gids: Vec<usize> = (0..5)
+            .map(|r| m.get_or_insert_row(&t, &[0], r, &mut st))
+            .collect();
+        assert_eq!(gids, vec![0, 1, 0, 1, 0]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.keys()[0], vec![Value::str("CA")]);
+        assert_eq!(st.hash_probes, 5);
+        assert_eq!(st.hash_build_rows, 2);
+    }
+
+    #[test]
+    fn lookup_row_and_key_agree() {
+        let t = table();
+        let mut m = RowKeyMap::new();
+        let mut st = ExecStats::default();
+        for r in 0..5 {
+            m.get_or_insert_row(&t, &[0], r, &mut st);
+        }
+        assert_eq!(m.lookup_row(&t, &[0], 1, &mut st), Some(1));
+        assert_eq!(m.lookup_key(&[Value::str("TX")], &mut st), Some(1));
+        assert_eq!(m.lookup_key(&[Value::str("NY")], &mut st), None);
+    }
+
+    #[test]
+    fn composite_keys_with_nulls() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::Null, Value::Int(1)]).unwrap();
+        t.push_row(&[Value::Null, Value::Int(1)]).unwrap();
+        t.push_row(&[Value::Int(1), Value::Null]).unwrap();
+        let mut m = RowKeyMap::new();
+        let mut st = ExecStats::default();
+        let g0 = m.get_or_insert_row(&t, &[0, 1], 0, &mut st);
+        let g1 = m.get_or_insert_row(&t, &[0, 1], 1, &mut st);
+        let g2 = m.get_or_insert_row(&t, &[0, 1], 2, &mut st);
+        assert_eq!(g0, g1, "NULL groups together");
+        assert_ne!(g0, g2);
+    }
+
+    #[test]
+    fn get_or_insert_key_round_trip() {
+        let mut m = RowKeyMap::new();
+        let mut st = ExecStats::default();
+        let a = m.get_or_insert_key(&[Value::Int(1), Value::str("x")], &mut st);
+        let b = m.get_or_insert_key(&[Value::Int(1), Value::str("x")], &mut st);
+        let c = m.get_or_insert_key(&[Value::Int(2), Value::str("x")], &mut st);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pa-engine — physical relational operators
+//!
+//! The execution layer the percentage-aggregation strategies compile to:
+//! expressions (with SQL three-valued logic and divide-by-zero → NULL), hash
+//! group-by aggregation with multi-level synchronized scans, inner/left-outer
+//! hash joins with optional prebuilt indexes, DISTINCT, sort, bulk
+//! INSERT..SELECT, per-row UPDATE..FROM, and sort-based window functions
+//! (the OLAP-extension baseline).
+//!
+//! Every operator accounts its work in [`ExecStats`] so tests and benchmarks
+//! can verify cost *shape* (scans, CASE evaluations, WAL records) rather
+//! than trusting wall-clock alone.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod expr;
+pub mod keymap;
+pub mod ops;
+pub mod stats;
+
+pub use error::{EngineError, Result};
+pub use expr::{ArithOp, CmpOp, Expr};
+pub use keymap::RowKeyMap;
+pub use ops::aggregate::{hash_aggregate, multi_hash_aggregate, resolve_cols, AggFunc, AggSpec};
+pub use ops::distinct::{distinct, distinct_keys};
+pub use ops::filter::filter;
+pub use ops::insert::{create_table_as, insert_into};
+pub use ops::join::{hash_join, JoinType};
+pub use ops::project::{project, ProjSpec};
+pub use ops::sort::{sort, sort_permutation};
+pub use ops::update::{update_from, SetClause};
+pub use ops::window::window_aggregate;
+pub use stats::ExecStats;

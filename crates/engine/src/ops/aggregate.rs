@@ -1,0 +1,598 @@
+//! Hash group-by aggregation.
+//!
+//! Implements the two-level aggregation at the heart of every percentage
+//! query: `Fk` = fine aggregation of `F`, `Fj` = coarse aggregation of `F`
+//! *or of `Fk`* (sum is distributive — [Gray et al. 1996]'s classification,
+//! which the paper leans on for its "compute `Fj` from `Fk`" optimization).
+//!
+//! A single-pass synchronized scan computing several grouping levels at once
+//! ([`multi_hash_aggregate`]) implements the paper's "these scans can be
+//! synchronized to have effectively one scan".
+
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::keymap::RowKeyMap;
+use crate::stats::ExecStats;
+use pa_storage::{DataType, Field, Schema, Table, Value};
+
+/// Aggregate functions. All skip NULL inputs except `CountStar`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `sum(expr)` — NULL over an empty/all-NULL group (SQL semantics the
+    /// paper's `Vpct` inherits).
+    Sum,
+    /// `count(expr)` — non-NULL count.
+    Count,
+    /// `count(DISTINCT expr)` — distinct non-NULL count. Holistic per
+    /// Gray et al.: it cannot be re-aggregated from partials, which is why
+    /// the FV-based horizontal strategies reject it.
+    CountDistinct,
+    /// `count(*)` — row count.
+    CountStar,
+    /// `avg(expr)`.
+    Avg,
+    /// `min(expr)`.
+    Min,
+    /// `max(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// SQL name.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::CountDistinct => "count(distinct)",
+            AggFunc::CountStar => "count(*)",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Whether re-aggregating partial results with the same function yields
+    /// the total result (distributive per Gray et al.).
+    pub fn is_distributive(&self) -> bool {
+        matches!(
+            self,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max | AggFunc::CountStar
+        )
+    }
+}
+
+/// One aggregate term: function, input expression, output column name.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input expression (ignored by `CountStar`).
+    pub input: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggSpec {
+    /// Build a spec.
+    pub fn new(func: AggFunc, input: Expr, name: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func,
+            input,
+            name: name.into(),
+        }
+    }
+
+    /// `sum(column)` by name.
+    pub fn sum_col(schema: &Schema, col: &str, out: impl Into<String>) -> Result<AggSpec> {
+        Ok(AggSpec::new(AggFunc::Sum, Expr::col(schema, col)?, out))
+    }
+
+    fn output_type(&self, schema: &Schema) -> DataType {
+        match self.func {
+            AggFunc::Sum | AggFunc::Avg => DataType::Float,
+            AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar => DataType::Int,
+            AggFunc::Min | AggFunc::Max => {
+                self.input.output_type(schema).unwrap_or(DataType::Float)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Acc {
+    Sum { sum: f64, any: bool },
+    Count(i64),
+    CountDistinct(pa_storage::FxHashSet<Value>),
+    CountStar(i64),
+    Avg { sum: f64, n: i64 },
+    Min(Value),
+    Max(Value),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Sum => Acc::Sum { sum: 0.0, any: false },
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::CountDistinct => Acc::CountDistinct(Default::default()),
+            AggFunc::CountStar => Acc::CountStar(0),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(Value::Null),
+            AggFunc::Max => Acc::Max(Value::Null),
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            Acc::CountStar(n) => *n += 1,
+            _ if v.is_null() => {}
+            Acc::Sum { sum, any } => match v.as_f64() {
+                Some(x) => {
+                    *sum += x;
+                    *any = true;
+                }
+                None => {
+                    return Err(EngineError::ExprType(format!("sum of non-numeric {v}")));
+                }
+            },
+            Acc::Count(n) => *n += 1,
+            Acc::CountDistinct(seen) => {
+                seen.insert(v.clone());
+            }
+            Acc::Avg { sum, n } => match v.as_f64() {
+                Some(x) => {
+                    *sum += x;
+                    *n += 1;
+                }
+                None => {
+                    return Err(EngineError::ExprType(format!("avg of non-numeric {v}")));
+                }
+            },
+            Acc::Min(m) => {
+                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Less {
+                    *m = v.clone();
+                }
+            }
+            Acc::Max(m) => {
+                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Greater {
+                    *m = v.clone();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Sum { sum, any } => {
+                if *any {
+                    Value::Float(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Count(n) | Acc::CountStar(n) => Value::Int(*n),
+            Acc::CountDistinct(seen) => Value::Int(seen.len() as i64),
+            Acc::Avg { sum, n } => {
+                if *n > 0 {
+                    Value::Float(sum / *n as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.clone(),
+        }
+    }
+}
+
+/// One grouping level inside a (possibly multi-level) aggregation pass.
+#[derive(Debug)]
+struct Level {
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    map: RowKeyMap,
+    accs: Vec<Acc>, // groups × aggs, flat
+}
+
+impl Level {
+    fn absorb(&mut self, input: &Table, row: usize, stats: &mut ExecStats) -> Result<()> {
+        let gid = if self.group_cols.is_empty() {
+            if self.map.is_empty() {
+                self.map.get_or_insert_key(&[], stats)
+            } else {
+                0
+            }
+        } else {
+            self.map.get_or_insert_row(input, &self.group_cols, row, stats)
+        };
+        let base = gid * self.aggs.len();
+        if base + self.aggs.len() > self.accs.len() {
+            for spec in &self.aggs {
+                self.accs.push(Acc::new(spec.func));
+            }
+        }
+        for (i, spec) in self.aggs.iter().enumerate() {
+            let v = match spec.func {
+                AggFunc::CountStar => Value::Int(1),
+                _ => spec.input.eval(input, row, stats)?,
+            };
+            self.accs[base + i].update(&v)?;
+        }
+        Ok(())
+    }
+
+    fn finish(self, input_schema: &Schema, stats: &mut ExecStats) -> Result<Table> {
+        let mut fields: Vec<Field> = self
+            .group_cols
+            .iter()
+            .map(|&c| input_schema.field_at(c).clone())
+            .collect();
+        for spec in &self.aggs {
+            fields.push(Field::new(spec.name.clone(), spec.output_type(input_schema)));
+        }
+        let schema = Schema::new(fields)?.into_shared();
+        let n_groups = self.map.len();
+        let mut out = Table::with_capacity(schema, n_groups);
+        for gid in 0..n_groups {
+            let mut row: Vec<Value> = self.map.keys()[gid].clone();
+            let base = gid * self.aggs.len();
+            for i in 0..self.aggs.len() {
+                row.push(self.accs[base + i].finish());
+            }
+            out.push_row(&row)?;
+        }
+        stats.rows_materialized += n_groups as u64;
+        Ok(out)
+    }
+}
+
+/// Hash-aggregate `input` grouped by `group_cols` computing `aggs`.
+///
+/// With an empty `group_cols`, produces exactly one global row (even for an
+/// empty input — SQL global aggregates always return one row).
+///
+/// ```
+/// use pa_engine::{hash_aggregate, AggSpec, ExecStats};
+/// use pa_storage::{DataType, Schema, Table, Value};
+///
+/// let schema = Schema::from_pairs(&[("d", DataType::Str), ("a", DataType::Float)])
+///     .unwrap()
+///     .into_shared();
+/// let mut f = Table::empty(schema);
+/// f.push_row(&[Value::str("x"), Value::Float(2.0)]).unwrap();
+/// f.push_row(&[Value::str("x"), Value::Float(3.0)]).unwrap();
+/// f.push_row(&[Value::str("y"), Value::Float(5.0)]).unwrap();
+///
+/// let spec = AggSpec::sum_col(f.schema(), "a", "total").unwrap();
+/// let mut stats = ExecStats::default();
+/// let out = hash_aggregate(&f, &[0], &[spec], &mut stats).unwrap().sorted_by(&[0]);
+/// assert_eq!(out.get(0, 1), Value::Float(5.0)); // x
+/// assert_eq!(out.get(1, 1), Value::Float(5.0)); // y
+/// assert_eq!(stats.rows_scanned, 3);
+/// ```
+pub fn hash_aggregate(
+    input: &Table,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    stats: &mut ExecStats,
+) -> Result<Table> {
+    let mut tables = multi_hash_aggregate(input, &[(group_cols.to_vec(), aggs.to_vec())], stats)?;
+    Ok(tables.pop().expect("one level in, one table out"))
+}
+
+/// Aggregate at several grouping levels in **one pass** over `input` —
+/// the paper's synchronized-scan optimization for computing `Fk` and `Fj`
+/// together.
+pub fn multi_hash_aggregate(
+    input: &Table,
+    levels: &[(Vec<usize>, Vec<AggSpec>)],
+    stats: &mut ExecStats,
+) -> Result<Vec<Table>> {
+    for (cols, aggs) in levels {
+        for &c in cols {
+            if c >= input.num_columns() {
+                return Err(EngineError::InvalidOperator(format!(
+                    "group column {c} out of range"
+                )));
+            }
+        }
+        if aggs.is_empty() {
+            return Err(EngineError::InvalidOperator(
+                "aggregation requires at least one aggregate term".into(),
+            ));
+        }
+    }
+    stats.statements += 1;
+    let mut lvls: Vec<Level> = levels
+        .iter()
+        .map(|(cols, aggs)| Level {
+            group_cols: cols.clone(),
+            aggs: aggs.clone(),
+            map: RowKeyMap::new(),
+            accs: Vec::new(),
+        })
+        .collect();
+
+    let n = input.num_rows();
+    stats.rows_scanned += n as u64;
+    for row in 0..n {
+        for lvl in &mut lvls {
+            lvl.absorb(input, row, stats)?;
+        }
+    }
+    // Global aggregates return one row even over empty input.
+    for lvl in &mut lvls {
+        if lvl.group_cols.is_empty() && lvl.map.is_empty() {
+            lvl.map.get_or_insert_key(&[], stats);
+            for spec in &lvl.aggs {
+                lvl.accs.push(Acc::new(spec.func));
+            }
+        }
+    }
+    lvls.into_iter()
+        .map(|lvl| lvl.finish(input.schema(), stats))
+        .collect()
+}
+
+/// Group-by column resolution by name, shared by callers.
+pub fn resolve_cols(schema: &Schema, names: &[&str]) -> Result<Vec<usize>> {
+    names
+        .iter()
+        .map(|n| schema.index_of(n).map_err(EngineError::from))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_storage::Schema;
+
+    /// The paper's Table 1 fact table.
+    fn sales() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("state", DataType::Str),
+            ("city", DataType::Str),
+            ("salesAmt", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::empty(schema);
+        for (s, c, a) in [
+            ("CA", "San Francisco", 13.0),
+            ("CA", "San Francisco", 3.0),
+            ("CA", "San Francisco", 67.0),
+            ("CA", "Los Angeles", 23.0),
+            ("TX", "Houston", 5.0),
+            ("TX", "Houston", 35.0),
+            ("TX", "Houston", 10.0),
+            ("TX", "Houston", 14.0),
+            ("TX", "Dallas", 53.0),
+            ("TX", "Dallas", 32.0),
+        ] {
+            t.push_row(&[Value::str(s), Value::str(c), Value::Float(a)])
+                .unwrap();
+        }
+        t
+    }
+
+    fn sum_a(t: &Table) -> AggSpec {
+        AggSpec::sum_col(t.schema(), "salesAmt", "A").unwrap()
+    }
+
+    #[test]
+    fn fine_level_aggregation_matches_paper_example() {
+        let f = sales();
+        let mut st = ExecStats::default();
+        let fk = hash_aggregate(&f, &[0, 1], &[sum_a(&f)], &mut st).unwrap();
+        assert_eq!(fk.num_rows(), 4);
+        let sorted = fk.sorted_by(&[0, 1]);
+        let rows: Vec<Vec<Value>> = sorted.rows().collect();
+        assert_eq!(
+            rows[0],
+            vec![Value::str("CA"), Value::str("Los Angeles"), Value::Float(23.0)]
+        );
+        assert_eq!(
+            rows[1],
+            vec![
+                Value::str("CA"),
+                Value::str("San Francisco"),
+                Value::Float(83.0)
+            ]
+        );
+        assert_eq!(
+            rows[2],
+            vec![Value::str("TX"), Value::str("Dallas"), Value::Float(85.0)]
+        );
+        assert_eq!(
+            rows[3],
+            vec![Value::str("TX"), Value::str("Houston"), Value::Float(64.0)]
+        );
+        assert_eq!(st.rows_scanned, 10);
+        assert_eq!(st.rows_materialized, 4);
+    }
+
+    #[test]
+    fn coarse_from_fine_equals_coarse_from_fact() {
+        // sum() is distributive: Fj from Fk == Fj from F.
+        let f = sales();
+        let mut st = ExecStats::default();
+        let fk = hash_aggregate(&f, &[0, 1], &[sum_a(&f)], &mut st).unwrap();
+        let fj_from_f = hash_aggregate(&f, &[0], &[sum_a(&f)], &mut st).unwrap();
+        let spec = AggSpec::sum_col(fk.schema(), "A", "A").unwrap();
+        let fj_from_fk = hash_aggregate(&fk, &[0], &[spec], &mut st).unwrap();
+        let a: Vec<Vec<Value>> = fj_from_f.sorted_by(&[0]).rows().collect();
+        let b: Vec<Vec<Value>> = fj_from_fk.sorted_by(&[0]).rows().collect();
+        assert_eq!(a, b);
+        assert_eq!(a[0], vec![Value::str("CA"), Value::Float(106.0)]);
+        assert_eq!(a[1], vec![Value::str("TX"), Value::Float(149.0)]);
+    }
+
+    #[test]
+    fn global_aggregation_no_group_by() {
+        let f = sales();
+        let mut st = ExecStats::default();
+        let g = hash_aggregate(&f, &[], &[sum_a(&f)], &mut st).unwrap();
+        assert_eq!(g.num_rows(), 1);
+        assert_eq!(g.get(0, 0), Value::Float(255.0));
+    }
+
+    #[test]
+    fn global_aggregation_over_empty_input_returns_one_null_row() {
+        let f = Table::empty(sales().schema().clone());
+        let mut st = ExecStats::default();
+        let spec = AggSpec::sum_col(f.schema(), "salesAmt", "A").unwrap();
+        let g = hash_aggregate(&f, &[], &[spec], &mut st).unwrap();
+        assert_eq!(g.num_rows(), 1);
+        assert_eq!(g.get(0, 0), Value::Null, "sum of nothing is NULL");
+    }
+
+    #[test]
+    fn sum_skips_nulls_and_all_null_group_is_null() {
+        let schema = Schema::from_pairs(&[("d", DataType::Int), ("a", DataType::Float)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::Int(1), Value::Float(5.0)]).unwrap();
+        t.push_row(&[Value::Int(1), Value::Null]).unwrap();
+        t.push_row(&[Value::Int(2), Value::Null]).unwrap();
+        let spec = AggSpec::sum_col(t.schema(), "a", "s").unwrap();
+        let mut st = ExecStats::default();
+        let out = hash_aggregate(&t, &[0], &[spec], &mut st)
+            .unwrap()
+            .sorted_by(&[0]);
+        assert_eq!(out.get(0, 1), Value::Float(5.0));
+        assert_eq!(out.get(1, 1), Value::Null);
+    }
+
+    #[test]
+    fn count_vs_count_star() {
+        let schema = Schema::from_pairs(&[("d", DataType::Int), ("a", DataType::Float)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::Int(1), Value::Float(5.0)]).unwrap();
+        t.push_row(&[Value::Int(1), Value::Null]).unwrap();
+        let a = Expr::col(t.schema(), "a").unwrap();
+        let specs = vec![
+            AggSpec::new(AggFunc::Count, a.clone(), "cnt"),
+            AggSpec::new(AggFunc::CountStar, Expr::lit(1), "cnt_star"),
+        ];
+        let mut st = ExecStats::default();
+        let out = hash_aggregate(&t, &[0], &specs, &mut st).unwrap();
+        assert_eq!(out.get(0, 1), Value::Int(1));
+        assert_eq!(out.get(0, 2), Value::Int(2));
+    }
+
+    #[test]
+    fn avg_min_max() {
+        let f = sales();
+        let a = Expr::col(f.schema(), "salesAmt").unwrap();
+        let specs = vec![
+            AggSpec::new(AggFunc::Avg, a.clone(), "avg"),
+            AggSpec::new(AggFunc::Min, a.clone(), "min"),
+            AggSpec::new(AggFunc::Max, a, "max"),
+        ];
+        let mut st = ExecStats::default();
+        let out = hash_aggregate(&f, &[0], &specs, &mut st)
+            .unwrap()
+            .sorted_by(&[0]);
+        // CA: 13,3,67,23
+        assert_eq!(out.get(0, 1), Value::Float(106.0 / 4.0));
+        assert_eq!(out.get(0, 2), Value::Float(3.0));
+        assert_eq!(out.get(0, 3), Value::Float(67.0));
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let f = sales();
+        let c = Expr::col(f.schema(), "city").unwrap();
+        let specs = vec![
+            AggSpec::new(AggFunc::Min, c.clone(), "first_city"),
+            AggSpec::new(AggFunc::Max, c, "last_city"),
+        ];
+        let mut st = ExecStats::default();
+        let out = hash_aggregate(&f, &[0], &specs, &mut st)
+            .unwrap()
+            .sorted_by(&[0]);
+        assert_eq!(out.get(0, 1), Value::str("Los Angeles"));
+        assert_eq!(out.get(1, 2), Value::str("Houston"));
+    }
+
+    #[test]
+    fn synchronized_scan_reads_input_once() {
+        let f = sales();
+        let mut st = ExecStats::default();
+        let levels = vec![
+            (vec![0, 1], vec![sum_a(&f)]),
+            (vec![0], vec![sum_a(&f)]),
+        ];
+        let out = multi_hash_aggregate(&f, &levels, &mut st).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].num_rows(), 4);
+        assert_eq!(out[1].num_rows(), 2);
+        assert_eq!(st.rows_scanned, 10, "one scan for both levels");
+    }
+
+    #[test]
+    fn aggregate_of_expression() {
+        // sum(CASE WHEN city='Dallas' THEN A ELSE NULL END) — the horizontal
+        // building block.
+        let f = sales();
+        let s = f.schema();
+        let case = Expr::Case {
+            branches: vec![(
+                Expr::col(s, "city").unwrap().eq(Expr::lit("Dallas")),
+                Expr::col(s, "salesAmt").unwrap(),
+            )],
+            else_value: None,
+        };
+        let spec = AggSpec::new(AggFunc::Sum, case, "dallas");
+        let mut st = ExecStats::default();
+        let out = hash_aggregate(&f, &[0], &[spec], &mut st)
+            .unwrap()
+            .sorted_by(&[0]);
+        assert_eq!(out.get(0, 1), Value::Null, "CA has no Dallas rows");
+        assert_eq!(out.get(1, 1), Value::Float(85.0));
+        assert_eq!(st.case_condition_evals, 10, "one condition per row");
+    }
+
+    #[test]
+    fn count_distinct() {
+        let schema = Schema::from_pairs(&[("d", DataType::Int), ("x", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        for (d, x) in [(1, "a"), (1, "a"), (1, "b"), (2, "c"), (2, "c")] {
+            t.push_row(&[Value::Int(d), Value::str(x)]).unwrap();
+        }
+        t.push_row(&[Value::Int(2), Value::Null]).unwrap();
+        let spec = AggSpec::new(
+            AggFunc::CountDistinct,
+            Expr::col(t.schema(), "x").unwrap(),
+            "dx",
+        );
+        let mut st = ExecStats::default();
+        let out = hash_aggregate(&t, &[0], &[spec], &mut st)
+            .unwrap()
+            .sorted_by(&[0]);
+        assert_eq!(out.get(0, 1), Value::Int(2), "a, b");
+        assert_eq!(out.get(1, 1), Value::Int(1), "c; NULL not counted");
+        assert!(!AggFunc::CountDistinct.is_distributive(), "holistic");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let f = sales();
+        assert!(hash_aggregate(&f, &[99], &[sum_a(&f)], &mut ExecStats::default()).is_err());
+        assert!(hash_aggregate(&f, &[0], &[], &mut ExecStats::default()).is_err());
+    }
+
+    #[test]
+    fn distributive_classification() {
+        assert!(AggFunc::Sum.is_distributive());
+        assert!(AggFunc::Min.is_distributive());
+        assert!(AggFunc::CountStar.is_distributive());
+        assert!(!AggFunc::Avg.is_distributive(), "avg is algebraic");
+        assert!(!AggFunc::Count.is_distributive(), "count re-aggregates as sum");
+    }
+}

@@ -1,0 +1,65 @@
+//! Selection: keep rows whose predicate is TRUE.
+//!
+//! SQL WHERE semantics: NULL predicates drop the row (only TRUE keeps it).
+//! This is the `WHERE Dh = vhI and .. and Dk = vkI` of the SPJ strategy.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::stats::ExecStats;
+use pa_storage::{Table, Value};
+
+/// Filter `input` by `predicate`.
+pub fn filter(input: &Table, predicate: &Expr, stats: &mut ExecStats) -> Result<Table> {
+    stats.statements += 1;
+    let n = input.num_rows();
+    stats.rows_scanned += n as u64;
+    let mut keep = Vec::new();
+    for row in 0..n {
+        let truthy = match predicate.eval(input, row, stats)? {
+            Value::Int(i) => i != 0,
+            Value::Float(f) => f != 0.0,
+            _ => false,
+        };
+        if truthy {
+            keep.push(row);
+        }
+    }
+    stats.rows_materialized += keep.len() as u64;
+    Ok(input.take(&keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_storage::{DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[("d", DataType::Str), ("a", DataType::Float)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::str("x"), Value::Float(10.0)]).unwrap();
+        t.push_row(&[Value::str("y"), Value::Float(4.0)]).unwrap();
+        t.push_row(&[Value::Null, Value::Float(7.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn keeps_only_true_rows() {
+        let t = table();
+        let p = Expr::col(t.schema(), "d").unwrap().eq(Expr::lit("x"));
+        let out = filter(&t, &p, &mut ExecStats::default()).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.get(0, 1), Value::Float(10.0));
+    }
+
+    #[test]
+    fn null_predicate_drops_row() {
+        let t = table();
+        // d = 'x' is NULL for the NULL row: dropped, not kept.
+        let p = Expr::col(t.schema(), "d").unwrap().ne(Expr::lit("x"));
+        let out = filter(&t, &p, &mut ExecStats::default()).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.get(0, 0), Value::str("y"));
+    }
+}

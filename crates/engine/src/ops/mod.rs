@@ -1,0 +1,11 @@
+//! Physical operators.
+
+pub mod aggregate;
+pub mod distinct;
+pub mod filter;
+pub mod insert;
+pub mod join;
+pub mod project;
+pub mod sort;
+pub mod update;
+pub mod window;

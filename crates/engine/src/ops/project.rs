@@ -1,0 +1,133 @@
+//! Projection: evaluate expressions row-by-row into a new table.
+
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::stats::ExecStats;
+use pa_storage::{DataType, Field, Schema, Table};
+
+/// One projected output column.
+#[derive(Debug, Clone)]
+pub struct ProjSpec {
+    /// Expression to evaluate.
+    pub expr: Expr,
+    /// Output column name.
+    pub name: String,
+    /// Output type. `None` infers from the expression (falling back to Float
+    /// for NULL-only expressions).
+    pub dtype: Option<DataType>,
+}
+
+impl ProjSpec {
+    /// Projection with inferred type.
+    pub fn new(expr: Expr, name: impl Into<String>) -> ProjSpec {
+        ProjSpec {
+            expr,
+            name: name.into(),
+            dtype: None,
+        }
+    }
+
+    /// Projection with an explicit type.
+    pub fn typed(expr: Expr, name: impl Into<String>, dtype: DataType) -> ProjSpec {
+        ProjSpec {
+            expr,
+            name: name.into(),
+            dtype: Some(dtype),
+        }
+    }
+
+    /// Pass a column through unchanged.
+    pub fn passthrough(input: &Schema, name: &str) -> Result<ProjSpec> {
+        let idx = input.index_of(name)?;
+        Ok(ProjSpec {
+            expr: Expr::Col(idx),
+            name: name.to_string(),
+            dtype: Some(input.field_at(idx).dtype),
+        })
+    }
+}
+
+/// Evaluate `specs` over every row of `input`.
+pub fn project(input: &Table, specs: &[ProjSpec], stats: &mut ExecStats) -> Result<Table> {
+    if specs.is_empty() {
+        return Err(EngineError::InvalidOperator(
+            "projection needs at least one column".into(),
+        ));
+    }
+    stats.statements += 1;
+    let fields: Vec<Field> = specs
+        .iter()
+        .map(|s| {
+            Field::new(
+                s.name.clone(),
+                s.dtype
+                    .or_else(|| s.expr.output_type(input.schema()))
+                    .unwrap_or(DataType::Float),
+            )
+        })
+        .collect();
+    let schema = Schema::new(fields)?.into_shared();
+    let n = input.num_rows();
+    stats.rows_scanned += n as u64;
+    let mut out = Table::with_capacity(schema, n);
+    let mut row_buf = Vec::with_capacity(specs.len());
+    for row in 0..n {
+        row_buf.clear();
+        for spec in specs {
+            row_buf.push(spec.expr.eval(input, row, stats)?);
+        }
+        out.push_row(&row_buf)?;
+    }
+    stats.rows_materialized += n as u64;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_storage::{Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[("d", DataType::Str), ("a", DataType::Float)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::str("x"), Value::Float(10.0)]).unwrap();
+        t.push_row(&[Value::str("y"), Value::Float(4.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn projects_expressions_with_inferred_types() {
+        let t = table();
+        let s = t.schema();
+        let specs = vec![
+            ProjSpec::passthrough(s, "d").unwrap(),
+            ProjSpec::new(
+                Expr::col(s, "a").unwrap().mul(Expr::lit(2.0)),
+                "double_a",
+            ),
+        ];
+        let mut st = ExecStats::default();
+        let out = project(&t, &specs, &mut st).unwrap();
+        assert_eq!(out.schema().field_at(1).dtype, DataType::Float);
+        assert_eq!(out.get(0, 1), Value::Float(20.0));
+        assert_eq!(out.get(1, 0), Value::str("y"));
+        assert_eq!(st.rows_materialized, 2);
+    }
+
+    #[test]
+    fn explicit_type_wins() {
+        let t = table();
+        let specs = vec![ProjSpec::typed(Expr::lit(1), "one", DataType::Float)];
+        let out = project(&t, &specs, &mut ExecStats::default()).unwrap();
+        assert_eq!(out.schema().field_at(0).dtype, DataType::Float);
+        assert_eq!(out.get(0, 0), Value::Float(1.0));
+    }
+
+    #[test]
+    fn empty_spec_list_rejected() {
+        let t = table();
+        assert!(project(&t, &[], &mut ExecStats::default()).is_err());
+    }
+}

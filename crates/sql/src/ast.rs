@@ -1,0 +1,335 @@
+//! Abstract syntax for the percentage-query dialect.
+//!
+//! The dialect is the subset of SQL the papers write, plus the three
+//! extensions they propose:
+//!
+//! * `Vpct(A BY Dj+1..Dk)` — vertical percentage aggregation (SIGMOD).
+//! * `Hpct(A BY Dj+1..Dk)` — horizontal percentage aggregation (SIGMOD).
+//! * `agg(A BY Dj+1..Dk [DEFAULT 0])` for `sum/count/avg/min/max` —
+//!   generalized horizontal aggregation (DMKD companion).
+
+use std::fmt;
+
+/// Scalar expressions allowed in select items, aggregate arguments and WHERE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference (optionally qualified, e.g. `Fk.A` → `"Fk.A"` kept
+    /// verbatim; the executor resolves names against one table).
+    Column(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `*` — only valid as `count(*)`'s argument.
+    Star,
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstExpr::Column(c) => write!(f, "{c}"),
+            AstExpr::Int(i) => write!(f, "{i}"),
+            AstExpr::Float(x) => {
+                // Keep a decimal point so the literal re-parses as a float.
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            AstExpr::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            AstExpr::Star => write!(f, "*"),
+            AstExpr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+        }
+    }
+}
+
+/// Aggregate function names the dialect accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    /// Vertical percentage (SIGMOD).
+    Vpct,
+    /// Horizontal percentage (SIGMOD).
+    Hpct,
+    /// `sum`.
+    Sum,
+    /// `count`.
+    Count,
+    /// `avg`.
+    Avg,
+    /// `min`.
+    Min,
+    /// `max`.
+    Max,
+}
+
+impl AggName {
+    /// Parse a (case-insensitive) function name.
+    pub fn from_ident(name: &str) -> Option<AggName> {
+        match name.to_ascii_lowercase().as_str() {
+            "vpct" => Some(AggName::Vpct),
+            "hpct" => Some(AggName::Hpct),
+            "sum" => Some(AggName::Sum),
+            "count" => Some(AggName::Count),
+            "avg" => Some(AggName::Avg),
+            "min" => Some(AggName::Min),
+            "max" => Some(AggName::Max),
+        _ => None,
+        }
+    }
+
+    /// Canonical SQL spelling.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            AggName::Vpct => "Vpct",
+            AggName::Hpct => "Hpct",
+            AggName::Sum => "sum",
+            AggName::Count => "count",
+            AggName::Avg => "avg",
+            AggName::Min => "min",
+            AggName::Max => "max",
+        }
+    }
+
+    /// True for the two percentage aggregations.
+    pub fn is_percentage(&self) -> bool {
+        matches!(self, AggName::Vpct | AggName::Hpct)
+    }
+}
+
+/// One aggregate call, e.g. `Hpct(salesAmt BY dweek)` or
+/// `sum(1 BY gender,maritalStatus DEFAULT 0)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Function.
+    pub func: AggName,
+    /// `DISTINCT` before the argument (`count(distinct tid BY d)`, DMKD).
+    pub distinct: bool,
+    /// Argument expression (`Star` only for `count(*)`).
+    pub arg: AstExpr,
+    /// Subgrouping columns from the `BY` clause (empty when absent).
+    pub by: Vec<String>,
+    /// `DEFAULT 0` present: missing horizontal cells become 0 instead of
+    /// NULL (DMKD's binary-coding idiom).
+    pub default_zero: bool,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// Plain column (must appear in GROUP BY).
+    Column(String),
+    /// Aggregate call with an optional alias.
+    Aggregate {
+        /// The call.
+        call: AggCall,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM table.
+    pub from: String,
+    /// WHERE predicate.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY columns (resolved: `GROUP BY 1,2` positions are expanded to
+    /// names by the parser).
+    pub group_by: Vec<String>,
+    /// ORDER BY columns (ascending; the papers display result rows "in the
+    /// order given by GROUP BY").
+    pub order_by: Vec<String>,
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.func.sql_name())?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        write!(f, "{}", self.arg)?;
+        if !self.by.is_empty() {
+            write!(f, " BY {}", self.by.join(", "))?;
+        }
+        if self.default_zero {
+            write!(f, " DEFAULT 0")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate { call, alias } => {
+                write!(f, "{call}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    /// Canonical SQL rendering; [`crate::parse`] of the output yields back
+    /// an equal statement (round-trip pinned by property test).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY {}", self.order_by.join(", "))?;
+        }
+        write!(f, ";")
+    }
+}
+
+impl SelectStmt {
+    /// Aggregate calls in SELECT order.
+    pub fn aggregates(&self) -> impl Iterator<Item = &AggCall> {
+        self.items.iter().filter_map(|i| match i {
+            SelectItem::Aggregate { call, .. } => Some(call),
+            SelectItem::Column(_) => None,
+        })
+    }
+
+    /// Plain columns in SELECT order.
+    pub fn plain_columns(&self) -> impl Iterator<Item = &str> {
+        self.items.iter().filter_map(|i| match i {
+            SelectItem::Column(c) => Some(c.as_str()),
+            SelectItem::Aggregate { .. } => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_names() {
+        assert_eq!(AggName::from_ident("VPCT"), Some(AggName::Vpct));
+        assert_eq!(AggName::from_ident("Hpct"), Some(AggName::Hpct));
+        assert_eq!(AggName::from_ident("SUM"), Some(AggName::Sum));
+        assert_eq!(AggName::from_ident("median"), None);
+        assert!(AggName::Vpct.is_percentage());
+        assert!(!AggName::Sum.is_percentage());
+    }
+
+    #[test]
+    fn expr_display_round_trips_structure() {
+        let e = AstExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(AstExpr::Binary {
+                op: BinOp::Eq,
+                left: Box::new(AstExpr::Column("state".into())),
+                right: Box::new(AstExpr::Str("it's".into())),
+            }),
+            right: Box::new(AstExpr::Int(1)),
+        };
+        assert_eq!(e.to_string(), "((state = 'it''s') AND 1)");
+    }
+
+    #[test]
+    fn stmt_accessors() {
+        let stmt = SelectStmt {
+            items: vec![
+                SelectItem::Column("state".into()),
+                SelectItem::Aggregate {
+                    call: AggCall {
+                        func: AggName::Vpct,
+                        distinct: false,
+                        arg: AstExpr::Column("a".into()),
+                        by: vec!["city".into()],
+                        default_zero: false,
+                    },
+                    alias: None,
+                },
+            ],
+            from: "sales".into(),
+            where_clause: None,
+            group_by: vec!["state".into(), "city".into()],
+            order_by: vec![],
+        };
+        assert_eq!(stmt.plain_columns().collect::<Vec<_>>(), vec!["state"]);
+        assert_eq!(stmt.aggregates().count(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Parse and validation errors.
+
+use std::fmt;
+
+/// Errors from the SQL front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset into the input.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// Syntactic error.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// The statement violates one of the papers' usage rules.
+    Rule(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => write!(f, "lex error at byte {offset}: {message}"),
+            SqlError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SqlError::Rule(message) => write!(f, "rule violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SqlError::Parse {
+            offset: 7,
+            message: "expected FROM".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+        assert!(SqlError::Rule("x".into()).to_string().contains("rule violation"));
+    }
+}

@@ -1,0 +1,575 @@
+//! Recursive-descent parser for the percentage-query dialect.
+
+use crate::ast::{AggCall, AggName, AstExpr, BinOp, SelectItem, SelectStmt};
+use crate::error::{Result, SqlError};
+use crate::token::{tokenize, Spanned, Token};
+
+/// Parse one SELECT statement.
+pub fn parse(input: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select_stmt()?;
+    p.accept(&Token::Semi);
+    if let Some(t) = p.peek() {
+        return Err(p.err_at(t.offset, "trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> SqlError {
+        let offset = self.peek().map(|t| t.offset).unwrap_or(usize::MAX);
+        SqlError::Parse {
+            offset: if offset == usize::MAX { 0 } else { offset },
+            message: message.into(),
+        }
+    }
+
+    fn err_at(&self, offset: usize, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Consume `tok` if it is next; report whether it was.
+    fn accept(&mut self, tok: &Token) -> bool {
+        if self.peek().map(|t| &t.token) == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token, what: &str) -> Result<()> {
+        if self.accept(tok) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}")))
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier) if it is next.
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if let Some(Spanned {
+            token: Token::Ident(name),
+            ..
+        }) = self.peek()
+        {
+            if name.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {kw}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Ident(name),
+                ..
+            }) => Ok(name),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here(format!("expected {what}")))
+            }
+        }
+    }
+
+    /// `ident` or `ident.ident` kept verbatim as a column reference name.
+    fn column_name(&mut self) -> Result<String> {
+        let mut name = self.ident("column name")?;
+        while self.accept(&Token::Dot) {
+            name.push('.');
+            name.push_str(&self.ident("column name after '.'")?);
+        }
+        Ok(name)
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let mut items = vec![self.select_item()?];
+        while self.accept(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let from = self.ident("table name")?;
+        let where_clause = if self.accept_kw("WHERE") {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.accept_kw("GROUP") {
+            self.expect_kw("BY")?;
+            let mut refs = vec![self.group_ref(&items)?];
+            while self.accept(&Token::Comma) {
+                refs.push(self.group_ref(&items)?);
+            }
+            refs
+        } else {
+            Vec::new()
+        };
+        let order_by = if self.accept_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let mut refs = vec![self.group_ref(&items)?];
+            while self.accept(&Token::Comma) {
+                refs.push(self.group_ref(&items)?);
+            }
+            refs
+        } else {
+            Vec::new()
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+        })
+    }
+
+    /// GROUP BY entry: a column name or a 1-based SELECT position
+    /// (the papers write `GROUP BY 1,2`).
+    fn group_ref(&mut self, items: &[SelectItem]) -> Result<String> {
+        if let Some(Spanned {
+            token: Token::Int(n),
+            offset,
+        }) = self.peek().cloned()
+        {
+            self.pos += 1;
+            let idx = usize::try_from(n - 1)
+                .ok()
+                .filter(|&i| i < items.len())
+                .ok_or_else(|| {
+                    self.err_at(offset, format!("GROUP BY position {n} out of range"))
+                })?;
+            return match &items[idx] {
+                SelectItem::Column(name) => Ok(name.clone()),
+                SelectItem::Aggregate { .. } => Err(self.err_at(
+                    offset,
+                    format!("GROUP BY position {n} refers to an aggregate"),
+                )),
+            };
+        }
+        self.column_name()
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // Aggregate call: known function name followed by '('.
+        if let Some(Spanned {
+            token: Token::Ident(name),
+            ..
+        }) = self.peek()
+        {
+            if let Some(func) = AggName::from_ident(name) {
+                if matches!(
+                    self.tokens.get(self.pos + 1),
+                    Some(Spanned { token: Token::LParen, .. })
+                ) {
+                    self.pos += 1;
+                    let call = self.agg_call(func)?;
+                    let alias = if self.accept_kw("AS") {
+                        Some(self.ident("alias")?)
+                    } else {
+                        None
+                    };
+                    return Ok(SelectItem::Aggregate { call, alias });
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.column_name()?))
+    }
+
+    fn agg_call(&mut self, func: AggName) -> Result<AggCall> {
+        self.expect(&Token::LParen, "'('")?;
+        let distinct = self.accept_kw("DISTINCT");
+        // count(*) / count(* BY ...).
+        let arg = if matches!(self.peek(), Some(Spanned { token: Token::Star, .. })) {
+            self.pos += 1;
+            AstExpr::Star
+        } else {
+            self.or_expr()?
+        };
+        let by = if self.accept_kw("BY") {
+            let mut cols = vec![self.column_name()?];
+            while self.accept(&Token::Comma) {
+                cols.push(self.column_name()?);
+            }
+            cols
+        } else {
+            Vec::new()
+        };
+        let default_zero = if self.accept_kw("DEFAULT") {
+            match self.next() {
+                Some(Spanned {
+                    token: Token::Int(0),
+                    ..
+                }) => true,
+                Some(Spanned { offset, .. }) => {
+                    return Err(self.err_at(offset, "only DEFAULT 0 is supported"));
+                }
+                None => return Err(self.err_here("expected 0 after DEFAULT")),
+            }
+        } else {
+            false
+        };
+        self.expect(&Token::RParen, "')'")?;
+        Ok(AggCall {
+            func,
+            distinct,
+            arg,
+            by,
+            default_zero,
+        })
+    }
+
+    // Expression grammar: OR < AND < comparison < additive < multiplicative.
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw("OR") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.cmp_expr()?;
+        while self.accept_kw("AND") {
+            let right = self.cmp_expr()?;
+            left = AstExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr> {
+        let left = self.add_expr()?;
+        let op = match self.peek().map(|t| &t.token) {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.token) {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek().map(|t| &t.token) {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.primary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.peek().cloned() {
+            Some(Spanned {
+                token: Token::Int(i),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(AstExpr::Int(i))
+            }
+            Some(Spanned {
+                token: Token::Float(x),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(AstExpr::Float(x))
+            }
+            Some(Spanned {
+                token: Token::Str(s),
+                ..
+            }) => {
+                self.pos += 1;
+                Ok(AstExpr::Str(s))
+            }
+            Some(Spanned {
+                token: Token::Minus,
+                ..
+            }) => {
+                self.pos += 1;
+                // Negative literals parse directly; other unary minus
+                // desugars to 0 - expr.
+                match self.peek().cloned() {
+                    Some(Spanned {
+                        token: Token::Int(i),
+                        ..
+                    }) => {
+                        self.pos += 1;
+                        Ok(AstExpr::Int(-i))
+                    }
+                    Some(Spanned {
+                        token: Token::Float(x),
+                        ..
+                    }) => {
+                        self.pos += 1;
+                        Ok(AstExpr::Float(-x))
+                    }
+                    _ => {
+                        let inner = self.primary()?;
+                        Ok(AstExpr::Binary {
+                            op: BinOp::Sub,
+                            left: Box::new(AstExpr::Int(0)),
+                            right: Box::new(inner),
+                        })
+                    }
+                }
+            }
+            Some(Spanned {
+                token: Token::LParen,
+                ..
+            }) => {
+                self.pos += 1;
+                let inner = self.or_expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Spanned {
+                token: Token::Ident(_),
+                ..
+            }) => Ok(AstExpr::Column(self.column_name()?)),
+            _ => Err(self.err_here("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vertical_query() {
+        // SIGMOD §3.1 example.
+        let stmt =
+            parse("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city;")
+                .unwrap();
+        assert_eq!(stmt.from, "sales");
+        assert_eq!(stmt.group_by, vec!["state", "city"]);
+        assert_eq!(stmt.items.len(), 3);
+        let agg = stmt.aggregates().next().unwrap();
+        assert_eq!(agg.func, AggName::Vpct);
+        assert_eq!(agg.arg, AstExpr::Column("salesAmt".into()));
+        assert_eq!(agg.by, vec!["city"]);
+    }
+
+    #[test]
+    fn paper_horizontal_query() {
+        // SIGMOD §3.2 example with a mixed vertical term.
+        let stmt = parse(
+            "SELECT store,Hpct(salesAmt BY dweek),sum(salesAmt) FROM sales GROUP BY store;",
+        )
+        .unwrap();
+        let aggs: Vec<_> = stmt.aggregates().collect();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].func, AggName::Hpct);
+        assert_eq!(aggs[1].func, AggName::Sum);
+        assert!(aggs[1].by.is_empty());
+    }
+
+    #[test]
+    fn dmkd_binary_coding_query() {
+        let stmt = parse(
+            "SELECT transactionId, max(1 BY deptId DEFAULT 0) FROM transactionLine GROUP BY transactionId;",
+        )
+        .unwrap();
+        let agg = stmt.aggregates().next().unwrap();
+        assert_eq!(agg.func, AggName::Max);
+        assert_eq!(agg.arg, AstExpr::Int(1));
+        assert!(agg.default_zero);
+    }
+
+    #[test]
+    fn count_star_and_positional_group_by() {
+        let stmt =
+            parse("SELECT departmentId,gender,count(*) FROM employee GROUP BY 1,2").unwrap();
+        assert_eq!(stmt.group_by, vec!["departmentId", "gender"]);
+        assert_eq!(stmt.aggregates().next().unwrap().arg, AstExpr::Star);
+    }
+
+    #[test]
+    fn count_distinct_like_call_with_by() {
+        // DMKD writes count(distinct tid BY d); we accept the simpler
+        // count(tid BY d) form.
+        let stmt = parse(
+            "SELECT storeId, count(transactionid BY dayofweekNo) FROM transactionLine GROUP BY storeId",
+        )
+        .unwrap();
+        let agg = stmt.aggregates().next().unwrap();
+        assert_eq!(agg.func, AggName::Count);
+        assert_eq!(agg.by, vec!["dayofweekNo"]);
+    }
+
+    #[test]
+    fn where_clause_and_aliases() {
+        let stmt = parse(
+            "SELECT state, sum(a) AS total FROM f WHERE a > 10 AND state <> 'NV' GROUP BY state",
+        )
+        .unwrap();
+        assert!(stmt.where_clause.is_some());
+        match &stmt.items[1] {
+            SelectItem::Aggregate { alias, .. } => assert_eq!(alias.as_deref(), Some("total")),
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_column_by_list() {
+        let stmt = parse(
+            "SELECT subdeptid, sum(salesAmt BY regionNo, monthNo) FROM t GROUP BY subdeptId",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt.aggregates().next().unwrap().by,
+            vec!["regionNo", "monthNo"]
+        );
+    }
+
+    #[test]
+    fn hpct_without_group_by() {
+        let stmt = parse("SELECT Hpct(a BY d) FROM f").unwrap();
+        assert!(stmt.group_by.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_argument() {
+        let stmt = parse("SELECT sum(price * qty BY region) FROM t GROUP BY s").unwrap();
+        let agg = stmt.aggregates().next().unwrap();
+        assert!(matches!(
+            agg.arg,
+            AstExpr::Binary { op: BinOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(matches!(parse("SELECT"), Err(SqlError::Parse { .. })));
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT a FROM t GROUP").is_err());
+        assert!(parse("SELECT Vpct(a FROM t").is_err());
+        assert!(parse("SELECT a FROM t extra").is_err());
+        assert!(parse("SELECT max(1 BY d DEFAULT 7) FROM t").is_err(), "only DEFAULT 0");
+        assert!(parse("SELECT a FROM t GROUP BY 9").is_err(), "position out of range");
+        assert!(
+            parse("SELECT sum(a) FROM t GROUP BY 1").is_err(),
+            "positional ref to aggregate"
+        );
+    }
+
+    #[test]
+    fn order_by_clause() {
+        let stmt = parse(
+            "SELECT state, city, Vpct(a BY city) FROM f GROUP BY state, city ORDER BY state, city",
+        )
+        .unwrap();
+        assert_eq!(stmt.order_by, vec!["state", "city"]);
+        // Positional ORDER BY resolves against the select list.
+        let stmt = parse("SELECT state, sum(a) FROM f GROUP BY state ORDER BY 1").unwrap();
+        assert_eq!(stmt.order_by, vec!["state"]);
+        // Absent -> empty.
+        let stmt = parse("SELECT state, sum(a) FROM f GROUP BY state").unwrap();
+        assert!(stmt.order_by.is_empty());
+        // ORDER without BY is an error.
+        assert!(parse("SELECT a FROM f GROUP BY a ORDER a").is_err());
+    }
+
+    #[test]
+    fn negative_literal() {
+        let stmt = parse("SELECT a FROM t WHERE a > -5").unwrap();
+        assert!(stmt.where_clause.is_some());
+    }
+
+    #[test]
+    fn qualified_column_names() {
+        let stmt = parse("SELECT a FROM t WHERE Fk.A <> 0").unwrap();
+        match stmt.where_clause.unwrap() {
+            AstExpr::Binary { left, .. } => {
+                assert_eq!(*left, AstExpr::Column("Fk.A".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select a from t group by a").is_ok());
+    }
+}

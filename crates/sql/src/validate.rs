@@ -1,0 +1,306 @@
+//! Usage-rule validation.
+//!
+//! Encodes the rule lists from both papers:
+//!
+//! * SIGMOD §3.1, `Vpct()` rules 1–4.
+//! * SIGMOD §3.2, `Hpct()` rules 1–5.
+//! * DMKD §3.1, horizontal aggregation (`Hagg`) rules 1–5.
+//!
+//! One deliberate reading: SIGMOD rule 2 for `Vpct` says the BY list is a
+//! *proper* subset of GROUP BY, yet §3.1 also specifies the semantics of
+//! `BY = GROUP BY` ("each row will have 100% as result"). We accept the
+//! subset including equality, matching the described semantics.
+//!
+//! Mixing `Vpct` with horizontal terms in one statement is rejected: the
+//! SIGMOD conclusions list "combining horizontal and vertical percentage
+//! aggregations on the same query" as an open problem.
+
+use crate::ast::{AggCall, AggName, AstExpr, SelectStmt};
+use crate::error::{Result, SqlError};
+
+/// The evaluation family a validated statement belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// At least one `Vpct` term; evaluated by the vertical framework.
+    Vertical,
+    /// At least one `Hpct` or BY-subgrouped standard aggregate; evaluated by
+    /// the horizontal framework.
+    Horizontal,
+    /// Ordinary SQL aggregation (no percentage/BY extensions).
+    PlainAggregate,
+}
+
+fn rule(msg: impl Into<String>) -> SqlError {
+    SqlError::Rule(msg.into())
+}
+
+fn has_duplicates(names: &[String]) -> Option<&str> {
+    for (i, n) in names.iter().enumerate() {
+        if names[..i].iter().any(|m| m.eq_ignore_ascii_case(n)) {
+            return Some(n);
+        }
+    }
+    None
+}
+
+fn contains(list: &[String], name: &str) -> bool {
+    list.iter().any(|g| g.eq_ignore_ascii_case(name))
+}
+
+/// Validate a parsed statement against the papers' usage rules and classify
+/// it.
+pub fn validate(stmt: &SelectStmt) -> Result<QueryKind> {
+    if let Some(d) = has_duplicates(&stmt.group_by) {
+        return Err(rule(format!("duplicate GROUP BY column {d}")));
+    }
+
+    // SQL baseline rule: plain SELECT columns must be grouped.
+    for col in stmt.plain_columns() {
+        if !contains(&stmt.group_by, col) {
+            return Err(rule(format!(
+                "column {col} appears in SELECT but not in GROUP BY"
+            )));
+        }
+    }
+
+    let mut n_vpct = 0usize;
+    let mut n_horizontal = 0usize;
+    for call in stmt.aggregates() {
+        validate_call(call, stmt)?;
+        match call.func {
+            AggName::Vpct => n_vpct += 1,
+            AggName::Hpct => n_horizontal += 1,
+            _ if !call.by.is_empty() => n_horizontal += 1,
+            _ => {}
+        }
+    }
+
+    if n_vpct > 0 && n_horizontal > 0 {
+        return Err(rule(
+            "combining vertical and horizontal percentage aggregations in one \
+             statement is not supported (open problem per SIGMOD §6)",
+        ));
+    }
+
+    if n_vpct > 0 {
+        Ok(QueryKind::Vertical)
+    } else if n_horizontal > 0 {
+        Ok(QueryKind::Horizontal)
+    } else {
+        if stmt.items.is_empty() {
+            return Err(rule("empty SELECT list"));
+        }
+        Ok(QueryKind::PlainAggregate)
+    }
+}
+
+fn validate_call(call: &AggCall, stmt: &SelectStmt) -> Result<()> {
+    // `*` argument only for count.
+    if matches!(call.arg, AstExpr::Star) && call.func != AggName::Count {
+        return Err(rule(format!(
+            "'*' argument is only valid for count, not {}",
+            call.func.sql_name()
+        )));
+    }
+    if call.distinct && call.func != AggName::Count {
+        return Err(rule(format!(
+            "DISTINCT is only valid inside count, not {}",
+            call.func.sql_name()
+        )));
+    }
+    if call.distinct && matches!(call.arg, AstExpr::Star) {
+        return Err(rule("count(DISTINCT *) is not valid; name a column"));
+    }
+    if let Some(d) = has_duplicates(&call.by) {
+        return Err(rule(format!("duplicate BY column {d}")));
+    }
+    // DEFAULT 0 only makes sense horizontally.
+    if call.default_zero && call.func == AggName::Vpct {
+        return Err(rule("DEFAULT 0 is not applicable to Vpct"));
+    }
+
+    match call.func {
+        AggName::Vpct => {
+            // SIGMOD §3.1 rule 1: GROUP BY required.
+            if stmt.group_by.is_empty() {
+                return Err(rule("Vpct requires a GROUP BY clause (rule 1)"));
+            }
+            // Rule 2: BY columns must come from the GROUP BY list.
+            for c in &call.by {
+                if !contains(&stmt.group_by, c) {
+                    return Err(rule(format!(
+                        "Vpct BY column {c} must be a subset of the GROUP BY columns (rule 2)"
+                    )));
+                }
+            }
+        }
+        AggName::Hpct => {
+            // SIGMOD §3.2 rule 2: BY required, non-empty, disjoint.
+            if call.by.is_empty() {
+                return Err(rule("Hpct requires a non-empty BY clause (rule 2)"));
+            }
+            for c in &call.by {
+                if contains(&stmt.group_by, c) {
+                    return Err(rule(format!(
+                        "Hpct BY column {c} must be disjoint from the GROUP BY columns (rule 2)"
+                    )));
+                }
+            }
+        }
+        _ => {
+            // DMKD rule 2: BY columns (when present) disjoint from GROUP BY.
+            for c in &call.by {
+                if contains(&stmt.group_by, c) {
+                    return Err(rule(format!(
+                        "horizontal aggregation BY column {c} must be disjoint from the \
+                         GROUP BY columns (DMKD rule 2)"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate that every plain SELECT column and GROUP BY column of a
+/// `Vpct` statement exactly covers the GROUP BY list (the paper always
+/// writes `SELECT D1..Dk, Vpct(..)` with `GROUP BY D1..Dk`). Looser
+/// projections are legal SQL, so this is a lint, not an error; exposed for
+/// callers that want strict-paper form.
+pub fn is_strict_paper_form(stmt: &SelectStmt) -> bool {
+    let plain: Vec<&str> = stmt.plain_columns().collect();
+    plain.len() == stmt.group_by.len()
+        && plain
+            .iter()
+            .zip(&stmt.group_by)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn kind(sql: &str) -> Result<QueryKind> {
+        validate(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn classifies_the_paper_examples() {
+        assert_eq!(
+            kind("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city")
+                .unwrap(),
+            QueryKind::Vertical
+        );
+        assert_eq!(
+            kind("SELECT store,Hpct(salesAmt BY dweek),sum(salesAmt) FROM sales GROUP BY store")
+                .unwrap(),
+            QueryKind::Horizontal
+        );
+        assert_eq!(
+            kind("SELECT storeId, sum(salesAmt BY dayofweekName) FROM t GROUP BY storeId")
+                .unwrap(),
+            QueryKind::Horizontal
+        );
+        assert_eq!(
+            kind("SELECT state, sum(salesAmt) FROM sales GROUP BY state").unwrap(),
+            QueryKind::PlainAggregate
+        );
+    }
+
+    #[test]
+    fn vpct_rule_1_group_by_required() {
+        let err = kind("SELECT Vpct(a BY d) FROM f").unwrap_err();
+        assert!(err.to_string().contains("rule 1"), "{err}");
+    }
+
+    #[test]
+    fn vpct_rule_2_by_subset_of_group_by() {
+        let err = kind("SELECT state, Vpct(a BY city) FROM f GROUP BY state").unwrap_err();
+        assert!(err.to_string().contains("rule 2"), "{err}");
+        // Equality with GROUP BY is accepted (semantics: every row 100%).
+        assert!(kind("SELECT state, Vpct(a BY state) FROM f GROUP BY state").is_ok());
+        // Absent BY is accepted (totals over all rows).
+        assert!(kind("SELECT state, Vpct(a) FROM f GROUP BY state").is_ok());
+    }
+
+    #[test]
+    fn vpct_rule_3_combines_with_plain_aggregates() {
+        assert_eq!(
+            kind("SELECT state, Vpct(a BY city), sum(a), count(*) FROM f GROUP BY state, city"),
+            Ok(QueryKind::Vertical)
+        );
+    }
+
+    #[test]
+    fn vpct_rule_4_multiple_terms_with_different_subsets() {
+        assert_eq!(
+            kind("SELECT state, city, Vpct(a BY city), Vpct(a BY state, city) FROM f \
+                  GROUP BY state, city"),
+            Ok(QueryKind::Vertical)
+        );
+    }
+
+    #[test]
+    fn hpct_rule_2_by_required_and_disjoint() {
+        let err = kind("SELECT store, Hpct(a) FROM f GROUP BY store").unwrap_err();
+        assert!(err.to_string().contains("rule 2"), "{err}");
+        let err = kind("SELECT store, Hpct(a BY store) FROM f GROUP BY store").unwrap_err();
+        assert!(err.to_string().contains("disjoint"), "{err}");
+    }
+
+    #[test]
+    fn hpct_rule_1_group_by_optional() {
+        assert_eq!(kind("SELECT Hpct(a BY d) FROM f"), Ok(QueryKind::Horizontal));
+    }
+
+    #[test]
+    fn hagg_by_disjoint() {
+        let err =
+            kind("SELECT store, sum(a BY store, d) FROM f GROUP BY store").unwrap_err();
+        assert!(err.to_string().contains("disjoint"), "{err}");
+    }
+
+    #[test]
+    fn mixing_vertical_and_horizontal_rejected() {
+        let err = kind(
+            "SELECT state, Vpct(a BY city), Hpct(a BY dweek) FROM f GROUP BY state, city",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn star_only_for_count() {
+        assert!(kind("SELECT d, count(*) FROM f GROUP BY d").is_ok());
+        let err = kind("SELECT d, sum(*) FROM f GROUP BY d").unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
+    }
+
+    #[test]
+    fn ungrouped_plain_column_rejected() {
+        let err = kind("SELECT state, city, sum(a) FROM f GROUP BY state").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(kind("SELECT state, sum(a) FROM f GROUP BY state, state").is_err());
+        assert!(kind("SELECT s, Hpct(a BY d, d) FROM f GROUP BY s").is_err());
+    }
+
+    #[test]
+    fn default_zero_only_horizontal() {
+        assert!(kind("SELECT t, max(1 BY d DEFAULT 0) FROM f GROUP BY t").is_ok());
+        assert!(kind("SELECT t, d, Vpct(a BY d DEFAULT 0) FROM f GROUP BY t, d").is_err());
+    }
+
+    #[test]
+    fn strict_paper_form_lint() {
+        let stmt =
+            parse("SELECT state,city,Vpct(a BY city) FROM f GROUP BY state,city").unwrap();
+        assert!(is_strict_paper_form(&stmt));
+        let loose = parse("SELECT city,state,Vpct(a BY city) FROM f GROUP BY state,city").unwrap();
+        assert!(!is_strict_paper_form(&loose));
+    }
+}

@@ -1,0 +1,203 @@
+//! Packed validity bitmap.
+//!
+//! One bit per row; `true` means the row's value is present (non-NULL).
+//! Backed by `Vec<u64>` words, appended one bit at a time by column builders
+//! and queried on the hot path of every scan.
+
+/// Packed bitmap with one bit per row.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl Bitmap {
+    /// Empty bitmap.
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    /// Bitmap pre-sized for `capacity` bits.
+    pub fn with_capacity(capacity: usize) -> Bitmap {
+        Bitmap {
+            words: Vec::with_capacity(capacity.div_ceil(64)),
+            len: 0,
+            ones: 0,
+        }
+    }
+
+    /// Bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Bitmap {
+        let word = if value { u64::MAX } else { 0 };
+        let mut words = vec![word; len.div_ceil(64)];
+        if value {
+            if let Some(last) = words.last_mut() {
+                let tail = len % 64;
+                if tail != 0 {
+                    *last = (1u64 << tail) - 1;
+                }
+            }
+        }
+        Bitmap {
+            words,
+            len,
+            ones: if value { len } else { 0 },
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits (valid rows).
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// True when every bit is set (no NULLs).
+    #[inline]
+    pub fn all_set(&self) -> bool {
+        self.ones == self.len
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn push(&mut self, value: bool) {
+        let bit = self.len % 64;
+        if bit == 0 {
+            self.words.push(0);
+        }
+        if value {
+            *self.words.last_mut().expect("word pushed above") |= 1u64 << bit;
+            self.ones += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Get bit `i`. Panics when out of bounds (mirrors slice indexing).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value` in place (used by UPDATE).
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of bounds ({})", self.len);
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        let was = *word & mask != 0;
+        if value && !was {
+            *word |= mask;
+            self.ones += 1;
+        } else if !value && was {
+            *word &= !mask;
+            self.ones -= 1;
+        }
+    }
+
+    /// Iterate bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Append all bits of `other`.
+    pub fn extend_from(&mut self, other: &Bitmap) {
+        // Bit-at-a-time is fine: extend is used on the bulk-insert path where
+        // per-row work elsewhere (value copies) dominates.
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut bm = Bitmap::new();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_across_word_boundary() {
+        let mut bm = Bitmap::new();
+        for i in 0..200 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bm.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn filled_true_and_false() {
+        let t = Bitmap::filled(130, true);
+        assert_eq!(t.len(), 130);
+        assert!(t.all_set());
+        assert_eq!(t.count_ones(), 130);
+        assert!(t.get(129));
+
+        let f = Bitmap::filled(130, false);
+        assert_eq!(f.count_ones(), 0);
+        assert!(!f.get(0));
+    }
+
+    #[test]
+    fn filled_exact_word_multiple() {
+        let t = Bitmap::filled(128, true);
+        assert_eq!(t.count_ones(), 128);
+        assert!(t.get(127));
+    }
+
+    #[test]
+    fn set_updates_ones_count() {
+        let mut bm = Bitmap::filled(10, false);
+        bm.set(3, true);
+        bm.set(3, true); // idempotent
+        assert_eq!(bm.count_ones(), 1);
+        assert!(bm.get(3));
+        bm.set(3, false);
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn extend_from_preserves_order() {
+        let a: Bitmap = [true, false, true].into_iter().collect();
+        let mut b: Bitmap = [false].into_iter().collect();
+        b.extend_from(&a);
+        let bits: Vec<bool> = b.iter().collect();
+        assert_eq!(bits, vec![false, true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Bitmap::filled(3, true).get(3);
+    }
+
+    #[test]
+    fn empty() {
+        let bm = Bitmap::new();
+        assert!(bm.is_empty());
+        assert!(bm.all_set(), "vacuously true");
+    }
+}

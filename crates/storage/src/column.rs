@@ -1,0 +1,594 @@
+//! Typed column vectors with validity bitmaps.
+
+use crate::bitmap::Bitmap;
+use crate::dictionary::Dictionary;
+use crate::error::{Result, StorageError};
+use crate::value::{DataType, Value};
+
+/// A column of values, stored as a typed vector plus a validity bitmap.
+///
+/// NULL slots keep a placeholder in the data vector so that positions stay
+/// aligned with row ids.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int {
+        /// Values (0 placeholder where NULL).
+        data: Vec<i64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Values (NaN placeholder where NULL).
+        data: Vec<f64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Dictionary-encoded strings.
+    Str {
+        /// Shared string dictionary.
+        dict: Dictionary,
+        /// Per-row dictionary codes (0 placeholder where NULL).
+        codes: Vec<u32>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new(dtype: DataType) -> Column {
+        Column::with_capacity(dtype, 0)
+    }
+
+    /// Create an empty column pre-sized for `capacity` rows.
+    pub fn with_capacity(dtype: DataType, capacity: usize) -> Column {
+        match dtype {
+            DataType::Int => Column::Int {
+                data: Vec::with_capacity(capacity),
+                validity: Bitmap::with_capacity(capacity),
+            },
+            DataType::Float => Column::Float {
+                data: Vec::with_capacity(capacity),
+                validity: Bitmap::with_capacity(capacity),
+            },
+            DataType::Str => Column::Str {
+                dict: Dictionary::new(),
+                codes: Vec::with_capacity(capacity),
+                validity: Bitmap::with_capacity(capacity),
+            },
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int { .. } => DataType::Int,
+            Column::Float { .. } => DataType::Float,
+            Column::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows (including NULL slots).
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { data, .. } => data.len(),
+            Column::Float { data, .. } => data.len(),
+            Column::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.len() - self.validity().count_ones()
+    }
+
+    /// The validity bitmap.
+    pub fn validity(&self) -> &Bitmap {
+        match self {
+            Column::Int { validity, .. }
+            | Column::Float { validity, .. }
+            | Column::Str { validity, .. } => validity,
+        }
+    }
+
+    /// True when row `i` is non-NULL.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity().get(i)
+    }
+
+    /// Get the value at row `i` (NULL when invalid). Panics out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Int { data, validity } => {
+                if validity.get(i) {
+                    Value::Int(data[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Float { data, validity } => {
+                if validity.get(i) {
+                    Value::Float(data[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Str {
+                dict,
+                codes,
+                validity,
+            } => {
+                if validity.get(i) {
+                    Value::Str(std::sync::Arc::clone(dict.resolve(codes[i])))
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+
+    /// Fast path: raw f64 at row `i` (ints widened), `None` when NULL or
+    /// non-numeric. Used by aggregation inner loops to skip `Value` boxing.
+    #[inline]
+    pub fn get_f64(&self, i: usize) -> Option<f64> {
+        match self {
+            Column::Int { data, validity } => validity.get(i).then(|| data[i] as f64),
+            Column::Float { data, validity } => validity.get(i).then(|| data[i]),
+            Column::Str { .. } => None,
+        }
+    }
+
+    /// Fast path: dictionary code or int value as a group key fragment.
+    /// `None` when NULL. Strings return their dictionary code, which is a
+    /// valid key fragment *within one column*.
+    #[inline]
+    pub fn key_fragment(&self, i: usize) -> Option<i64> {
+        match self {
+            Column::Int { data, validity } => validity.get(i).then(|| data[i]),
+            Column::Float { data, validity } => validity.get(i).then(|| data[i].to_bits() as i64),
+            Column::Str {
+                codes, validity, ..
+            } => validity.get(i).then(|| codes[i] as i64),
+        }
+    }
+
+    /// Append a value, enforcing the column type. NULL is accepted anywhere.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (self, value) {
+            (Column::Int { data, validity }, Value::Int(v)) => {
+                data.push(v);
+                validity.push(true);
+            }
+            (Column::Int { data, validity }, Value::Null) => {
+                data.push(0);
+                validity.push(false);
+            }
+            (Column::Float { data, validity }, Value::Float(v)) => {
+                data.push(v);
+                validity.push(true);
+            }
+            // Ints widen into float columns (measure expressions mix both).
+            (Column::Float { data, validity }, Value::Int(v)) => {
+                data.push(v as f64);
+                validity.push(true);
+            }
+            (Column::Float { data, validity }, Value::Null) => {
+                data.push(f64::NAN);
+                validity.push(false);
+            }
+            (
+                Column::Str {
+                    dict,
+                    codes,
+                    validity,
+                },
+                Value::Str(s),
+            ) => {
+                codes.push(dict.intern_arc(&s));
+                validity.push(true);
+            }
+            (
+                Column::Str {
+                    codes, validity, ..
+                },
+                Value::Null,
+            ) => {
+                codes.push(0);
+                validity.push(false);
+            }
+            (col, value) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: col.data_type().to_string(),
+                    found: value
+                        .data_type()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "Null".into()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrite the value at row `i` (UPDATE path).
+    pub fn set(&mut self, i: usize, value: Value) -> Result<()> {
+        let len = self.len();
+        if i >= len {
+            return Err(StorageError::RowOutOfBounds { index: i, len });
+        }
+        match (self, value) {
+            (Column::Int { data, validity }, Value::Int(v)) => {
+                data[i] = v;
+                validity.set(i, true);
+            }
+            (Column::Int { data, validity }, Value::Null) => {
+                data[i] = 0;
+                validity.set(i, false);
+            }
+            (Column::Float { data, validity }, Value::Float(v)) => {
+                data[i] = v;
+                validity.set(i, true);
+            }
+            (Column::Float { data, validity }, Value::Int(v)) => {
+                data[i] = v as f64;
+                validity.set(i, true);
+            }
+            (Column::Float { data, validity }, Value::Null) => {
+                data[i] = f64::NAN;
+                validity.set(i, false);
+            }
+            (
+                Column::Str {
+                    dict,
+                    codes,
+                    validity,
+                },
+                Value::Str(s),
+            ) => {
+                codes[i] = dict.intern_arc(&s);
+                validity.set(i, true);
+            }
+            (
+                Column::Str {
+                    codes, validity, ..
+                },
+                Value::Null,
+            ) => {
+                codes[i] = 0;
+                validity.set(i, false);
+            }
+            (col, value) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: col.data_type().to_string(),
+                    found: value
+                        .data_type()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "Null".into()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk-append every row of `other`. Types must match exactly.
+    pub fn extend_from(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (
+                Column::Int { data, validity },
+                Column::Int {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend_from(ov);
+            }
+            (
+                Column::Float { data, validity },
+                Column::Float {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend_from(ov);
+            }
+            (
+                Column::Str {
+                    dict,
+                    codes,
+                    validity,
+                },
+                Column::Str {
+                    dict: odict,
+                    codes: ocodes,
+                    validity: ov,
+                },
+            ) => {
+                // Remap the other column's codes into this dictionary.
+                let remap: Vec<u32> = odict
+                    .values()
+                    .iter()
+                    .map(|s| dict.intern_arc(s))
+                    .collect();
+                codes.extend(ocodes.iter().map(|&c| remap[c as usize]));
+                validity.extend_from(ov);
+            }
+            (me, other) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: me.data_type().to_string(),
+                    found: other.data_type().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a new column containing `self[i]` for each `i` in `rows`
+    /// (gather / semi-materialized projection).
+    pub fn take(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Int { data, validity } => {
+                let mut out = Vec::with_capacity(rows.len());
+                let mut v = Bitmap::with_capacity(rows.len());
+                for &i in rows {
+                    out.push(data[i]);
+                    v.push(validity.get(i));
+                }
+                Column::Int {
+                    data: out,
+                    validity: v,
+                }
+            }
+            Column::Float { data, validity } => {
+                let mut out = Vec::with_capacity(rows.len());
+                let mut v = Bitmap::with_capacity(rows.len());
+                for &i in rows {
+                    out.push(data[i]);
+                    v.push(validity.get(i));
+                }
+                Column::Float {
+                    data: out,
+                    validity: v,
+                }
+            }
+            Column::Str {
+                dict,
+                codes,
+                validity,
+            } => {
+                let mut out = Vec::with_capacity(rows.len());
+                let mut v = Bitmap::with_capacity(rows.len());
+                for &i in rows {
+                    out.push(codes[i]);
+                    v.push(validity.get(i));
+                }
+                Column::Str {
+                    dict: dict.clone(),
+                    codes: out,
+                    validity: v,
+                }
+            }
+        }
+    }
+
+    /// Like [`Column::take`], but `None` entries gather a NULL — the shape a
+    /// left outer join needs for unmatched probe rows.
+    pub fn take_opt(&self, rows: &[Option<usize>]) -> Column {
+        match self {
+            Column::Int { data, validity } => {
+                let mut out = Vec::with_capacity(rows.len());
+                let mut v = Bitmap::with_capacity(rows.len());
+                for r in rows {
+                    match r {
+                        Some(i) => {
+                            out.push(data[*i]);
+                            v.push(validity.get(*i));
+                        }
+                        None => {
+                            out.push(0);
+                            v.push(false);
+                        }
+                    }
+                }
+                Column::Int {
+                    data: out,
+                    validity: v,
+                }
+            }
+            Column::Float { data, validity } => {
+                let mut out = Vec::with_capacity(rows.len());
+                let mut v = Bitmap::with_capacity(rows.len());
+                for r in rows {
+                    match r {
+                        Some(i) => {
+                            out.push(data[*i]);
+                            v.push(validity.get(*i));
+                        }
+                        None => {
+                            out.push(f64::NAN);
+                            v.push(false);
+                        }
+                    }
+                }
+                Column::Float {
+                    data: out,
+                    validity: v,
+                }
+            }
+            Column::Str {
+                dict,
+                codes,
+                validity,
+            } => {
+                let mut out = Vec::with_capacity(rows.len());
+                let mut v = Bitmap::with_capacity(rows.len());
+                for r in rows {
+                    match r {
+                        Some(i) => {
+                            out.push(codes[*i]);
+                            v.push(validity.get(*i));
+                        }
+                        None => {
+                            out.push(0);
+                            v.push(false);
+                        }
+                    }
+                }
+                Column::Str {
+                    dict: dict.clone(),
+                    codes: out,
+                    validity: v,
+                }
+            }
+        }
+    }
+
+    /// Approximate heap bytes held by this column (intermediate-table sizing).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::Int { data, .. } => data.len() * 8 + data.len() / 8,
+            Column::Float { data, .. } => data.len() * 8 + data.len() / 8,
+            Column::Str { codes, dict, .. } => {
+                codes.len() * 4
+                    + codes.len() / 8
+                    + dict.values().iter().map(|s| s.len() + 16).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_round_trip_int() {
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Int(-7)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(-7));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn push_get_round_trip_str() {
+        let mut c = Column::new(DataType::Str);
+        c.push(Value::str("CA")).unwrap();
+        c.push(Value::str("TX")).unwrap();
+        c.push(Value::str("CA")).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.get(0), Value::str("CA"));
+        assert_eq!(c.get(2), Value::str("CA"));
+        assert_eq!(c.get(3), Value::Null);
+        if let Column::Str { dict, .. } = &c {
+            assert_eq!(dict.len(), 2, "dictionary deduplicates");
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut c = Column::new(DataType::Float);
+        c.push(Value::Int(4)).unwrap();
+        assert_eq!(c.get(0), Value::Float(4.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::new(DataType::Int);
+        let err = c.push(Value::str("oops")).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn set_in_place() {
+        let mut c = Column::new(DataType::Float);
+        c.push(Value::Float(1.0)).unwrap();
+        c.push(Value::Float(2.0)).unwrap();
+        c.set(1, Value::Float(0.5)).unwrap();
+        assert_eq!(c.get(1), Value::Float(0.5));
+        c.set(0, Value::Null).unwrap();
+        assert_eq!(c.get(0), Value::Null);
+        assert_eq!(c.null_count(), 1);
+        assert!(matches!(
+            c.set(5, Value::Float(0.0)),
+            Err(StorageError::RowOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn extend_from_remaps_dictionaries() {
+        let mut a = Column::new(DataType::Str);
+        a.push(Value::str("x")).unwrap();
+        let mut b = Column::new(DataType::Str);
+        b.push(Value::str("y")).unwrap();
+        b.push(Value::str("x")).unwrap();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(0), Value::str("x"));
+        assert_eq!(a.get(1), Value::str("y"));
+        assert_eq!(a.get(2), Value::str("x"));
+    }
+
+    #[test]
+    fn take_gathers_rows() {
+        let mut c = Column::new(DataType::Int);
+        for i in 0..10 {
+            c.push(Value::Int(i)).unwrap();
+        }
+        let t = c.take(&[9, 0, 5]);
+        assert_eq!(t.get(0), Value::Int(9));
+        assert_eq!(t.get(1), Value::Int(0));
+        assert_eq!(t.get(2), Value::Int(5));
+    }
+
+    #[test]
+    fn take_opt_gathers_nulls_for_none() {
+        let mut c = Column::new(DataType::Int);
+        for i in 0..5 {
+            c.push(Value::Int(i)).unwrap();
+        }
+        let t = c.take_opt(&[Some(4), None, Some(0)]);
+        assert_eq!(t.get(0), Value::Int(4));
+        assert_eq!(t.get(1), Value::Null);
+        assert_eq!(t.get(2), Value::Int(0));
+
+        let mut s = Column::new(DataType::Str);
+        s.push(Value::str("a")).unwrap();
+        let ts = s.take_opt(&[None, Some(0)]);
+        assert_eq!(ts.get(0), Value::Null);
+        assert_eq!(ts.get(1), Value::str("a"));
+    }
+
+    #[test]
+    fn get_f64_and_key_fragment() {
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(3)).unwrap();
+        c.push(Value::Null).unwrap();
+        assert_eq!(c.get_f64(0), Some(3.0));
+        assert_eq!(c.get_f64(1), None);
+        assert_eq!(c.key_fragment(0), Some(3));
+        assert_eq!(c.key_fragment(1), None);
+
+        let mut s = Column::new(DataType::Str);
+        s.push(Value::str("a")).unwrap();
+        s.push(Value::str("b")).unwrap();
+        s.push(Value::str("a")).unwrap();
+        assert_eq!(s.key_fragment(0), s.key_fragment(2));
+        assert_ne!(s.key_fragment(0), s.key_fragment(1));
+    }
+}

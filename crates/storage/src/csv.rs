@@ -1,0 +1,248 @@
+//! CSV import/export.
+//!
+//! The DMKD paper's whole motivation is handing a tabular data set to a
+//! data-mining package — which in practice means writing a file. This
+//! module round-trips tables through RFC-4180-style CSV: header row, comma
+//! separation, `"` quoting with `""` escapes, empty field = NULL.
+
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains([',', '"', '\n', '\r']) || s.is_empty()
+}
+
+fn write_field(out: &mut impl Write, s: &str) -> std::io::Result<()> {
+    if needs_quoting(s) {
+        out.write_all(b"\"")?;
+        out.write_all(s.replace('"', "\"\"").as_bytes())?;
+        out.write_all(b"\"")
+    } else {
+        out.write_all(s.as_bytes())
+    }
+}
+
+/// Write `table` as CSV with a header row. NULLs become empty fields.
+pub fn write_csv(table: &Table, out: &mut impl Write) -> Result<()> {
+    let io_err = |e: std::io::Error| StorageError::Wal(format!("csv write: {e}"));
+    for (i, f) in table.schema().fields().iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",").map_err(io_err)?;
+        }
+        write_field(out, &f.name).map_err(io_err)?;
+    }
+    out.write_all(b"\n").map_err(io_err)?;
+    for row in 0..table.num_rows() {
+        for col in 0..table.num_columns() {
+            if col > 0 {
+                out.write_all(b",").map_err(io_err)?;
+            }
+            match table.get(row, col) {
+                Value::Null => {}
+                Value::Str(s) => write_field(out, &s).map_err(io_err)?,
+                v => write_field(out, &v.to_string()).map_err(io_err)?,
+            }
+        }
+        out.write_all(b"\n").map_err(io_err)?;
+    }
+    out.flush().map_err(io_err)?;
+    Ok(())
+}
+
+/// Split one CSV record, honoring quotes. Returns `(fields, was_quoted)`.
+fn split_record(line: &str) -> Result<Vec<(String, bool)>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cur.push('"');
+                }
+                '"' => in_quotes = false,
+                c => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_quotes = true;
+                    quoted = true;
+                }
+                ',' => {
+                    fields.push((std::mem::take(&mut cur), quoted));
+                    quoted = false;
+                }
+                c => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Wal("csv read: unterminated quote".into()));
+    }
+    fields.push((cur, quoted));
+    Ok(fields)
+}
+
+/// Read CSV (with header) into a table with the given schema. Field order
+/// must match the schema; empty unquoted fields become NULL.
+pub fn read_csv(schema: Arc<Schema>, input: &mut impl BufRead) -> Result<Table> {
+    let io_err = |e: std::io::Error| StorageError::Wal(format!("csv read: {e}"));
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .transpose()
+        .map_err(io_err)?
+        .ok_or_else(|| StorageError::Wal("csv read: missing header".into()))?;
+    let names: Vec<String> = split_record(&header)?.into_iter().map(|(s, _)| s).collect();
+    if names.len() != schema.len() {
+        return Err(StorageError::LengthMismatch {
+            expected: schema.len(),
+            found: names.len(),
+        });
+    }
+    for (f, n) in schema.fields().iter().zip(&names) {
+        if &f.name != n {
+            return Err(StorageError::InvalidSchema(format!(
+                "csv header {n} does not match schema field {}",
+                f.name
+            )));
+        }
+    }
+
+    let mut table = Table::empty(schema.clone());
+    let mut row: Vec<Value> = Vec::with_capacity(schema.len());
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(io_err)?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line)?;
+        if fields.len() != schema.len() {
+            return Err(StorageError::Wal(format!(
+                "csv read: line {} has {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                schema.len()
+            )));
+        }
+        row.clear();
+        for ((text, quoted), field) in fields.iter().zip(schema.fields()) {
+            let v = if text.is_empty() && !quoted {
+                Value::Null
+            } else {
+                match field.dtype {
+                    DataType::Int => Value::Int(text.parse().map_err(|_| {
+                        StorageError::Wal(format!(
+                            "csv read: line {}: bad int {text:?} for {}",
+                            lineno + 2,
+                            field.name
+                        ))
+                    })?),
+                    DataType::Float => Value::Float(text.parse().map_err(|_| {
+                        StorageError::Wal(format!(
+                            "csv read: line {}: bad float {text:?} for {}",
+                            lineno + 2,
+                            field.name
+                        ))
+                    })?),
+                    DataType::Str => Value::str(text),
+                }
+            };
+            row.push(v);
+        }
+        table.push_row(&row)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("store", DataType::Int),
+            ("city", DataType::Str),
+            ("pct", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::Int(1), Value::str("San Francisco"), Value::Float(0.25)])
+            .unwrap();
+        t.push_row(&[Value::Int(2), Value::str("say \"hi\", ok"), Value::Null])
+            .unwrap();
+        t.push_row(&[Value::Int(3), Value::Null, Value::Float(-1.5)])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_values_and_nulls() {
+        let t = table();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("store,city,pct\n"));
+        assert!(text.contains("\"say \"\"hi\"\", ok\""));
+        let back = read_csv(t.schema().clone(), &mut &buf[..]).unwrap();
+        assert_eq!(back.num_rows(), 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(back.get(r, c), t.get(r, c), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn quoted_empty_string_is_not_null() {
+        let schema = Schema::from_pairs(&[("s", DataType::Str)]).unwrap().into_shared();
+        let data = b"s\n\"\"\n\n";
+        let t = read_csv(schema, &mut &data[..]).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.get(0, 0), Value::str(""));
+    }
+
+    #[test]
+    fn read_errors() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap().into_shared();
+        assert!(read_csv(schema.clone(), &mut &b""[..]).is_err(), "no header");
+        assert!(
+            read_csv(schema.clone(), &mut &b"wrong\n1\n"[..]).is_err(),
+            "header mismatch"
+        );
+        assert!(
+            read_csv(schema.clone(), &mut &b"a\n1,2\n"[..]).is_err(),
+            "arity mismatch"
+        );
+        assert!(
+            read_csv(schema.clone(), &mut &b"a\nxyz\n"[..]).is_err(),
+            "bad int"
+        );
+        assert!(
+            read_csv(schema, &mut &b"a\n\"unterminated\n"[..]).is_err(),
+            "unterminated quote"
+        );
+    }
+
+    #[test]
+    fn ints_and_floats_parse() {
+        let schema = Schema::from_pairs(&[("i", DataType::Int), ("f", DataType::Float)])
+            .unwrap()
+            .into_shared();
+        let data = b"i,f\n-7,2.5\n,\n";
+        let t = read_csv(schema, &mut &data[..]).unwrap();
+        assert_eq!(t.get(0, 0), Value::Int(-7));
+        assert_eq!(t.get(0, 1), Value::Float(2.5));
+        assert_eq!(t.get(1, 0), Value::Null);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column or field name was not found in a schema.
+    ColumnNotFound(String),
+    /// A table name was not found in the catalog.
+    TableNotFound(String),
+    /// A table with this name already exists and `replace` was not requested.
+    TableExists(String),
+    /// A value of the wrong type was pushed into a column or compared.
+    TypeMismatch {
+        /// Type the target required.
+        expected: String,
+        /// Type actually supplied.
+        found: String,
+    },
+    /// Columns of a table disagree on length, or a row has the wrong arity.
+    LengthMismatch {
+        /// Length the target required.
+        expected: usize,
+        /// Length actually supplied.
+        found: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Offending row index.
+        index: usize,
+        /// Table length.
+        len: usize,
+    },
+    /// Schema-level invalid definition (duplicate field names, empty schema...).
+    InvalidSchema(String),
+    /// An index was declared over columns that do not exist / wrong arity probe.
+    InvalidIndex(String),
+    /// WAL failure (e.g. record too large for configured capacity).
+    Wal(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            StorageError::TableNotFound(name) => write!(f, "table not found: {name}"),
+            StorageError::TableExists(name) => write!(f, "table already exists: {name}"),
+            StorageError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StorageError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+            StorageError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for table of {len} rows")
+            }
+            StorageError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            StorageError::InvalidIndex(msg) => write!(f, "invalid index: {msg}"),
+            StorageError::Wal(msg) => write!(f, "wal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_human_readable() {
+        let e = StorageError::ColumnNotFound("state".into());
+        assert_eq!(e.to_string(), "column not found: state");
+        let e = StorageError::TypeMismatch {
+            expected: "Int".into(),
+            found: "Str".into(),
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected Int, found Str");
+        let e = StorageError::RowOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&StorageError::TableNotFound("t".into()));
+    }
+}

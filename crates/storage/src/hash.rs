@@ -1,0 +1,139 @@
+//! Fast non-cryptographic hashing for group-by and join keys.
+//!
+//! The default `SipHash` is needlessly slow for the short integer/dictionary
+//! keys that dominate percentage queries. This is the classic `FxHash`
+//! multiply-xor scheme used by rustc, implemented locally to stay within the
+//! sanctioned dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher: word-at-a-time multiply-rotate-xor.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            // Length tag so "a" and "a\0" differ.
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hash a full key (sequence of [`crate::Value`]s) with key semantics.
+pub fn hash_values(values: &[crate::Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in values {
+        v.key_hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn deterministic() {
+        let a = hash_values(&[Value::Int(1), Value::str("x")]);
+        let b = hash_values(&[Value::Int(1), Value::str("x")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_values_and_order() {
+        let a = hash_values(&[Value::Int(1), Value::Int(2)]);
+        let b = hash_values(&[Value::Int(2), Value::Int(1)]);
+        assert_ne!(a, b);
+        assert_ne!(
+            hash_values(&[Value::str("ab")]),
+            hash_values(&[Value::str("ba")])
+        );
+    }
+
+    #[test]
+    fn string_length_matters() {
+        assert_ne!(
+            hash_values(&[Value::str("a")]),
+            hash_values(&[Value::str("a\0")])
+        );
+    }
+
+    #[test]
+    fn int_and_integral_float_collide_intentionally() {
+        // key_eq(Int(3), Float(3.0)) is true, so hashes must match.
+        assert_eq!(
+            hash_values(&[Value::Int(3)]),
+            hash_values(&[Value::Float(3.0)])
+        );
+    }
+
+    #[test]
+    fn fx_map_works() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+    }
+}

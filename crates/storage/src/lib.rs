@@ -1,0 +1,39 @@
+//! # pa-storage — columnar storage substrate
+//!
+//! The storage layer under the percentage-aggregation engine: typed columnar
+//! tables with validity bitmaps and dictionary-encoded strings, a named-table
+//! catalog, secondary hash indexes, and a write-ahead log whose per-row vs
+//! bulk record costs reproduce the INSERT/UPDATE asymmetry the paper
+//! measures.
+//!
+//! Everything is built from scratch on the sanctioned dependency set; see
+//! `DESIGN.md` at the repository root for the substitution rationale
+//! (Teradata V2R4 → this engine).
+
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod catalog;
+pub mod column;
+pub mod csv;
+pub mod dictionary;
+pub mod error;
+pub mod hash;
+pub mod index;
+pub mod schema;
+pub mod table;
+pub mod value;
+pub mod wal;
+
+pub use bitmap::Bitmap;
+pub use catalog::{Catalog, SharedTable};
+pub use column::Column;
+pub use csv::{read_csv, write_csv};
+pub use dictionary::Dictionary;
+pub use error::{Result, StorageError};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use index::HashIndex;
+pub use schema::{Field, Schema};
+pub use table::Table;
+pub use value::{DataType, Value};
+pub use wal::{Wal, WalStats};

@@ -1,0 +1,369 @@
+//! In-memory columnar tables.
+
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A columnar table: a shared schema plus one [`Column`] per field.
+///
+/// ```
+/// use pa_storage::{DataType, Schema, Table, Value};
+///
+/// let schema = Schema::from_pairs(&[("city", DataType::Str), ("amt", DataType::Float)])
+///     .unwrap()
+///     .into_shared();
+/// let mut t = Table::empty(schema);
+/// t.push_row(&[Value::str("Houston"), Value::Float(5.0)]).unwrap();
+/// t.push_row(&[Value::str("Dallas"), Value::Null]).unwrap();
+/// assert_eq!(t.num_rows(), 2);
+/// assert_eq!(t.get(1, 1), Value::Null);
+/// assert_eq!(t.sorted_by(&[0]).get(0, 0), Value::str("Dallas"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Empty table with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Table {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.dtype))
+            .collect();
+        Table { schema, columns }
+    }
+
+    /// Empty table pre-sized for `capacity` rows.
+    pub fn with_capacity(schema: Arc<Schema>, capacity: usize) -> Table {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::with_capacity(f.dtype, capacity))
+            .collect();
+        Table { schema, columns }
+    }
+
+    /// Build a table from pre-constructed columns. Column count and lengths
+    /// must agree with the schema.
+    pub fn from_columns(schema: Arc<Schema>, columns: Vec<Column>) -> Result<Table> {
+        if columns.len() != schema.len() {
+            return Err(StorageError::LengthMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        for (field, col) in schema.fields().iter().zip(&columns) {
+            if field.dtype != col.data_type() {
+                return Err(StorageError::TypeMismatch {
+                    expected: field.dtype.to_string(),
+                    found: col.data_type().to_string(),
+                });
+            }
+        }
+        if let Some(first) = columns.first() {
+            let n = first.len();
+            for col in &columns {
+                if col.len() != n {
+                    return Err(StorageError::LengthMismatch {
+                        expected: n,
+                        found: col.len(),
+                    });
+                }
+            }
+        }
+        Ok(Table { schema, columns })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Mutable column by position (UPDATE path).
+    pub fn column_mut(&mut self, i: usize) -> &mut Column {
+        &mut self.columns[i]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Value at (`row`, `col`).
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Append one row. The slice must have one value per column.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::LengthMismatch {
+                expected: self.columns.len(),
+                found: row.len(),
+            });
+        }
+        // Validate all values first so a failed push can't leave ragged
+        // columns behind.
+        for (col, value) in self.columns.iter().zip(row) {
+            if !value.is_null() {
+                let ok = match (col.data_type(), value) {
+                    (t, v) if v.data_type() == Some(t) => true,
+                    (crate::DataType::Float, Value::Int(_)) => true,
+                    _ => false,
+                };
+                if !ok {
+                    return Err(StorageError::TypeMismatch {
+                        expected: col.data_type().to_string(),
+                        found: value
+                            .data_type()
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| "Null".into()),
+                    });
+                }
+            }
+        }
+        for (col, value) in self.columns.iter_mut().zip(row) {
+            col.push(value.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Collect row `i` into a `Vec<Value>`.
+    pub fn row(&self, i: usize) -> Result<Vec<Value>> {
+        let n = self.num_rows();
+        if i >= n {
+            return Err(StorageError::RowOutOfBounds { index: i, len: n });
+        }
+        Ok(self.columns.iter().map(|c| c.get(i)).collect())
+    }
+
+    /// Iterate rows as `Vec<Value>`. Convenience for tests and display; hot
+    /// paths should work column-wise.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.num_rows()).map(move |i| self.columns.iter().map(|c| c.get(i)).collect())
+    }
+
+    /// Bulk-append all rows of `other` (schemas must be equal).
+    pub fn extend_from(&mut self, other: &Table) -> Result<()> {
+        if self.schema.as_ref() != other.schema.as_ref() {
+            return Err(StorageError::InvalidSchema(format!(
+                "append schema {} does not match {}",
+                other.schema, self.schema
+            )));
+        }
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.extend_from(src)?;
+        }
+        Ok(())
+    }
+
+    /// New table holding only the listed rows, in order (gather).
+    pub fn take(&self, rows: &[usize]) -> Table {
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.take(rows)).collect(),
+        }
+    }
+
+    /// New table sorted by the given columns ascending (NULLs first).
+    /// Used to present result rows "in the order given by GROUP BY".
+    pub fn sorted_by(&self, key_cols: &[usize]) -> Table {
+        let mut order: Vec<usize> = (0..self.num_rows()).collect();
+        order.sort_by(|&a, &b| {
+            for &c in key_cols {
+                let cmp = self.columns[c].get(a).total_cmp(&self.columns[c].get(b));
+                if cmp != std::cmp::Ordering::Equal {
+                    return cmp;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.take(&order)
+    }
+
+    /// Approximate heap bytes (used to compare intermediate-table sizes).
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(Column::heap_bytes).sum()
+    }
+
+    /// Render the first `limit` rows as an aligned text table (debugging,
+    /// examples, the repro harness).
+    pub fn display(&self, limit: usize) -> String {
+        let n = self.num_rows().min(limit);
+        let mut widths: Vec<usize> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.len())
+            .collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let row: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| match c.get(i) {
+                    Value::Float(f) => format!("{f:.4}"),
+                    v => v.to_string(),
+                })
+                .collect();
+            for (w, cell) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(cell.len());
+            }
+            cells.push(row);
+        }
+        let mut out = String::new();
+        for (j, f) in self.schema.fields().iter().enumerate() {
+            if j > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:width$}", f.name, width = widths[j]));
+        }
+        out.push('\n');
+        for row in &cells {
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:width$}", cell, width = widths[j]));
+            }
+            out.push('\n');
+        }
+        if self.num_rows() > limit {
+            out.push_str(&format!("... ({} rows total)\n", self.num_rows()));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn sales_schema() -> Arc<Schema> {
+        Schema::from_pairs(&[
+            ("state", DataType::Str),
+            ("city", DataType::Str),
+            ("salesAmt", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut t = Table::empty(sales_schema());
+        t.push_row(&[Value::str("CA"), Value::str("SF"), Value::Float(13.0)])
+            .unwrap();
+        t.push_row(&[Value::str("TX"), Value::str("Houston"), Value::Int(5)])
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.get(0, 0), Value::str("CA"));
+        assert_eq!(t.get(1, 2), Value::Float(5.0), "int widened");
+        assert_eq!(
+            t.row(1).unwrap(),
+            vec![Value::str("TX"), Value::str("Houston"), Value::Float(5.0)]
+        );
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn push_row_arity_and_type_checked_atomically() {
+        let mut t = Table::empty(sales_schema());
+        assert!(t.push_row(&[Value::str("CA")]).is_err());
+        // Type error in the *last* column must not grow the first columns.
+        let bad = t.push_row(&[Value::str("CA"), Value::str("SF"), Value::str("x")]);
+        assert!(bad.is_err());
+        assert_eq!(t.num_rows(), 0, "failed push leaves no partial row");
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        let schema = sales_schema();
+        let cols = vec![
+            Column::new(DataType::Str),
+            Column::new(DataType::Str),
+            Column::new(DataType::Float),
+        ];
+        assert!(Table::from_columns(Arc::clone(&schema), cols).is_ok());
+        let wrong = vec![Column::new(DataType::Str)];
+        assert!(Table::from_columns(schema, wrong).is_err());
+    }
+
+    #[test]
+    fn extend_and_take() {
+        let schema = sales_schema();
+        let mut a = Table::empty(Arc::clone(&schema));
+        a.push_row(&[Value::str("CA"), Value::str("SF"), Value::Float(1.0)])
+            .unwrap();
+        let mut b = Table::empty(schema);
+        b.push_row(&[Value::str("TX"), Value::str("Dallas"), Value::Float(2.0)])
+            .unwrap();
+        b.push_row(&[Value::str("TX"), Value::str("Houston"), Value::Float(3.0)])
+            .unwrap();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.num_rows(), 3);
+        let picked = a.take(&[2, 0]);
+        assert_eq!(picked.get(0, 1), Value::str("Houston"));
+        assert_eq!(picked.get(1, 1), Value::str("SF"));
+    }
+
+    #[test]
+    fn sorted_by_orders_rows_with_nulls_first() {
+        let schema = sales_schema();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::str("TX"), Value::str("b"), Value::Float(1.0)])
+            .unwrap();
+        t.push_row(&[Value::Null, Value::str("a"), Value::Float(2.0)])
+            .unwrap();
+        t.push_row(&[Value::str("CA"), Value::str("c"), Value::Float(3.0)])
+            .unwrap();
+        let s = t.sorted_by(&[0]);
+        assert_eq!(s.get(0, 0), Value::Null);
+        assert_eq!(s.get(1, 0), Value::str("CA"));
+        assert_eq!(s.get(2, 0), Value::str("TX"));
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let mut t = Table::empty(sales_schema());
+        t.push_row(&[Value::str("CA"), Value::str("SF"), Value::Float(0.78)])
+            .unwrap();
+        let text = t.display(10);
+        assert!(text.contains("state"));
+        assert!(text.contains("0.7800"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Scalar values and data types.
+//!
+//! The engine follows the paper's model `F(RID, D1..Dd, A)`: categorical
+//! dimensions are `Int` or `Str`, the measure is `Int` or `Float`. SQL NULL
+//! is a first-class [`Value`] variant with three-valued-logic friendly
+//! comparison helpers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string (dictionary-encoded in columns).
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "Int"),
+            DataType::Float => write!(f, "Float"),
+            DataType::Str => write!(f, "Str"),
+        }
+    }
+}
+
+/// A single scalar value, including SQL NULL.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL (unknown). Belongs to every data type.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Shared immutable string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True when this value is SQL NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Data type of a non-NULL value; `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Numeric view of the value: ints widen to f64, NULL and strings are `None`.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; floats are *not* silently truncated.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: NULL = anything is unknown (`None`); otherwise a bool.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.key_eq(other))
+    }
+
+    /// Grouping equality used for GROUP BY / join keys: NULL equals NULL,
+    /// `1` equals `1.0`, everything else by value. This is the SQL notion of
+    /// "not distinct from".
+    pub fn key_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            // Strings drawn from the same dictionary share their allocation,
+            // so the pointer check settles the common case without touching
+            // the bytes (a real engine compares dictionary codes).
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+
+    /// Total ordering used for sorting result rows: NULLs sort first, then
+    /// numbers (ints and floats inter-sort), then strings.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// Hash compatible with [`Value::key_eq`] (ints and equal-valued floats
+    /// hash identically; NULL hashes to a fixed tag).
+    pub fn key_hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_i64(*i);
+            }
+            Value::Float(f) => {
+                // Floats whose value is integral must hash like the int, to
+                // honor key_eq(Int, Float).
+                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                {
+                    state.write_u8(1);
+                    state.write_i64(*f as i64);
+                } else {
+                    state.write_u8(2);
+                    state.write_u64(if f.is_nan() { u64::MAX } else { f.to_bits() });
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                state.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_eq(other)
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key_hash(state)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.key_hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert!(Value::Null.key_eq(&Value::Null));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn int_float_cross_type_keys() {
+        assert!(Value::Int(3).key_eq(&Value::Float(3.0)));
+        assert!(!Value::Int(3).key_eq(&Value::Float(3.5)));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn nan_is_a_stable_key() {
+        let nan = Value::Float(f64::NAN);
+        assert!(nan.key_eq(&Value::Float(f64::NAN)));
+        assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn ordering_nulls_first_then_numbers_then_strings() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::Float(1.5),
+            Value::str("a"),
+            Value::Int(1),
+        ];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Int(1),
+                Value::Float(1.5),
+                Value::Int(2),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(7i64)), Value::Int(7));
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(4.5).as_f64(), Some(4.5));
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::str("4").as_f64(), None);
+        assert_eq!(Value::Float(4.0).as_i64(), None, "no silent truncation");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("CA").to_string(), "CA");
+    }
+}

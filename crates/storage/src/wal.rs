@@ -1,0 +1,336 @@
+//! Write-ahead log.
+//!
+//! The paper's Table 4 shows INSERT-based materialization of `FV` beating
+//! UPDATE-in-place by an order of magnitude when `|FV| ≈ |F|`. That asymmetry
+//! comes from the DBMS write path: an UPDATE logs a before/after row image
+//! and touches rows one at a time, while INSERT..SELECT appends in bulk. This
+//! module reproduces the mechanism: updates serialize one record per row;
+//! bulk inserts serialize whole column batches with one record header.
+//!
+//! The log lives in a bounded in-memory buffer (recycled FIFO like a fixed
+//! set of log files); total bytes and record counts are tracked so benches
+//! and tests can assert on the work performed.
+
+use crate::error::{Result, StorageError};
+use crate::table::Table;
+use crate::value::Value;
+use bytes::{BufMut, BytesMut};
+
+/// Record kinds, tagged in the log stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// One batch of appended rows.
+    BulkInsert = 1,
+    /// One updated row (before + after images).
+    UpdateRow = 2,
+    /// Table created.
+    CreateTable = 3,
+    /// Table dropped.
+    DropTable = 4,
+}
+
+/// Counters describing the work the log has absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since creation.
+    pub records: u64,
+    /// Payload bytes serialized since creation (monotonic, not buffer size).
+    pub bytes_written: u64,
+}
+
+/// Bounded in-memory write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    buf: BytesMut,
+    capacity: usize,
+    enabled: bool,
+    stats: WalStats,
+    record_latency: std::time::Duration,
+}
+
+const DEFAULT_CAPACITY: usize = 64 << 20; // 64 MiB of retained log
+
+impl Default for Wal {
+    fn default() -> Self {
+        Wal::new(DEFAULT_CAPACITY)
+    }
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(3);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+    }
+}
+
+impl Wal {
+    /// Log retaining at most `capacity` buffered bytes.
+    pub fn new(capacity: usize) -> Wal {
+        Wal {
+            buf: BytesMut::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            enabled: true,
+            stats: WalStats::default(),
+            record_latency: std::time::Duration::ZERO,
+        }
+    }
+
+    /// A no-op log (ablation: "WAL off").
+    pub fn disabled() -> Wal {
+        Wal {
+            buf: BytesMut::new(),
+            capacity: 0,
+            enabled: false,
+            stats: WalStats::default(),
+            record_latency: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Simulate a log device that forces every record to stable storage
+    /// with the given latency (spin-wait per record). The papers ran on a
+    /// disk-based DBMS whose per-row UPDATE logging paid exactly this; the
+    /// in-memory engine exposes it as an explicit, opt-in simulation so
+    /// the INSERT-vs-UPDATE asymmetry of SIGMOD Table 4 can be studied at
+    /// any assumed device speed. Zero (the default) disables it.
+    pub fn set_record_latency(&mut self, latency: std::time::Duration) {
+        self.record_latency = latency;
+    }
+
+    /// Whether records are being written.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    fn begin_record(&mut self, kind: RecordKind, name: &str) -> usize {
+        let start = self.buf.len();
+        self.buf.put_u8(kind as u8);
+        self.buf.put_u32_le(name.len() as u32);
+        self.buf.put_slice(name.as_bytes());
+        start
+    }
+
+    fn end_record(&mut self, start: usize) {
+        self.stats.records += 1;
+        self.stats.bytes_written += (self.buf.len() - start) as u64;
+        if !self.record_latency.is_zero() {
+            // Spin-wait: simulated forced write of this record.
+            let t0 = std::time::Instant::now();
+            while t0.elapsed() < self.record_latency {
+                std::hint::spin_loop();
+            }
+        }
+        // Recycle: keep the retained buffer bounded like a fixed log window.
+        if self.buf.len() > self.capacity {
+            let keep = self.capacity / 2;
+            let cut = self.buf.len() - keep;
+            let _ = self.buf.split_to(cut);
+        }
+    }
+
+    /// Log a batch of rows `start_row..` newly appended to `table`.
+    /// One record header, column-serialized payload (the cheap bulk path).
+    pub fn log_bulk_insert(&mut self, name: &str, table: &Table, start_row: usize) -> Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let n = table.num_rows();
+        if start_row > n {
+            return Err(StorageError::Wal(format!(
+                "bulk insert start {start_row} past table end {n}"
+            )));
+        }
+        let start = self.begin_record(RecordKind::BulkInsert, name);
+        self.buf.put_u64_le((n - start_row) as u64);
+        for col in table.columns() {
+            match col {
+                crate::column::Column::Int { data, validity } => {
+                    for (i, v) in data[start_row..].iter().enumerate() {
+                        if validity.get(start_row + i) {
+                            self.buf.put_i64_le(*v);
+                        } else {
+                            self.buf.put_u8(0);
+                        }
+                    }
+                }
+                crate::column::Column::Float { data, validity } => {
+                    for (i, v) in data[start_row..].iter().enumerate() {
+                        if validity.get(start_row + i) {
+                            self.buf.put_f64_le(*v);
+                        } else {
+                            self.buf.put_u8(0);
+                        }
+                    }
+                }
+                crate::column::Column::Str {
+                    codes, validity, ..
+                } => {
+                    for (i, c) in codes[start_row..].iter().enumerate() {
+                        if validity.get(start_row + i) {
+                            self.buf.put_u32_le(*c);
+                        } else {
+                            self.buf.put_u8(0);
+                        }
+                    }
+                }
+            }
+        }
+        self.end_record(start);
+        Ok(())
+    }
+
+    /// Log one in-place row update with before and after images
+    /// (the expensive per-row path).
+    pub fn log_update(
+        &mut self,
+        name: &str,
+        row: usize,
+        before: &[Value],
+        after: &[Value],
+    ) -> Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let start = self.begin_record(RecordKind::UpdateRow, name);
+        self.buf.put_u64_le(row as u64);
+        self.buf.put_u32_le(before.len() as u32);
+        for v in before {
+            put_value(&mut self.buf, v);
+        }
+        self.buf.put_u32_le(after.len() as u32);
+        for v in after {
+            put_value(&mut self.buf, v);
+        }
+        self.end_record(start);
+        Ok(())
+    }
+
+    /// Log a DDL event.
+    pub fn log_ddl(&mut self, kind: RecordKind, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        let start = self.begin_record(kind, name);
+        self.end_record(start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn small_table(rows: usize) -> Table {
+        let schema = Schema::from_pairs(&[("d", DataType::Int), ("a", DataType::Float)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        for i in 0..rows {
+            t.push_row(&[Value::Int(i as i64), Value::Float(i as f64)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn bulk_insert_is_one_record() {
+        let mut wal = Wal::default();
+        let t = small_table(100);
+        wal.log_bulk_insert("t", &t, 0).unwrap();
+        assert_eq!(wal.stats().records, 1);
+        assert!(wal.stats().bytes_written > 100 * 8);
+    }
+
+    #[test]
+    fn updates_are_one_record_per_row() {
+        let mut wal = Wal::default();
+        for row in 0..50 {
+            wal.log_update("t", row, &[Value::Int(1)], &[Value::Float(0.5)])
+                .unwrap();
+        }
+        assert_eq!(wal.stats().records, 50);
+    }
+
+    #[test]
+    fn per_row_updates_cost_more_bytes_than_bulk_for_same_rows() {
+        let t = small_table(1000);
+        let mut bulk = Wal::default();
+        bulk.log_bulk_insert("t", &t, 0).unwrap();
+
+        let mut upd = Wal::default();
+        for row in 0..1000 {
+            let img = t.row(row).unwrap();
+            upd.log_update("t", row, &img, &img).unwrap();
+        }
+        assert!(
+            upd.stats().bytes_written > bulk.stats().bytes_written,
+            "update logging ({}) must exceed bulk logging ({})",
+            upd.stats().bytes_written,
+            bulk.stats().bytes_written
+        );
+        assert_eq!(upd.stats().records, 1000);
+        assert_eq!(bulk.stats().records, 1);
+    }
+
+    #[test]
+    fn disabled_wal_counts_nothing() {
+        let mut wal = Wal::disabled();
+        let t = small_table(10);
+        wal.log_bulk_insert("t", &t, 0).unwrap();
+        wal.log_update("t", 0, &[Value::Int(1)], &[Value::Int(2)])
+            .unwrap();
+        assert_eq!(wal.stats(), WalStats::default());
+    }
+
+    #[test]
+    fn buffer_recycles_under_capacity_pressure() {
+        let mut wal = Wal::new(4096);
+        let t = small_table(64);
+        for _ in 0..100 {
+            wal.log_bulk_insert("t", &t, 0).unwrap();
+        }
+        assert!(wal.buf.len() <= 4096 + 2048, "retained buffer stays bounded");
+        assert_eq!(wal.stats().records, 100, "stats stay monotonic");
+    }
+
+    #[test]
+    fn record_latency_simulation_slows_per_record() {
+        let mut wal = Wal::default();
+        wal.set_record_latency(std::time::Duration::from_micros(200));
+        let t0 = std::time::Instant::now();
+        for row in 0..20 {
+            wal.log_update("t", row, &[Value::Int(1)], &[Value::Int(2)])
+                .unwrap();
+        }
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(4),
+            "20 records × 200µs ≥ 4ms, got {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn bulk_insert_start_row_validated() {
+        let mut wal = Wal::default();
+        let t = small_table(5);
+        assert!(wal.log_bulk_insert("t", &t, 6).is_err());
+        assert!(wal.log_bulk_insert("t", &t, 5).is_ok(), "empty tail batch ok");
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests for the storage substrate, each against a trivially
+//! correct model.
+
+use pa_storage::{read_csv, write_csv, Bitmap, Column, DataType, Dictionary, Schema, Table, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => Just(Value::Null),
+        4 => (-100i64..100).prop_map(Value::Int),
+    ]
+}
+
+fn str_value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        4 => "[a-c]{0,3}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitmap_matches_vec_bool_model(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mut bm = Bitmap::new();
+        for &b in &bits {
+            bm.push(b);
+        }
+        prop_assert_eq!(bm.len(), bits.len());
+        prop_assert_eq!(bm.count_ones(), bits.iter().filter(|&&b| b).count());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+        }
+        let collected: Vec<bool> = bm.iter().collect();
+        prop_assert_eq!(collected, bits);
+    }
+
+    #[test]
+    fn bitmap_set_matches_model(
+        bits in prop::collection::vec(any::<bool>(), 1..200),
+        flips in prop::collection::vec((0usize..200, any::<bool>()), 0..50),
+    ) {
+        let mut bm: Bitmap = bits.iter().copied().collect();
+        let mut model = bits.clone();
+        for (i, v) in flips {
+            let i = i % model.len();
+            bm.set(i, v);
+            model[i] = v;
+        }
+        prop_assert_eq!(bm.count_ones(), model.iter().filter(|&&b| b).count());
+        for (i, &b) in model.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+        }
+    }
+
+    #[test]
+    fn dictionary_is_a_bijection(words in prop::collection::vec("[a-d]{0,4}", 0..100)) {
+        let mut d = Dictionary::new();
+        let mut model: std::collections::HashMap<String, u32> = Default::default();
+        for w in &words {
+            let code = d.intern(w);
+            let prev = model.insert(w.clone(), code);
+            if let Some(prev) = prev {
+                prop_assert_eq!(prev, code, "re-intern changed the code");
+            }
+            prop_assert_eq!(d.resolve(code).as_ref(), w.as_str());
+        }
+        prop_assert_eq!(d.len(), model.len());
+    }
+
+    #[test]
+    fn int_column_round_trips(values in prop::collection::vec(value_strategy(), 0..200)) {
+        let mut c = Column::new(DataType::Int);
+        for v in &values {
+            c.push(v.clone()).unwrap();
+        }
+        prop_assert_eq!(c.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(&c.get(i), v);
+        }
+        prop_assert_eq!(c.null_count(), values.iter().filter(|v| v.is_null()).count());
+    }
+
+    #[test]
+    fn str_column_take_matches_model(
+        values in prop::collection::vec(str_value_strategy(), 1..100),
+        picks in prop::collection::vec(0usize..100, 0..50),
+    ) {
+        let mut c = Column::new(DataType::Str);
+        for v in &values {
+            c.push(v.clone()).unwrap();
+        }
+        let rows: Vec<usize> = picks.into_iter().map(|p| p % values.len()).collect();
+        let taken = c.take(&rows);
+        for (out_i, &src_i) in rows.iter().enumerate() {
+            prop_assert_eq!(&taken.get(out_i), &values[src_i]);
+        }
+    }
+
+    #[test]
+    fn column_set_then_get(values in prop::collection::vec(value_strategy(), 1..100)) {
+        let mut c = Column::new(DataType::Int);
+        for _ in 0..values.len() {
+            c.push(Value::Int(0)).unwrap();
+        }
+        for (i, v) in values.iter().enumerate() {
+            c.set(i, v.clone()).unwrap();
+        }
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(&c.get(i), v);
+        }
+    }
+
+    #[test]
+    fn table_sort_is_a_permutation_and_ordered(
+        rows in prop::collection::vec((value_strategy(), str_value_strategy()), 0..100)
+    ) {
+        let schema = Schema::from_pairs(&[("n", DataType::Int), ("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        for (n, s) in &rows {
+            t.push_row(&[n.clone(), s.clone()]).unwrap();
+        }
+        let sorted = t.sorted_by(&[0, 1]);
+        prop_assert_eq!(sorted.num_rows(), t.num_rows());
+        for i in 1..sorted.num_rows() {
+            let prev = (sorted.get(i - 1, 0), sorted.get(i - 1, 1));
+            let cur = (sorted.get(i, 0), sorted.get(i, 1));
+            let ord = prev
+                .0
+                .total_cmp(&cur.0)
+                .then_with(|| prev.1.total_cmp(&cur.1));
+            prop_assert_ne!(ord, std::cmp::Ordering::Greater);
+        }
+        // Multiset preserved.
+        let mut a: Vec<String> = t.rows().map(|r| format!("{r:?}")).collect();
+        let mut b: Vec<String> = sorted.rows().map(|r| format!("{r:?}")).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_round_trip(
+        rows in prop::collection::vec(
+            (value_strategy(), "[ -~]{0,8}", prop::option::of(-1000i64..1000)),
+            0..60
+        )
+    ) {
+        let schema = Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("s", DataType::Str),
+            ("f", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::empty(schema.clone());
+        for (i, s, f) in &rows {
+            t.push_row(&[
+                i.clone(),
+                Value::str(s),
+                f.map(|x| Value::Float(x as f64 / 8.0)).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(schema, &mut &buf[..]).unwrap();
+        prop_assert_eq!(back.num_rows(), t.num_rows());
+        for r in 0..t.num_rows() {
+            for c in 0..3 {
+                prop_assert_eq!(back.get(r, c), t.get(r, c), "({}, {})", r, c);
+            }
+        }
+    }
+
+    #[test]
+    fn value_key_eq_is_reflexive_symmetric_and_hash_consistent(
+        a in value_strategy(),
+        b in value_strategy(),
+    ) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+        prop_assert!(a.key_eq(&a));
+        prop_assert_eq!(a.key_eq(&b), b.key_eq(&a));
+        if a.key_eq(&b) {
+            let mut ha = DefaultHasher::new();
+            a.key_hash(&mut ha);
+            let mut hb = DefaultHasher::new();
+            b.key_hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+}

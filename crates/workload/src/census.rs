@@ -1,0 +1,145 @@
+//! The census-like data set (DMKD §4.1).
+//!
+//! The real data set was "a collection of records from the US Census ...
+//! 68 columns ... n = 200,000 rows ... dimensions of different cardinalities
+//! and skewed value distributions" from the UCI repository. The repository
+//! snapshot is not shipped here, so this generator produces a synthetic
+//! stand-in preserving what the DMKD experiments exercise: the columns its
+//! queries group on (`iSchool`, `iClass`, `iMarital`, `dAge`, `iSex`), their
+//! census-like cardinalities, and heavy skew (Zipf-distributed categories).
+//! `dIncome` is the numeric measure. See DESIGN.md for the substitution
+//! note.
+
+use crate::gen::{seq_col, uniform_float_col, zipf_int_col, zipf_str_col};
+use crate::scale::Scale;
+use pa_storage::{Catalog, DataType, Result, Schema, SharedTable, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct CensusConfig {
+    /// Number of rows (paper: 200,000).
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CensusConfig {
+    /// Paper-shape configuration at the given scale.
+    pub fn at_scale(scale: Scale) -> CensusConfig {
+        CensusConfig {
+            rows: scale.rows(200_000),
+            seed: 0x43_45_4e,
+        }
+    }
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        CensusConfig::at_scale(Scale::default())
+    }
+}
+
+const SCHOOL: [&str; 10] = [
+    "none",
+    "grade1-4",
+    "grade5-8",
+    "grade9",
+    "grade10",
+    "grade11",
+    "grade12",
+    "college",
+    "bachelor",
+    "graduate",
+];
+const CLASS: [&str; 9] = [
+    "private",
+    "self-emp",
+    "federal",
+    "state",
+    "local",
+    "unpaid",
+    "never-worked",
+    "military",
+    "other",
+];
+const MARITAL: [&str; 5] = ["never", "married", "separated", "divorced", "widowed"];
+
+/// Generate the table.
+pub fn uscensus_table(config: &CensusConfig) -> Table {
+    let n = config.rows;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::from_pairs(&[
+        ("RID", DataType::Int),
+        ("iSchool", DataType::Str),
+        ("iClass", DataType::Str),
+        ("iMarital", DataType::Str),
+        ("iSex", DataType::Str),
+        ("dAge", DataType::Int),
+        ("dIncome", DataType::Float),
+    ])
+    .expect("static schema")
+    .into_shared();
+    let columns = vec![
+        seq_col(n),
+        zipf_str_col(&mut rng, n, &SCHOOL, 0.9),
+        zipf_str_col(&mut rng, n, &CLASS, 1.2),
+        zipf_str_col(&mut rng, n, &MARITAL, 0.8),
+        zipf_str_col(&mut rng, n, &["M", "F"], 0.2),
+        // Ages 0..=90, skewed toward younger cohorts like the census.
+        zipf_int_col(&mut rng, n, 91, 0.35),
+        uniform_float_col(&mut rng, n, 0.0, 120_000.0),
+    ];
+    Table::from_columns(schema, columns).expect("columns match schema")
+}
+
+/// Generate and register as `uscensus`.
+pub fn install_uscensus(catalog: &Catalog, config: &CensusConfig) -> Result<SharedTable> {
+    catalog.create_table("uscensus", uscensus_table(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(t: &Table, name: &str) -> std::collections::HashMap<String, usize> {
+        let col = t.schema().index_of(name).unwrap();
+        let mut m = std::collections::HashMap::new();
+        for i in 0..t.num_rows() {
+            *m.entry(t.get(i, col).to_string()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn cardinalities_and_skew() {
+        let t = uscensus_table(&CensusConfig { rows: 50_000, seed: 3 });
+        let school = counts(&t, "iSchool");
+        assert_eq!(school.len(), 10);
+        let class = counts(&t, "iClass");
+        assert_eq!(class.len(), 9);
+        // Skew: most common class strongly outnumbers the least common.
+        let max = class.values().max().unwrap();
+        let min = class.values().min().unwrap();
+        assert!(max > &(min * 4), "max={max} min={min}");
+        let ages = counts(&t, "dAge");
+        assert!(ages.len() > 80, "ages cover most of 0..=90: {}", ages.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = uscensus_table(&CensusConfig { rows: 100, seed: 11 });
+        let b = uscensus_table(&CensusConfig { rows: 100, seed: 11 });
+        for i in 0..100 {
+            assert_eq!(a.get(i, 5), b.get(i, 5));
+        }
+    }
+
+    #[test]
+    fn installs() {
+        let catalog = Catalog::new();
+        install_uscensus(&catalog, &CensusConfig { rows: 10, seed: 1 }).unwrap();
+        assert!(catalog.contains("uscensus"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The `employee` table (SIGMOD §4).
+//!
+//! "Table employee had n = 1M; its columns were gender(2), marstatus(4),
+//! educat(5), age(100)." Each dimension uniformly distributed; `salary` is
+//! the measure the percentage queries aggregate.
+
+use crate::gen::{seq_col, uniform_float_col, uniform_int_col, uniform_str_col};
+use crate::scale::Scale;
+use pa_storage::{Catalog, DataType, Result, Schema, SharedTable, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct EmployeeConfig {
+    /// Number of rows (paper: 1,000,000).
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EmployeeConfig {
+    /// Paper-shape configuration at the given scale.
+    pub fn at_scale(scale: Scale) -> EmployeeConfig {
+        EmployeeConfig {
+            rows: scale.rows(1_000_000),
+            seed: 0x45_4d_50,
+        }
+    }
+}
+
+impl Default for EmployeeConfig {
+    fn default() -> Self {
+        EmployeeConfig::at_scale(Scale::default())
+    }
+}
+
+/// Generate the table.
+pub fn employee_table(config: &EmployeeConfig) -> Table {
+    let n = config.rows;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::from_pairs(&[
+        ("RID", DataType::Int),
+        ("gender", DataType::Str),
+        ("marstatus", DataType::Str),
+        ("educat", DataType::Str),
+        ("age", DataType::Int),
+        ("salary", DataType::Float),
+    ])
+    .expect("static schema")
+    .into_shared();
+    let columns = vec![
+        seq_col(n),
+        uniform_str_col(&mut rng, n, &["M", "F"]),
+        uniform_str_col(&mut rng, n, &["single", "married", "divorced", "widowed"]),
+        uniform_str_col(&mut rng, n, &["none", "highschool", "bachelor", "master", "phd"]),
+        uniform_int_col(&mut rng, n, 100, 0),
+        uniform_float_col(&mut rng, n, 20_000.0, 150_000.0),
+    ];
+    Table::from_columns(schema, columns).expect("columns match schema")
+}
+
+/// Generate and register as `employee`.
+pub fn install_employee(catalog: &Catalog, config: &EmployeeConfig) -> Result<SharedTable> {
+    catalog.create_table("employee", employee_table(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cardinalities() {
+        let t = employee_table(&EmployeeConfig { rows: 5_000, seed: 1 });
+        assert_eq!(t.num_rows(), 5_000);
+        let distinct = |name: &str| {
+            let col = t.schema().index_of(name).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..t.num_rows() {
+                seen.insert(t.get(i, col).to_string());
+            }
+            seen.len()
+        };
+        assert_eq!(distinct("gender"), 2);
+        assert_eq!(distinct("marstatus"), 4);
+        assert_eq!(distinct("educat"), 5);
+        assert_eq!(distinct("age"), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = employee_table(&EmployeeConfig { rows: 100, seed: 42 });
+        let b = employee_table(&EmployeeConfig { rows: 100, seed: 42 });
+        let c = employee_table(&EmployeeConfig { rows: 100, seed: 43 });
+        assert_eq!(a.get(7, 5), b.get(7, 5));
+        assert!((0..100).any(|i| a.get(i, 5) != c.get(i, 5)));
+    }
+
+    #[test]
+    fn installs_into_catalog() {
+        let catalog = Catalog::new();
+        install_employee(&catalog, &EmployeeConfig { rows: 10, seed: 1 }).unwrap();
+        assert_eq!(catalog.table("employee").unwrap().read().num_rows(), 10);
+    }
+}

@@ -1,0 +1,154 @@
+//! Column-construction helpers shared by the generators.
+//!
+//! Generators build typed columns directly (no per-row `Value` boxing), so
+//! paper-scale tables materialize in seconds.
+
+use pa_storage::{Bitmap, Column, Dictionary};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Sequential row ids `1..=n`.
+pub fn seq_col(n: usize) -> Column {
+    Column::Int {
+        data: (1..=n as i64).collect(),
+        validity: Bitmap::filled(n, true),
+    }
+}
+
+/// Uniform integers in `offset .. offset + cardinality`.
+pub fn uniform_int_col(rng: &mut impl Rng, n: usize, cardinality: usize, offset: i64) -> Column {
+    let dist = Uniform::new(0, cardinality as i64);
+    Column::Int {
+        data: (0..n).map(|_| offset + dist.sample(rng)).collect(),
+        validity: Bitmap::filled(n, true),
+    }
+}
+
+/// Uniformly distributed labels, dictionary-encoded.
+pub fn uniform_str_col(rng: &mut impl Rng, n: usize, labels: &[&str]) -> Column {
+    let mut dict = Dictionary::new();
+    for l in labels {
+        dict.intern(l);
+    }
+    let dist = Uniform::new(0, labels.len() as u32);
+    Column::Str {
+        dict,
+        codes: (0..n).map(|_| dist.sample(rng)).collect(),
+        validity: Bitmap::filled(n, true),
+    }
+}
+
+/// Uniform floats in `lo..hi`, rounded to cents.
+pub fn uniform_float_col(rng: &mut impl Rng, n: usize, lo: f64, hi: f64) -> Column {
+    let dist = Uniform::new(lo, hi);
+    Column::Float {
+        data: (0..n)
+            .map(|_| (dist.sample(rng) * 100.0).round() / 100.0)
+            .collect(),
+        validity: Bitmap::filled(n, true),
+    }
+}
+
+/// Skewed (approximately Zipf, exponent `s`) category indices in
+/// `0..cardinality` — used by the census-like data set, whose value
+/// distributions the DMKD paper describes as skewed.
+pub fn zipf_indices(rng: &mut impl Rng, n: usize, cardinality: usize, s: f64) -> Vec<usize> {
+    // Precompute the CDF once; cardinalities are small.
+    let weights: Vec<f64> = (1..=cardinality).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(cardinality);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            cdf.partition_point(|&c| c < u).min(cardinality - 1)
+        })
+        .collect()
+}
+
+/// Skewed integer column from [`zipf_indices`].
+pub fn zipf_int_col(rng: &mut impl Rng, n: usize, cardinality: usize, s: f64) -> Column {
+    Column::Int {
+        data: zipf_indices(rng, n, cardinality, s)
+            .into_iter()
+            .map(|i| i as i64)
+            .collect(),
+        validity: Bitmap::filled(n, true),
+    }
+}
+
+/// Skewed label column from [`zipf_indices`].
+pub fn zipf_str_col(rng: &mut impl Rng, n: usize, labels: &[&str], s: f64) -> Column {
+    let mut dict = Dictionary::new();
+    for l in labels {
+        dict.intern(l);
+    }
+    Column::Str {
+        dict,
+        codes: zipf_indices(rng, n, labels.len(), s)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect(),
+        validity: Bitmap::filled(n, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_columns_have_right_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = uniform_int_col(&mut rng, 1000, 7, 1);
+        assert_eq!(c.len(), 1000);
+        for i in 0..1000 {
+            let v = c.get(i).as_i64().unwrap();
+            assert!((1..=7).contains(&v));
+        }
+        let s = uniform_str_col(&mut rng, 100, &["a", "b"]);
+        assert_eq!(s.null_count(), 0);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform_int_col(&mut StdRng::seed_from_u64(1), 50, 10, 0);
+        let b = uniform_int_col(&mut StdRng::seed_from_u64(1), 50, 10, 0);
+        for i in 0..50 {
+            assert_eq!(a.get(i), b.get(i));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = zipf_indices(&mut rng, 10_000, 10, 1.2);
+        let zero = idx.iter().filter(|&&i| i == 0).count();
+        let nine = idx.iter().filter(|&&i| i == 9).count();
+        assert!(zero > 4 * nine.max(1), "zero={zero} nine={nine}");
+        assert!(idx.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn seq_col_counts_from_one() {
+        let c = seq_col(3);
+        assert_eq!(c.get(0).as_i64(), Some(1));
+        assert_eq!(c.get(2).as_i64(), Some(3));
+    }
+
+    #[test]
+    fn floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = uniform_float_col(&mut rng, 200, 1.0, 100.0);
+        for i in 0..200 {
+            let v = c.get(i).as_f64().unwrap();
+            assert!((1.0..=100.0).contains(&v));
+        }
+    }
+}

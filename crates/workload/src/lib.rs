@@ -1,0 +1,22 @@
+//! # pa-workload — the papers' evaluation data sets, synthesized
+//!
+//! Deterministic generators for every table the two papers evaluate on:
+//! SIGMOD's `employee` (1M) and `sales` (10M), DMKD's `transactionLine`
+//! (1M/2M) and a census-like skewed data set standing in for the UCI US
+//! Census extract (see DESIGN.md for the substitution). Cardinalities match
+//! the papers exactly; row counts scale via [`Scale`].
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod employee;
+pub mod gen;
+pub mod sales;
+pub mod scale;
+pub mod transaction;
+
+pub use census::{install_uscensus, uscensus_table, CensusConfig};
+pub use employee::{employee_table, install_employee, EmployeeConfig};
+pub use sales::{install_sales, sales_table, SalesConfig};
+pub use scale::Scale;
+pub use transaction::{install_transaction_line, transaction_line_table, TransactionConfig};

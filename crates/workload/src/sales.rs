@@ -1,0 +1,153 @@
+//! The `sales` table (SIGMOD §4).
+//!
+//! "Table sales had n = 10M with columns transactionId(10M), itemId(1000),
+//! dweek(7), monthNo(12), store(100), city(20), state(5), dept(100)."
+//! Dimensions are uniform; `city` is generated consistently with `state`
+//! (each city belongs to one state), mirroring a location hierarchy.
+//! `salesAmt` is the measure.
+
+use crate::gen::{seq_col, uniform_float_col, uniform_int_col, uniform_str_col};
+use crate::scale::Scale;
+use pa_storage::{Bitmap, Catalog, Column, DataType, Dictionary, Result, Schema, SharedTable, Table};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SalesConfig {
+    /// Number of rows (paper: 10,000,000).
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SalesConfig {
+    /// Paper-shape configuration at the given scale.
+    pub fn at_scale(scale: Scale) -> SalesConfig {
+        SalesConfig {
+            rows: scale.rows(10_000_000),
+            seed: 0x53_41_4c,
+        }
+    }
+}
+
+impl Default for SalesConfig {
+    fn default() -> Self {
+        SalesConfig::at_scale(Scale::default())
+    }
+}
+
+const DWEEK: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+const STATES: [&str; 5] = ["CA", "TX", "NY", "WA", "FL"];
+
+/// Generate the table.
+pub fn sales_table(config: &SalesConfig) -> Table {
+    let n = config.rows;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::from_pairs(&[
+        ("transactionId", DataType::Int),
+        ("itemId", DataType::Int),
+        ("dweek", DataType::Str),
+        ("monthNo", DataType::Int),
+        ("store", DataType::Int),
+        ("city", DataType::Str),
+        ("state", DataType::Str),
+        ("dept", DataType::Int),
+        ("salesAmt", DataType::Float),
+    ])
+    .expect("static schema")
+    .into_shared();
+
+    // City/state hierarchy: 20 cities, city c belongs to state c mod 5.
+    let mut city_dict = Dictionary::new();
+    for c in 0..20 {
+        city_dict.intern(&format!("city{c:02}"));
+    }
+    let mut state_dict = Dictionary::new();
+    for s in STATES {
+        state_dict.intern(s);
+    }
+    let city_dist = Uniform::new(0u32, 20);
+    let mut city_codes = Vec::with_capacity(n);
+    let mut state_codes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = city_dist.sample(&mut rng);
+        city_codes.push(c);
+        state_codes.push(c % 5);
+    }
+
+    let columns = vec![
+        seq_col(n),
+        uniform_int_col(&mut rng, n, 1000, 1),
+        uniform_str_col(&mut rng, n, &DWEEK),
+        uniform_int_col(&mut rng, n, 12, 1),
+        uniform_int_col(&mut rng, n, 100, 1),
+        Column::Str {
+            dict: city_dict,
+            codes: city_codes,
+            validity: Bitmap::filled(n, true),
+        },
+        Column::Str {
+            dict: state_dict,
+            codes: state_codes,
+            validity: Bitmap::filled(n, true),
+        },
+        uniform_int_col(&mut rng, n, 100, 1),
+        uniform_float_col(&mut rng, n, 1.0, 500.0),
+    ];
+    Table::from_columns(schema, columns).expect("columns match schema")
+}
+
+/// Generate and register as `sales`.
+pub fn install_sales(catalog: &Catalog, config: &SalesConfig) -> Result<SharedTable> {
+    catalog.create_table("sales", sales_table(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cardinalities() {
+        let t = sales_table(&SalesConfig { rows: 20_000, seed: 2 });
+        let distinct = |name: &str| {
+            let col = t.schema().index_of(name).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..t.num_rows() {
+                seen.insert(t.get(i, col).to_string());
+            }
+            seen.len()
+        };
+        assert_eq!(distinct("dweek"), 7);
+        assert_eq!(distinct("monthNo"), 12);
+        assert_eq!(distinct("store"), 100);
+        assert_eq!(distinct("city"), 20);
+        assert_eq!(distinct("state"), 5);
+        assert_eq!(distinct("dept"), 100);
+        assert_eq!(distinct("transactionId"), 20_000, "transaction id is unique");
+    }
+
+    #[test]
+    fn city_determines_state() {
+        let t = sales_table(&SalesConfig { rows: 5_000, seed: 2 });
+        let city = t.schema().index_of("city").unwrap();
+        let state = t.schema().index_of("state").unwrap();
+        let mut map = std::collections::HashMap::new();
+        for i in 0..t.num_rows() {
+            let c = t.get(i, city).to_string();
+            let s = t.get(i, state).to_string();
+            let prev = map.insert(c.clone(), s.clone());
+            if let Some(prev) = prev {
+                assert_eq!(prev, s, "city {c} maps to two states");
+            }
+        }
+    }
+
+    #[test]
+    fn install_registers_table() {
+        let catalog = Catalog::new();
+        install_sales(&catalog, &SalesConfig { rows: 10, seed: 1 }).unwrap();
+        assert!(catalog.contains("sales"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Scaling knobs for the evaluation workloads.
+//!
+//! The paper ran on 1M-row (`employee`) and 10M-row (`sales`) tables on an
+//! 800 MHz machine. Absolute row counts only change absolute times; every
+//! comparison in the evaluation is about *relative* cost, so workloads here
+//! default to a laptop-friendly scale and expose the paper-scale factor.
+
+/// A scale factor applied to the papers' row counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// The papers' full row counts (employee 1M, sales 10M, ...).
+    pub const PAPER: Scale = Scale(1.0);
+    /// 1/10 of paper scale — the default for the repro harness.
+    pub const BENCH: Scale = Scale(0.1);
+    /// 1/100 of paper scale — CI-friendly.
+    pub const SMOKE: Scale = Scale(0.01);
+
+    /// Apply to a base row count (at least 1 row).
+    pub fn rows(&self, base: usize) -> usize {
+        ((base as f64) * self.0).round().max(1.0) as usize
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::BENCH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_row_counts() {
+        assert_eq!(Scale::PAPER.rows(1_000_000), 1_000_000);
+        assert_eq!(Scale::BENCH.rows(1_000_000), 100_000);
+        assert_eq!(Scale::SMOKE.rows(1_000_000), 10_000);
+        assert_eq!(Scale(0.0).rows(10), 1, "never empty");
+    }
+}

@@ -1,0 +1,159 @@
+//! The `transactionLine` table (DMKD §4.1).
+//!
+//! "Table transactionLine had columns deptId(10), subdeptId(100),
+//! itemId(1000), yearNo(4), monthNo(12), dayOfWeekNo(7), regionId(4),
+//! stateId(10), cityId(20) and storeId(30) ... generated with n = 1,000,000
+//! rows and n = 2,000,000 rows." Dimensions are uniform so "every group and
+//! result column involved a similar number of rows". Hierarchies are kept
+//! consistent: subdept → dept, item → subdept, city → state → region,
+//! store → city. Measures: `itemQty`, `costAmt`, `salesAmt`.
+
+use crate::gen::{seq_col, uniform_float_col, uniform_int_col};
+use crate::scale::Scale;
+use pa_storage::{Bitmap, Catalog, Column, DataType, Result, Schema, SharedTable, Table};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TransactionConfig {
+    /// Number of rows (paper: 1M and 2M).
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TransactionConfig {
+    /// Paper-shape configuration at the given scale (base 1M rows).
+    pub fn at_scale(scale: Scale) -> TransactionConfig {
+        TransactionConfig {
+            rows: scale.rows(1_000_000),
+            seed: 0x54_58_4e,
+        }
+    }
+}
+
+impl Default for TransactionConfig {
+    fn default() -> Self {
+        TransactionConfig::at_scale(Scale::default())
+    }
+}
+
+/// Generate the table.
+pub fn transaction_line_table(config: &TransactionConfig) -> Table {
+    let n = config.rows;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::from_pairs(&[
+        ("transactionId", DataType::Int),
+        ("deptId", DataType::Int),
+        ("subdeptId", DataType::Int),
+        ("itemId", DataType::Int),
+        ("yearNo", DataType::Int),
+        ("monthNo", DataType::Int),
+        ("dayOfWeekNo", DataType::Int),
+        ("regionId", DataType::Int),
+        ("stateId", DataType::Int),
+        ("cityId", DataType::Int),
+        ("storeId", DataType::Int),
+        ("itemQty", DataType::Int),
+        ("costAmt", DataType::Float),
+        ("salesAmt", DataType::Float),
+    ])
+    .expect("static schema")
+    .into_shared();
+
+    // Product hierarchy: item(1000) → subdept(100) → dept(10).
+    let item_dist = Uniform::new(0i64, 1000);
+    let mut item = Vec::with_capacity(n);
+    let mut subdept = Vec::with_capacity(n);
+    let mut dept = Vec::with_capacity(n);
+    // Location hierarchy: store(30) → city(20) → state(10) → region(4).
+    let store_dist = Uniform::new(0i64, 30);
+    let mut store = Vec::with_capacity(n);
+    let mut city = Vec::with_capacity(n);
+    let mut state = Vec::with_capacity(n);
+    let mut region = Vec::with_capacity(n);
+    for _ in 0..n {
+        let i = item_dist.sample(&mut rng);
+        item.push(i + 1);
+        subdept.push(i % 100 + 1);
+        dept.push(i % 10 + 1);
+        let s = store_dist.sample(&mut rng);
+        store.push(s + 1);
+        city.push(s % 20 + 1);
+        state.push(s % 10 + 1);
+        region.push(s % 4 + 1);
+    }
+    let full = Bitmap::filled(n, true);
+    let columns = vec![
+        seq_col(n),
+        Column::Int { data: dept, validity: full.clone() },
+        Column::Int { data: subdept, validity: full.clone() },
+        Column::Int { data: item, validity: full.clone() },
+        uniform_int_col(&mut rng, n, 4, 2001),
+        uniform_int_col(&mut rng, n, 12, 1),
+        uniform_int_col(&mut rng, n, 7, 1),
+        Column::Int { data: region, validity: full.clone() },
+        Column::Int { data: state, validity: full.clone() },
+        Column::Int { data: city, validity: full.clone() },
+        Column::Int { data: store, validity: full },
+        uniform_int_col(&mut rng, n, 9, 1),
+        uniform_float_col(&mut rng, n, 0.5, 250.0),
+        uniform_float_col(&mut rng, n, 1.0, 500.0),
+    ];
+    Table::from_columns(schema, columns).expect("columns match schema")
+}
+
+/// Generate and register as `transactionLine`.
+pub fn install_transaction_line(
+    catalog: &Catalog,
+    config: &TransactionConfig,
+) -> Result<SharedTable> {
+    catalog.create_table("transactionLine", transaction_line_table(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn distinct(t: &Table, name: &str) -> usize {
+        let col = t.schema().index_of(name).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..t.num_rows() {
+            seen.insert(t.get(i, col).to_string());
+        }
+        seen.len()
+    }
+
+    #[test]
+    fn paper_cardinalities() {
+        let t = transaction_line_table(&TransactionConfig { rows: 30_000, seed: 5 });
+        assert_eq!(distinct(&t, "deptId"), 10);
+        assert_eq!(distinct(&t, "subdeptId"), 100);
+        assert_eq!(distinct(&t, "itemId"), 1000);
+        assert_eq!(distinct(&t, "yearNo"), 4);
+        assert_eq!(distinct(&t, "monthNo"), 12);
+        assert_eq!(distinct(&t, "dayOfWeekNo"), 7);
+        assert_eq!(distinct(&t, "regionId"), 4);
+        assert_eq!(distinct(&t, "stateId"), 10);
+        assert_eq!(distinct(&t, "cityId"), 20);
+        assert_eq!(distinct(&t, "storeId"), 30);
+    }
+
+    #[test]
+    fn hierarchies_are_functional() {
+        let t = transaction_line_table(&TransactionConfig { rows: 5_000, seed: 5 });
+        let col = |n: &str| t.schema().index_of(n).unwrap();
+        let mut item_to_subdept = std::collections::HashMap::new();
+        let mut store_to_region = std::collections::HashMap::new();
+        for i in 0..t.num_rows() {
+            let item = t.get(i, col("itemId")).to_string();
+            let sd = t.get(i, col("subdeptId")).to_string();
+            assert!(item_to_subdept.entry(item).or_insert_with(|| sd.clone()) == &sd);
+            let store = t.get(i, col("storeId")).to_string();
+            let r = t.get(i, col("regionId")).to_string();
+            assert!(store_to_region.entry(store).or_insert_with(|| r.clone()) == &r);
+        }
+    }
+}

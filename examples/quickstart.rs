@@ -1,0 +1,80 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the exact fact table from SIGMOD Table 1, then reproduces
+//! Table 2 (`Vpct`) and Table 3's shape (`Hpct` + `sum`) through the SQL
+//! API, printing the generated multi-statement SQL along the way.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use percentage_aggregations::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // ---- SIGMOD Table 1: the fact table F. ----
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("RID", DataType::Int),
+        ("state", DataType::Str),
+        ("city", DataType::Str),
+        ("salesAmt", DataType::Float),
+    ])
+    .expect("static schema")
+    .into_shared();
+    let mut f = Table::empty(schema);
+    for (rid, state, city, amt) in [
+        (1, "CA", "San Francisco", 13.0),
+        (2, "CA", "San Francisco", 3.0),
+        (3, "CA", "San Francisco", 67.0),
+        (4, "CA", "Los Angeles", 23.0),
+        (5, "TX", "Houston", 5.0),
+        (6, "TX", "Houston", 35.0),
+        (7, "TX", "Houston", 10.0),
+        (8, "TX", "Houston", 14.0),
+        (9, "TX", "Dallas", 53.0),
+        (10, "TX", "Dallas", 32.0),
+    ] {
+        f.push_row(&[
+            Value::Int(rid),
+            Value::str(state),
+            Value::str(city),
+            Value::Float(amt),
+        ])?;
+    }
+    catalog.create_table("sales", f)?;
+    println!("== F (paper Table 1) ==");
+    println!("{}", catalog.table("sales")?.read().display(12));
+
+    let engine = PercentageEngine::new(&catalog);
+
+    // ---- SIGMOD Table 2: Vpct(salesAmt BY city). ----
+    let sql = "SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city;";
+    println!("== query ==\n{sql}\n");
+    println!("== generated SQL plan ==");
+    for stmt in engine.explain_sql(sql)? {
+        println!("  {stmt}");
+    }
+    let SqlOutcome::Vertical(result) = engine.execute_sql(sql)? else {
+        unreachable!("Vpct statements are vertical");
+    };
+    println!("\n== FV (paper Table 2) ==");
+    println!("{}", result.snapshot().sorted_by(&[0, 1]).display(10));
+    println!("work: {}\n", result.stats);
+
+    // ---- SIGMOD Table 3 shape: Hpct by city, one row per state. ----
+    let sql =
+        "SELECT state, Hpct(salesAmt BY city), sum(salesAmt) AS totalSales FROM sales GROUP BY state;";
+    println!("== query ==\n{sql}\n");
+    let SqlOutcome::Horizontal(result) = engine.execute_sql(sql)? else {
+        unreachable!("Hpct statements are horizontal");
+    };
+    println!("== FH (each row adds up to 100%) ==");
+    println!("{}", result.snapshot().sorted_by(&[0]).display(10));
+    println!("work: {}", result.stats);
+
+    // ---- The OLAP-extensions baseline computes the same answer set. ----
+    let q = VpctQuery::single("sales", &["state", "city"], "salesAmt", &["city"]);
+    let olap = engine.vpct_olap(&q)?;
+    println!("== OLAP window-function baseline (same answers, more work) ==");
+    println!("{}", olap.snapshot().sorted_by(&[0, 1]).display(10));
+    println!("work: {}", olap.stats);
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Strategy laboratory: the framework features beyond single queries —
+//! generated-SQL inspection, multi-term lattice evaluation, shared-summary
+//! batches, count(DISTINCT ..) horizontals, and the disk-latency simulation
+//! that recreates the 2004 INSERT-vs-UPDATE asymmetry.
+//!
+//! Run with: `cargo run --release --example strategy_lab`
+
+use percentage_aggregations::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), CoreError> {
+    let catalog = Catalog::new();
+    pa_workload::install_sales(&catalog, &SalesConfig::at_scale(Scale::SMOKE))?;
+    let engine = PercentageEngine::new(&catalog);
+
+    // 1. The code generator: what SQL would run, per strategy.
+    let sql = "SELECT state, dweek, Vpct(salesAmt BY dweek) FROM sales GROUP BY state, dweek;";
+    println!("== generated SQL (recommended strategy) ==");
+    for stmt in engine.explain_sql(sql)? {
+        println!("  {stmt}");
+    }
+
+    // 2. Multi-term query on the dimension lattice: two percentage terms,
+    // one pass over F, the shared totals level computed once.
+    let multi = "SELECT state, city, Vpct(salesAmt BY city) AS withinState, \
+                 Vpct(salesAmt BY city, state) AS globalShare \
+                 FROM sales GROUP BY state, city ORDER BY state, city;";
+    let out = engine.execute_sql(multi)?;
+    println!("\n== multi-term Vpct via the dimension lattice ==");
+    println!("{}", out.table().read().display(8));
+
+    // 3. A batch of related percentage queries over one shared summary.
+    let queries = vec![
+        VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]),
+        VpctQuery::single("sales", &["state", "monthNo"], "salesAmt", &["monthNo"]),
+        VpctQuery::single("sales", &["state"], "salesAmt", &[]),
+    ];
+    let t0 = Instant::now();
+    let batch = engine.vpct_batch(&queries)?;
+    println!(
+        "== shared-summary batch: {} queries in {:.1} ms ==",
+        batch.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    for (q, r) in queries.iter().zip(&batch) {
+        println!(
+            "  {:<40} {} result rows",
+            format!("{:?} BY {:?}", q.group_by, q.terms[0].by),
+            r.snapshot().num_rows()
+        );
+    }
+
+    // 4. count(DISTINCT ..) — holistic, so the optimizer must go direct.
+    let out = engine.execute_sql(
+        "SELECT state, count(distinct transactionId BY dweek) FROM sales GROUP BY state;",
+    )?;
+    println!("\n== distinct transactions per state and weekday ==");
+    println!("{}", out.table().read().sorted_by(&[0]).display(6));
+
+    // 5. The disk simulation: per-record WAL latency recreates the paper's
+    // Table 4 UPDATE penalty on a table whose |FV| ≈ |F|.
+    let q = VpctQuery::single(
+        "sales",
+        &["dept", "store", "dweek", "monthNo"],
+        "salesAmt",
+        &["dweek", "monthNo"],
+    );
+    let time = |strat: &VpctStrategy| {
+        let t0 = Instant::now();
+        engine.vpct_with(&q, strat).expect("query runs");
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let ins_ram = time(&VpctStrategy::best());
+    let upd_ram = time(&VpctStrategy::with_update());
+    catalog.with_wal(|w| w.set_record_latency(std::time::Duration::from_micros(20)));
+    let ins_disk = time(&VpctStrategy::best());
+    let upd_disk = time(&VpctStrategy::with_update());
+    catalog.with_wal(|w| w.set_record_latency(std::time::Duration::ZERO));
+    println!("== INSERT vs UPDATE materialization of FV ==");
+    println!("  in memory     : insert {ins_ram:8.1} ms   update {upd_ram:8.1} ms");
+    println!("  20µs log force: insert {ins_disk:8.1} ms   update {upd_disk:8.1} ms");
+    println!(
+        "  (the paper measured update ≈ 4.4× insert on its disk-based DBMS; \
+         in RAM the gap vanishes, with a forced log it returns: {:.1}×)",
+        upd_disk / ins_disk
+    );
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! Concurrent percentage queries over one shared catalog — the paper's
+//! closing future-work item ("an intensive database environment where users
+//! concurrently submit percentage queries").
+//!
+//! Each thread runs its own [`PercentageEngine`] with unique temp names;
+//! the fact table is only read-locked, so queries proceed in parallel, and
+//! every thread must see exactly the same answers as a serial run.
+
+use percentage_aggregations::prelude::*;
+
+fn sales_catalog() -> Catalog {
+    let catalog = Catalog::new();
+    pa_workload::install_sales(
+        &catalog,
+        &SalesConfig {
+            rows: 30_000,
+            seed: 404,
+        },
+    )
+    .unwrap();
+    catalog
+}
+
+#[test]
+fn parallel_vertical_queries_agree_with_serial() {
+    let catalog = sales_catalog();
+    let serial = {
+        let engine = PercentageEngine::new(&catalog);
+        let q = VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]);
+        engine.vpct(&q).unwrap().snapshot().sorted_by(&[0, 1])
+    };
+    let results: Vec<Table> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let catalog = &catalog;
+                scope.spawn(move || {
+                    let engine = PercentageEngine::with_unique_temps(catalog);
+                    let q = VpctQuery::single(
+                        "sales",
+                        &["state", "dweek"],
+                        "salesAmt",
+                        &["dweek"],
+                    );
+                    let strat = if i % 2 == 0 {
+                        VpctStrategy::best()
+                    } else {
+                        VpctStrategy::fj_from_f()
+                    };
+                    engine.vpct_with(&q, &strat).unwrap().snapshot().sorted_by(&[0, 1])
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, t) in results.iter().enumerate() {
+        assert_eq!(t.num_rows(), serial.num_rows(), "thread {i}");
+        for r in 0..t.num_rows() {
+            for c in 0..t.num_columns() {
+                let (a, b) = (t.get(r, c), serial.get(r, c));
+                // Strategies accumulate sums in different orders, so float
+                // results may differ in the last ulps.
+                let close = match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => (x - y).abs() <= 1e-9 * (1.0 + x.abs()),
+                    _ => a == b,
+                };
+                assert!(close, "thread {i} ({r},{c}): {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_families_run_concurrently() {
+    let catalog = sales_catalog();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let catalog = &catalog;
+            handles.push(scope.spawn(move || {
+                let engine = PercentageEngine::with_unique_temps(catalog);
+                match i % 4 {
+                    0 => {
+                        let q = VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]);
+                        engine.vpct(&q).unwrap().snapshot().num_rows()
+                    }
+                    1 => {
+                        let q = HorizontalQuery::hpct("sales", &["state"], "salesAmt", &["dweek"]);
+                        engine.horizontal(&q).unwrap().snapshot().num_rows()
+                    }
+                    2 => {
+                        let q = VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]);
+                        engine.vpct_olap(&q).unwrap().snapshot().num_rows()
+                    }
+                    _ => {
+                        let out = engine
+                            .execute_sql(
+                                "SELECT dept, Hpct(salesAmt BY dweek) FROM sales GROUP BY dept",
+                            )
+                            .unwrap();
+                        let t = out.table();
+                        let n = t.read().num_rows();
+                        n
+                    }
+                }
+            }));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            let rows = h.join().unwrap();
+            assert!(rows > 0, "thread {i}");
+        }
+    });
+}
+
+#[test]
+fn update_strategy_is_isolated_per_engine_temps() {
+    // UPDATE mutates the engine's own Fk temp, never the shared fact table.
+    let catalog = sales_catalog();
+    let before = catalog.table("sales").unwrap().read().num_rows();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let catalog = &catalog;
+            scope.spawn(move || {
+                let engine = PercentageEngine::with_unique_temps(catalog);
+                let q = VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]);
+                engine.vpct_with(&q, &VpctStrategy::with_update()).unwrap();
+            });
+        }
+    });
+    let f = catalog.table("sales").unwrap();
+    let t = f.read();
+    assert_eq!(t.num_rows(), before);
+    // Measure column untouched (still raw sales amounts, not percentages).
+    let amt = t.schema().index_of("salesAmt").unwrap();
+    let any_large = (0..100).any(|r| t.get(r, amt).as_f64().unwrap() > 1.5);
+    assert!(any_large, "fact table still holds raw amounts");
+}

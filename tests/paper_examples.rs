@@ -1,0 +1,231 @@
+//! Literal reproduction of the papers' worked examples (SIGMOD Tables 1–3,
+//! DMKD Tables 1–2 shapes), across the full stack: SQL text → parser →
+//! validator → typed query → strategy → physical plan → result.
+
+use percentage_aggregations::prelude::*;
+
+/// SIGMOD Table 1.
+fn sigmod_fact_table() -> Catalog {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("RID", DataType::Int),
+        ("state", DataType::Str),
+        ("city", DataType::Str),
+        ("salesAmt", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut f = Table::empty(schema);
+    for (rid, state, city, amt) in [
+        (1, "CA", "San Francisco", 13.0),
+        (2, "CA", "San Francisco", 3.0),
+        (3, "CA", "San Francisco", 67.0),
+        (4, "CA", "Los Angeles", 23.0),
+        (5, "TX", "Houston", 5.0),
+        (6, "TX", "Houston", 35.0),
+        (7, "TX", "Houston", 10.0),
+        (8, "TX", "Houston", 14.0),
+        (9, "TX", "Dallas", 53.0),
+        (10, "TX", "Dallas", 32.0),
+    ] {
+        f.push_row(&[
+            Value::Int(rid),
+            Value::str(state),
+            Value::str(city),
+            Value::Float(amt),
+        ])
+        .unwrap();
+    }
+    catalog.create_table("sales", f).unwrap();
+    catalog
+}
+
+#[test]
+fn sigmod_table_2_vertical_percentages() {
+    let catalog = sigmod_fact_table();
+    let engine = PercentageEngine::new(&catalog);
+    let out = engine
+        .execute_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city;")
+        .unwrap();
+    let SqlOutcome::Vertical(result) = out else {
+        panic!("expected vertical")
+    };
+    let t = result.snapshot().sorted_by(&[0, 1]);
+    // Table 2: LA 22%, SF 78%, Dallas 57%, Houston 43% (the paper rounds).
+    let expect = [
+        ("CA", "Los Angeles", 23.0 / 106.0),
+        ("CA", "San Francisco", 83.0 / 106.0),
+        ("TX", "Dallas", 85.0 / 149.0),
+        ("TX", "Houston", 64.0 / 149.0),
+    ];
+    assert_eq!(t.num_rows(), 4);
+    for (row, (state, city, pct)) in expect.iter().enumerate() {
+        assert_eq!(t.get(row, 0), Value::str(state));
+        assert_eq!(t.get(row, 1), Value::str(city));
+        let got = t.get(row, 2).as_f64().unwrap();
+        assert!((got - pct).abs() < 1e-12);
+    }
+    // The paper's rounded figures.
+    assert_eq!((t.get(0, 2).as_f64().unwrap() * 100.0).round(), 22.0);
+    assert_eq!((t.get(1, 2).as_f64().unwrap() * 100.0).round(), 78.0);
+    assert_eq!((t.get(2, 2).as_f64().unwrap() * 100.0).round(), 57.0);
+    assert_eq!((t.get(3, 2).as_f64().unwrap() * 100.0).round(), 43.0);
+}
+
+/// SIGMOD Table 3: the store × day-of-week horizontal example, rebuilt from
+/// the percentages and totals the paper prints (store 2: 7% Mon .. 30% Sun,
+/// total 2500; store 4 has the 0% Monday; store 7 peaks on weekends).
+#[test]
+fn sigmod_table_3_horizontal_percentages() {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("store", DataType::Int),
+        ("dweek", DataType::Str),
+        ("salesAmt", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut f = Table::empty(schema);
+    // Per-store day totals consistent with the paper's Table 3 percentages.
+    let days = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Su7"];
+    let store2 = [175.0, 150.0, 200.0, 225.0, 400.0, 600.0, 750.0]; // 2500
+    let store4 = [0.0, 360.0, 360.0, 360.0, 720.0, 800.0, 1400.0]; // 4000
+    let store7 = [128.0, 128.0, 64.0, 64.0, 128.0, 560.0, 528.0]; // 1600
+    for (store, totals) in [(2, store2), (4, store4), (7, store7)] {
+        for (day, amt) in days.iter().zip(totals) {
+            if amt > 0.0 {
+                f.push_row(&[Value::Int(store), Value::str(*day), Value::Float(amt)])
+                    .unwrap();
+            }
+        }
+    }
+    catalog.create_table("sales", f).unwrap();
+    let engine = PercentageEngine::new(&catalog);
+    let out = engine
+        .execute_sql(
+            "SELECT store, Hpct(salesAmt BY dweek), sum(salesAmt) AS totalSales \
+             FROM sales GROUP BY store;",
+        )
+        .unwrap();
+    let SqlOutcome::Horizontal(result) = out else {
+        panic!("expected horizontal")
+    };
+    let t = result.snapshot().sorted_by(&[0]);
+    assert_eq!(t.num_rows(), 3);
+    assert_eq!(t.num_columns(), 9, "store + 7 days + total");
+    let col = |name: &str| t.schema().index_of(name).unwrap();
+    // Store 2 row: 7% Monday, 30% Sunday, total 2500.
+    assert!((t.get(0, col("dweek=Mon")).as_f64().unwrap() - 0.07).abs() < 1e-12);
+    assert!((t.get(0, col("dweek=Su7")).as_f64().unwrap() - 0.30).abs() < 1e-12);
+    assert_eq!(t.get(0, col("totalSales")), Value::Float(2500.0));
+    // "Observe the 0% for store 4 on Monday."
+    assert_eq!(t.get(1, col("dweek=Mon")), Value::Float(0.0));
+    assert_eq!(t.get(1, col("totalSales")), Value::Float(4000.0));
+    // Store 7: 35% Saturday.
+    assert!((t.get(2, col("dweek=Sat")).as_f64().unwrap() - 0.35).abs() < 1e-12);
+    // Every row adds to 100%.
+    for row in 0..3 {
+        let sum: f64 = days
+            .iter()
+            .map(|d| t.get(row, col(&format!("dweek={d}"))).as_f64().unwrap())
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12, "row {row}: {sum}");
+    }
+}
+
+/// DMKD Table 2: binary coding of gender × marital status per employee.
+#[test]
+fn dmkd_table_2_binary_coding() {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("employeeId", DataType::Int),
+        ("gender", DataType::Str),
+        ("maritalStatus", DataType::Str),
+        ("salary", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut f = Table::empty(schema);
+    for (id, g, m, s) in [
+        (1, "M", "single", 30_000.0),
+        (2, "F", "single", 50_000.0),
+        (3, "F", "married", 40_000.0),
+        (4, "M", "single", 45_000.0),
+    ] {
+        f.push_row(&[Value::Int(id), Value::str(g), Value::str(m), Value::Float(s)])
+            .unwrap();
+    }
+    catalog.create_table("employee", f).unwrap();
+    let engine = PercentageEngine::new(&catalog);
+    let out = engine
+        .execute_sql(
+            "SELECT employeeId, sum(1 BY gender, maritalStatus DEFAULT 0), sum(salary) \
+             FROM employee GROUP BY employeeId;",
+        )
+        .unwrap();
+    let SqlOutcome::Horizontal(result) = out else {
+        panic!("expected horizontal")
+    };
+    let t = result.snapshot().sorted_by(&[0]);
+    assert_eq!(t.num_rows(), 4);
+    // 3 observed gender × marital combinations → 3 binary columns + salary.
+    assert_eq!(t.num_columns(), 5);
+    let col = |name: &str| t.schema().index_of(name).unwrap();
+    let msingle = col("gender=M;maritalStatus=single");
+    let fsingle = col("gender=F;maritalStatus=single");
+    let fmarried = col("gender=F;maritalStatus=married");
+    // Employee 1 (M single): 1, 0, 0 — matching DMKD Table 2.
+    assert_eq!(t.get(0, msingle).as_f64().unwrap(), 1.0);
+    assert_eq!(t.get(0, fsingle).as_f64().unwrap(), 0.0);
+    assert_eq!(t.get(0, fmarried).as_f64().unwrap(), 0.0);
+    // Employee 3 (F married).
+    assert_eq!(t.get(2, fmarried).as_f64().unwrap(), 1.0);
+    // Salary carried along.
+    assert_eq!(t.get(3, col("sum_salary")), Value::Float(45_000.0));
+}
+
+/// DMKD Table 1 shape: multiple horizontal terms + a plain total in one
+/// statement ("summarize sales for each store ...").
+#[test]
+fn dmkd_table_1_multi_term_summary() {
+    let catalog = sigmod_fact_table();
+    let engine = PercentageEngine::new(&catalog);
+    let out = engine
+        .execute_sql(
+            "SELECT state, sum(salesAmt BY city), count(* BY city), sum(salesAmt) \
+             FROM sales GROUP BY state;",
+        )
+        .unwrap();
+    let SqlOutcome::Horizontal(result) = out else {
+        panic!("expected horizontal")
+    };
+    let t = result.snapshot().sorted_by(&[0]);
+    // state + 4 sum cells + 4 count cells + total.
+    assert_eq!(t.num_columns(), 10);
+    assert_eq!(t.num_rows(), 2);
+    let col = |name: &str| t.schema().index_of(name).unwrap();
+    // CA: SF sum 83 over 3 transactions; no Dallas (NULL sum, 0 count).
+    assert_eq!(
+        t.get(0, col("sum_salesAmt:city=San_Francisco")),
+        Value::Float(83.0)
+    );
+    assert_eq!(t.get(0, col("count_star:city=San_Francisco")), Value::Int(3));
+    assert_eq!(t.get(0, col("sum_salesAmt:city=Dallas")), Value::Null);
+    assert_eq!(t.get(0, col("count_star:city=Dallas")), Value::Int(0));
+    assert_eq!(t.get(1, col("sum_salesAmt")), Value::Float(149.0));
+}
+
+#[test]
+fn generated_sql_matches_paper_statements() {
+    let catalog = sigmod_fact_table();
+    let engine = PercentageEngine::new(&catalog);
+    let stmts = engine
+        .explain_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city")
+        .unwrap();
+    // The three-statement scheme of SIGMOD §3.1 plus the index.
+    assert!(stmts[0].starts_with("INSERT INTO Fk SELECT state, city, sum(salesAmt)"));
+    assert!(stmts[1].contains("FROM Fk GROUP BY state"));
+    assert!(stmts[2].starts_with("CREATE INDEX"));
+    assert!(stmts[3].contains("CASE WHEN Fj0.total <> 0 THEN"));
+    assert!(stmts[3].contains("WHERE Fk.state = Fj0.state"));
+}
