@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate: run everything the hosted pipeline runs, in the same order.
+# Fails fast on the first broken step.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "CI gate passed."

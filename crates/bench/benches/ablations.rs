@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pa_bench::install_all;
-use pa_core::{
-    HorizontalOptions, HorizontalQuery, PercentageEngine, VpctQuery, VpctStrategy,
-};
+use pa_core::{HorizontalOptions, HorizontalQuery, PercentageEngine, VpctQuery, VpctStrategy};
 use pa_storage::Catalog;
 use pa_workload::Scale;
 
@@ -26,10 +24,18 @@ fn bench_ablations(c: &mut Criterion) {
         group.warm_up_time(std::time::Duration::from_millis(500));
         group.measurement_time(std::time::Duration::from_secs(2));
         group.bench_function("two scans of F", |b| {
-            b.iter(|| engine.vpct_with(&q, &VpctStrategy::fj_from_f()).expect("bench"));
+            b.iter(|| {
+                engine
+                    .vpct_with(&q, &VpctStrategy::fj_from_f())
+                    .expect("bench")
+            });
         });
         group.bench_function("synchronized scan", |b| {
-            b.iter(|| engine.vpct_with(&q, &VpctStrategy::synchronized()).expect("bench"));
+            b.iter(|| {
+                engine
+                    .vpct_with(&q, &VpctStrategy::synchronized())
+                    .expect("bench")
+            });
         });
         group.finish();
     }
@@ -50,7 +56,11 @@ fn bench_ablations(c: &mut Criterion) {
             b.iter(|| engine.vpct_with(&q, &VpctStrategy::best()).expect("bench"));
         });
         group.bench_function("unindexed", |b| {
-            b.iter(|| engine.vpct_with(&q, &VpctStrategy::without_index()).expect("bench"));
+            b.iter(|| {
+                engine
+                    .vpct_with(&q, &VpctStrategy::without_index())
+                    .expect("bench")
+            });
         });
         group.finish();
     }
@@ -95,7 +105,11 @@ fn bench_ablations(c: &mut Criterion) {
         group.warm_up_time(std::time::Duration::from_millis(500));
         group.measurement_time(std::time::Duration::from_secs(2));
         group.bench_function("update with WAL", |b| {
-            b.iter(|| engine.vpct_with(&q, &VpctStrategy::with_update()).expect("bench"));
+            b.iter(|| {
+                engine
+                    .vpct_with(&q, &VpctStrategy::with_update())
+                    .expect("bench")
+            });
         });
         group.bench_function("update without WAL", |b| {
             b.iter(|| {

@@ -21,7 +21,11 @@ fn bench_table6(c: &mut Criterion) {
         group.warm_up_time(std::time::Duration::from_millis(500));
         group.measurement_time(std::time::Duration::from_secs(2));
         group.bench_function("Vpct best", |b| {
-            b.iter(|| engine.vpct_with(&vq, &VpctStrategy::best()).expect("bench query"));
+            b.iter(|| {
+                engine
+                    .vpct_with(&vq, &VpctStrategy::best())
+                    .expect("bench query")
+            });
         });
         group.bench_function("Hpct best", |b| {
             b.iter(|| engine.horizontal_with(&hq, &hopts).expect("bench query"));

@@ -52,15 +52,8 @@ fn parse_args() -> Args {
                 };
             }
             "--table" => args.table = it.next().unwrap_or_default(),
-            "--iters" => {
-                args.iters = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(1)
-            }
-            "--disk-sim" => {
-                args.disk_sim_us = it.next().and_then(|s| s.parse().ok()).unwrap_or(0)
-            }
+            "--iters" => args.iters = it.next().and_then(|s| s.parse().ok()).unwrap_or(1),
+            "--disk-sim" => args.disk_sim_us = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale paper|bench|smoke|<factor>] \
@@ -96,7 +89,13 @@ fn main() {
     );
     let catalog = Catalog::new();
     let (gen_ms, ()) = time_ms(|| install_all(&catalog, args.scale));
-    for name in ["employee", "sales", "transactionLine", "transactionLine2M", "uscensus"] {
+    for name in [
+        "employee",
+        "sales",
+        "transactionLine",
+        "transactionLine2M",
+        "uscensus",
+    ] {
         let rows = catalog.table(name).expect("installed").read().num_rows();
         println!("  {name:<18} {rows:>10} rows");
     }
@@ -106,9 +105,8 @@ fn main() {
             "  disk simulation: every WAL record forced with {} µs latency\n",
             args.disk_sim_us
         );
-        catalog.with_wal(|w| {
-            w.set_record_latency(std::time::Duration::from_micros(args.disk_sim_us))
-        });
+        catalog
+            .with_wal(|w| w.set_record_latency(std::time::Duration::from_micros(args.disk_sim_us)));
     }
     let engine = PercentageEngine::new(&catalog);
 
@@ -200,9 +198,7 @@ fn table6(engine: &PercentageEngine<'_>, iters: usize) {
     for (row, q) in sigmod_queries().iter().enumerate() {
         let vq = q.vertical();
         let hq = q.horizontal();
-        let v = best_ms(iters, || {
-            run_vertical(engine, &vq, &VpctStrategy::best()).0
-        });
+        let v = best_ms(iters, || run_vertical(engine, &vq, &VpctStrategy::best()).0);
         // "We picked the best evaluation strategy" — empirically, per row,
         // exactly as §4.2 describes: measure both CASE sources, keep the
         // winner.

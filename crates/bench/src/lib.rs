@@ -13,9 +13,7 @@ use pa_core::{
     VpctStrategy,
 };
 use pa_storage::Catalog;
-use pa_workload::{
-    CensusConfig, EmployeeConfig, SalesConfig, Scale, TransactionConfig,
-};
+use pa_workload::{CensusConfig, EmployeeConfig, SalesConfig, Scale, TransactionConfig};
 use std::time::Instant;
 
 /// Which generated table a query runs against.
@@ -128,7 +126,11 @@ pub fn sigmod_queries() -> Vec<BenchQuery> {
         BenchQuery::new(Dataset::Employee, &[], &["gender"]),
         BenchQuery::new(Dataset::Employee, &["gender"], &["marstatus"]),
         BenchQuery::new(Dataset::Employee, &["gender"], &["educat", "marstatus"]),
-        BenchQuery::new(Dataset::Employee, &["gender", "educat"], &["age", "marstatus"]),
+        BenchQuery::new(
+            Dataset::Employee,
+            &["gender", "educat"],
+            &["age", "marstatus"],
+        ),
         BenchQuery::new(Dataset::Sales, &[], &["dweek"]),
         BenchQuery::new(Dataset::Sales, &["monthNo"], &["dweek"]),
         BenchQuery::new(Dataset::Sales, &["dept"], &["dweek", "monthNo"]),
@@ -151,7 +153,11 @@ pub fn dmkd_queries() -> Vec<BenchQuery> {
         out.push(BenchQuery::new(dataset, &[], &["monthNo"]));
         out.push(BenchQuery::new(dataset, &[], &["subdeptId"]));
         out.push(BenchQuery::new(dataset, &["monthNo"], &["dayOfWeekNo"]));
-        out.push(BenchQuery::new(dataset, &["deptId"], &["dayOfWeekNo", "monthNo"]));
+        out.push(BenchQuery::new(
+            dataset,
+            &["deptId"],
+            &["dayOfWeekNo", "monthNo"],
+        ));
         out.push(BenchQuery::new(
             dataset,
             &["deptId", "storeId"],
@@ -177,8 +183,7 @@ pub fn install_all(catalog: &Catalog, scale: Scale) {
     catalog
         .create_table("transactionLine2M", t2)
         .expect("fresh catalog");
-    pa_workload::install_uscensus(catalog, &CensusConfig::at_scale(scale))
-        .expect("fresh catalog");
+    pa_workload::install_uscensus(catalog, &CensusConfig::at_scale(scale)).expect("fresh catalog");
 }
 
 /// Milliseconds spent running `f` once.

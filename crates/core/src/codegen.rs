@@ -93,10 +93,7 @@ pub fn vpct_statements(q: &VpctQuery, strat: &VpctStrategy) -> Vec<String> {
             ));
         }
         if strat.subkey_index && !j.is_empty() {
-            out.push(format!(
-                "CREATE INDEX ON Fj{t} ({});",
-                join_names(&j)
-            ));
+            out.push(format!("CREATE INDEX ON Fj{t} ({});", join_names(&j)));
         }
     }
 
@@ -136,8 +133,7 @@ pub fn vpct_statements(q: &VpctQuery, strat: &VpctStrategy) -> Vec<String> {
         Materialization::Update => {
             for (t, term) in q.terms.iter().enumerate() {
                 let j = q.totals_key(term);
-                let preds: Vec<String> =
-                    j.iter().map(|c| format!("Fk.{c} = Fj{t}.{c}")).collect();
+                let preds: Vec<String> = j.iter().map(|c| format!("Fk.{c} = Fj{t}.{c}")).collect();
                 let where_clause = if preds.is_empty() {
                     String::new()
                 } else {
@@ -201,7 +197,11 @@ pub fn horizontal_statements(
             q.table
         ));
     }
-    let src = if strategy.uses_fv() { "FV" } else { q.table.as_str() };
+    let src = if strategy.uses_fv() {
+        "FV"
+    } else {
+        q.table.as_str()
+    };
 
     match strategy {
         HorizontalStrategy::CaseDirect | HorizontalStrategy::CaseFromFv => {
@@ -371,11 +371,12 @@ mod tests {
     fn horizontal_case_direct_with_known_combos() {
         let q = HorizontalQuery::hpct("sales", &["store"], "salesAmt", &["dweek"]);
         let combos = vec![vec![Value::str("Mon")], vec![Value::str("Tue")]];
-        let stmts =
-            horizontal_statements(&q, HorizontalStrategy::CaseDirect, Some(&combos));
+        let stmts = horizontal_statements(&q, HorizontalStrategy::CaseDirect, Some(&combos));
         assert!(stmts[0].starts_with("SELECT DISTINCT dweek FROM sales"));
         let ins = &stmts[1];
-        assert!(ins.contains("sum(CASE WHEN dweek = 'Mon' THEN salesAmt ELSE NULL END)/sum(salesAmt)"));
+        assert!(
+            ins.contains("sum(CASE WHEN dweek = 'Mon' THEN salesAmt ELSE NULL END)/sum(salesAmt)")
+        );
         assert!(ins.contains("GROUP BY store"));
     }
 

@@ -13,7 +13,8 @@
 //! work counters differ (`case_condition_evals` stays at zero).
 
 use crate::error::Result;
-use pa_engine::{AggFunc, ExecStats, Expr, RowKeyMap};
+use pa_engine::guard::CANCEL_CHECK_INTERVAL;
+use pa_engine::{AggFunc, ExecStats, Expr, ResourceGuard, RowKeyMap};
 use pa_storage::{DataType, Field, Schema, Table, Value};
 
 /// One horizontal term's piece of a pivot pass.
@@ -43,7 +44,10 @@ enum Acc {
 impl Acc {
     fn new(func: AggFunc) -> Acc {
         match func {
-            AggFunc::Sum => Acc::Sum { sum: 0.0, any: false },
+            AggFunc::Sum => Acc::Sum {
+                sum: 0.0,
+                any: false,
+            },
             AggFunc::Count => Acc::Count(0),
             AggFunc::CountDistinct => Acc::CountDistinct(Default::default()),
             AggFunc::CountStar => Acc::CountStar(0),
@@ -129,6 +133,29 @@ pub fn pivot_aggregate(
     extra_lanes: &[(AggFunc, Expr)],
     stats: &mut ExecStats,
 ) -> Result<Table> {
+    pivot_aggregate_guarded(
+        src,
+        j_cols,
+        tasks,
+        extra_lanes,
+        &ResourceGuard::unlimited(),
+        stats,
+    )
+}
+
+/// [`pivot_aggregate`] under a [`ResourceGuard`]: the scan is charged up
+/// front, each new group charges as its accumulator lane is allocated (the
+/// pivot's memory actually grows with `groups × cells`, so group discovery
+/// is exactly where a runaway `Hpct` must be stopped), and the loop checks
+/// for cancellation periodically.
+pub fn pivot_aggregate_guarded(
+    src: &Table,
+    j_cols: &[usize],
+    tasks: &[PivotTask],
+    extra_lanes: &[(AggFunc, Expr)],
+    guard: &ResourceGuard,
+    stats: &mut ExecStats,
+) -> Result<Table> {
     stats.statements += 1;
     // Per-task subgroup-combination maps (combo tuple → cell index).
     let mut combo_maps: Vec<RowKeyMap> = Vec::with_capacity(tasks.len());
@@ -173,7 +200,11 @@ pub fn pivot_aggregate(
     let mut accs: Vec<Acc> = Vec::new();
     let n = src.num_rows();
     stats.rows_scanned += n as u64;
+    guard.charge(n as u64)?;
     for row in 0..n {
+        if row % CANCEL_CHECK_INTERVAL == 0 {
+            guard.check()?;
+        }
         let gid = if j_cols.is_empty() {
             if groups.is_empty() {
                 groups.get_or_insert_key(&[], stats);
@@ -183,6 +214,9 @@ pub fn pivot_aggregate(
             groups.get_or_insert_row(src, j_cols, row, stats)
         };
         if (gid + 1) * width > accs.len() {
+            // A fresh group allocates `width` accumulator cells; charge it as
+            // one output row so group explosions trip the budget mid-scan.
+            guard.charge(1)?;
             accs.extend_from_slice(&template);
         }
         let base = gid * width;

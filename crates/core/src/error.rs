@@ -26,6 +26,16 @@ pub enum CoreError {
     },
     /// A feature was asked of a query shape that does not support it.
     Unsupported(String),
+    /// A [`pa_engine::ResourceGuard`] row budget ran out mid-plan — the
+    /// typed alternative to letting a runaway pivot or join exhaust memory.
+    BudgetExceeded {
+        /// The configured ceiling, in rows of work.
+        budget: u64,
+        /// The running total that tripped it.
+        attempted: u64,
+    },
+    /// The query was cooperatively cancelled through its guard.
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +51,11 @@ impl fmt::Display for CoreError {
                  use partitioned evaluation"
             ),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CoreError::BudgetExceeded { budget, attempted } => write!(
+                f,
+                "row budget exceeded: plan needed {attempted} rows of work, budget is {budget}"
+            ),
+            CoreError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }
@@ -64,7 +79,15 @@ impl From<StorageError> for CoreError {
 
 impl From<EngineError> for CoreError {
     fn from(e: EngineError) -> Self {
-        CoreError::Engine(e)
+        // Guard trips surface as first-class core errors so callers can
+        // match on them without digging through the engine layer.
+        match e {
+            EngineError::BudgetExceeded { budget, attempted } => {
+                CoreError::BudgetExceeded { budget, attempted }
+            }
+            EngineError::Cancelled => CoreError::Cancelled,
+            other => CoreError::Engine(other),
+        }
     }
 }
 
@@ -89,6 +112,24 @@ mod tests {
         assert!(e.to_string().starts_with("engine:"));
         let e: CoreError = SqlError::Rule("r".into()).into();
         assert!(e.to_string().starts_with("sql:"));
+    }
+
+    #[test]
+    fn guard_errors_promote_to_core_variants() {
+        let e: CoreError = EngineError::BudgetExceeded {
+            budget: 10,
+            attempted: 20,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            CoreError::BudgetExceeded {
+                budget: 10,
+                attempted: 20
+            }
+        ));
+        let e: CoreError = EngineError::Cancelled.into();
+        assert!(matches!(e, CoreError::Cancelled));
     }
 
     #[test]

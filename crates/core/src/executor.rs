@@ -5,13 +5,14 @@
 //! evaluate, and manage temporary-table naming.
 
 use crate::error::{CoreError, Result};
-use crate::horizontal::{eval_horizontal, HorizontalResult};
+use crate::horizontal::{eval_horizontal_guarded, HorizontalResult};
 use crate::missing::{postprocess_pad, preprocess_pad, MissingRows};
 use crate::olap::eval_vpct_olap;
 use crate::optimizer::{choose_horizontal_strategy, choose_vpct_strategy};
 use crate::query::{from_sql, HorizontalQuery, Query, VpctQuery};
 use crate::strategy::{HorizontalOptions, VpctStrategy};
-use crate::vertical::{eval_vpct, QueryResult};
+use crate::vertical::{eval_vpct_guarded, QueryResult};
+use pa_engine::ResourceGuard;
 use pa_storage::Catalog;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -73,6 +74,7 @@ pub struct PercentageEngine<'a> {
     catalog: &'a Catalog,
     counter: AtomicU64,
     reuse_temps: bool,
+    guard: ResourceGuard,
 }
 
 impl<'a> PercentageEngine<'a> {
@@ -84,6 +86,7 @@ impl<'a> PercentageEngine<'a> {
             catalog,
             counter: AtomicU64::new(0),
             reuse_temps: true,
+            guard: ResourceGuard::unlimited(),
         }
     }
 
@@ -94,7 +97,28 @@ impl<'a> PercentageEngine<'a> {
             catalog,
             counter: AtomicU64::new(0),
             reuse_temps: false,
+            guard: ResourceGuard::unlimited(),
         }
+    }
+
+    /// Attach a [`ResourceGuard`] metering every query this engine runs.
+    /// Clone the guard before attaching to keep a handle for cancellation:
+    ///
+    /// ```
+    /// use pa_core::{PercentageEngine, ResourceGuard};
+    /// let catalog = pa_storage::Catalog::new();
+    /// let guard = ResourceGuard::with_row_budget(1_000_000);
+    /// let engine = PercentageEngine::new(&catalog).with_guard(guard.clone());
+    /// // `guard.cancel()` from any thread stops the engine's queries.
+    /// ```
+    pub fn with_guard(mut self, guard: ResourceGuard) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// The guard metering this engine's queries.
+    pub fn guard(&self) -> &ResourceGuard {
+        &self.guard
     }
 
     /// The catalog this engine runs against.
@@ -116,7 +140,12 @@ impl<'a> PercentageEngine<'a> {
     /// bottom-up based on the dimension lattice").
     pub fn vpct(&self, q: &VpctQuery) -> Result<QueryResult> {
         if q.terms.len() > 1 {
-            return crate::lattice::eval_vpct_lattice(self.catalog, q, &self.prefix());
+            return crate::lattice::eval_vpct_lattice_guarded(
+                self.catalog,
+                q,
+                &self.prefix(),
+                &self.guard,
+            );
         }
         let strat = choose_vpct_strategy(self.catalog, q);
         self.vpct_with(q, &strat)
@@ -125,12 +154,12 @@ impl<'a> PercentageEngine<'a> {
     /// Evaluate a batch of percentage queries with one shared summary
     /// (SIGMOD §6 future work). See [`crate::lattice::eval_vpct_batch`].
     pub fn vpct_batch(&self, queries: &[VpctQuery]) -> Result<Vec<QueryResult>> {
-        crate::lattice::eval_vpct_batch(self.catalog, queries, &self.prefix())
+        crate::lattice::eval_vpct_batch_guarded(self.catalog, queries, &self.prefix(), &self.guard)
     }
 
     /// Evaluate a vertical percentage query with an explicit strategy.
     pub fn vpct_with(&self, q: &VpctQuery, strat: &VpctStrategy) -> Result<QueryResult> {
-        eval_vpct(self.catalog, q, strat, &self.prefix())
+        eval_vpct_guarded(self.catalog, q, strat, &self.prefix(), &self.guard)
     }
 
     /// Evaluate with explicit strategy and missing-row handling.
@@ -177,7 +206,7 @@ impl<'a> PercentageEngine<'a> {
         q: &HorizontalQuery,
         opts: &HorizontalOptions,
     ) -> Result<HorizontalResult> {
-        eval_horizontal(self.catalog, q, opts, &self.prefix())
+        eval_horizontal_guarded(self.catalog, q, opts, &self.prefix(), &self.guard)
     }
 
     /// Parse, validate and execute a SQL statement in the percentage
@@ -303,9 +332,7 @@ mod tests {
         let catalog = sales_catalog();
         let engine = PercentageEngine::new(&catalog);
         let out = engine
-            .execute_sql(
-                "SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city;",
-            )
+            .execute_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city;")
             .unwrap();
         let SqlOutcome::Vertical(r) = out else {
             panic!("expected vertical")
@@ -378,9 +405,7 @@ mod tests {
         let catalog = sales_catalog();
         let engine = PercentageEngine::new(&catalog);
         let stmts = engine
-            .explain_sql(
-                "SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city",
-            )
+            .explain_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city")
             .unwrap();
         assert!(stmts[0].starts_with("INSERT INTO Fk"));
         assert!(!catalog.contains("tmp_Fk"), "explain does not execute");
@@ -498,6 +523,73 @@ mod tests {
         let results = engine.vpct_batch(&[q1, q2]).unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(results[1].snapshot().num_rows(), 2);
+    }
+
+    #[test]
+    fn row_budget_stops_a_runaway_pivot_with_a_typed_error() {
+        let catalog = sales_catalog();
+        // Budget below even one scan of the 10-row fact table: the Hpct
+        // pivot must fail fast with the typed error, not run to completion.
+        let engine = PercentageEngine::new(&catalog).with_guard(ResourceGuard::with_row_budget(3));
+        let err = engine
+            .execute_sql(
+                "SELECT state, Hpct(salesAmt BY city), sum(salesAmt) FROM sales GROUP BY state;",
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::BudgetExceeded { budget: 3, .. }),
+            "expected BudgetExceeded, got {err}"
+        );
+        // The same budget also protects the vertical path.
+        let err = engine
+            .execute_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city;")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn generous_budget_answers_normally_and_meters_work() {
+        let catalog = sales_catalog();
+        let guard = ResourceGuard::with_row_budget(1_000_000);
+        let engine = PercentageEngine::new(&catalog).with_guard(guard.clone());
+        let out = engine
+            .execute_sql(
+                "SELECT state, Hpct(salesAmt BY city), sum(salesAmt) FROM sales GROUP BY state;",
+            )
+            .unwrap();
+        assert_eq!(out.table().read().num_columns(), 6);
+        assert!(guard.rows_charged() > 0, "the query's work was metered");
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_core_cancelled() {
+        let catalog = sales_catalog();
+        let guard = ResourceGuard::with_row_budget(u64::MAX);
+        let engine = PercentageEngine::new(&catalog).with_guard(guard.clone());
+        engine.guard().cancel();
+        let err = engine
+            .execute_sql("SELECT state, Hpct(salesAmt BY city) FROM sales GROUP BY state;")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled), "{err}");
+    }
+
+    #[test]
+    fn budget_guards_the_lattice_and_batch_paths() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog).with_guard(ResourceGuard::with_row_budget(3));
+        // Multi-term query routes through the lattice.
+        let err = engine
+            .execute_sql(
+                "SELECT state, city, Vpct(salesAmt BY city) AS a, \
+                 Vpct(salesAmt BY state, city) AS b FROM sales GROUP BY state, city;",
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }), "{err}");
+        // Batch evaluation shares the same budget.
+        let q1 = VpctQuery::single("sales", &["state", "city"], "salesAmt", &["city"]);
+        let q2 = VpctQuery::single("sales", &["state"], "salesAmt", &[]);
+        let err = engine.vpct_batch(&[q1, q2]).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }), "{err}");
     }
 
     #[test]

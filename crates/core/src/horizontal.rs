@@ -23,8 +23,8 @@ use crate::query::{ExtraAgg, HorizontalQuery};
 use crate::strategy::{HorizontalOptions, HorizontalStrategy};
 use crate::vertical::QueryResult;
 use pa_engine::{
-    create_table_as, distinct_keys, filter, hash_aggregate, hash_join, project, AggFunc, AggSpec,
-    ExecStats, Expr, JoinType, ProjSpec,
+    create_table_as, distinct_keys, filter, hash_aggregate_guarded, hash_join_guarded, project,
+    AggFunc, AggSpec, ExecStats, Expr, JoinType, ProjSpec, ResourceGuard,
 };
 use pa_storage::{Catalog, DataType, Schema, SharedTable, Table, Value};
 
@@ -44,18 +44,31 @@ pub struct HorizontalResult {
 }
 
 impl HorizontalResult {
-    /// The single result table; panics if partitioned (tests/examples).
+    /// The single result table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was vertically partitioned (more than one
+    /// partition); iterate `partitions` instead for partitioned output.
     pub fn table(&self) -> SharedTable {
         assert_eq!(self.partitions.len(), 1, "result is partitioned");
         self.partitions[0].clone()
     }
 
     /// Owned snapshot of the single result table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was vertically partitioned, like [`Self::table`].
     pub fn snapshot(&self) -> Table {
         self.table().read().clone()
     }
 
-    /// Convert into a [`QueryResult`] (single-partition results only).
+    /// Convert into a [`QueryResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was vertically partitioned, like [`Self::table`].
     pub fn into_query_result(self) -> QueryResult {
         assert_eq!(self.partitions.len(), 1, "result is partitioned");
         QueryResult {
@@ -147,6 +160,20 @@ pub fn eval_horizontal(
     opts: &HorizontalOptions,
     prefix: &str,
 ) -> Result<HorizontalResult> {
+    eval_horizontal_guarded(catalog, q, opts, prefix, &ResourceGuard::unlimited())
+}
+
+/// [`eval_horizontal`] under a [`ResourceGuard`]: every aggregation scan,
+/// pivot group and join output row is charged against the guard, so a
+/// runaway `Hpct` pivot fails with [`CoreError::BudgetExceeded`] instead of
+/// exhausting memory.
+pub fn eval_horizontal_guarded(
+    catalog: &Catalog,
+    q: &HorizontalQuery,
+    opts: &HorizontalOptions,
+    prefix: &str,
+    guard: &ResourceGuard,
+) -> Result<HorizontalResult> {
     q.validate()?;
     let mut stats = ExecStats::default();
 
@@ -220,7 +247,11 @@ pub fn eval_horizontal(
             term_funcs.push(term.func);
             match term.func {
                 AggFunc::Avg => {
-                    specs.push(AggSpec::new(AggFunc::Sum, measure.clone(), format!("__ps{t}")));
+                    specs.push(AggSpec::new(
+                        AggFunc::Sum,
+                        measure.clone(),
+                        format!("__ps{t}"),
+                    ));
                     specs.push(AggSpec::new(AggFunc::Count, measure, format!("__pc{t}")));
                     partial_pos.push(vec![base, base + 1]);
                 }
@@ -250,7 +281,7 @@ pub fn eval_horizontal(
                 }
             }
         }
-        let fv = hash_aggregate(&f_guard, &key_cols_f, &specs, &mut stats)?;
+        let fv = hash_aggregate_guarded(&f_guard, &key_cols_f, &specs, guard, &mut stats)?;
         drop(f_guard);
         create_table_as(catalog, &format!("{prefix}FV"), fv.clone(), &mut stats)?;
 
@@ -267,9 +298,7 @@ pub fn eval_horizontal(
             } else {
                 Combine::Single
             };
-            let total = term
-                .percentage
-                .then(|| Expr::Col(partial_pos[t][0]));
+            let total = term.percentage.then(|| Expr::Col(partial_pos[t][0]));
             term_lanes.push((lanes, combine, total));
         }
         for (e, extra) in q.extra.iter().enumerate() {
@@ -366,20 +395,28 @@ pub fn eval_horizontal(
                     .iter()
                     .flat_map(|(lanes, _)| lanes.iter().cloned())
                     .collect();
-                crate::dispatch::pivot_aggregate(
+                crate::dispatch::pivot_aggregate_guarded(
                     src,
                     &j_cols,
                     &plans_as_tasks(&plans),
                     &flat_extras,
+                    guard,
                     &mut stats,
                 )?
             } else {
-                case_raw(src, &j_cols, &plans, &extra_specs_src, &mut stats)?
+                case_raw(src, &j_cols, &plans, &extra_specs_src, guard, &mut stats)?
             }
         }
-        HorizontalStrategy::SpjDirect | HorizontalStrategy::SpjFromFv => {
-            spj_raw(catalog, src, &j_cols, &plans, &extra_specs_src, prefix, &mut stats)?
-        }
+        HorizontalStrategy::SpjDirect | HorizontalStrategy::SpjFromFv => spj_raw(
+            catalog,
+            src,
+            &j_cols,
+            &plans,
+            &extra_specs_src,
+            prefix,
+            guard,
+            &mut stats,
+        )?,
     };
     drop(source);
 
@@ -402,8 +439,9 @@ pub fn eval_horizontal(
         for (i, name) in plan.names.iter().enumerate() {
             let raw_cell: Expr = match plan.combine {
                 Combine::Single => Expr::Col(cell_base + i * lanes),
-                Combine::AvgPair => Expr::Col(cell_base + i * lanes)
-                    .safe_div(Expr::Col(cell_base + i * lanes + 1)),
+                Combine::AvgPair => {
+                    Expr::Col(cell_base + i * lanes).safe_div(Expr::Col(cell_base + i * lanes + 1))
+                }
             };
             let mut cell = raw_cell;
             if term.percentage {
@@ -429,11 +467,10 @@ pub fn eval_horizontal(
             }
             let dtype = match (term.percentage, plan.combine, term.func) {
                 (true, _, _) | (_, Combine::AvgPair, _) => DataType::Float,
-                (_, _, AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar) => DataType::Int,
-                _ => raw
-                    .schema()
-                    .field_at(cell_base + i * lanes)
-                    .dtype,
+                (_, _, AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar) => {
+                    DataType::Int
+                }
+                _ => raw.schema().field_at(cell_base + i * lanes).dtype,
             };
             // Re-aggregated counts come back as float sums; keep the
             // user-facing column Int regardless of strategy.
@@ -465,15 +502,19 @@ pub fn eval_horizontal(
 
     // ---------- Partitioning & registration. ----------
     let partitions: Vec<SharedTable> = if !partitioned {
-        vec![create_table_as(catalog, &format!("{prefix}FH"), fh, &mut stats)?]
+        vec![create_table_as(
+            catalog,
+            &format!("{prefix}FH"),
+            fh,
+            &mut stats,
+        )?]
     } else {
         let n_key = j_len;
         let cells_total = fh.num_columns() - n_key;
         let ranges = partition_ranges(cells_total, n_key, opts.max_columns);
         let mut out = Vec::with_capacity(ranges.len());
         for (p, range) in ranges.into_iter().enumerate() {
-            let mut fields: Vec<pa_storage::Field> =
-                fh.schema().fields()[..n_key].to_vec();
+            let mut fields: Vec<pa_storage::Field> = fh.schema().fields()[..n_key].to_vec();
             let mut cols: Vec<pa_storage::Column> = fh.columns()[..n_key].to_vec();
             for c in range {
                 fields.push(fh.schema().field_at(n_key + c).clone());
@@ -504,6 +545,7 @@ fn case_raw(
     j_cols: &[usize],
     plans: &[TermPlan],
     extras: &[(Vec<(AggFunc, Expr)>, Combine)],
+    guard: &ResourceGuard,
     stats: &mut ExecStats,
 ) -> Result<Table> {
     let mut specs: Vec<AggSpec> = Vec::new();
@@ -533,7 +575,11 @@ fn case_raw(
             }
         }
         if let Some(total) = &plan.total {
-            specs.push(AggSpec::new(AggFunc::Sum, total.clone(), format!("__tot{t}")));
+            specs.push(AggSpec::new(
+                AggFunc::Sum,
+                total.clone(),
+                format!("__tot{t}"),
+            ));
         }
     }
     for (e, (lanes, _)) in extras.iter().enumerate() {
@@ -541,11 +587,12 @@ fn case_raw(
             specs.push(AggSpec::new(*func, input.clone(), format!("__x{e}_{l}")));
         }
     }
-    Ok(hash_aggregate(src, j_cols, &specs, stats)?)
+    Ok(hash_aggregate_guarded(src, j_cols, &specs, guard, stats)?)
 }
 
 /// SPJ strategy: `F0` = distinct groups; one filtered aggregation per
 /// combination; assemble with left outer joins; project into the raw layout.
+#[allow(clippy::too_many_arguments)]
 fn spj_raw(
     catalog: &Catalog,
     src: &Table,
@@ -553,6 +600,7 @@ fn spj_raw(
     plans: &[TermPlan],
     extras: &[(Vec<(AggFunc, Expr)>, Combine)],
     prefix: &str,
+    guard: &ResourceGuard,
     stats: &mut ExecStats,
 ) -> Result<Table> {
     let j_len = j_cols.len();
@@ -574,10 +622,11 @@ fn spj_raw(
                 );
                 let filtered = filter(src, &pred, stats)?;
                 for (func, input) in &plan.lanes {
-                    let agg = hash_aggregate(
+                    let agg = hash_aggregate_guarded(
                         &filtered,
                         &[],
                         &[AggSpec::new(*func, input.clone(), "v")],
+                        guard,
                         stats,
                     )?;
                     row.push(agg.get(0, 0));
@@ -589,10 +638,11 @@ fn spj_raw(
                 }
             }
             if let Some(total) = &plan.total {
-                let agg = hash_aggregate(
+                let agg = hash_aggregate_guarded(
                     src,
                     &[],
                     &[AggSpec::new(AggFunc::Sum, total.clone(), "t")],
+                    guard,
                     stats,
                 )?;
                 row.push(agg.get(0, 0));
@@ -602,10 +652,11 @@ fn spj_raw(
         }
         for (lanes, _) in extras {
             for (func, input) in lanes {
-                let agg = hash_aggregate(
+                let agg = hash_aggregate_guarded(
                     src,
                     &[],
                     &[AggSpec::new(*func, input.clone(), "e")],
+                    guard,
                     stats,
                 )?;
                 row.push(agg.get(0, 0));
@@ -647,18 +698,19 @@ fn spj_raw(
                 .enumerate()
                 .map(|(l, (func, input))| AggSpec::new(*func, input.clone(), format!("v{l}")))
                 .collect();
-            let fi = hash_aggregate(&filtered, j_cols, &specs, stats)?;
+            let fi = hash_aggregate_guarded(&filtered, j_cols, &specs, guard, stats)?;
             create_table_as(catalog, &format!("{prefix}F{spj_index}"), fi.clone(), stats)?;
             spj_index += 1;
             let base = joined.num_columns();
             let fi_keys: Vec<usize> = (0..j_len).collect();
-            joined = hash_join(
+            joined = hash_join_guarded(
                 &joined,
                 &fi,
                 &f0_keys,
                 &fi_keys,
                 JoinType::LeftOuter,
                 None,
+                guard,
                 stats,
             )?;
             for l in 0..plan.lanes.len() {
@@ -666,20 +718,22 @@ fn spj_raw(
             }
         }
         if let Some(total) = &plan.total {
-            let fi = hash_aggregate(
+            let fi = hash_aggregate_guarded(
                 src,
                 j_cols,
                 &[AggSpec::new(AggFunc::Sum, total.clone(), "t")],
+                guard,
                 stats,
             )?;
             let base = joined.num_columns();
-            joined = hash_join(
+            joined = hash_join_guarded(
                 &joined,
                 &fi,
                 &f0_keys,
                 &(0..j_len).collect::<Vec<_>>(),
                 JoinType::LeftOuter,
                 None,
+                guard,
                 stats,
             )?;
             value_cols.push(base + j_len);
@@ -691,15 +745,16 @@ fn spj_raw(
             .enumerate()
             .map(|(l, (func, input))| AggSpec::new(*func, input.clone(), format!("e{l}")))
             .collect();
-        let fi = hash_aggregate(src, j_cols, &specs, stats)?;
+        let fi = hash_aggregate_guarded(src, j_cols, &specs, guard, stats)?;
         let base = joined.num_columns();
-        joined = hash_join(
+        joined = hash_join_guarded(
             &joined,
             &fi,
             &f0_keys,
             &(0..j_len).collect::<Vec<_>>(),
             JoinType::LeftOuter,
             None,
+            guard,
             stats,
         )?;
         for l in 0..lanes.len() {
@@ -786,7 +841,10 @@ mod tests {
         for strategy in HorizontalStrategy::all() {
             out.push(HorizontalOptions::with_strategy(strategy));
         }
-        for strategy in [HorizontalStrategy::CaseDirect, HorizontalStrategy::CaseFromFv] {
+        for strategy in [
+            HorizontalStrategy::CaseDirect,
+            HorizontalStrategy::CaseFromFv,
+        ] {
             out.push(HorizontalOptions {
                 strategy,
                 hash_dispatch: true,
@@ -828,13 +886,8 @@ mod tests {
     #[test]
     fn percentage_rows_sum_to_one() {
         let catalog = store_sales_catalog();
-        let result = eval_horizontal(
-            &catalog,
-            &hpct_query(),
-            &HorizontalOptions::default(),
-            "s_",
-        )
-        .unwrap();
+        let result =
+            eval_horizontal(&catalog, &hpct_query(), &HorizontalOptions::default(), "s_").unwrap();
         let t = result.snapshot();
         for r in 0..t.num_rows() {
             let sum = match (t.get(r, 1), t.get(r, 2)) {
@@ -849,8 +902,7 @@ mod tests {
     fn hagg_missing_cells_are_null_unless_default_zero() {
         let catalog = store_sales_catalog();
         let q = HorizontalQuery::hagg("sales", &["store"], AggFunc::Sum, "salesAmt", &["dweek"]);
-        let result =
-            eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "n_").unwrap();
+        let result = eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "n_").unwrap();
         let t = result.snapshot().sorted_by(&[0]);
         assert_eq!(t.get(1, 1), Value::Null, "store 4 Monday: NULL per DMKD");
         assert_eq!(t.get(1, 2), Value::Float(800.0));
@@ -864,7 +916,13 @@ mod tests {
 
     #[test]
     fn hagg_all_strategies_agree() {
-        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             let mut reference: Option<Vec<Vec<Value>>> = None;
             for opts in all_option_sets() {
                 let catalog = store_sales_catalog();
@@ -875,7 +933,8 @@ mod tests {
                 match &reference {
                     None => reference = Some(rows),
                     Some(r) => assert_eq!(
-                        r, &rows,
+                        r,
+                        &rows,
                         "{func:?} under {} (dispatch={})",
                         opts.strategy.label(),
                         opts.hash_dispatch
@@ -955,7 +1014,10 @@ mod tests {
         };
         assert!(matches!(
             eval_horizontal(&catalog, &q, &strict, "l_"),
-            Err(CoreError::TooManyColumns { needed: 4, limit: 3 })
+            Err(CoreError::TooManyColumns {
+                needed: 4,
+                limit: 3
+            })
         ));
 
         let partitioned = HorizontalOptions {
@@ -1054,11 +1116,7 @@ mod tests {
         )
         .unwrap();
         assert!(result.statements[0].contains("INSERT INTO FV"));
-        assert!(result
-            .statements
-            .last()
-            .unwrap()
-            .contains("INSERT INTO FH"));
+        assert!(result.statements.last().unwrap().contains("INSERT INTO FH"));
         assert!(catalog.contains("st_FV"));
     }
 

@@ -19,8 +19,8 @@ use crate::error::{CoreError, Result};
 use crate::query::VpctQuery;
 use crate::vertical::QueryResult;
 use pa_engine::{
-    create_table_as, hash_join, multi_hash_aggregate, AggFunc, AggSpec, ExecStats, Expr,
-    JoinType, ProjSpec,
+    create_table_as, hash_join_guarded, multi_hash_aggregate_guarded, AggFunc, AggSpec, ExecStats,
+    Expr, JoinType, ProjSpec, ResourceGuard,
 };
 use pa_storage::{Catalog, Table};
 
@@ -115,6 +115,17 @@ pub fn plan_levels(root: &Level, needed: &[Level]) -> Vec<LevelStep> {
 /// same table as [`crate::eval_vpct`]; identical totals levels across terms
 /// are computed once.
 pub fn eval_vpct_lattice(catalog: &Catalog, q: &VpctQuery, prefix: &str) -> Result<QueryResult> {
+    eval_vpct_lattice_guarded(catalog, q, prefix, &ResourceGuard::unlimited())
+}
+
+/// [`eval_vpct_lattice`] with an explicit [`ResourceGuard`] metering every
+/// aggregate and join in the lattice plan.
+pub fn eval_vpct_lattice_guarded(
+    catalog: &Catalog,
+    q: &VpctQuery,
+    prefix: &str,
+    guard: &ResourceGuard,
+) -> Result<QueryResult> {
     q.validate()?;
     let mut stats = ExecStats::default();
     let statements = crate::codegen::vpct_statements(q, &crate::strategy::VpctStrategy::best());
@@ -135,7 +146,11 @@ pub fn eval_vpct_lattice(catalog: &Catalog, q: &VpctQuery, prefix: &str) -> Resu
 
     // Plan the lattice.
     let root = Level::new(&q.group_by);
-    let needed: Vec<Level> = q.terms.iter().map(|t| Level::new(&q.totals_key(t))).collect();
+    let needed: Vec<Level> = q
+        .terms
+        .iter()
+        .map(|t| Level::new(&q.totals_key(t)))
+        .collect();
     let steps = plan_levels(&root, &needed);
 
     // Root: Fk with one sum per term plus extras, exactly like eval_vpct.
@@ -160,7 +175,7 @@ pub fn eval_vpct_lattice(catalog: &Catalog, q: &VpctQuery, prefix: &str) -> Resu
         };
         fk_specs.push(AggSpec::new(extra.func, input, extra.name.clone()));
     }
-    let fk = multi_hash_aggregate(&f, &[(k_cols, fk_specs)], &mut stats)?
+    let fk = multi_hash_aggregate_guarded(&f, &[(k_cols, fk_specs)], guard, &mut stats)?
         .pop()
         .expect("one level");
     drop(f);
@@ -189,7 +204,7 @@ pub fn eval_vpct_lattice(catalog: &Catalog, q: &VpctQuery, prefix: &str) -> Resu
                 Ok(AggSpec::new(AggFunc::Sum, Expr::Col(pos), t.name.clone()))
             })
             .collect::<Result<Vec<_>>>()?;
-        let table = multi_hash_aggregate(src, &[(group_cols, specs)], &mut stats)?
+        let table = multi_hash_aggregate_guarded(src, &[(group_cols, specs)], guard, &mut stats)?
             .pop()
             .expect("one level");
         debug_assert_eq!(idx, level_tables.len());
@@ -246,7 +261,16 @@ pub fn eval_vpct_lattice(catalog: &Catalog, q: &VpctQuery, prefix: &str) -> Resu
         // Level tables carry one re-aggregated sum per term, in term order;
         // term t's total lands just past the joined-in key columns.
         let total_pos = cur.num_columns() + j_len + t;
-        cur = hash_join(&cur, fj, &cur_keys, &fj_keys, JoinType::Inner, None, &mut stats)?;
+        cur = hash_join_guarded(
+            &cur,
+            fj,
+            &cur_keys,
+            &fj_keys,
+            JoinType::Inner,
+            None,
+            guard,
+            &mut stats,
+        )?;
         pct_exprs.push(Expr::Col(sum_pos).safe_div(Expr::Col(total_pos)));
     }
 
@@ -294,6 +318,18 @@ pub fn eval_vpct_batch(
     catalog: &Catalog,
     queries: &[VpctQuery],
     prefix: &str,
+) -> Result<Vec<QueryResult>> {
+    eval_vpct_batch_guarded(catalog, queries, prefix, &ResourceGuard::unlimited())
+}
+
+/// [`eval_vpct_batch`] with an explicit [`ResourceGuard`] shared across the
+/// whole batch: the summary scan and every per-query evaluation draw from
+/// the same row budget.
+pub fn eval_vpct_batch_guarded(
+    catalog: &Catalog,
+    queries: &[VpctQuery],
+    prefix: &str,
+    guard: &ResourceGuard,
 ) -> Result<Vec<QueryResult>> {
     if queries.is_empty() {
         return Ok(Vec::new());
@@ -343,9 +379,15 @@ pub fn eval_vpct_batch(
     let specs: Vec<AggSpec> = measures
         .iter()
         .enumerate()
-        .map(|(i, m)| Ok(AggSpec::new(AggFunc::Sum, m.to_expr(&f_schema)?, format!("__m{i}"))))
+        .map(|(i, m)| {
+            Ok(AggSpec::new(
+                AggFunc::Sum,
+                m.to_expr(&f_schema)?,
+                format!("__m{i}"),
+            ))
+        })
         .collect::<Result<Vec<_>>>()?;
-    let summary = multi_hash_aggregate(&f, &[(union_idx, specs)], &mut stats)?
+    let summary = multi_hash_aggregate_guarded(&f, &[(union_idx, specs)], guard, &mut stats)?
         .pop()
         .expect("one level");
     drop(f);
@@ -359,14 +401,18 @@ pub fn eval_vpct_batch(
         let mut rq = q.clone();
         rq.table = summary_name.clone();
         for term in &mut rq.terms {
-            let m_idx = measures.iter().position(|m| m == &term.measure).expect("collected");
+            let m_idx = measures
+                .iter()
+                .position(|m| m == &term.measure)
+                .expect("collected");
             term.measure = crate::query::Measure::Column(format!("__m{m_idx}"));
         }
-        let mut result = crate::vertical::eval_vpct(
+        let mut result = crate::vertical::eval_vpct_guarded(
             catalog,
             &rq,
             &crate::strategy::VpctStrategy::best(),
             &format!("{prefix}q{i}_"),
+            guard,
         )?;
         // Fold the shared-summary cost into the first result's accounting.
         if i == 0 {
@@ -458,14 +504,11 @@ mod tests {
         let q = VpctQuery {
             table: "sales".into(),
             group_by: vec!["state".into(), "city".into()],
-            terms: vec![
-                VpctTerm::new("salesAmt", &["city"]),
-                {
-                    let mut t = VpctTerm::new("salesAmt", &["city"]);
-                    t.name = "second_copy".into();
-                    t
-                },
-            ],
+            terms: vec![VpctTerm::new("salesAmt", &["city"]), {
+                let mut t = VpctTerm::new("salesAmt", &["city"]);
+                t.name = "second_copy".into();
+                t
+            }],
             extra: vec![],
         };
         let per_term = eval_vpct(&catalog, &q, &VpctStrategy::best(), "p_").unwrap();

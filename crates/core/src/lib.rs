@@ -24,16 +24,20 @@ pub mod strategy;
 pub mod vertical;
 
 pub use error::{CoreError, Result};
+pub use executor::{PercentageEngine, SqlOutcome};
+pub use horizontal::{eval_horizontal, eval_horizontal_guarded, HorizontalResult};
+pub use lattice::{
+    eval_vpct_batch, eval_vpct_batch_guarded, eval_vpct_lattice, eval_vpct_lattice_guarded,
+    plan_levels, Level, LevelSource, LevelStep,
+};
+pub use missing::MissingRows;
+pub use olap::eval_vpct_olap;
+pub use optimizer::{choose_horizontal_strategy, choose_vpct_strategy};
+pub use pa_engine::ResourceGuard;
 pub use query::{
     from_sql, ExtraAgg, HorizontalQuery, HorizontalTerm, Measure, Query, VpctQuery, VpctTerm,
 };
 pub use strategy::{
     FjSource, HorizontalOptions, HorizontalStrategy, Materialization, VpctStrategy,
 };
-pub use executor::{PercentageEngine, SqlOutcome};
-pub use horizontal::{eval_horizontal, HorizontalResult};
-pub use lattice::{eval_vpct_batch, eval_vpct_lattice, plan_levels, Level, LevelSource, LevelStep};
-pub use missing::MissingRows;
-pub use olap::eval_vpct_olap;
-pub use optimizer::{choose_horizontal_strategy, choose_vpct_strategy};
-pub use vertical::{eval_vpct, QueryResult};
+pub use vertical::{eval_vpct, eval_vpct_guarded, QueryResult};

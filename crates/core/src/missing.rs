@@ -229,11 +229,7 @@ mod tests {
         .unwrap()
         .into_shared();
         let mut t = Table::empty(schema);
-        for (s, d, a) in [
-            (2, "Mon", 100.0),
-            (2, "Tue", 300.0),
-            (4, "Tue", 800.0),
-        ] {
+        for (s, d, a) in [(2, "Mon", 100.0), (2, "Tue", 300.0), (4, "Tue", 800.0)] {
             t.push_row(&[Value::Int(s), Value::str(d), Value::Float(a)])
                 .unwrap();
         }
@@ -330,7 +326,8 @@ mod tests {
     fn handlers_reject_multi_term_queries() {
         let catalog = catalog();
         let mut q2 = q();
-        q2.terms.push(crate::query::VpctTerm::new("amt", &["dweek"]));
+        q2.terms
+            .push(crate::query::VpctTerm::new("amt", &["dweek"]));
         q2.terms[1].name = "second".into();
         assert!(matches!(
             preprocess_pad(&catalog, &q2, &mut ExecStats::default()),
@@ -342,6 +339,9 @@ mod tests {
     fn nothing_to_do_for_global_totals() {
         let catalog = catalog();
         let q = VpctQuery::single("sales", &["store"], "amt", &[]);
-        assert_eq!(preprocess_pad(&catalog, &q, &mut ExecStats::default()).unwrap(), 0);
+        assert_eq!(
+            preprocess_pad(&catalog, &q, &mut ExecStats::default()).unwrap(),
+            0
+        );
     }
 }

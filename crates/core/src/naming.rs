@@ -74,7 +74,11 @@ pub fn dedup_names(names: &mut [String]) {
 /// Split `n_cells` cell columns into partitions so that each partition table
 /// holds at most `max_columns` total columns including the `n_key` key
 /// columns. Returns the half-open cell index ranges, one per partition.
-pub fn partition_ranges(n_cells: usize, n_key: usize, max_columns: usize) -> Vec<std::ops::Range<usize>> {
+pub fn partition_ranges(
+    n_cells: usize,
+    n_key: usize,
+    max_columns: usize,
+) -> Vec<std::ops::Range<usize>> {
     let per = max_columns.saturating_sub(n_key).max(1);
     let mut out = Vec::new();
     let mut start = 0;
@@ -96,10 +100,7 @@ mod tests {
     #[test]
     fn names_follow_paper_convention() {
         let by = vec!["dweek".to_string()];
-        assert_eq!(
-            cell_column_name("", &by, &[Value::str("Mon")]),
-            "dweek=Mon"
-        );
+        assert_eq!(cell_column_name("", &by, &[Value::str("Mon")]), "dweek=Mon");
         let by2 = vec!["region".to_string(), "month".to_string()];
         assert_eq!(
             cell_column_name("hpct_sales", &by2, &[Value::Int(4), Value::Int(12)]),
@@ -129,7 +130,12 @@ mod tests {
 
     #[test]
     fn dedup_appends_counters() {
-        let mut names = vec!["a".to_string(), "a".to_string(), "a".to_string(), "b".to_string()];
+        let mut names = vec![
+            "a".to_string(),
+            "a".to_string(),
+            "a".to_string(),
+            "b".to_string(),
+        ];
         dedup_names(&mut names);
         assert_eq!(names, vec!["a", "a_2", "a_3", "b"]);
     }

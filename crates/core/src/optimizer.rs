@@ -64,8 +64,12 @@ pub fn choose_horizontal_strategy(
     q: &HorizontalQuery,
 ) -> Result<HorizontalStrategy> {
     // Holistic aggregates cannot re-aggregate from FV at all.
-    if q.terms.iter().any(|t| t.func == pa_engine::AggFunc::CountDistinct)
-        || q.extra.iter().any(|e| e.func == pa_engine::AggFunc::CountDistinct)
+    if q.terms
+        .iter()
+        .any(|t| t.func == pa_engine::AggFunc::CountDistinct)
+        || q.extra
+            .iter()
+            .any(|e| e.func == pa_engine::AggFunc::CountDistinct)
     {
         return Ok(HorizontalStrategy::CaseDirect);
     }

@@ -139,7 +139,12 @@ pub struct VpctQuery {
 
 impl VpctQuery {
     /// Single-term convenience constructor.
-    pub fn single(table: &str, group_by: &[&str], measure: impl Into<Measure>, by: &[&str]) -> VpctQuery {
+    pub fn single(
+        table: &str,
+        group_by: &[&str],
+        measure: impl Into<Measure>,
+        by: &[&str],
+    ) -> VpctQuery {
         VpctQuery {
             table: table.to_string(),
             group_by: group_by.iter().map(|s| s.to_string()).collect(),
@@ -223,7 +228,11 @@ impl HorizontalTerm {
         let measure = measure.into();
         HorizontalTerm {
             func,
-            name: format!("{}_{}", func.sql_name().replace("(*)", "_star"), measure.label()),
+            name: format!(
+                "{}_{}",
+                func.sql_name().replace("(*)", "_star"),
+                measure.label()
+            ),
             measure,
             by: by.iter().map(|s| s.to_string()).collect(),
             percentage: false,
@@ -254,7 +263,12 @@ pub struct HorizontalQuery {
 
 impl HorizontalQuery {
     /// Single-`Hpct` convenience constructor.
-    pub fn hpct(table: &str, group_by: &[&str], measure: impl Into<Measure>, by: &[&str]) -> HorizontalQuery {
+    pub fn hpct(
+        table: &str,
+        group_by: &[&str],
+        measure: impl Into<Measure>,
+        by: &[&str],
+    ) -> HorizontalQuery {
         HorizontalQuery {
             table: table.to_string(),
             group_by: group_by.iter().map(|s| s.to_string()).collect(),
@@ -459,7 +473,9 @@ pub fn ast_to_expr(e: &AstExpr, schema: &Schema) -> Result<pa_engine::Expr> {
         AstExpr::Float(x) => Expr::lit(*x),
         AstExpr::Str(s) => Expr::lit(s.as_str()),
         AstExpr::Star => {
-            return Err(CoreError::InvalidQuery("'*' is not a scalar expression".into()));
+            return Err(CoreError::InvalidQuery(
+                "'*' is not a scalar expression".into(),
+            ));
         }
         AstExpr::Binary { op, left, right } => {
             let l = Box::new(ast_to_expr(left, schema)?);
@@ -531,10 +547,11 @@ mod tests {
 
     #[test]
     fn from_sql_vertical() {
-        let stmt =
-            parse("SELECT state,city,Vpct(salesAmt BY city),sum(salesAmt) AS tot FROM sales \
-                   GROUP BY state,city")
-                .unwrap();
+        let stmt = parse(
+            "SELECT state,city,Vpct(salesAmt BY city),sum(salesAmt) AS tot FROM sales \
+                   GROUP BY state,city",
+        )
+        .unwrap();
         let Query::Vertical(q) = from_sql(&stmt).unwrap() else {
             panic!("expected vertical");
         };
@@ -547,10 +564,9 @@ mod tests {
 
     #[test]
     fn from_sql_horizontal_with_percentage_and_hagg() {
-        let stmt = parse(
-            "SELECT store, Hpct(salesAmt BY dweek), sum(salesAmt) FROM sales GROUP BY store",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT store, Hpct(salesAmt BY dweek), sum(salesAmt) FROM sales GROUP BY store")
+                .unwrap();
         let Query::Horizontal(q) = from_sql(&stmt).unwrap() else {
             panic!("expected horizontal");
         };
@@ -558,10 +574,7 @@ mod tests {
         assert!(q.terms[0].percentage);
         assert_eq!(q.extra.len(), 1);
 
-        let stmt = parse(
-            "SELECT tid, max(1 BY deptId DEFAULT 0) FROM t GROUP BY tid",
-        )
-        .unwrap();
+        let stmt = parse("SELECT tid, max(1 BY deptId DEFAULT 0) FROM t GROUP BY tid").unwrap();
         let Query::Horizontal(q) = from_sql(&stmt).unwrap() else {
             panic!("expected horizontal");
         };

@@ -19,8 +19,8 @@ use crate::error::{CoreError, Result};
 use crate::query::{ExtraAgg, VpctQuery};
 use crate::strategy::{FjSource, Materialization, VpctStrategy};
 use pa_engine::{
-    create_table_as, hash_join, multi_hash_aggregate, update_from, AggFunc, AggSpec, ExecStats,
-    Expr, JoinType, ProjSpec, SetClause,
+    create_table_as, hash_join_guarded, multi_hash_aggregate_guarded, update_from, AggFunc,
+    AggSpec, ExecStats, Expr, JoinType, ProjSpec, ResourceGuard, SetClause,
 };
 use pa_storage::{Catalog, HashIndex, SharedTable, Table, Value};
 
@@ -65,6 +65,20 @@ pub fn eval_vpct(
     q: &VpctQuery,
     strat: &VpctStrategy,
     prefix: &str,
+) -> Result<QueryResult> {
+    eval_vpct_guarded(catalog, q, strat, prefix, &ResourceGuard::unlimited())
+}
+
+/// [`eval_vpct`] under a [`ResourceGuard`]: the plan's aggregation scans,
+/// join probes and materialized rows are charged against the guard, so an
+/// over-budget plan fails with [`CoreError::BudgetExceeded`] instead of
+/// exhausting memory.
+pub fn eval_vpct_guarded(
+    catalog: &Catalog,
+    q: &VpctQuery,
+    strat: &VpctStrategy,
+    prefix: &str,
+    guard: &ResourceGuard,
 ) -> Result<QueryResult> {
     q.validate()?;
     let mut stats = ExecStats::default();
@@ -124,30 +138,35 @@ pub fn eval_vpct(
         .collect();
 
     // ---- Step 1 (+ optionally step 2): aggregate.
-    let (fk_table, mut fj_tables): (Table, Vec<Table>) =
-        if strat.synchronized_scan && strat.fj_source == FjSource::FromF {
-            // One synchronized scan computing Fk and every Fj.
-            let mut levels: Vec<(Vec<usize>, Vec<AggSpec>)> =
-                vec![(k_cols.clone(), fk_specs.clone())];
-            for (t, term) in q.terms.iter().enumerate() {
-                levels.push((
-                    totals_f_cols[t].clone(),
-                    vec![AggSpec::new(
-                        AggFunc::Sum,
-                        term.measure.to_expr(&f_schema)?,
-                        "total",
-                    )],
-                ));
-            }
-            let mut out = multi_hash_aggregate(&f, &levels, &mut stats)?;
-            let fk = out.remove(0);
-            (fk, out)
-        } else {
-            let fk = multi_hash_aggregate(&f, &[(k_cols.clone(), fk_specs.clone())], &mut stats)?
-                .pop()
-                .expect("one level");
-            (fk, Vec::new())
-        };
+    let (fk_table, mut fj_tables): (Table, Vec<Table>) = if strat.synchronized_scan
+        && strat.fj_source == FjSource::FromF
+    {
+        // One synchronized scan computing Fk and every Fj.
+        let mut levels: Vec<(Vec<usize>, Vec<AggSpec>)> = vec![(k_cols.clone(), fk_specs.clone())];
+        for (t, term) in q.terms.iter().enumerate() {
+            levels.push((
+                totals_f_cols[t].clone(),
+                vec![AggSpec::new(
+                    AggFunc::Sum,
+                    term.measure.to_expr(&f_schema)?,
+                    "total",
+                )],
+            ));
+        }
+        let mut out = multi_hash_aggregate_guarded(&f, &levels, guard, &mut stats)?;
+        let fk = out.remove(0);
+        (fk, out)
+    } else {
+        let fk = multi_hash_aggregate_guarded(
+            &f,
+            &[(k_cols.clone(), fk_specs.clone())],
+            guard,
+            &mut stats,
+        )?
+        .pop()
+        .expect("one level");
+        (fk, Vec::new())
+    };
 
     // ---- Step 2: totals per term (unless the synchronized scan made them).
     if fj_tables.is_empty() {
@@ -156,17 +175,23 @@ pub fn eval_vpct(
                 FjSource::FromF => {
                     let spec =
                         AggSpec::new(AggFunc::Sum, term.measure.to_expr(&f_schema)?, "total");
-                    multi_hash_aggregate(&f, &[(totals_f_cols[t].clone(), vec![spec])], &mut stats)?
-                        .pop()
-                        .expect("one level")
+                    multi_hash_aggregate_guarded(
+                        &f,
+                        &[(totals_f_cols[t].clone(), vec![spec])],
+                        guard,
+                        &mut stats,
+                    )?
+                    .pop()
+                    .expect("one level")
                 }
                 FjSource::FromFk => {
                     // Re-aggregate the partial sums (distributive).
                     let sum_pos = k_len + t;
                     let spec = AggSpec::new(AggFunc::Sum, Expr::Col(sum_pos), "total");
-                    multi_hash_aggregate(
+                    multi_hash_aggregate_guarded(
                         &fk_table,
                         &[(totals_fk_cols[t].clone(), vec![spec])],
+                        guard,
                         &mut stats,
                     )?
                     .pop()
@@ -208,25 +233,27 @@ pub fn eval_vpct(
                     let fj_keys: Vec<usize> = (0..j_len).collect();
                     let index = if strat.subkey_index {
                         stats.statements += 1; // CREATE INDEX
-                        Some(catalog.create_index(
-                            &fj_names[t],
-                            &fj.schema()
-                                .fields()[..j_len]
-                                .iter()
-                                .map(|fld| fld.name.as_str())
-                                .collect::<Vec<_>>(),
-                        )?)
+                        Some(
+                            catalog.create_index(
+                                &fj_names[t],
+                                &fj.schema().fields()[..j_len]
+                                    .iter()
+                                    .map(|fld| fld.name.as_str())
+                                    .collect::<Vec<_>>(),
+                            )?,
+                        )
                     } else {
                         None
                     };
                     let total_pos = cur.num_columns() + j_len;
-                    cur = hash_join(
+                    cur = hash_join_guarded(
                         &cur,
                         fj,
                         &totals_fk_cols[t],
                         &fj_keys,
                         JoinType::Inner,
                         index.as_deref(),
+                        guard,
                         &mut stats,
                     )?;
                     pct_exprs.push(Expr::Col(sum_pos).safe_div(Expr::Col(total_pos)));
@@ -271,19 +298,27 @@ pub fn eval_vpct(
                 let fj = &fj_tables[t];
                 let j_len = totals_fk_cols[t].len();
                 if j_len == 0 {
-                    scalar_update_divide(catalog, &fk_name, sum_pos, fj.get(0, 0), &mut stats)?;
+                    scalar_update_divide(
+                        catalog,
+                        &fk_name,
+                        sum_pos,
+                        fj.get(0, 0),
+                        guard,
+                        &mut stats,
+                    )?;
                 } else {
                     let fj_keys: Vec<usize> = (0..j_len).collect();
                     let index: Option<std::sync::Arc<HashIndex>> = if strat.subkey_index {
                         stats.statements += 1;
-                        Some(catalog.create_index(
-                            &fj_names[t],
-                            &fj.schema()
-                                .fields()[..j_len]
-                                .iter()
-                                .map(|fld| fld.name.as_str())
-                                .collect::<Vec<_>>(),
-                        )?)
+                        Some(
+                            catalog.create_index(
+                                &fj_names[t],
+                                &fj.schema().fields()[..j_len]
+                                    .iter()
+                                    .map(|fld| fld.name.as_str())
+                                    .collect::<Vec<_>>(),
+                            )?,
+                        )
                     } else {
                         None
                     };
@@ -328,6 +363,7 @@ fn scalar_update_divide(
     table: &str,
     col: usize,
     total: Value,
+    guard: &ResourceGuard,
     stats: &mut ExecStats,
 ) -> Result<()> {
     stats.statements += 1;
@@ -336,6 +372,7 @@ fn scalar_update_divide(
     let mut t = shared.write();
     let n = t.num_rows();
     stats.rows_scanned += n as u64;
+    guard.charge(n as u64)?;
     let denom = total.as_f64();
     for row in 0..n {
         let before = t.column(col).get(row);
@@ -345,7 +382,12 @@ fn scalar_update_divide(
         };
         stats.case_condition_evals += 1;
         catalog.with_wal(|wal| {
-            wal.log_update(table, row, std::slice::from_ref(&before), std::slice::from_ref(&after))
+            wal.log_update(
+                table,
+                row,
+                std::slice::from_ref(&before),
+                std::slice::from_ref(&after),
+            )
         })?;
         t.column_mut(col).set(row, after)?;
     }
@@ -427,8 +469,7 @@ pub(crate) mod tests {
     #[test]
     fn paper_table2_best_strategy() {
         let catalog = sales_catalog();
-        let result =
-            eval_vpct(&catalog, &paper_query(), &VpctStrategy::best(), "t_").unwrap();
+        let result = eval_vpct(&catalog, &paper_query(), &VpctStrategy::best(), "t_").unwrap();
         check_result(&result);
         assert!(catalog.contains("t_Fk"));
         assert!(catalog.contains("t_Fj0"));

@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pa_engine::{
-    distinct, hash_aggregate, hash_join, multi_hash_aggregate, window_aggregate, AggFunc,
-    AggSpec, ExecStats, Expr, JoinType,
+    distinct, hash_aggregate, hash_join, multi_hash_aggregate, window_aggregate, AggFunc, AggSpec,
+    ExecStats, Expr, JoinType,
 };
 use pa_storage::{DataType, HashIndex, Schema, Table, Value};
 
@@ -43,8 +43,13 @@ fn bench_primitives(c: &mut Criterion) {
 
     c.bench_with_input(BenchmarkId::new("aggregate/group-by-2", N), &N, |b, _| {
         b.iter(|| {
-            hash_aggregate(&f, &[0, 1], std::slice::from_ref(&sum_a), &mut ExecStats::default())
-                .unwrap()
+            hash_aggregate(
+                &f,
+                &[0, 1],
+                std::slice::from_ref(&sum_a),
+                &mut ExecStats::default(),
+            )
+            .unwrap()
         });
     });
 
@@ -67,16 +72,33 @@ fn bench_primitives(c: &mut Criterion) {
     );
 
     // Join a 700-group Fk against a 100-group Fj.
-    let fk =
-        hash_aggregate(&f, &[0, 1], std::slice::from_ref(&sum_a), &mut ExecStats::default())
-            .unwrap();
-    let fj = hash_aggregate(&f, &[0], std::slice::from_ref(&sum_a), &mut ExecStats::default())
-        .unwrap();
+    let fk = hash_aggregate(
+        &f,
+        &[0, 1],
+        std::slice::from_ref(&sum_a),
+        &mut ExecStats::default(),
+    )
+    .unwrap();
+    let fj = hash_aggregate(
+        &f,
+        &[0],
+        std::slice::from_ref(&sum_a),
+        &mut ExecStats::default(),
+    )
+    .unwrap();
     let idx = HashIndex::build(&fj, &[0]).unwrap();
     c.bench_function("join/unindexed", |b| {
         b.iter(|| {
-            hash_join(&fk, &fj, &[0], &[0], JoinType::Inner, None, &mut ExecStats::default())
-                .unwrap()
+            hash_join(
+                &fk,
+                &fj,
+                &[0],
+                &[0],
+                JoinType::Inner,
+                None,
+                &mut ExecStats::default(),
+            )
+            .unwrap()
         });
     });
     c.bench_function("join/prebuilt-index", |b| {

@@ -13,6 +13,16 @@ pub enum EngineError {
     /// An operator was invoked with inconsistent arguments
     /// (mismatched key arity, unknown columns, ...).
     InvalidOperator(String),
+    /// A [`crate::ResourceGuard`] row budget was exhausted mid-plan.
+    BudgetExceeded {
+        /// The configured ceiling, in rows of work.
+        budget: u64,
+        /// The running total that tripped it.
+        attempted: u64,
+    },
+    /// Cooperative cancellation was requested through a
+    /// [`crate::ResourceGuard`].
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -21,6 +31,11 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage: {e}"),
             EngineError::ExprType(msg) => write!(f, "expression type error: {msg}"),
             EngineError::InvalidOperator(msg) => write!(f, "invalid operator: {msg}"),
+            EngineError::BudgetExceeded { budget, attempted } => write!(
+                f,
+                "row budget exceeded: plan needed {attempted} rows of work, budget is {budget}"
+            ),
+            EngineError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }
@@ -58,5 +73,16 @@ mod tests {
     fn expr_type_display() {
         let e = EngineError::ExprType("cannot add Str".into());
         assert!(e.to_string().contains("cannot add Str"));
+    }
+
+    #[test]
+    fn guard_errors_display() {
+        let e = EngineError::BudgetExceeded {
+            budget: 100,
+            attempted: 150,
+        };
+        assert!(e.to_string().contains("100"), "{e}");
+        assert!(e.to_string().contains("150"), "{e}");
+        assert!(EngineError::Cancelled.to_string().contains("cancelled"));
     }
 }

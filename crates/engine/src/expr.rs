@@ -128,6 +128,12 @@ impl Expr {
     /// Conjunction of `col_i = value_i` over the given pairs — the boolean
     /// form horizontal strategies generate for each result column. Uses
     /// null-safe equality so NULL group keys match their own column.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice: a key match over zero columns has no
+    /// boolean meaning. Callers materialize it from a validated `BY` list,
+    /// which the SQL layer guarantees is non-empty.
     pub fn key_match(pairs: &[(usize, Value)]) -> Expr {
         let mut it = pairs.iter();
         let (c0, v0) = it.next().expect("key_match needs at least one pair");
@@ -363,9 +369,7 @@ impl Expr {
                 Some(b) => Value::Int(!b as i64),
                 None => Value::Null,
             }),
-            Expr::IsNull(e) => Ok(Value::Int(
-                e.eval_cols(cols, row, stats)?.is_null() as i64
-            )),
+            Expr::IsNull(e) => Ok(Value::Int(e.eval_cols(cols, row, stats)?.is_null() as i64)),
             Expr::Case {
                 branches,
                 else_value,
@@ -481,7 +485,8 @@ mod tests {
             .unwrap();
         t.push_row(&[Value::str("y"), Value::Float(4.0), Value::Int(0)])
             .unwrap();
-        t.push_row(&[Value::Null, Value::Null, Value::Int(5)]).unwrap();
+        t.push_row(&[Value::Null, Value::Null, Value::Int(5)])
+            .unwrap();
         t
     }
 
@@ -529,7 +534,9 @@ mod tests {
     fn safe_div_counts_one_case_condition() {
         let t = table();
         let s = t.schema();
-        let e = Expr::col(s, "a").unwrap().safe_div(Expr::col(s, "b").unwrap());
+        let e = Expr::col(s, "a")
+            .unwrap()
+            .safe_div(Expr::col(s, "b").unwrap());
         let mut st = ExecStats::default();
         e.eval(&t, 0, &mut st).unwrap();
         assert_eq!(st.case_condition_evals, 1);
@@ -586,7 +593,11 @@ mod tests {
         assert_eq!(st.case_condition_evals, 2, "stops at the first match");
 
         let mut st = ExecStats::default();
-        assert_eq!(e.eval(&t, 1, &mut st).unwrap(), Value::Null, "no ELSE → NULL");
+        assert_eq!(
+            e.eval(&t, 1, &mut st).unwrap(),
+            Value::Null,
+            "no ELSE → NULL"
+        );
         assert_eq!(st.case_condition_evals, 3, "all conditions tried");
     }
 
@@ -627,7 +638,11 @@ mod tests {
             Box::new(Expr::col(s, "d").unwrap()),
             Box::new(Expr::Lit(Value::Null)),
         );
-        assert_eq!(eval(&e, &t, 0), Value::Int(0), "'x' IS NOT DISTINCT FROM NULL");
+        assert_eq!(
+            eval(&e, &t, 0),
+            Value::Int(0),
+            "'x' IS NOT DISTINCT FROM NULL"
+        );
         assert_eq!(eval(&e, &t, 2), Value::Int(1), "NULL matches NULL");
         // Int/Float cross-type key equality.
         let e = Expr::KeyEq(Box::new(Expr::lit(2)), Box::new(Expr::lit(2.0)));
@@ -638,7 +653,11 @@ mod tests {
     fn cast_conversions() {
         let t = table();
         let cast = |dt, e: Expr| eval(&Expr::Cast(dt, Box::new(e)), &t, 0);
-        assert_eq!(cast(DataType::Int, Expr::lit(2.9)), Value::Int(2), "truncates");
+        assert_eq!(
+            cast(DataType::Int, Expr::lit(2.9)),
+            Value::Int(2),
+            "truncates"
+        );
         assert_eq!(cast(DataType::Float, Expr::lit(3)), Value::Float(3.0));
         assert_eq!(cast(DataType::Str, Expr::lit(7)), Value::str("7"));
         assert_eq!(
@@ -669,10 +688,7 @@ mod tests {
         // Fk.a / Fj.total: column 1 is left.a, column 3 is right.total.
         let e = Expr::Col(1).safe_div(Expr::Col(3));
         let mut st = ExecStats::default();
-        assert_eq!(
-            e.eval2(&fk, 0, &fj, 0, &mut st).unwrap(),
-            Value::Float(0.5)
-        );
+        assert_eq!(e.eval2(&fk, 0, &fj, 0, &mut st).unwrap(), Value::Float(0.5));
         assert_eq!(e.eval2(&fk, 0, &fj, 1, &mut st).unwrap(), Value::Null);
         assert!(Expr::Col(9).eval2(&fk, 0, &fj, 0, &mut st).is_err());
     }

@@ -1,0 +1,189 @@
+//! Resource guarding: row budgets and cooperative cancellation.
+//!
+//! A percentage query can explode quietly — a skewed join key turns the
+//! `Fk ⋈ Fj` probe into a cross product, a high-cardinality BY list turns
+//! the `Hpct` pivot into millions of groups — and the first symptom is the
+//! allocator failing. [`ResourceGuard`] puts a ceiling in front of that: hot
+//! loops charge the rows they scan and materialize against a shared budget
+//! and bail out with a typed [`EngineError::BudgetExceeded`] (or
+//! [`EngineError::Cancelled`]) long before memory does.
+//!
+//! The guard is a cheap clonable handle; all clones share one counter, so a
+//! plan that fans out over several operators still observes a single global
+//! budget. The default guard is unlimited and compiles down to a null check
+//! in the hot path.
+
+use crate::error::{EngineError, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How many loop iterations pass between cooperative cancellation checks in
+/// operator hot loops. A power of two so the modulo folds to a mask.
+pub const CANCEL_CHECK_INTERVAL: usize = 1024;
+
+#[derive(Debug)]
+struct GuardInner {
+    /// Maximum rows (scanned + materialized) this guard admits.
+    row_budget: u64,
+    /// Rows charged so far, shared across clones.
+    rows: AtomicU64,
+    /// Cooperative cancellation flag.
+    cancelled: AtomicBool,
+}
+
+/// A shared handle enforcing a row budget and a cancellation flag over the
+/// operators of one plan.
+///
+/// ```
+/// use pa_engine::{EngineError, ResourceGuard};
+///
+/// let guard = ResourceGuard::with_row_budget(10);
+/// assert!(guard.charge(8).is_ok());
+/// let err = guard.clone().charge(5).unwrap_err(); // clones share the meter
+/// assert!(matches!(err, EngineError::BudgetExceeded { budget: 10, .. }));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResourceGuard {
+    inner: Option<Arc<GuardInner>>,
+}
+
+impl ResourceGuard {
+    /// A guard that admits everything. `charge` and `check` are near-free.
+    pub const fn unlimited() -> ResourceGuard {
+        ResourceGuard { inner: None }
+    }
+
+    /// A guard admitting at most `rows` rows of work (scanned plus
+    /// materialized) before operators return
+    /// [`EngineError::BudgetExceeded`].
+    pub fn with_row_budget(rows: u64) -> ResourceGuard {
+        ResourceGuard {
+            inner: Some(Arc::new(GuardInner {
+                row_budget: rows,
+                rows: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Whether this guard enforces anything at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// The configured row budget, if any.
+    pub fn row_budget(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.row_budget)
+    }
+
+    /// Rows charged so far across all clones of this guard.
+    pub fn rows_charged(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.rows.load(Ordering::Relaxed))
+    }
+
+    /// Request cooperative cancellation: every subsequent `charge`/`check`
+    /// (on any clone) fails with [`EngineError::Cancelled`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancelled.load(Ordering::Relaxed))
+    }
+
+    /// Fail if cancellation was requested. Called periodically from loops
+    /// whose row charges were prepaid in bulk.
+    pub fn check(&self) -> Result<()> {
+        match &self.inner {
+            None => Ok(()),
+            Some(inner) => {
+                if inner.cancelled.load(Ordering::Relaxed) {
+                    Err(EngineError::Cancelled)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Charge `rows` rows of work against the budget.
+    ///
+    /// Fails with [`EngineError::BudgetExceeded`] when the running total
+    /// would pass the budget (the charge still registers, so every clone
+    /// fails consistently afterwards) and with [`EngineError::Cancelled`]
+    /// when cancellation was requested.
+    pub fn charge(&self, rows: u64) -> Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return Err(EngineError::Cancelled);
+        }
+        let total = inner.rows.fetch_add(rows, Ordering::Relaxed) + rows;
+        if total > inner.row_budget {
+            return Err(EngineError::BudgetExceeded {
+                budget: inner.row_budget,
+                attempted: total,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let g = ResourceGuard::unlimited();
+        assert!(g.is_unlimited());
+        assert!(g.charge(u64::MAX).is_ok());
+        assert!(g.check().is_ok());
+        assert_eq!(g.rows_charged(), 0, "nothing metered");
+        assert_eq!(g.row_budget(), None);
+        g.cancel(); // no-op on the unlimited guard
+        assert!(!g.is_cancelled());
+        assert!(ResourceGuard::default().is_unlimited());
+    }
+
+    #[test]
+    fn budget_exceeded_reports_numbers() {
+        let g = ResourceGuard::with_row_budget(100);
+        assert!(g.charge(100).is_ok(), "budget is inclusive");
+        let err = g.charge(1).unwrap_err();
+        match err {
+            EngineError::BudgetExceeded { budget, attempted } => {
+                assert_eq!(budget, 100);
+                assert_eq!(attempted, 101);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clones_share_the_meter() {
+        let g = ResourceGuard::with_row_budget(10);
+        let h = g.clone();
+        g.charge(6).unwrap();
+        assert_eq!(h.rows_charged(), 6);
+        assert!(h.charge(6).is_err(), "clone sees the same running total");
+    }
+
+    #[test]
+    fn cancellation_wins_over_budget() {
+        let g = ResourceGuard::with_row_budget(1_000_000);
+        let h = g.clone();
+        h.cancel();
+        assert!(g.is_cancelled());
+        assert!(matches!(g.check(), Err(EngineError::Cancelled)));
+        assert!(matches!(g.charge(1), Err(EngineError::Cancelled)));
+    }
+}

@@ -15,18 +15,23 @@
 
 pub mod error;
 pub mod expr;
+pub mod guard;
 pub mod keymap;
 pub mod ops;
 pub mod stats;
 
 pub use error::{EngineError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
+pub use guard::ResourceGuard;
 pub use keymap::RowKeyMap;
-pub use ops::aggregate::{hash_aggregate, multi_hash_aggregate, resolve_cols, AggFunc, AggSpec};
+pub use ops::aggregate::{
+    hash_aggregate, hash_aggregate_guarded, multi_hash_aggregate, multi_hash_aggregate_guarded,
+    resolve_cols, AggFunc, AggSpec,
+};
 pub use ops::distinct::{distinct, distinct_keys};
 pub use ops::filter::filter;
 pub use ops::insert::{create_table_as, insert_into};
-pub use ops::join::{hash_join, JoinType};
+pub use ops::join::{hash_join, hash_join_guarded, JoinType};
 pub use ops::project::{project, ProjSpec};
 pub use ops::sort::{sort, sort_permutation};
 pub use ops::update::{update_from, SetClause};

@@ -11,6 +11,7 @@
 
 use crate::error::{EngineError, Result};
 use crate::expr::Expr;
+use crate::guard::{ResourceGuard, CANCEL_CHECK_INTERVAL};
 use crate::keymap::RowKeyMap;
 use crate::stats::ExecStats;
 use pa_storage::{DataType, Field, Schema, Table, Value};
@@ -112,7 +113,10 @@ enum Acc {
 impl Acc {
     fn new(func: AggFunc) -> Acc {
         match func {
-            AggFunc::Sum => Acc::Sum { sum: 0.0, any: false },
+            AggFunc::Sum => Acc::Sum {
+                sum: 0.0,
+                any: false,
+            },
             AggFunc::Count => Acc::Count(0),
             AggFunc::CountDistinct => Acc::CountDistinct(Default::default()),
             AggFunc::CountStar => Acc::CountStar(0),
@@ -203,7 +207,8 @@ impl Level {
                 0
             }
         } else {
-            self.map.get_or_insert_row(input, &self.group_cols, row, stats)
+            self.map
+                .get_or_insert_row(input, &self.group_cols, row, stats)
         };
         let base = gid * self.aggs.len();
         if base + self.aggs.len() > self.accs.len() {
@@ -228,7 +233,10 @@ impl Level {
             .map(|&c| input_schema.field_at(c).clone())
             .collect();
         for spec in &self.aggs {
-            fields.push(Field::new(spec.name.clone(), spec.output_type(input_schema)));
+            fields.push(Field::new(
+                spec.name.clone(),
+                spec.output_type(input_schema),
+            ));
         }
         let schema = Schema::new(fields)?.into_shared();
         let n_groups = self.map.len();
@@ -276,7 +284,20 @@ pub fn hash_aggregate(
     aggs: &[AggSpec],
     stats: &mut ExecStats,
 ) -> Result<Table> {
-    let mut tables = multi_hash_aggregate(input, &[(group_cols.to_vec(), aggs.to_vec())], stats)?;
+    hash_aggregate_guarded(input, group_cols, aggs, &ResourceGuard::unlimited(), stats)
+}
+
+/// [`hash_aggregate`] under a [`ResourceGuard`]: scanned and materialized
+/// rows are charged against the guard's budget.
+pub fn hash_aggregate_guarded(
+    input: &Table,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    guard: &ResourceGuard,
+    stats: &mut ExecStats,
+) -> Result<Table> {
+    let mut tables =
+        multi_hash_aggregate_guarded(input, &[(group_cols.to_vec(), aggs.to_vec())], guard, stats)?;
     Ok(tables.pop().expect("one level in, one table out"))
 }
 
@@ -286,6 +307,18 @@ pub fn hash_aggregate(
 pub fn multi_hash_aggregate(
     input: &Table,
     levels: &[(Vec<usize>, Vec<AggSpec>)],
+    stats: &mut ExecStats,
+) -> Result<Vec<Table>> {
+    multi_hash_aggregate_guarded(input, levels, &ResourceGuard::unlimited(), stats)
+}
+
+/// [`multi_hash_aggregate`] under a [`ResourceGuard`]: the input scan and
+/// every output group row are charged against the guard's row budget, and
+/// the absorb loop checks for cancellation periodically.
+pub fn multi_hash_aggregate_guarded(
+    input: &Table,
+    levels: &[(Vec<usize>, Vec<AggSpec>)],
+    guard: &ResourceGuard,
     stats: &mut ExecStats,
 ) -> Result<Vec<Table>> {
     for (cols, aggs) in levels {
@@ -315,7 +348,11 @@ pub fn multi_hash_aggregate(
 
     let n = input.num_rows();
     stats.rows_scanned += n as u64;
+    guard.charge(n as u64)?;
     for row in 0..n {
+        if row % CANCEL_CHECK_INTERVAL == 0 {
+            guard.check()?;
+        }
         for lvl in &mut lvls {
             lvl.absorb(input, row, stats)?;
         }
@@ -329,6 +366,7 @@ pub fn multi_hash_aggregate(
             }
         }
     }
+    guard.charge(lvls.iter().map(|l| l.map.len() as u64).sum())?;
     lvls.into_iter()
         .map(|lvl| lvl.finish(input.schema(), stats))
         .collect()
@@ -389,7 +427,11 @@ mod tests {
         let rows: Vec<Vec<Value>> = sorted.rows().collect();
         assert_eq!(
             rows[0],
-            vec![Value::str("CA"), Value::str("Los Angeles"), Value::Float(23.0)]
+            vec![
+                Value::str("CA"),
+                Value::str("Los Angeles"),
+                Value::Float(23.0)
+            ]
         );
         assert_eq!(
             rows[1],
@@ -522,10 +564,7 @@ mod tests {
     fn synchronized_scan_reads_input_once() {
         let f = sales();
         let mut st = ExecStats::default();
-        let levels = vec![
-            (vec![0, 1], vec![sum_a(&f)]),
-            (vec![0], vec![sum_a(&f)]),
-        ];
+        let levels = vec![(vec![0, 1], vec![sum_a(&f)]), (vec![0], vec![sum_a(&f)])];
         let out = multi_hash_aggregate(&f, &levels, &mut st).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].num_rows(), 4);
@@ -588,11 +627,49 @@ mod tests {
     }
 
     #[test]
+    fn guard_budget_stops_the_scan() {
+        let f = sales();
+        let mut st = ExecStats::default();
+        // 10 input rows > 5-row budget: charged up front, before absorbing.
+        let guard = ResourceGuard::with_row_budget(5);
+        let err = hash_aggregate_guarded(&f, &[0], &[sum_a(&f)], &guard, &mut st).unwrap_err();
+        assert!(
+            matches!(err, EngineError::BudgetExceeded { budget: 5, .. }),
+            "{err}"
+        );
+
+        // 10 scanned + 2 groups fits a 12-row budget exactly.
+        let guard = ResourceGuard::with_row_budget(12);
+        let out = hash_aggregate_guarded(&f, &[0], &[sum_a(&f)], &guard, &mut st).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(guard.rows_charged(), 12);
+
+        // 10 scanned + 4 groups does not fit 12: the failure comes from the
+        // materialization charge, after the scan succeeded.
+        let guard = ResourceGuard::with_row_budget(12);
+        let err = hash_aggregate_guarded(&f, &[0, 1], &[sum_a(&f)], &guard, &mut st).unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn guard_cancellation_stops_the_scan() {
+        let f = sales();
+        let guard = ResourceGuard::with_row_budget(u64::MAX);
+        guard.cancel();
+        let err = hash_aggregate_guarded(&f, &[0], &[sum_a(&f)], &guard, &mut ExecStats::default())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled), "{err}");
+    }
+
+    #[test]
     fn distributive_classification() {
         assert!(AggFunc::Sum.is_distributive());
         assert!(AggFunc::Min.is_distributive());
         assert!(AggFunc::CountStar.is_distributive());
         assert!(!AggFunc::Avg.is_distributive(), "avg is algebraic");
-        assert!(!AggFunc::Count.is_distributive(), "count re-aggregates as sum");
+        assert!(
+            !AggFunc::Count.is_distributive(),
+            "count re-aggregates as sum"
+        );
     }
 }

@@ -46,7 +46,11 @@ pub fn distinct(input: &Table, cols: &[usize], stats: &mut ExecStats) -> Result<
 
 /// Distinct combinations as owned key tuples (the form code generation uses
 /// to mint one result column per combination).
-pub fn distinct_keys(input: &Table, cols: &[usize], stats: &mut ExecStats) -> Result<Vec<Vec<Value>>> {
+pub fn distinct_keys(
+    input: &Table,
+    cols: &[usize],
+    stats: &mut ExecStats,
+) -> Result<Vec<Vec<Value>>> {
     let t = distinct(input, cols, stats)?;
     Ok(t.rows().collect())
 }

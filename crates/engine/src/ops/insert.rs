@@ -24,7 +24,8 @@ pub fn create_table_as(
     stats.statements += 1;
     let before = catalog.wal_stats();
     let n = rows.num_rows() as u64;
-    catalog.with_wal(|wal| wal.log_bulk_insert(name, &rows, 0))?;
+    // The catalog logs the create (schema + contents batch) itself, so
+    // replay sees records in apply order.
     let shared = catalog.create_or_replace_table(name, rows);
     absorb_wal_delta(catalog, before, stats);
     stats.rows_materialized += n;
@@ -32,7 +33,12 @@ pub fn create_table_as(
 }
 
 /// Append every row of `rows` to existing table `name` (INSERT..SELECT).
-pub fn insert_into(catalog: &Catalog, name: &str, rows: &Table, stats: &mut ExecStats) -> Result<()> {
+pub fn insert_into(
+    catalog: &Catalog,
+    name: &str,
+    rows: &Table,
+    stats: &mut ExecStats,
+) -> Result<()> {
     stats.statements += 1;
     let before = catalog.wal_stats();
     let shared = catalog.table(name)?;

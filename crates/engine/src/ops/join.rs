@@ -7,8 +7,14 @@
 //! passing a prebuilt [`HashIndex`] for the build side.
 
 use crate::error::{EngineError, Result};
+use crate::guard::ResourceGuard;
 use crate::stats::ExecStats;
 use pa_storage::{Field, HashIndex, Schema, Table, Value};
+
+/// Output rows accumulated between guard charges in the probe loop — large
+/// enough to amortize the atomic, small enough to catch a cross-product
+/// blowup well before it is materialized.
+const JOIN_CHARGE_BATCH: usize = 4096;
 
 /// Join variants used by the strategies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +43,33 @@ pub fn hash_join(
     right_keys: &[usize],
     join_type: JoinType,
     right_index: Option<&HashIndex>,
+    stats: &mut ExecStats,
+) -> Result<Table> {
+    hash_join_guarded(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        join_type,
+        right_index,
+        &ResourceGuard::unlimited(),
+        stats,
+    )
+}
+
+/// [`hash_join`] under a [`ResourceGuard`]: both input scans are charged up
+/// front and output rows are charged in batches *during* the probe loop, so
+/// a skewed key that degenerates into a cross product trips the budget
+/// before the row-pair vectors grow unbounded.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_guarded(
+    left: &Table,
+    right: &Table,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+    right_index: Option<&HashIndex>,
+    guard: &ResourceGuard,
     stats: &mut ExecStats,
 ) -> Result<Table> {
     if left_keys.len() != right_keys.len() || left_keys.is_empty() {
@@ -84,9 +117,11 @@ pub fn hash_join(
     // Probe side.
     let n = left.num_rows();
     stats.rows_scanned += n as u64;
+    guard.charge((n + right.num_rows()) as u64)?;
     let mut left_rows: Vec<usize> = Vec::with_capacity(n);
     let mut right_rows: Vec<Option<usize>> = Vec::with_capacity(n);
     let mut key_buf: Vec<Value> = Vec::with_capacity(left_keys.len());
+    let mut charged = 0usize;
     for row in 0..n {
         key_buf.clear();
         for &k in left_keys {
@@ -103,7 +138,14 @@ pub fn hash_join(
             left_rows.push(row);
             right_rows.push(None);
         }
+        // Charge output growth mid-loop: this is where a skewed join blows up.
+        let produced = left_rows.len() - charged;
+        if produced >= JOIN_CHARGE_BATCH {
+            guard.charge(produced as u64)?;
+            charged = left_rows.len();
+        }
     }
+    guard.charge((left_rows.len() - charged) as u64)?;
 
     // Assemble output schema with deduplicated names.
     let mut fields: Vec<Field> = left.schema().fields().to_vec();
@@ -163,8 +205,10 @@ mod tests {
             .unwrap()
             .into_shared();
         let mut t = Table::empty(schema);
-        t.push_row(&[Value::str("CA"), Value::Float(106.0)]).unwrap();
-        t.push_row(&[Value::str("TX"), Value::Float(149.0)]).unwrap();
+        t.push_row(&[Value::str("CA"), Value::Float(106.0)])
+            .unwrap();
+        t.push_row(&[Value::str("TX"), Value::Float(149.0)])
+            .unwrap();
         t
     }
 
@@ -190,7 +234,8 @@ mod tests {
             .unwrap()
             .into_shared();
         let mut fj = Table::empty(schema);
-        fj.push_row(&[Value::str("CA"), Value::Float(106.0)]).unwrap();
+        fj.push_row(&[Value::str("CA"), Value::Float(106.0)])
+            .unwrap();
         let mut st = ExecStats::default();
         let inner = hash_join(&fk, &fj, &[0], &[0], JoinType::Inner, None, &mut st).unwrap();
         assert_eq!(inner.num_rows(), 2);
@@ -211,16 +256,7 @@ mod tests {
         assert_eq!(st.hash_build_rows, 0, "no transient build with an index");
 
         let wrong = HashIndex::build(&fj, &[1]).unwrap();
-        assert!(hash_join(
-            &fk,
-            &fj,
-            &[0],
-            &[0],
-            JoinType::Inner,
-            Some(&wrong),
-            &mut st
-        )
-        .is_err());
+        assert!(hash_join(&fk, &fj, &[0], &[0], JoinType::Inner, Some(&wrong), &mut st).is_err());
     }
 
     #[test]
@@ -244,6 +280,36 @@ mod tests {
         let mut st = ExecStats::default();
         let out = hash_join(&a, &b, &[0], &[0], JoinType::Inner, None, &mut st).unwrap();
         assert_eq!(out.num_rows(), 1, "NULL group key matches NULL group key");
+    }
+
+    #[test]
+    fn guard_catches_join_blowup_mid_probe() {
+        // 300 × 300 rows all sharing one key: a 90 000-row cross product.
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        for i in 0..300 {
+            t.push_row(&[Value::Int(1), Value::Int(i)]).unwrap();
+        }
+        let mut st = ExecStats::default();
+        // Budget admits both scans (600) plus a few batches, not the full
+        // product — the guard must trip inside the probe loop.
+        let guard = crate::guard::ResourceGuard::with_row_budget(10_000);
+        let err = hash_join_guarded(&t, &t, &[0], &[0], JoinType::Inner, None, &guard, &mut st)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }), "{err}");
+        assert!(
+            guard.rows_charged() < 30_000,
+            "tripped early, not after materializing all 90k pairs: {}",
+            guard.rows_charged()
+        );
+
+        // The same join under a sufficient budget completes.
+        let guard = crate::guard::ResourceGuard::with_row_budget(100_000);
+        let out =
+            hash_join_guarded(&t, &t, &[0], &[0], JoinType::Inner, None, &guard, &mut st).unwrap();
+        assert_eq!(out.num_rows(), 90_000);
     }
 
     #[test]

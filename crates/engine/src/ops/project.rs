@@ -103,10 +103,7 @@ mod tests {
         let s = t.schema();
         let specs = vec![
             ProjSpec::passthrough(s, "d").unwrap(),
-            ProjSpec::new(
-                Expr::col(s, "a").unwrap().mul(Expr::lit(2.0)),
-                "double_a",
-            ),
+            ProjSpec::new(Expr::col(s, "a").unwrap().mul(Expr::lit(2.0)), "double_a"),
         ];
         let mut st = ExecStats::default();
         let out = project(&t, &specs, &mut st).unwrap();

@@ -108,7 +108,10 @@ pub fn update_from(
             new_vals.push(s.expr.eval2(&target, row, source, src_row, stats)?);
         }
         // Per-row WAL record with before/after images of the touched columns.
-        let before_img: Vec<Value> = sets.iter().map(|s| target.column(s.target_col).get(row)).collect();
+        let before_img: Vec<Value> = sets
+            .iter()
+            .map(|s| target.column(s.target_col).get(row))
+            .collect();
         catalog.with_wal(|wal| wal.log_update(target_name, row, &before_img, &new_vals))?;
         for (s, v) in sets.iter().zip(new_vals.drain(..)) {
             target.column_mut(s.target_col).set(row, v)?;
@@ -153,8 +156,10 @@ mod tests {
             .unwrap()
             .into_shared();
         let mut fj = Table::empty(fj_schema);
-        fj.push_row(&[Value::str("CA"), Value::Float(106.0)]).unwrap();
-        fj.push_row(&[Value::str("TX"), Value::Float(149.0)]).unwrap();
+        fj.push_row(&[Value::str("CA"), Value::Float(106.0)])
+            .unwrap();
+        fj.push_row(&[Value::str("TX"), Value::Float(149.0)])
+            .unwrap();
         (cat, fj)
     }
 
@@ -240,7 +245,17 @@ mod tests {
         let mut st = ExecStats::default();
         assert!(update_from(&cat, "Fk", &[], &fj, &[], None, &division_set(), &mut st).is_err());
         assert!(update_from(&cat, "Fk", &[0], &fj, &[0], None, &[], &mut st).is_err());
-        assert!(update_from(&cat, "nope", &[0], &fj, &[0], None, &division_set(), &mut st).is_err());
+        assert!(update_from(
+            &cat,
+            "nope",
+            &[0],
+            &fj,
+            &[0],
+            None,
+            &division_set(),
+            &mut st
+        )
+        .is_err());
         let bad_set = vec![SetClause {
             target_col: 99,
             expr: Expr::lit(1),

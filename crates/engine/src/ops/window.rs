@@ -88,7 +88,8 @@ pub fn window_aggregate(
 }
 
 fn same_key(t: &Table, cols: &[usize], a: usize, b: usize) -> bool {
-    cols.iter().all(|&c| t.column(c).get(a).key_eq(&t.column(c).get(b)))
+    cols.iter()
+        .all(|&c| t.column(c).get(a).key_eq(&t.column(c).get(b)))
 }
 
 fn aggregate_run(t: &Table, rows: &[usize], func: AggFunc, col: usize) -> Result<Value> {
@@ -222,7 +223,11 @@ mod tests {
         let mut st = ExecStats::default();
         let out = window_aggregate(&t, &[0], AggFunc::Sum, 1, "s", &mut st).unwrap();
         assert_eq!(out.get(0, 2), Value::Float(4.0));
-        assert_eq!(out.get(2, 2), Value::Null, "all-NULL partition sums to NULL");
+        assert_eq!(
+            out.get(2, 2),
+            Value::Null,
+            "all-NULL partition sums to NULL"
+        );
     }
 
     #[test]

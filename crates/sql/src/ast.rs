@@ -134,7 +134,7 @@ impl AggName {
             "avg" => Some(AggName::Avg),
             "min" => Some(AggName::Min),
             "max" => Some(AggName::Max),
-        _ => None,
+            _ => None,
         }
     }
 

@@ -51,6 +51,8 @@ mod tests {
             message: "expected FROM".into(),
         };
         assert!(e.to_string().contains("byte 7"));
-        assert!(SqlError::Rule("x".into()).to_string().contains("rule violation"));
+        assert!(SqlError::Rule("x".into())
+            .to_string()
+            .contains("rule violation"));
     }
 }

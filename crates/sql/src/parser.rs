@@ -191,7 +191,10 @@ impl Parser {
             if let Some(func) = AggName::from_ident(name) {
                 if matches!(
                     self.tokens.get(self.pos + 1),
-                    Some(Spanned { token: Token::LParen, .. })
+                    Some(Spanned {
+                        token: Token::LParen,
+                        ..
+                    })
                 ) {
                     self.pos += 1;
                     let call = self.agg_call(func)?;
@@ -211,7 +214,13 @@ impl Parser {
         self.expect(&Token::LParen, "'('")?;
         let distinct = self.accept_kw("DISTINCT");
         // count(*) / count(* BY ...).
-        let arg = if matches!(self.peek(), Some(Spanned { token: Token::Star, .. })) {
+        let arg = if matches!(
+            self.peek(),
+            Some(Spanned {
+                token: Token::Star,
+                ..
+            })
+        ) {
             self.pos += 1;
             AstExpr::Star
         } else {
@@ -434,10 +443,9 @@ mod tests {
     #[test]
     fn paper_horizontal_query() {
         // SIGMOD §3.2 example with a mixed vertical term.
-        let stmt = parse(
-            "SELECT store,Hpct(salesAmt BY dweek),sum(salesAmt) FROM sales GROUP BY store;",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT store,Hpct(salesAmt BY dweek),sum(salesAmt) FROM sales GROUP BY store;")
+                .unwrap();
         let aggs: Vec<_> = stmt.aggregates().collect();
         assert_eq!(aggs.len(), 2);
         assert_eq!(aggs[0].func, AggName::Hpct);
@@ -459,8 +467,7 @@ mod tests {
 
     #[test]
     fn count_star_and_positional_group_by() {
-        let stmt =
-            parse("SELECT departmentId,gender,count(*) FROM employee GROUP BY 1,2").unwrap();
+        let stmt = parse("SELECT departmentId,gender,count(*) FROM employee GROUP BY 1,2").unwrap();
         assert_eq!(stmt.group_by, vec!["departmentId", "gender"]);
         assert_eq!(stmt.aggregates().next().unwrap().arg, AstExpr::Star);
     }
@@ -493,10 +500,9 @@ mod tests {
 
     #[test]
     fn multi_column_by_list() {
-        let stmt = parse(
-            "SELECT subdeptid, sum(salesAmt BY regionNo, monthNo) FROM t GROUP BY subdeptId",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT subdeptid, sum(salesAmt BY regionNo, monthNo) FROM t GROUP BY subdeptId")
+                .unwrap();
         assert_eq!(
             stmt.aggregates().next().unwrap().by,
             vec!["regionNo", "monthNo"]
@@ -513,10 +519,7 @@ mod tests {
     fn arithmetic_argument() {
         let stmt = parse("SELECT sum(price * qty BY region) FROM t GROUP BY s").unwrap();
         let agg = stmt.aggregates().next().unwrap();
-        assert!(matches!(
-            agg.arg,
-            AstExpr::Binary { op: BinOp::Mul, .. }
-        ));
+        assert!(matches!(agg.arg, AstExpr::Binary { op: BinOp::Mul, .. }));
     }
 
     #[test]
@@ -526,8 +529,14 @@ mod tests {
         assert!(parse("SELECT a FROM t GROUP").is_err());
         assert!(parse("SELECT Vpct(a FROM t").is_err());
         assert!(parse("SELECT a FROM t extra").is_err());
-        assert!(parse("SELECT max(1 BY d DEFAULT 7) FROM t").is_err(), "only DEFAULT 0");
-        assert!(parse("SELECT a FROM t GROUP BY 9").is_err(), "position out of range");
+        assert!(
+            parse("SELECT max(1 BY d DEFAULT 7) FROM t").is_err(),
+            "only DEFAULT 0"
+        );
+        assert!(
+            parse("SELECT a FROM t GROUP BY 9").is_err(),
+            "position out of range"
+        );
         assert!(
             parse("SELECT sum(a) FROM t GROUP BY 1").is_err(),
             "positional ref to aggregate"

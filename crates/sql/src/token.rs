@@ -74,67 +74,115 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                 }
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: start });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: start });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: start });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { token: Token::Semi, offset: start });
+                out.push(Spanned {
+                    token: Token::Semi,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { token: Token::Star, offset: start });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { token: Token::Plus, offset: start });
+                out.push(Spanned {
+                    token: Token::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Spanned { token: Token::Minus, offset: start });
+                out.push(Spanned {
+                    token: Token::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Spanned { token: Token::Slash, offset: start });
+                out.push(Spanned {
+                    token: Token::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, offset: start });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { token: Token::Eq, offset: start });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(Spanned { token: Token::Ne, offset: start });
+                out.push(Spanned {
+                    token: Token::Ne,
+                    offset: start,
+                });
                 i += 2;
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(Spanned { token: Token::Ne, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::Le, offset: start });
+                    out.push(Spanned {
+                        token: Token::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Lt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::Ge, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Gt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -163,7 +211,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                         i += ch_len;
                     }
                 }
-                out.push(Spanned { token: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut end = i;
@@ -173,7 +224,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                 {
                     if bytes[end] == b'.' {
                         // "1." followed by non-digit: stop before the dot.
-                        if is_float || end + 1 >= bytes.len() || !(bytes[end + 1] as char).is_ascii_digit() {
+                        if is_float
+                            || end + 1 >= bytes.len()
+                            || !(bytes[end + 1] as char).is_ascii_digit()
+                        {
                             break;
                         }
                         is_float = true;
@@ -192,7 +246,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                         message: format!("bad int literal {text}"),
                     })?)
                 };
-                out.push(Spanned { token, offset: start });
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
                 i = end;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -249,11 +306,7 @@ mod tests {
     fn numbers_and_strings() {
         assert_eq!(
             toks("1 2.5 'it''s'"),
-            vec![
-                Token::Int(1),
-                Token::Float(2.5),
-                Token::Str("it's".into())
-            ]
+            vec![Token::Int(1), Token::Float(2.5), Token::Str("it's".into())]
         );
     }
 
@@ -309,7 +362,10 @@ mod tests {
                 Token::Ident("A".into())
             ]
         );
-        assert_eq!(toks("1.x"), vec![Token::Int(1), Token::Dot, Token::Ident("x".into())]);
+        assert_eq!(
+            toks("1.x"),
+            vec![Token::Int(1), Token::Dot, Token::Ident("x".into())]
+        );
     }
 
     #[test]

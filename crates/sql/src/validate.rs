@@ -198,8 +198,7 @@ mod tests {
             QueryKind::Horizontal
         );
         assert_eq!(
-            kind("SELECT storeId, sum(salesAmt BY dayofweekName) FROM t GROUP BY storeId")
-                .unwrap(),
+            kind("SELECT storeId, sum(salesAmt BY dayofweekName) FROM t GROUP BY storeId").unwrap(),
             QueryKind::Horizontal
         );
         assert_eq!(
@@ -235,8 +234,10 @@ mod tests {
     #[test]
     fn vpct_rule_4_multiple_terms_with_different_subsets() {
         assert_eq!(
-            kind("SELECT state, city, Vpct(a BY city), Vpct(a BY state, city) FROM f \
-                  GROUP BY state, city"),
+            kind(
+                "SELECT state, city, Vpct(a BY city), Vpct(a BY state, city) FROM f \
+                  GROUP BY state, city"
+            ),
             Ok(QueryKind::Vertical)
         );
     }
@@ -251,22 +252,23 @@ mod tests {
 
     #[test]
     fn hpct_rule_1_group_by_optional() {
-        assert_eq!(kind("SELECT Hpct(a BY d) FROM f"), Ok(QueryKind::Horizontal));
+        assert_eq!(
+            kind("SELECT Hpct(a BY d) FROM f"),
+            Ok(QueryKind::Horizontal)
+        );
     }
 
     #[test]
     fn hagg_by_disjoint() {
-        let err =
-            kind("SELECT store, sum(a BY store, d) FROM f GROUP BY store").unwrap_err();
+        let err = kind("SELECT store, sum(a BY store, d) FROM f GROUP BY store").unwrap_err();
         assert!(err.to_string().contains("disjoint"), "{err}");
     }
 
     #[test]
     fn mixing_vertical_and_horizontal_rejected() {
-        let err = kind(
-            "SELECT state, Vpct(a BY city), Hpct(a BY dweek) FROM f GROUP BY state, city",
-        )
-        .unwrap_err();
+        let err =
+            kind("SELECT state, Vpct(a BY city), Hpct(a BY dweek) FROM f GROUP BY state, city")
+                .unwrap_err();
         assert!(err.to_string().contains("not supported"), "{err}");
     }
 
@@ -297,8 +299,7 @@ mod tests {
 
     #[test]
     fn strict_paper_form_lint() {
-        let stmt =
-            parse("SELECT state,city,Vpct(a BY city) FROM f GROUP BY state,city").unwrap();
+        let stmt = parse("SELECT state,city,Vpct(a BY city) FROM f GROUP BY state,city").unwrap();
         assert!(is_strict_paper_form(&stmt));
         let loose = parse("SELECT city,state,Vpct(a BY city) FROM f GROUP BY state,city").unwrap();
         assert!(!is_strict_paper_form(&loose));

@@ -11,8 +11,23 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "group" | "order" | "by" | "as" | "and" | "or"
-                | "default" | "distinct" | "sum" | "count" | "avg" | "min" | "max" | "vpct"
+            "select"
+                | "from"
+                | "where"
+                | "group"
+                | "order"
+                | "by"
+                | "as"
+                | "and"
+                | "or"
+                | "default"
+                | "distinct"
+                | "sum"
+                | "count"
+                | "avg"
+                | "min"
+                | "max"
+                | "vpct"
                 | "hpct"
         )
     })
@@ -105,13 +120,15 @@ fn stmt() -> impl Strategy<Value = SelectStmt> {
         prop::collection::vec(ident(), 0..3),
         prop::collection::vec(ident(), 0..2),
     )
-        .prop_map(|(items, from, where_clause, group_by, order_by)| SelectStmt {
-            items,
-            from,
-            where_clause,
-            group_by,
-            order_by,
-        })
+        .prop_map(
+            |(items, from, where_clause, group_by, order_by)| SelectStmt {
+                items,
+                from,
+                where_clause,
+                group_by,
+                order_by,
+            },
+        )
 }
 
 proptest! {

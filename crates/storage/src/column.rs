@@ -314,11 +314,7 @@ impl Column {
                 },
             ) => {
                 // Remap the other column's codes into this dictionary.
-                let remap: Vec<u32> = odict
-                    .values()
-                    .iter()
-                    .map(|s| dict.intern_arc(s))
-                    .collect();
+                let remap: Vec<u32> = odict.values().iter().map(|s| dict.intern_arc(s)).collect();
                 codes.extend(ocodes.iter().map(|&c| remap[c as usize]));
                 validity.extend_from(ov);
             }
@@ -450,6 +446,48 @@ impl Column {
                 }
             }
         }
+    }
+
+    /// Verify internal invariants: data, codes, and validity vectors all
+    /// hold exactly `expected_len` entries, and every valid string slot's
+    /// dictionary code resolves. Used by recovery tests to prove a replayed
+    /// table is structurally sound.
+    pub fn check_integrity(&self, expected_len: usize) -> Result<()> {
+        let (len, validity) = match self {
+            Column::Int { data, validity } => (data.len(), validity),
+            Column::Float { data, validity } => (data.len(), validity),
+            Column::Str {
+                codes, validity, ..
+            } => (codes.len(), validity),
+        };
+        if len != expected_len {
+            return Err(StorageError::LengthMismatch {
+                expected: expected_len,
+                found: len,
+            });
+        }
+        if validity.len() != expected_len {
+            return Err(StorageError::LengthMismatch {
+                expected: expected_len,
+                found: validity.len(),
+            });
+        }
+        if let Column::Str {
+            dict,
+            codes,
+            validity,
+        } = self
+        {
+            for (i, &code) in codes.iter().enumerate() {
+                if validity.get(i) && code as usize >= dict.len() {
+                    return Err(StorageError::InvalidIndex(format!(
+                        "row {i}: dictionary code {code} out of range ({} entries)",
+                        dict.len()
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Approximate heap bytes held by this column (intermediate-table sizing).

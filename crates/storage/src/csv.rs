@@ -177,8 +177,12 @@ mod tests {
         .unwrap()
         .into_shared();
         let mut t = Table::empty(schema);
-        t.push_row(&[Value::Int(1), Value::str("San Francisco"), Value::Float(0.25)])
-            .unwrap();
+        t.push_row(&[
+            Value::Int(1),
+            Value::str("San Francisco"),
+            Value::Float(0.25),
+        ])
+        .unwrap();
         t.push_row(&[Value::Int(2), Value::str("say \"hi\", ok"), Value::Null])
             .unwrap();
         t.push_row(&[Value::Int(3), Value::Null, Value::Float(-1.5)])
@@ -205,7 +209,9 @@ mod tests {
 
     #[test]
     fn quoted_empty_string_is_not_null() {
-        let schema = Schema::from_pairs(&[("s", DataType::Str)]).unwrap().into_shared();
+        let schema = Schema::from_pairs(&[("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
         let data = b"s\n\"\"\n\n";
         let t = read_csv(schema, &mut &data[..]).unwrap();
         assert_eq!(t.num_rows(), 1);
@@ -214,8 +220,13 @@ mod tests {
 
     #[test]
     fn read_errors() {
-        let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap().into_shared();
-        assert!(read_csv(schema.clone(), &mut &b""[..]).is_err(), "no header");
+        let schema = Schema::from_pairs(&[("a", DataType::Int)])
+            .unwrap()
+            .into_shared();
+        assert!(
+            read_csv(schema.clone(), &mut &b""[..]).is_err(),
+            "no header"
+        );
         assert!(
             read_csv(schema.clone(), &mut &b"wrong\n1\n"[..]).is_err(),
             "header mismatch"

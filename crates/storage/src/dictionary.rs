@@ -31,6 +31,11 @@ impl Dictionary {
     }
 
     /// Intern `s`, returning its code (existing or freshly assigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics past `u32::MAX` distinct strings — the column format stores
+    /// codes in 4 bytes, so a larger dictionary cannot be represented.
     pub fn intern(&mut self, s: &str) -> u32 {
         if let Some(&code) = self.lookup.get(s) {
             return code;
@@ -43,6 +48,10 @@ impl Dictionary {
     }
 
     /// Intern an already-shared string without copying its bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics past `u32::MAX` distinct strings, like [`Self::intern`].
     pub fn intern_arc(&mut self, s: &Arc<str>) -> u32 {
         if let Some(&code) = self.lookup.get(s.as_ref()) {
             return code;

@@ -38,6 +38,14 @@ pub enum StorageError {
     InvalidIndex(String),
     /// WAL failure (e.g. record too large for configured capacity).
     Wal(String),
+    /// Log-device I/O failure (stringified to keep the error `Clone + Eq`).
+    Io(String),
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -58,6 +66,7 @@ impl fmt::Display for StorageError {
             StorageError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
             StorageError::InvalidIndex(msg) => write!(f, "invalid index: {msg}"),
             StorageError::Wal(msg) => write!(f, "wal error: {msg}"),
+            StorageError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

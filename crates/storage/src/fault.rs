@@ -1,0 +1,300 @@
+//! Deterministic fault injection for log devices.
+//!
+//! [`FaultInjector`] wraps any [`LogStore`] and misbehaves on cue: it can
+//! tear a write at an exact byte offset (modeling a crash mid-write), fail
+//! the Nth data operation with an I/O error, flip a bit on the read path
+//! (bit rot), or return short reads. Faults are driven by an explicit
+//! [`FaultPlan`] or derived from a seed, so every failure a test provokes
+//! is reproducible from one `u64` printed in the failure message.
+
+use crate::error::{Result, StorageError};
+use crate::log::LogStore;
+use std::fmt;
+
+/// Which faults to inject, and where.
+///
+/// All offsets are *logical* positions in the append stream (bytes accepted
+/// since the injector was created), so recycling the retained window does
+/// not move them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Cut the write stream at this byte: the write in flight persists only
+    /// up to the cut, and the device goes offline (every later operation
+    /// errors), as if the process had crashed mid-write.
+    pub torn_write_at: Option<u64>,
+    /// Fail the Nth data operation (0-based count over appends and reads)
+    /// with an I/O error, once; later operations succeed again.
+    pub error_on_op: Option<u64>,
+    /// Flip this bit (absolute bit index) in every `read_all` result.
+    pub flip_bit_on_read: Option<u64>,
+    /// Cap every `read_all` result at this many bytes.
+    pub short_read_at: Option<u64>,
+}
+
+/// SplitMix64 step — the only randomness fault derivation needs, inlined so
+/// the storage crate stays free of the `rand` dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Derive a plan from `seed`: one fault kind, positioned within
+    /// `horizon` bytes (typically the workload's expected log volume).
+    pub fn seeded(seed: u64, horizon: u64) -> FaultPlan {
+        let mut s = seed;
+        let horizon = horizon.max(1);
+        let kind = splitmix64(&mut s) % 4;
+        let at = splitmix64(&mut s) % horizon;
+        let mut plan = FaultPlan::default();
+        match kind {
+            0 => plan.torn_write_at = Some(at),
+            1 => plan.error_on_op = Some(splitmix64(&mut s) % 64),
+            2 => plan.flip_bit_on_read = Some(at * 8 + splitmix64(&mut s) % 8),
+            _ => plan.short_read_at = Some(at),
+        }
+        plan
+    }
+
+    /// A pure torn-write plan cutting at a seed-chosen byte in `horizon`.
+    pub fn seeded_torn_write(seed: u64, horizon: u64) -> FaultPlan {
+        let mut s = seed;
+        FaultPlan {
+            torn_write_at: Some(splitmix64(&mut s) % horizon.max(1)),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// A [`LogStore`] wrapper that injects the faults described by its plan.
+pub struct FaultInjector<S> {
+    inner: S,
+    plan: FaultPlan,
+    seed: Option<u64>,
+    ops: u64,
+    written: u64,
+    errored_once: bool,
+    dead: bool,
+}
+
+impl<S: LogStore> FaultInjector<S> {
+    /// Wrap `inner` with an explicit plan.
+    pub fn new(inner: S, plan: FaultPlan) -> FaultInjector<S> {
+        FaultInjector {
+            inner,
+            plan,
+            seed: None,
+            ops: 0,
+            written: 0,
+            errored_once: false,
+            dead: false,
+        }
+    }
+
+    /// Wrap `inner` with a plan derived from `seed` (see
+    /// [`FaultPlan::seeded`]); the seed is carried for error messages.
+    pub fn from_seed(inner: S, seed: u64, horizon: u64) -> FaultInjector<S> {
+        FaultInjector::from_seed_plan(inner, seed, FaultPlan::seeded(seed, horizon))
+    }
+
+    /// Wrap `inner` with an explicit plan, tagging errors with the `seed`
+    /// the plan was derived from (for reproducible failure messages).
+    pub fn from_seed_plan(inner: S, seed: u64, plan: FaultPlan) -> FaultInjector<S> {
+        let mut inj = FaultInjector::new(inner, plan);
+        inj.seed = Some(seed);
+        inj
+    }
+
+    /// The seed this injector was derived from, if any.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True once a torn write has taken the device offline.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Unwrap, keeping whatever bytes survived the faults.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Borrow the wrapped store.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    fn tag(&self) -> String {
+        match self.seed {
+            Some(seed) => format!(" [fault seed {seed}]"),
+            None => String::new(),
+        }
+    }
+
+    /// Shared per-data-op bookkeeping: offline check and Nth-op error.
+    fn gate(&mut self) -> Result<()> {
+        if self.dead {
+            return Err(StorageError::Io(format!(
+                "log device offline after torn write{}",
+                self.tag()
+            )));
+        }
+        let op = self.ops;
+        self.ops += 1;
+        if self.plan.error_on_op == Some(op) && !self.errored_once {
+            self.errored_once = true;
+            return Err(StorageError::Io(format!(
+                "injected I/O error on op {op}{}",
+                self.tag()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl<S: LogStore> fmt::Debug for FaultInjector<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("seed", &self.seed)
+            .field("ops", &self.ops)
+            .field("written", &self.written)
+            .field("dead", &self.dead)
+            .finish()
+    }
+}
+
+impl<S: LogStore> LogStore for FaultInjector<S> {
+    fn append(&mut self, data: &[u8]) -> Result<usize> {
+        self.gate()?;
+        if let Some(cut) = self.plan.torn_write_at {
+            if self.written + data.len() as u64 > cut {
+                let keep = cut.saturating_sub(self.written) as usize;
+                let wrote = self.inner.append(&data[..keep])?;
+                self.written += wrote as u64;
+                self.dead = true;
+                return Err(StorageError::Io(format!(
+                    "torn write: cut at byte {cut} ({wrote} of {} bytes persisted){}",
+                    data.len(),
+                    self.tag()
+                )));
+            }
+        }
+        let wrote = self.inner.append(data)?;
+        self.written += wrote as u64;
+        Ok(wrote)
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        self.gate()?;
+        let mut data = self.inner.read_all()?;
+        if let Some(cap) = self.plan.short_read_at {
+            data.truncate(cap as usize);
+        }
+        if let Some(bit) = self.plan.flip_bit_on_read {
+            let (byte, shift) = ((bit / 8) as usize, bit % 8);
+            if byte < data.len() {
+                data[byte] ^= 1 << shift;
+            }
+        }
+        Ok(data)
+    }
+
+    fn len(&self) -> Result<u64> {
+        self.inner.len()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        if self.dead {
+            return Err(StorageError::Io(format!(
+                "log device offline after torn write{}",
+                self.tag()
+            )));
+        }
+        self.inner.truncate(len)
+    }
+
+    fn discard_front(&mut self, n: u64) -> Result<()> {
+        if self.dead {
+            return Err(StorageError::Io(format!(
+                "log device offline after torn write{}",
+                self.tag()
+            )));
+        }
+        self.inner.discard_front(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::MemLogStore;
+
+    #[test]
+    fn torn_write_persists_prefix_then_kills_device() {
+        let plan = FaultPlan {
+            torn_write_at: Some(10),
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(MemLogStore::new(), plan);
+        assert_eq!(inj.append(b"12345678").unwrap(), 8);
+        let err = inj.append(b"abcdefgh").unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "{err}");
+        assert!(inj.is_dead());
+        assert!(inj.append(b"x").is_err(), "device stays offline");
+        assert_eq!(inj.into_inner().bytes(), b"12345678ab");
+    }
+
+    #[test]
+    fn nth_op_error_is_transient() {
+        let plan = FaultPlan {
+            error_on_op: Some(1),
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(MemLogStore::new(), plan);
+        inj.append(b"ok").unwrap();
+        assert!(inj.append(b"fails").is_err());
+        inj.append(b"ok again").unwrap();
+        assert_eq!(inj.into_inner().bytes(), b"okok again");
+    }
+
+    #[test]
+    fn read_faults_corrupt_only_the_view() {
+        let plan = FaultPlan {
+            flip_bit_on_read: Some(8), // bit 0 of byte 1
+            short_read_at: Some(3),
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(MemLogStore::from_bytes(vec![0, 0, 0, 0]), plan);
+        let seen = inj.read_all().unwrap();
+        assert_eq!(seen, vec![0, 1, 0], "short to 3 bytes, bit flipped");
+        assert_eq!(inj.into_inner().bytes(), &[0, 0, 0, 0], "store untouched");
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_tagged() {
+        assert_eq!(FaultPlan::seeded(42, 1000), FaultPlan::seeded(42, 1000));
+        let inj = FaultInjector::from_seed(MemLogStore::new(), 42, 1000);
+        assert_eq!(inj.seed(), Some(42));
+        let plan = FaultPlan::seeded_torn_write(7, 500);
+        assert!(plan.torn_write_at.unwrap() < 500);
+        let mut inj = FaultInjector::new(MemLogStore::new(), plan);
+        inj.seed = Some(7);
+        loop {
+            if inj.append(&[0u8; 64]).is_err() {
+                break;
+            }
+        }
+        let err = inj.append(b"x").unwrap_err();
+        assert!(err.to_string().contains("seed 7"), "{err}");
+    }
+}

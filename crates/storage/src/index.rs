@@ -76,7 +76,11 @@ impl HashIndex {
 
     /// Row ids of `table` whose key equals `key`. `table` must be the table
     /// the index was built over; candidates are verified value-by-value.
-    pub fn probe<'a>(&'a self, table: &'a Table, key: &'a [Value]) -> impl Iterator<Item = usize> + 'a {
+    pub fn probe<'a>(
+        &'a self,
+        table: &'a Table,
+        key: &'a [Value],
+    ) -> impl Iterator<Item = usize> + 'a {
         debug_assert_eq!(key.len(), self.key_cols.len(), "probe arity");
         let bucket = self
             .buckets

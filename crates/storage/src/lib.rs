@@ -18,22 +18,26 @@ pub mod column;
 pub mod csv;
 pub mod dictionary;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod index;
+pub mod log;
 pub mod schema;
 pub mod table;
 pub mod value;
 pub mod wal;
 
 pub use bitmap::Bitmap;
-pub use catalog::{Catalog, SharedTable};
+pub use catalog::{Catalog, RecoveryReport, SharedTable};
 pub use column::Column;
 pub use csv::{read_csv, write_csv};
 pub use dictionary::Dictionary;
 pub use error::{Result, StorageError};
+pub use fault::{FaultInjector, FaultPlan};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
+pub use log::{FileLogStore, LogStore, MemLogStore};
 pub use schema::{Field, Schema};
 pub use table::Table;
 pub use value::{DataType, Value};
-pub use wal::{Wal, WalStats};
+pub use wal::{scan_log, LogScan, Wal, WalRecord, WalStats};

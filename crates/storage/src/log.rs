@@ -1,0 +1,236 @@
+//! Byte-level log devices under the WAL.
+//!
+//! The WAL serializes records into checksummed frames and hands the raw
+//! bytes to a [`LogStore`]. The store models the *device*: an append-only
+//! byte sequence that can lose its tail on a crash. Two implementations
+//! ship — [`MemLogStore`] (bounded in-memory buffer, the default, matching
+//! the original in-memory log) and [`FileLogStore`] (a real file, so a
+//! process can actually crash and recover). [`crate::fault::FaultInjector`]
+//! wraps any store to simulate torn writes, bit rot, and flaky devices
+//! deterministically from a seed.
+//!
+//! Offsets handed to `read_at`/`truncate` are *physical* offsets into the
+//! currently retained bytes; recycling (`discard_front`) shifts them, which
+//! the WAL accounts for when reporting logical positions.
+
+use crate::error::{Result, StorageError};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only byte device holding the retained log.
+pub trait LogStore: fmt::Debug + Send {
+    /// Append `data` at the end. Returns the number of bytes actually
+    /// written — a faulty device may tear the write short.
+    fn append(&mut self, data: &[u8]) -> Result<usize>;
+
+    /// Read the entire retained log. A faulty device may return a
+    /// truncated or corrupted copy.
+    fn read_all(&mut self) -> Result<Vec<u8>>;
+
+    /// Retained length in bytes.
+    fn len(&self) -> Result<u64>;
+
+    /// True when nothing is retained.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Drop everything at and after byte `len` (tail truncation — the
+    /// recovery path discards torn/corrupt suffixes this way).
+    fn truncate(&mut self, len: u64) -> Result<()>;
+
+    /// Drop the oldest `n` bytes (log recycling). The WAL only calls this
+    /// on frame boundaries so the retained log still starts at a frame.
+    fn discard_front(&mut self, n: u64) -> Result<()>;
+
+    /// Force buffered bytes to the device. No-op for memory stores.
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// In-memory log device: a plain growable buffer.
+#[derive(Debug, Default, Clone)]
+pub struct MemLogStore {
+    buf: Vec<u8>,
+}
+
+impl MemLogStore {
+    /// Empty store.
+    pub fn new() -> MemLogStore {
+        MemLogStore::default()
+    }
+
+    /// Store pre-loaded with `bytes` — e.g. a crash image captured from
+    /// another store, to be handed to recovery.
+    pub fn from_bytes(bytes: Vec<u8>) -> MemLogStore {
+        MemLogStore { buf: bytes }
+    }
+
+    /// Borrow the retained bytes (test/diagnostic helper).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl LogStore for MemLogStore {
+    fn append(&mut self, data: &[u8]) -> Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        Ok(self.buf.clone())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.buf.len() as u64)
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        if (len as usize) < self.buf.len() {
+            self.buf.truncate(len as usize);
+        }
+        Ok(())
+    }
+
+    fn discard_front(&mut self, n: u64) -> Result<()> {
+        let n = (n as usize).min(self.buf.len());
+        self.buf.drain(..n);
+        Ok(())
+    }
+}
+
+/// File-backed log device.
+///
+/// Appends write-through (`write_all` + `flush`) so the on-disk prefix is
+/// as current as the in-process view. `discard_front` rewrites the file —
+/// acceptable here because recycling is rare (capacity-triggered) and the
+/// retained window is bounded; a production log would rotate segment files
+/// instead.
+pub struct FileLogStore {
+    path: PathBuf,
+    file: File,
+}
+
+impl FileLogStore {
+    /// Open (or create) the log file at `path`, appending after any
+    /// existing content.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileLogStore> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        Ok(FileLogStore { path, file })
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl fmt::Debug for FileLogStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileLogStore")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl LogStore for FileLogStore {
+    fn append(&mut self, data: &[u8]) -> Result<usize> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(data)?;
+        self.file.flush()?;
+        Ok(data.len())
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        if len < self.len()? {
+            self.file.set_len(len)?;
+        }
+        Ok(())
+    }
+
+    fn discard_front(&mut self, n: u64) -> Result<()> {
+        let mut all = self.read_all()?;
+        let n = (n as usize).min(all.len());
+        all.drain(..n);
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&all)?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::Io(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn LogStore) {
+        assert!(store.is_empty().unwrap());
+        assert_eq!(store.append(b"hello ").unwrap(), 6);
+        assert_eq!(store.append(b"world").unwrap(), 5);
+        assert_eq!(store.len().unwrap(), 11);
+        assert_eq!(store.read_all().unwrap(), b"hello world");
+
+        store.truncate(8).unwrap();
+        assert_eq!(store.read_all().unwrap(), b"hello wo");
+        store.truncate(100).unwrap(); // no-op past the end
+        assert_eq!(store.len().unwrap(), 8);
+
+        store.discard_front(6).unwrap();
+        assert_eq!(store.read_all().unwrap(), b"wo");
+        store.append(b"!").unwrap();
+        assert_eq!(store.read_all().unwrap(), b"wo!");
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_store_semantics() {
+        exercise(&mut MemLogStore::new());
+    }
+
+    #[test]
+    fn file_store_semantics() {
+        let path = std::env::temp_dir().join(format!("pa-log-test-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        exercise(&mut FileLogStore::open(&path).unwrap());
+
+        // Re-open: retained bytes survive the handle.
+        let mut reopened = FileLogStore::open(&path).unwrap();
+        assert_eq!(reopened.read_all().unwrap(), b"wo!");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn from_bytes_round_trip() {
+        let mut s = MemLogStore::from_bytes(vec![1, 2, 3]);
+        assert_eq!(s.read_all().unwrap(), vec![1, 2, 3]);
+        assert_eq!(s.bytes(), &[1, 2, 3]);
+    }
+}

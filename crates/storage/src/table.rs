@@ -85,6 +85,30 @@ impl Table {
         &self.schema
     }
 
+    /// Verify structural invariants: column count and types agree with the
+    /// schema, every column (and its validity bitmap) has `num_rows`
+    /// entries, and dictionary codes resolve. Recovery tests use this to
+    /// prove a replayed table is sound.
+    pub fn check_integrity(&self) -> Result<()> {
+        if self.columns.len() != self.schema.len() {
+            return Err(StorageError::LengthMismatch {
+                expected: self.schema.len(),
+                found: self.columns.len(),
+            });
+        }
+        let n = self.num_rows();
+        for (field, col) in self.schema.fields().iter().zip(&self.columns) {
+            if field.dtype != col.data_type() {
+                return Err(StorageError::TypeMismatch {
+                    expected: field.dtype.to_string(),
+                    found: col.data_type().to_string(),
+                });
+            }
+            col.check_integrity(n)?;
+        }
+        Ok(())
+    }
+
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.columns.first().map_or(0, Column::len)
@@ -216,12 +240,7 @@ impl Table {
     /// examples, the repro harness).
     pub fn display(&self, limit: usize) -> String {
         let n = self.num_rows().min(limit);
-        let mut widths: Vec<usize> = self
-            .schema
-            .fields()
-            .iter()
-            .map(|f| f.name.len())
-            .collect();
+        let mut widths: Vec<usize> = self.schema.fields().iter().map(|f| f.name.len()).collect();
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(n);
         for i in 0..n {
             let row: Vec<String> = self

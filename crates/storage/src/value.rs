@@ -110,9 +110,7 @@ impl Value {
             (Value::Null, Value::Null) => true,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             // Strings drawn from the same dictionary share their allocation,
             // so the pointer check settles the common case without touching
             // the bytes (a real engine compares dictionary codes).
@@ -154,7 +152,10 @@ impl Value {
             Value::Float(f) => {
                 // Floats whose value is integral must hash like the int, to
                 // honor key_eq(Int, Float).
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     state.write_u8(1);
                     state.write_i64(*f as i64);

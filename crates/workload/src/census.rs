@@ -42,16 +42,8 @@ impl Default for CensusConfig {
 }
 
 const SCHOOL: [&str; 10] = [
-    "none",
-    "grade1-4",
-    "grade5-8",
-    "grade9",
-    "grade10",
-    "grade11",
-    "grade12",
-    "college",
-    "bachelor",
-    "graduate",
+    "none", "grade1-4", "grade5-8", "grade9", "grade10", "grade11", "grade12", "college",
+    "bachelor", "graduate",
 ];
 const CLASS: [&str; 9] = [
     "private",
@@ -114,7 +106,10 @@ mod tests {
 
     #[test]
     fn cardinalities_and_skew() {
-        let t = uscensus_table(&CensusConfig { rows: 50_000, seed: 3 });
+        let t = uscensus_table(&CensusConfig {
+            rows: 50_000,
+            seed: 3,
+        });
         let school = counts(&t, "iSchool");
         assert_eq!(school.len(), 10);
         let class = counts(&t, "iClass");
@@ -129,8 +124,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = uscensus_table(&CensusConfig { rows: 100, seed: 11 });
-        let b = uscensus_table(&CensusConfig { rows: 100, seed: 11 });
+        let a = uscensus_table(&CensusConfig {
+            rows: 100,
+            seed: 11,
+        });
+        let b = uscensus_table(&CensusConfig {
+            rows: 100,
+            seed: 11,
+        });
         for i in 0..100 {
             assert_eq!(a.get(i, 5), b.get(i, 5));
         }

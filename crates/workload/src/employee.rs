@@ -53,7 +53,11 @@ pub fn employee_table(config: &EmployeeConfig) -> Table {
         seq_col(n),
         uniform_str_col(&mut rng, n, &["M", "F"]),
         uniform_str_col(&mut rng, n, &["single", "married", "divorced", "widowed"]),
-        uniform_str_col(&mut rng, n, &["none", "highschool", "bachelor", "master", "phd"]),
+        uniform_str_col(
+            &mut rng,
+            n,
+            &["none", "highschool", "bachelor", "master", "phd"],
+        ),
         uniform_int_col(&mut rng, n, 100, 0),
         uniform_float_col(&mut rng, n, 20_000.0, 150_000.0),
     ];
@@ -71,7 +75,10 @@ mod tests {
 
     #[test]
     fn paper_cardinalities() {
-        let t = employee_table(&EmployeeConfig { rows: 5_000, seed: 1 });
+        let t = employee_table(&EmployeeConfig {
+            rows: 5_000,
+            seed: 1,
+        });
         assert_eq!(t.num_rows(), 5_000);
         let distinct = |name: &str| {
             let col = t.schema().index_of(name).unwrap();
@@ -89,9 +96,18 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = employee_table(&EmployeeConfig { rows: 100, seed: 42 });
-        let b = employee_table(&EmployeeConfig { rows: 100, seed: 42 });
-        let c = employee_table(&EmployeeConfig { rows: 100, seed: 43 });
+        let a = employee_table(&EmployeeConfig {
+            rows: 100,
+            seed: 42,
+        });
+        let b = employee_table(&EmployeeConfig {
+            rows: 100,
+            seed: 42,
+        });
+        let c = employee_table(&EmployeeConfig {
+            rows: 100,
+            seed: 43,
+        });
         assert_eq!(a.get(7, 5), b.get(7, 5));
         assert!((0..100).any(|i| a.get(i, 5) != c.get(i, 5)));
     }

@@ -54,7 +54,9 @@ pub fn uniform_float_col(rng: &mut impl Rng, n: usize, lo: f64, hi: f64) -> Colu
 /// distributions the DMKD paper describes as skewed.
 pub fn zipf_indices(rng: &mut impl Rng, n: usize, cardinality: usize, s: f64) -> Vec<usize> {
     // Precompute the CDF once; cardinalities are small.
-    let weights: Vec<f64> = (1..=cardinality).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let weights: Vec<f64> = (1..=cardinality)
+        .map(|k| 1.0 / (k as f64).powf(s))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(cardinality);
     let mut acc = 0.0;

@@ -8,7 +8,9 @@
 
 use crate::gen::{seq_col, uniform_float_col, uniform_int_col, uniform_str_col};
 use crate::scale::Scale;
-use pa_storage::{Bitmap, Catalog, Column, DataType, Dictionary, Result, Schema, SharedTable, Table};
+use pa_storage::{
+    Bitmap, Catalog, Column, DataType, Dictionary, Result, Schema, SharedTable, Table,
+};
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -110,7 +112,10 @@ mod tests {
 
     #[test]
     fn paper_cardinalities() {
-        let t = sales_table(&SalesConfig { rows: 20_000, seed: 2 });
+        let t = sales_table(&SalesConfig {
+            rows: 20_000,
+            seed: 2,
+        });
         let distinct = |name: &str| {
             let col = t.schema().index_of(name).unwrap();
             let mut seen = std::collections::HashSet::new();
@@ -125,12 +130,19 @@ mod tests {
         assert_eq!(distinct("city"), 20);
         assert_eq!(distinct("state"), 5);
         assert_eq!(distinct("dept"), 100);
-        assert_eq!(distinct("transactionId"), 20_000, "transaction id is unique");
+        assert_eq!(
+            distinct("transactionId"),
+            20_000,
+            "transaction id is unique"
+        );
     }
 
     #[test]
     fn city_determines_state() {
-        let t = sales_table(&SalesConfig { rows: 5_000, seed: 2 });
+        let t = sales_table(&SalesConfig {
+            rows: 5_000,
+            seed: 2,
+        });
         let city = t.schema().index_of("city").unwrap();
         let state = t.schema().index_of("state").unwrap();
         let mut map = std::collections::HashMap::new();

@@ -88,16 +88,37 @@ pub fn transaction_line_table(config: &TransactionConfig) -> Table {
     let full = Bitmap::filled(n, true);
     let columns = vec![
         seq_col(n),
-        Column::Int { data: dept, validity: full.clone() },
-        Column::Int { data: subdept, validity: full.clone() },
-        Column::Int { data: item, validity: full.clone() },
+        Column::Int {
+            data: dept,
+            validity: full.clone(),
+        },
+        Column::Int {
+            data: subdept,
+            validity: full.clone(),
+        },
+        Column::Int {
+            data: item,
+            validity: full.clone(),
+        },
         uniform_int_col(&mut rng, n, 4, 2001),
         uniform_int_col(&mut rng, n, 12, 1),
         uniform_int_col(&mut rng, n, 7, 1),
-        Column::Int { data: region, validity: full.clone() },
-        Column::Int { data: state, validity: full.clone() },
-        Column::Int { data: city, validity: full.clone() },
-        Column::Int { data: store, validity: full },
+        Column::Int {
+            data: region,
+            validity: full.clone(),
+        },
+        Column::Int {
+            data: state,
+            validity: full.clone(),
+        },
+        Column::Int {
+            data: city,
+            validity: full.clone(),
+        },
+        Column::Int {
+            data: store,
+            validity: full,
+        },
         uniform_int_col(&mut rng, n, 9, 1),
         uniform_float_col(&mut rng, n, 0.5, 250.0),
         uniform_float_col(&mut rng, n, 1.0, 500.0),
@@ -128,7 +149,10 @@ mod tests {
 
     #[test]
     fn paper_cardinalities() {
-        let t = transaction_line_table(&TransactionConfig { rows: 30_000, seed: 5 });
+        let t = transaction_line_table(&TransactionConfig {
+            rows: 30_000,
+            seed: 5,
+        });
         assert_eq!(distinct(&t, "deptId"), 10);
         assert_eq!(distinct(&t, "subdeptId"), 100);
         assert_eq!(distinct(&t, "itemId"), 1000);
@@ -143,7 +167,10 @@ mod tests {
 
     #[test]
     fn hierarchies_are_functional() {
-        let t = transaction_line_table(&TransactionConfig { rows: 5_000, seed: 5 });
+        let t = transaction_line_table(&TransactionConfig {
+            rows: 5_000,
+            seed: 5,
+        });
         let col = |n: &str| t.schema().index_of(n).unwrap();
         let mut item_to_subdept = std::collections::HashMap::new();
         let mut store_to_region = std::collections::HashMap::new();

@@ -71,16 +71,20 @@ fn main() -> Result<(), CoreError> {
 
     // Percentage features instead of raw sums: Hpct gives each store's
     // weekday *mix*, a scale-free feature vector for clustering.
-    let q = HorizontalQuery::hpct("transactionLine", &["storeId"], "salesAmt", &["dayOfWeekNo"]);
+    let q = HorizontalQuery::hpct(
+        "transactionLine",
+        &["storeId"],
+        "salesAmt",
+        &["dayOfWeekNo"],
+    );
     let mix = engine.horizontal(&q)?;
     println!("\n== scale-free weekday mix (rows add to 100%) ==");
     println!("{}", mix.snapshot().sorted_by(&[0]).display(6));
 
     // Hand the data set to the mining tool: a CSV file.
     let out_path = std::env::temp_dir().join("store_weekday_mix.csv");
-    let mut file = std::io::BufWriter::new(
-        std::fs::File::create(&out_path).expect("temp dir is writable"),
-    );
+    let mut file =
+        std::io::BufWriter::new(std::fs::File::create(&out_path).expect("temp dir is writable"));
     percentage_aggregations::storage::write_csv(&mix.snapshot().sorted_by(&[0]), &mut file)?;
     println!("wrote {}", out_path.display());
     Ok(())

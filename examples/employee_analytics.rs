@@ -26,7 +26,12 @@ fn main() -> Result<(), CoreError> {
     println!("{}", result.snapshot().sorted_by(&[0, 1]).display(10));
 
     // Head-count percentages (Vpct of a literal counts rows).
-    let q = VpctQuery::single("employee", &["gender", "educat"], Measure::LitInt(1), &["educat"]);
+    let q = VpctQuery::single(
+        "employee",
+        &["gender", "educat"],
+        Measure::LitInt(1),
+        &["educat"],
+    );
     let result = engine.vpct(&q)?;
     println!("== head-count share by education within gender ==");
     println!("{}", result.snapshot().sorted_by(&[0, 1]).display(12));
@@ -56,7 +61,12 @@ fn main() -> Result<(), CoreError> {
     println!("{}", padded.snapshot().sorted_by(&[0, 1]).display(14));
 
     // Percentage plan vs OLAP window plan, timed.
-    let q = VpctQuery::single("employee", &["gender", "marstatus"], "salary", &["marstatus"]);
+    let q = VpctQuery::single(
+        "employee",
+        &["gender", "marstatus"],
+        "salary",
+        &["marstatus"],
+    );
     let t0 = Instant::now();
     let fast = engine.vpct(&q)?;
     let fast_ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -28,7 +28,10 @@ fn main() -> Result<(), CoreError> {
         (&["dweek"], &["dweek"]),
         (&["monthNo", "dweek"], &["dweek"]),
         (&["dept", "dweek", "monthNo"], &["dweek", "monthNo"]),
-        (&["dept", "store", "dweek", "monthNo"], &["dweek", "monthNo"]),
+        (
+            &["dept", "store", "dweek", "monthNo"],
+            &["dweek", "monthNo"],
+        ),
     ];
 
     println!("\n== vertical percentage strategies (times in ms) ==");

@@ -1,0 +1,115 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the proptest surface its tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_recursive`, boxed strategies, regex-lite
+//! string strategies, range and tuple strategies, `prop::collection::vec`,
+//! `prop::option`, the `proptest!` / `prop_oneof!` / `prop_assert*!` macros,
+//! and a deterministic seeded runner.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case is reported verbatim, with its seed.
+//! - **Deterministic seeds.** Each test derives its base seed from the test
+//!   name, so CI runs are reproducible; `PA_PROPTEST_SEED=<u64>` overrides
+//!   it, and every failure message prints the exact value to re-run with.
+//! - **Regex strategies** support the subset the tests use: literal chars,
+//!   `.`, `[...]` classes with ranges, and `{m,n}` repetition.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection`, `prop::option` module layout, as in real proptest.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+        pub use crate::strategy::option_weighted as weighted;
+    }
+}
+
+/// Everything a property test needs, as in `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property test; failure reports the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted or unweighted union of strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests: an optional `#![proptest_config(..)]` followed by
+/// `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &__config,
+                &__strategy,
+                |($($arg,)+)| $body,
+            );
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}

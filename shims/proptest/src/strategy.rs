@@ -1,0 +1,581 @@
+//! Strategies: composable random-value generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// The generator driving strategies during a test run.
+pub type TestRng = StdRng;
+
+/// How many times `prop_filter` retries before giving up on a case.
+const FILTER_RETRIES: usize = 500;
+
+/// A composable generator of random values.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U: Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard generated values failing `pred` (retrying); `reason` is
+    /// reported if generation keeps failing.
+    fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Build recursive structures: `recurse` receives a strategy for the
+    /// previous depth and returns one producing a deeper value. Generated
+    /// depth is bounded by `depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth.max(1) {
+            let deeper = recurse(strat).boxed();
+            // Each level: 1 part leaves, 2 parts deeper structure.
+            strat = Union::new(vec![(1u32, base.clone()), (2u32, deeper)]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erase into a cheaply clonable strategy handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+impl<T: Debug> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected {FILTER_RETRIES} candidates in a row",
+            self.reason
+        );
+    }
+}
+
+/// Weighted union of strategies over one value type (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// Union over `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms[self.arms.len() - 1].1.generate(rng)
+    }
+}
+
+impl<T> Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} arms)", self.arms.len())
+    }
+}
+
+// ---- primitive strategies ------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, isize, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+);
+
+// ---- any::<T>() ----------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy over a type's full domain, driven by the raw generator.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => |$rng:ident| $gen:expr),+ $(,)?) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $gen
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary!(
+    bool => |rng| rng.gen::<bool>(),
+    u8 => |rng| rng.gen::<u64>() as u8,
+    u16 => |rng| rng.gen::<u64>() as u16,
+    u32 => |rng| rng.gen::<u32>(),
+    u64 => |rng| rng.gen::<u64>(),
+    usize => |rng| rng.gen::<u64>() as usize,
+    i8 => |rng| rng.gen::<u64>() as i8,
+    i16 => |rng| rng.gen::<u64>() as i16,
+    i32 => |rng| rng.gen::<u64>() as i32,
+    i64 => |rng| rng.gen::<i64>(),
+    isize => |rng| rng.gen::<u64>() as isize,
+);
+
+// ---- collections and options --------------------------------------------
+
+/// Length bounds accepted by [`vec`]: `lo..hi` or `lo..=hi`.
+pub trait SizeRange {
+    /// `(lo, hi_inclusive)` element-count bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (lo, hi_inclusive) = size.bounds();
+    VecStrategy {
+        element,
+        lo,
+        hi_inclusive,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.lo..=self.hi_inclusive);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `Option<T>`: `Some` with probability `p`.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    p_some: f64,
+}
+
+/// `prop::option::of(strategy)` — `Some` half the time.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    option_weighted(0.5, inner)
+}
+
+/// `prop::option::weighted(p, strategy)` — `Some` with probability `p`.
+pub fn option_weighted<S: Strategy>(p_some: f64, inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner, p_some }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(self.p_some) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+// ---- regex-lite string strategies ----------------------------------------
+
+/// One parsed pattern element: a set of candidate chars plus a repetition.
+#[derive(Debug, Clone)]
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Character pool for `.`: printable ASCII plus a few multi-byte code
+/// points so "never panics" tests exercise non-ASCII input.
+fn dot_chars() -> Vec<char> {
+    let mut chars: Vec<char> = (' '..='~').collect();
+    chars.extend(['é', 'ß', 'λ', '中', '🦀', '\t', '\u{0}']);
+    chars
+}
+
+fn parse_class(pattern: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // pattern[i] is the char after '['.
+    let mut chars = Vec::new();
+    while i < pattern.len() && pattern[i] != ']' {
+        if i + 2 < pattern.len() && pattern[i + 1] == '-' && pattern[i + 2] != ']' {
+            let (lo, hi) = (pattern[i], pattern[i + 2]);
+            assert!(lo <= hi, "bad class range {lo}-{hi}");
+            chars.extend(lo..=hi);
+            i += 3;
+        } else {
+            chars.push(pattern[i]);
+            i += 1;
+        }
+    }
+    assert!(i < pattern.len(), "unterminated [class] in pattern");
+    (chars, i + 1) // past ']'
+}
+
+fn parse_repeat(pattern: &[char], i: usize) -> (usize, usize, usize) {
+    // Returns (min, max, next_index); pattern[i] may be '{'.
+    if i < pattern.len() && pattern[i] == '{' {
+        let close = pattern[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .map(|p| p + i)
+            .expect("unterminated {m,n} in pattern");
+        let body: String = pattern[i + 1..close].iter().collect();
+        let (min, max) = match body.split_once(',') {
+            Some((m, n)) => (
+                m.parse().expect("bad {m,n} lower bound"),
+                n.parse().expect("bad {m,n} upper bound"),
+            ),
+            None => {
+                let n = body.parse().expect("bad {n} count");
+                (n, n)
+            }
+        };
+        (min, max, close + 1)
+    } else {
+        (1, 1, i)
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (set, next) = match chars[i] {
+            '[' => parse_class(&chars, i + 1),
+            '.' => (dot_chars(), i + 1),
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in pattern");
+                (vec![chars[i + 1]], i + 2)
+            }
+            c => (vec![c], i + 1),
+        };
+        let (min, max, next) = parse_repeat(&chars, next);
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+        i = next;
+    }
+    atoms
+}
+
+/// String patterns act as strategies (regex-lite subset: literals, `.`,
+/// `[...]` classes with ranges, `{m,n}` repetition).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                let idx = rng.gen_range(0..atom.chars.len());
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn pattern_identifier_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_printable_class_and_dot() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[ -~]{0,8}".generate(&mut r);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            let _ = ".{0,80}".generate(&mut r); // must not panic
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut r = rng();
+        let u = crate::prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| u.generate(&mut r)).count();
+        assert!((800..1000).contains(&trues), "trues={trues}");
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let mut r = rng();
+        let s = (0i64..100)
+            .prop_filter("even", |v| v % 2 == 0)
+            .prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert_eq!(v % 20, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = strat.generate(&mut r);
+            assert!(depth(&t) <= 5, "depth {} too deep", depth(&t));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_bounds() {
+        let mut r = rng();
+        let s = vec(option_weighted(0.9, 0i64..5), 2..10);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..10).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the surface it uses: `Rng` (`gen`, `gen_range`, `gen_bool`), `SeedableRng`
+//! (`seed_from_u64`), `rngs::StdRng`, and `distributions::{Distribution,
+//! Uniform}`. The generator is xoshiro256** seeded through SplitMix64 —
+//! deterministic, fast, and of ample quality for synthetic workloads and
+//! tests (not cryptographic).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Blanket convenience API over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+
+    /// Sample uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoUniform<T>,
+        Self: Sized,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample_between(lo, hi_inclusive, self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64 (same construction the xoshiro authors recommend).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Standard-distribution sampling for primitive types.
+pub trait Standard: Sized {
+    /// Sample from the type's standard distribution.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for i64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// Types that can be drawn uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `lo..=hi_inclusive` (`lo <= hi_inclusive`).
+    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi_inclusive: Self, rng: &mut R) -> Self;
+}
+
+/// Unbiased uniform draw from `0..=span` via rejection (Lemire-style
+/// threshold would be faster; span sizes here make rejection negligible).
+fn uniform_u64_inclusive<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let buckets = span + 1;
+    let zone = u64::MAX - (u64::MAX - buckets + 1) % buckets;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % buckets;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                debug_assert!(lo <= hi, "empty uniform range");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(uniform_u64_inclusive(span, rng) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, isize, usize);
+
+impl SampleUniform for u64 {
+    fn sample_between<R: RngCore + ?Sized>(lo: u64, hi: u64, rng: &mut R) -> u64 {
+        debug_assert!(lo <= hi, "empty uniform range");
+        lo.wrapping_add(uniform_u64_inclusive(hi - lo, rng))
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+        lo + f64::standard(rng) * (hi - lo)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`] and [`distributions::Uniform`].
+pub trait IntoUniform<T> {
+    /// Convert to `(lo, hi_inclusive)` bounds.
+    fn bounds(self) -> (T, T);
+}
+
+impl IntoUniform<f64> for Range<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (self.start, self.end) // half-open handled by the f64 sampler
+    }
+}
+
+macro_rules! impl_into_uniform_int {
+    ($($t:ty),*) => {$(
+        impl IntoUniform<$t> for Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                debug_assert!(self.start < self.end, "empty uniform range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoUniform<$t> for RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_into_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, isize, usize);
+
+/// Distributions (`Uniform`) in the rand 0.8 module layout.
+pub mod distributions {
+    use super::{IntoUniform, RngCore, SampleUniform};
+
+    /// A distribution that can be sampled with any generator.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a precomputed range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi_inclusive: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over the half-open range `lo..hi`.
+        pub fn new(lo: T, hi: T) -> Uniform<T>
+        where
+            std::ops::Range<T>: IntoUniform<T>,
+        {
+            let (lo, hi_inclusive) = (lo..hi).bounds();
+            Uniform { lo, hi_inclusive }
+        }
+
+        /// Uniform over the closed range `lo..=hi`.
+        pub fn new_inclusive(lo: T, hi: T) -> Uniform<T> {
+            Uniform {
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_between(self.lo, self.hi_inclusive, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn uniform_int_stays_in_range_and_hits_all_buckets() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Uniform::new(0i64, 5);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((0..5).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn uniform_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = Uniform::new(2.0f64, 3.0);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_supports_both_range_forms() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let a = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&a));
+            let b = rng.gen_range(0usize..=9);
+            assert!(b <= 9);
+        }
+    }
+}

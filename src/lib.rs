@@ -51,13 +51,11 @@ pub use pa_workload as workload;
 pub mod prelude {
     pub use pa_core::{
         eval_horizontal, eval_vpct, eval_vpct_olap, CoreError, ExtraAgg, FjSource,
-        HorizontalOptions, HorizontalQuery, HorizontalResult, HorizontalStrategy,
-        HorizontalTerm, Materialization, Measure, MissingRows, PercentageEngine, QueryResult,
-        SqlOutcome, VpctQuery, VpctStrategy, VpctTerm,
+        HorizontalOptions, HorizontalQuery, HorizontalResult, HorizontalStrategy, HorizontalTerm,
+        Materialization, Measure, MissingRows, PercentageEngine, QueryResult, SqlOutcome,
+        VpctQuery, VpctStrategy, VpctTerm,
     };
-    pub use pa_engine::{AggFunc, ExecStats};
-    pub use pa_storage::{Catalog, DataType, Schema, Table, Value};
-    pub use pa_workload::{
-        CensusConfig, EmployeeConfig, SalesConfig, Scale, TransactionConfig,
-    };
+    pub use pa_engine::{AggFunc, ExecStats, ResourceGuard};
+    pub use pa_storage::{Catalog, DataType, MemLogStore, RecoveryReport, Schema, Table, Value};
+    pub use pa_workload::{CensusConfig, EmployeeConfig, SalesConfig, Scale, TransactionConfig};
 }

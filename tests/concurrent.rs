@@ -35,18 +35,17 @@ fn parallel_vertical_queries_agree_with_serial() {
                 let catalog = &catalog;
                 scope.spawn(move || {
                     let engine = PercentageEngine::with_unique_temps(catalog);
-                    let q = VpctQuery::single(
-                        "sales",
-                        &["state", "dweek"],
-                        "salesAmt",
-                        &["dweek"],
-                    );
+                    let q = VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]);
                     let strat = if i % 2 == 0 {
                         VpctStrategy::best()
                     } else {
                         VpctStrategy::fj_from_f()
                     };
-                    engine.vpct_with(&q, &strat).unwrap().snapshot().sorted_by(&[0, 1])
+                    engine
+                        .vpct_with(&q, &strat)
+                        .unwrap()
+                        .snapshot()
+                        .sorted_by(&[0, 1])
                 })
             })
             .collect();
@@ -80,7 +79,8 @@ fn mixed_families_run_concurrently() {
                 let engine = PercentageEngine::with_unique_temps(catalog);
                 match i % 4 {
                     0 => {
-                        let q = VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]);
+                        let q =
+                            VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]);
                         engine.vpct(&q).unwrap().snapshot().num_rows()
                     }
                     1 => {
@@ -88,7 +88,8 @@ fn mixed_families_run_concurrently() {
                         engine.horizontal(&q).unwrap().snapshot().num_rows()
                     }
                     2 => {
-                        let q = VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]);
+                        let q =
+                            VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]);
                         engine.vpct_olap(&q).unwrap().snapshot().num_rows()
                     }
                     _ => {

@@ -79,10 +79,16 @@ fn indirect_case_cuts_condition_evaluations() {
     // N = 84 columns (dweek × monthNo), |FV| = |dept × dweek × monthNo| ≤ 8400.
     let q = HorizontalQuery::hpct("sales", &["dept"], "salesAmt", &["dweek", "monthNo"]);
     let direct = engine
-        .horizontal_with(&q, &HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect))
+        .horizontal_with(
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect),
+        )
         .unwrap();
     let indirect = engine
-        .horizontal_with(&q, &HorizontalOptions::with_strategy(HorizontalStrategy::CaseFromFv))
+        .horizontal_with(
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::CaseFromFv),
+        )
         .unwrap();
     assert!(
         direct.stats.case_condition_evals > 20_000 * 42,
@@ -105,10 +111,16 @@ fn spj_scans_explode_with_n() {
     let engine = PercentageEngine::new(&catalog);
     let q = HorizontalQuery::hpct("sales", &["state"], "salesAmt", &["dweek", "monthNo"]);
     let case = engine
-        .horizontal_with(&q, &HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect))
+        .horizontal_with(
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect),
+        )
         .unwrap();
     let spj = engine
-        .horizontal_with(&q, &HorizontalOptions::with_strategy(HorizontalStrategy::SpjDirect))
+        .horizontal_with(
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::SpjDirect),
+        )
         .unwrap();
     // 84 combinations → 84 extra scans of F.
     assert!(
@@ -119,7 +131,10 @@ fn spj_scans_explode_with_n() {
     assert!(spj.stats.rows_scanned > 20 * case.stats.rows_scanned);
     // And SPJ-from-FV replaces those scans of F with scans of the smaller FV.
     let spj_fv = engine
-        .horizontal_with(&q, &HorizontalOptions::with_strategy(HorizontalStrategy::SpjFromFv))
+        .horizontal_with(
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::SpjFromFv),
+        )
         .unwrap();
     assert!(spj_fv.stats.rows_scanned < spj.stats.rows_scanned / 2);
 }
@@ -157,7 +172,9 @@ fn subkey_index_removes_transient_build() {
     let engine = PercentageEngine::new(&catalog);
     let q = VpctQuery::single("sales", &["dept", "dweek"], "salesAmt", &["dweek"]);
     let with_idx = engine.vpct_with(&q, &VpctStrategy::best()).unwrap();
-    let without = engine.vpct_with(&q, &VpctStrategy::without_index()).unwrap();
+    let without = engine
+        .vpct_with(&q, &VpctStrategy::without_index())
+        .unwrap();
     assert!(
         without.stats.hash_build_rows > with_idx.stats.hash_build_rows,
         "without {} vs with {}",
@@ -210,10 +227,7 @@ fn lattice_saves_scans_on_multi_term_queries() {
         terms: vec![
             percentage_aggregations::core::VpctTerm::new("salesAmt", &["monthNo"]),
             percentage_aggregations::core::VpctTerm::new("salesAmt", &["dweek", "monthNo"]),
-            percentage_aggregations::core::VpctTerm::new(
-                "salesAmt",
-                &["dept", "dweek", "monthNo"],
-            ),
+            percentage_aggregations::core::VpctTerm::new("salesAmt", &["dept", "dweek", "monthNo"]),
         ],
         extra: vec![],
     };

@@ -152,8 +152,13 @@ fn dmkd_table_2_binary_coding() {
         (3, "F", "married", 40_000.0),
         (4, "M", "single", 45_000.0),
     ] {
-        f.push_row(&[Value::Int(id), Value::str(g), Value::str(m), Value::Float(s)])
-            .unwrap();
+        f.push_row(&[
+            Value::Int(id),
+            Value::str(g),
+            Value::str(m),
+            Value::Float(s),
+        ])
+        .unwrap();
     }
     catalog.create_table("employee", f).unwrap();
     let engine = PercentageEngine::new(&catalog);
@@ -209,7 +214,10 @@ fn dmkd_table_1_multi_term_summary() {
         t.get(0, col("sum_salesAmt:city=San_Francisco")),
         Value::Float(83.0)
     );
-    assert_eq!(t.get(0, col("count_star:city=San_Francisco")), Value::Int(3));
+    assert_eq!(
+        t.get(0, col("count_star:city=San_Francisco")),
+        Value::Int(3)
+    );
     assert_eq!(t.get(0, col("sum_salesAmt:city=Dallas")), Value::Null);
     assert_eq!(t.get(0, col("count_star:city=Dallas")), Value::Int(0));
     assert_eq!(t.get(1, col("sum_salesAmt")), Value::Float(149.0));

@@ -19,9 +19,9 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Row {
-    g: Option<i64>,   // outer dimension D1 (nullable)
-    d: Option<i64>,   // inner dimension D2 (nullable)
-    a: Option<f64>,   // measure (nullable, may be negative)
+    g: Option<i64>, // outer dimension D1 (nullable)
+    d: Option<i64>, // inner dimension D2 (nullable)
+    a: Option<f64>, // measure (nullable, may be negative)
 }
 
 fn row_strategy() -> impl Strategy<Value = Row> {

@@ -46,8 +46,7 @@ fn vertical_statement_with_alias_and_extras() {
     // Shares per state sum to 1.
     let mut sums = std::collections::HashMap::new();
     for r in 0..t.num_rows() {
-        *sums.entry(t.get(r, 0).to_string()).or_insert(0.0) +=
-            t.get(r, 2).as_f64().unwrap();
+        *sums.entry(t.get(r, 0).to_string()).or_insert(0.0) += t.get(r, 2).as_f64().unwrap();
     }
     for (s, v) in sums {
         assert!((v - 1.0).abs() < 1e-9, "{s}: {v}");
@@ -162,10 +161,7 @@ fn heuristic_optimizer_picks_sources_as_documented() {
     let stmts = engine
         .explain_sql("SELECT state, Hpct(salesAmt BY dweek) FROM sales GROUP BY state")
         .unwrap();
-    assert!(
-        stmts.iter().any(|s| s.contains("FROM sales")),
-        "{stmts:?}"
-    );
+    assert!(stmts.iter().any(|s| s.contains("FROM sales")), "{stmts:?}");
     assert!(!stmts[0].contains("INSERT INTO FV"), "{stmts:?}");
     // Selective BY column (dept has 100 values) → indirect via FV.
     let stmts = engine
@@ -254,12 +250,18 @@ fn count_distinct_rules() {
     assert!(engine.horizontal(&q).is_ok());
     // And SPJ-direct agrees with CASE-direct.
     let a = engine
-        .horizontal_with(&q, &HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect))
+        .horizontal_with(
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect),
+        )
         .unwrap()
         .snapshot()
         .sorted_by(&[0]);
     let b = engine
-        .horizontal_with(&q, &HorizontalOptions::with_strategy(HorizontalStrategy::SpjDirect))
+        .horizontal_with(
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::SpjDirect),
+        )
         .unwrap()
         .snapshot()
         .sorted_by(&[0]);
@@ -306,7 +308,11 @@ fn update_strategy_carries_extra_aggregates() {
         .execute_sql_with(sql, &VpctStrategy::best(), &HorizontalOptions::default())
         .unwrap();
     let upd = engine
-        .execute_sql_with(sql, &VpctStrategy::with_update(), &HorizontalOptions::default())
+        .execute_sql_with(
+            sql,
+            &VpctStrategy::with_update(),
+            &HorizontalOptions::default(),
+        )
         .unwrap();
     let a = ins.table();
     let b = upd.table();
@@ -349,7 +355,12 @@ fn sanitized_value_collisions_get_unique_columns() {
     let result = engine.horizontal(&q).unwrap();
     let t = result.snapshot();
     assert_eq!(t.num_columns(), 3, "g + two distinct cells");
-    let names: Vec<&str> = t.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    let names: Vec<&str> = t
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
     assert!(names.contains(&"d=a_b"));
     assert!(names.contains(&"d=a_b_2"), "{names:?}");
     // 25% / 75%, whichever column is which.

@@ -52,11 +52,17 @@ fn vpct_strategies_agree_on_sales_workload() {
         (&["dweek"], &["dweek"]),
         (&["monthNo", "dweek"], &["dweek"]),
         (&["dept", "dweek", "monthNo"], &["dweek", "monthNo"]),
-        (&["dept", "store", "dweek", "monthNo"], &["dweek", "monthNo"]),
+        (
+            &["dept", "store", "dweek", "monthNo"],
+            &["dweek", "monthNo"],
+        ),
     ];
     for (group_by, by) in queries {
         let q = VpctQuery::single("sales", group_by, "salesAmt", by);
-        let reference = engine.vpct_with(&q, &VpctStrategy::best()).unwrap().snapshot();
+        let reference = engine
+            .vpct_with(&q, &VpctStrategy::best())
+            .unwrap()
+            .snapshot();
         for strat in [
             VpctStrategy::without_index(),
             VpctStrategy::with_update(),
@@ -92,7 +98,10 @@ fn horizontal_strategies_agree_on_sales_workload() {
                 Some(r) => assert_tables_equal(r, &got, strategy.label()),
             }
         }
-        for strategy in [HorizontalStrategy::CaseDirect, HorizontalStrategy::CaseFromFv] {
+        for strategy in [
+            HorizontalStrategy::CaseDirect,
+            HorizontalStrategy::CaseFromFv,
+        ] {
             let opts = HorizontalOptions {
                 strategy,
                 hash_dispatch: true,
@@ -120,7 +129,13 @@ fn hagg_strategies_agree_on_census_workload() {
     )
     .unwrap();
     let engine = PercentageEngine::with_unique_temps(&catalog);
-    for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+    for func in [
+        AggFunc::Sum,
+        AggFunc::Count,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ] {
         let q = HorizontalQuery::hagg("uscensus", &["iSex"], func, "dIncome", &["iMarital"]);
         let mut reference: Option<Table> = None;
         for strategy in HorizontalStrategy::all() {
@@ -130,9 +145,7 @@ fn hagg_strategies_agree_on_census_workload() {
                 .snapshot();
             match &reference {
                 None => reference = Some(got),
-                Some(r) => {
-                    assert_tables_equal(r, &got, &format!("{func:?} {}", strategy.label()))
-                }
+                Some(r) => assert_tables_equal(r, &got, &format!("{func:?} {}", strategy.label())),
             }
         }
     }
@@ -145,11 +158,21 @@ fn vpct_pair_consistency_vertical_vs_horizontal() {
     let catalog = sales_catalog();
     let engine = PercentageEngine::with_unique_temps(&catalog);
     let v = engine
-        .vpct(&VpctQuery::single("sales", &["state", "dweek"], "salesAmt", &["dweek"]))
+        .vpct(&VpctQuery::single(
+            "sales",
+            &["state", "dweek"],
+            "salesAmt",
+            &["dweek"],
+        ))
         .unwrap()
         .snapshot();
     let h = engine
-        .horizontal(&HorizontalQuery::hpct("sales", &["state"], "salesAmt", &["dweek"]))
+        .horizontal(&HorizontalQuery::hpct(
+            "sales",
+            &["state"],
+            "salesAmt",
+            &["dweek"],
+        ))
         .unwrap()
         .snapshot();
     let hcol = |name: &str| h.schema().index_of(name).unwrap();
