@@ -102,6 +102,11 @@ impl<'a> PercentageEngine<'a> {
     }
 
     /// Attach a [`ResourceGuard`] metering every query this engine runs.
+    /// The row budget applies *per top-level query* — each `execute_sql` /
+    /// `vpct` / `horizontal` call runs under a fresh meter derived from this
+    /// guard, so a long-lived engine never exhausts its budget across
+    /// queries. The attached handle accumulates the total rows charged
+    /// (for observability) and cancels all in-flight and future queries.
     /// Clone the guard before attaching to keep a handle for cancellation:
     ///
     /// ```
@@ -144,7 +149,7 @@ impl<'a> PercentageEngine<'a> {
                 self.catalog,
                 q,
                 &self.prefix(),
-                &self.guard,
+                &self.guard.per_query(),
             );
         }
         let strat = choose_vpct_strategy(self.catalog, q);
@@ -154,12 +159,23 @@ impl<'a> PercentageEngine<'a> {
     /// Evaluate a batch of percentage queries with one shared summary
     /// (SIGMOD §6 future work). See [`crate::lattice::eval_vpct_batch`].
     pub fn vpct_batch(&self, queries: &[VpctQuery]) -> Result<Vec<QueryResult>> {
-        crate::lattice::eval_vpct_batch_guarded(self.catalog, queries, &self.prefix(), &self.guard)
+        crate::lattice::eval_vpct_batch_guarded(
+            self.catalog,
+            queries,
+            &self.prefix(),
+            &self.guard.per_query(),
+        )
     }
 
     /// Evaluate a vertical percentage query with an explicit strategy.
     pub fn vpct_with(&self, q: &VpctQuery, strat: &VpctStrategy) -> Result<QueryResult> {
-        eval_vpct_guarded(self.catalog, q, strat, &self.prefix(), &self.guard)
+        eval_vpct_guarded(
+            self.catalog,
+            q,
+            strat,
+            &self.prefix(),
+            &self.guard.per_query(),
+        )
     }
 
     /// Evaluate with explicit strategy and missing-row handling.
@@ -206,7 +222,13 @@ impl<'a> PercentageEngine<'a> {
         q: &HorizontalQuery,
         opts: &HorizontalOptions,
     ) -> Result<HorizontalResult> {
-        eval_horizontal_guarded(self.catalog, q, opts, &self.prefix(), &self.guard)
+        eval_horizontal_guarded(
+            self.catalog,
+            q,
+            opts,
+            &self.prefix(),
+            &self.guard.per_query(),
+        )
     }
 
     /// Parse, validate and execute a SQL statement in the percentage
@@ -545,6 +567,31 @@ mod tests {
             .execute_sql("SELECT state,city,Vpct(salesAmt BY city) FROM sales GROUP BY state,city;")
             .unwrap_err();
         assert!(matches!(err, CoreError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn budget_is_per_query_not_engine_lifetime() {
+        let catalog = sales_catalog();
+        // A budget that comfortably covers one query but not many: every
+        // repetition must succeed, because each top-level call runs under a
+        // fresh meter derived from the engine's guard.
+        let guard = ResourceGuard::with_row_budget(500);
+        let engine = PercentageEngine::new(&catalog).with_guard(guard.clone());
+        engine
+            .execute_sql("SELECT state, Vpct(salesAmt) FROM sales GROUP BY state;")
+            .unwrap();
+        let one_query = guard.rows_charged();
+        assert!(one_query > 0, "the query's work was metered");
+        for i in 0..30 {
+            engine
+                .execute_sql("SELECT state, Vpct(salesAmt) FROM sales GROUP BY state;")
+                .unwrap_or_else(|e| panic!("query {i} hit the engine-lifetime budget: {e}"));
+        }
+        assert_eq!(
+            guard.rows_charged(),
+            31 * one_query,
+            "the attached handle metered cumulative work across queries"
+        );
     }
 
     #[test]

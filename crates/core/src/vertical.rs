@@ -385,6 +385,7 @@ fn scalar_update_divide(
             wal.log_update(
                 table,
                 row,
+                std::slice::from_ref(&col),
                 std::slice::from_ref(&before),
                 std::slice::from_ref(&after),
             )

@@ -29,6 +29,23 @@ struct GuardInner {
     rows: AtomicU64,
     /// Cooperative cancellation flag.
     cancelled: AtomicBool,
+    /// The guard this one was derived from via [`ResourceGuard::per_query`].
+    /// Charges roll up the chain for metering (without budget enforcement
+    /// there), and cancellation anywhere up the chain stops this guard too.
+    parent: Option<Arc<GuardInner>>,
+}
+
+impl GuardInner {
+    fn chain_cancelled(&self) -> bool {
+        let mut cur = Some(self);
+        while let Some(inner) = cur {
+            if inner.cancelled.load(Ordering::Relaxed) {
+                return true;
+            }
+            cur = inner.parent.as_deref();
+        }
+        false
+    }
 }
 
 /// A shared handle enforcing a row budget and a cancellation flag over the
@@ -62,6 +79,30 @@ impl ResourceGuard {
                 row_budget: rows,
                 rows: AtomicU64::new(0),
                 cancelled: AtomicBool::new(false),
+                parent: None,
+            })),
+        }
+    }
+
+    /// Derive a child guard with the same budget but a fresh meter — the
+    /// engine calls this once per top-level query, so the budget bounds each
+    /// query rather than accumulating over the engine's lifetime. The child
+    /// still rolls its charges up to this guard (so [`rows_charged`] on the
+    /// attached handle meters total work) and observes [`cancel`] requested
+    /// on it; cancelling the child affects only the child.
+    ///
+    /// [`rows_charged`]: ResourceGuard::rows_charged
+    /// [`cancel`]: ResourceGuard::cancel
+    pub fn per_query(&self) -> ResourceGuard {
+        let Some(inner) = &self.inner else {
+            return ResourceGuard::unlimited();
+        };
+        ResourceGuard {
+            inner: Some(Arc::new(GuardInner {
+                row_budget: inner.row_budget,
+                rows: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+                parent: Some(Arc::clone(inner)),
             })),
         }
     }
@@ -91,25 +132,19 @@ impl ResourceGuard {
         }
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested, on this guard or any guard
+    /// it was derived from.
     pub fn is_cancelled(&self) -> bool {
-        self.inner
-            .as_ref()
-            .is_some_and(|i| i.cancelled.load(Ordering::Relaxed))
+        self.inner.as_ref().is_some_and(|i| i.chain_cancelled())
     }
 
     /// Fail if cancellation was requested. Called periodically from loops
     /// whose row charges were prepaid in bulk.
     pub fn check(&self) -> Result<()> {
-        match &self.inner {
-            None => Ok(()),
-            Some(inner) => {
-                if inner.cancelled.load(Ordering::Relaxed) {
-                    Err(EngineError::Cancelled)
-                } else {
-                    Ok(())
-                }
-            }
+        if self.is_cancelled() {
+            Err(EngineError::Cancelled)
+        } else {
+            Ok(())
         }
     }
 
@@ -118,13 +153,19 @@ impl ResourceGuard {
     /// Fails with [`EngineError::BudgetExceeded`] when the running total
     /// would pass the budget (the charge still registers, so every clone
     /// fails consistently afterwards) and with [`EngineError::Cancelled`]
-    /// when cancellation was requested.
+    /// when cancellation was requested. The charge also rolls up to every
+    /// ancestor guard for metering; only this guard's budget is enforced.
     pub fn charge(&self, rows: u64) -> Result<()> {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        if inner.cancelled.load(Ordering::Relaxed) {
+        if inner.chain_cancelled() {
             return Err(EngineError::Cancelled);
+        }
+        let mut ancestor = inner.parent.as_deref();
+        while let Some(a) = ancestor {
+            a.rows.fetch_add(rows, Ordering::Relaxed);
+            ancestor = a.parent.as_deref();
         }
         let total = inner.rows.fetch_add(rows, Ordering::Relaxed) + rows;
         if total > inner.row_budget {
@@ -175,6 +216,48 @@ mod tests {
         g.charge(6).unwrap();
         assert_eq!(h.rows_charged(), 6);
         assert!(h.charge(6).is_err(), "clone sees the same running total");
+    }
+
+    #[test]
+    fn per_query_guard_resets_the_meter_and_rolls_up() {
+        let engine_guard = ResourceGuard::with_row_budget(10);
+        // Two derived "queries", each within budget individually but over
+        // it cumulatively: both must pass.
+        for _ in 0..2 {
+            let q = engine_guard.per_query();
+            assert!(q.charge(8).is_ok());
+        }
+        // The attached handle still meters the total work.
+        assert_eq!(engine_guard.rows_charged(), 16);
+        // The parent's own budget is not enforced by child roll-ups: a
+        // third small query still runs.
+        assert!(engine_guard.per_query().charge(8).is_ok());
+        // But each child enforces the budget for itself.
+        let q = engine_guard.per_query();
+        assert!(q.charge(8).is_ok());
+        assert!(matches!(
+            q.charge(8),
+            Err(EngineError::BudgetExceeded { budget: 10, .. })
+        ));
+        // Deriving from the unlimited guard stays unlimited.
+        assert!(ResourceGuard::unlimited().per_query().is_unlimited());
+    }
+
+    #[test]
+    fn cancelling_the_parent_stops_derived_guards() {
+        let engine_guard = ResourceGuard::with_row_budget(1000);
+        let q = engine_guard.per_query();
+        engine_guard.cancel();
+        assert!(q.is_cancelled());
+        assert!(matches!(q.charge(1), Err(EngineError::Cancelled)));
+        assert!(matches!(q.check(), Err(EngineError::Cancelled)));
+        // The reverse does not hold: a cancelled child leaves the parent
+        // (and sibling queries) running.
+        let parent = ResourceGuard::with_row_budget(1000);
+        let child = parent.per_query();
+        child.cancel();
+        assert!(!parent.is_cancelled());
+        assert!(parent.per_query().charge(1).is_ok());
     }
 
     #[test]

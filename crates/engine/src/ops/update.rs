@@ -93,6 +93,7 @@ pub fn update_from(
     let mut updated: u64 = 0;
     let mut key_buf: Vec<Value> = Vec::with_capacity(target_keys.len());
     let mut new_vals: Vec<Value> = Vec::with_capacity(sets.len());
+    let set_cols: Vec<usize> = sets.iter().map(|s| s.target_col).collect();
     for row in 0..n {
         key_buf.clear();
         for &k in target_keys {
@@ -112,7 +113,8 @@ pub fn update_from(
             .iter()
             .map(|s| target.column(s.target_col).get(row))
             .collect();
-        catalog.with_wal(|wal| wal.log_update(target_name, row, &before_img, &new_vals))?;
+        catalog
+            .with_wal(|wal| wal.log_update(target_name, row, &set_cols, &before_img, &new_vals))?;
         for (s, v) in sets.iter().zip(new_vals.drain(..)) {
             target.column_mut(s.target_col).set(row, v)?;
         }
@@ -237,6 +239,26 @@ mod tests {
             &mut st
         )
         .is_err());
+    }
+
+    #[test]
+    fn engine_logged_updates_replay_at_recovery() {
+        // update_from logs only the SET-clause columns of the 3-column Fk;
+        // recovery must land those images in the right column — not skip
+        // them for not being full-row images.
+        let (cat, fj) = setup();
+        let mut st = ExecStats::default();
+        update_from(&cat, "Fk", &[0], &fj, &[0], None, &division_set(), &mut st).unwrap();
+        let live: Vec<Vec<Value>> = cat.table("Fk").unwrap().read().rows().collect();
+
+        let image = cat.with_wal(|w| w.snapshot()).unwrap();
+        let (recovered, report) =
+            Catalog::recover(Box::new(pa_storage::log::MemLogStore::from_bytes(image))).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.records_replayed, 2 + 4, "create + rows + 4 updates");
+        let rec: Vec<Vec<Value>> = recovered.table("Fk").unwrap().read().rows().collect();
+        assert_eq!(rec, live, "recovered Fk matches the updated live table");
+        recovered.check_integrity().unwrap();
     }
 
     #[test]

@@ -244,6 +244,9 @@ impl RecoveryReport {
 
 /// Replay one record into the table map. Returns false when the record is
 /// valid but cannot apply to the current state (skip-and-count semantics).
+/// Application is atomic: [`Table::push_rows`] and [`Table::set_cells`]
+/// validate the whole record against the table before mutating, so a
+/// skipped record leaves the table exactly as it was — never half-applied.
 fn apply_record(tables: &mut BTreeMap<String, SharedTable>, record: WalRecord) -> bool {
     match record {
         WalRecord::CreateTable { name, schema } => {
@@ -256,24 +259,20 @@ fn apply_record(tables: &mut BTreeMap<String, SharedTable>, record: WalRecord) -
             let Some(table) = tables.get(&name) else {
                 return false;
             };
-            let mut table = table.write();
-            rows.iter().all(|row| table.push_row(row).is_ok())
+            table.write().push_rows(&rows).is_ok()
         }
         WalRecord::UpdateRow {
-            name, row, after, ..
+            name,
+            row,
+            cols,
+            after,
+            ..
         } => {
             let Some(table) = tables.get(&name) else {
                 return false;
             };
-            let mut table = table.write();
-            let row = row as usize;
-            if row >= table.num_rows() || after.len() != table.num_columns() {
-                return false;
-            }
-            after
-                .into_iter()
-                .enumerate()
-                .all(|(i, v)| table.column_mut(i).set(row, v).is_ok())
+            let cols: Vec<usize> = cols.into_iter().map(|c| c as usize).collect();
+            table.write().set_cells(row as usize, &cols, &after).is_ok()
         }
     }
 }
@@ -359,6 +358,7 @@ mod tests {
             w.log_update(
                 "F",
                 0,
+                &[0, 1],
                 &[Value::Int(1), Value::Float(2.0)],
                 &[Value::Int(-1), Value::Null],
             )
@@ -390,6 +390,7 @@ mod tests {
             w.log_update(
                 "F",
                 0,
+                &[0, 1],
                 &[Value::Int(1), Value::Float(2.0)],
                 &[Value::Int(2), Value::Float(2.0)],
             )
@@ -415,6 +416,7 @@ mod tests {
             w.log_update(
                 "F",
                 0,
+                &[0, 1],
                 &[Value::Int(1), Value::Float(2.0)],
                 &[Value::Int(9), Value::Float(2.0)],
             )
@@ -446,6 +448,83 @@ mod tests {
         assert_eq!(report.records_skipped, 1);
         assert_eq!(report.records_replayed, 1);
         assert_eq!(rec.table_names(), vec!["F".to_string()]);
+    }
+
+    #[test]
+    fn recover_replays_partial_column_updates() {
+        // Production write paths log only the touched columns (the SET
+        // clause), not full-row images: replay must land those values in
+        // the right columns and leave the others alone.
+        let schema = Schema::from_pairs(&[
+            ("d", DataType::Int),
+            ("a", DataType::Float),
+            ("b", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::empty(schema);
+        t.push_row(&[Value::Int(1), Value::Float(2.0), Value::Float(3.0)])
+            .unwrap();
+        let cat = Catalog::new();
+        cat.create_table("F", t).unwrap();
+        cat.with_wal(|w| w.log_update("F", 0, &[2], &[Value::Float(3.0)], &[Value::Float(9.0)]))
+            .unwrap();
+
+        let image = cat.with_wal(|w| w.snapshot()).unwrap();
+        let (rec, report) =
+            Catalog::recover(Box::new(crate::log::MemLogStore::from_bytes(image))).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        let f = rec.table("F").unwrap();
+        let f = f.read();
+        assert_eq!(
+            f.row(0).unwrap(),
+            vec![Value::Int(1), Value::Float(2.0), Value::Float(9.0)],
+            "only the logged column changed"
+        );
+    }
+
+    #[test]
+    fn inapplicable_records_skip_without_partial_mutation() {
+        // A record that cannot fully apply (here: values of the wrong type
+        // for the recovered schema) must be skipped whole — the table stays
+        // exactly as it was, never half-mutated.
+        let str_schema = Schema::from_pairs(&[("d", DataType::Int), ("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let mut alien = Table::empty(str_schema);
+        alien.push_row(&[Value::Int(5), Value::Null]).unwrap(); // would fit
+        alien.push_row(&[Value::Int(6), Value::str("x")]).unwrap(); // would not
+
+        let mut wal = Wal::default();
+        let t = table(); // schema (Int, Float)
+        wal.log_create_table("F", t.schema()).unwrap();
+        wal.log_bulk_insert("F", &t, 0).unwrap();
+        // Batch whose second row type-clashes with F's schema.
+        wal.log_bulk_insert("F", &alien, 0).unwrap();
+        // Update whose second cell type-clashes.
+        wal.log_update(
+            "F",
+            0,
+            &[0, 1],
+            &[Value::Int(1), Value::Float(2.0)],
+            &[Value::Int(7), Value::str("bad")],
+        )
+        .unwrap();
+        let image = wal.snapshot().unwrap();
+
+        let (rec, report) =
+            Catalog::recover(Box::new(crate::log::MemLogStore::from_bytes(image))).unwrap();
+        assert_eq!(report.records_replayed, 2, "create + good batch");
+        assert_eq!(report.records_skipped, 2, "bad batch + bad update");
+        let f = rec.table("F").unwrap();
+        let f = f.read();
+        assert_eq!(f.num_rows(), 1, "bad batch added no rows at all");
+        assert_eq!(
+            f.row(0).unwrap(),
+            vec![Value::Int(1), Value::Float(2.0)],
+            "bad update touched no cell at all"
+        );
+        rec.check_integrity().unwrap();
     }
 
     #[test]

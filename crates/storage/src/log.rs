@@ -105,11 +105,15 @@ impl LogStore for MemLogStore {
 
 /// File-backed log device.
 ///
-/// Appends write-through (`write_all` + `flush`) so the on-disk prefix is
-/// as current as the in-process view. `discard_front` rewrites the file —
-/// acceptable here because recycling is rare (capacity-triggered) and the
-/// retained window is bounded; a production log would rotate segment files
-/// instead.
+/// Appends `write_all` + `flush`, which empties the user-space buffer into
+/// the OS page cache: the log survives a *process* crash, but not power
+/// loss or an OS crash, until someone forces it to the platter. Callers
+/// needing power-loss durability must invoke [`LogStore::sync`] (exposed as
+/// `Wal::sync`, reachable via `Catalog::with_wal`) at their commit points —
+/// the engine deliberately does not fsync per record, matching the paper's
+/// batch-oriented workloads. `discard_front` rewrites the file — acceptable
+/// here because recycling is rare (capacity-triggered) and the retained
+/// window is bounded; a production log would rotate segment files instead.
 pub struct FileLogStore {
     path: PathBuf,
     file: File,

@@ -144,36 +144,95 @@ impl Table {
         self.columns[col].get(row)
     }
 
-    /// Append one row. The slice must have one value per column.
-    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+    /// Whether `value` can be stored in column `col` (NULL anywhere, exact
+    /// type match, or an int widening into a float column).
+    fn value_fits(col: &Column, value: &Value) -> Result<()> {
+        let ok = value.is_null()
+            || match (col.data_type(), value) {
+                (t, v) if v.data_type() == Some(t) => true,
+                (crate::DataType::Float, Value::Int(_)) => true,
+                _ => false,
+            };
+        if ok {
+            Ok(())
+        } else {
+            Err(StorageError::TypeMismatch {
+                expected: col.data_type().to_string(),
+                found: value
+                    .data_type()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "Null".into()),
+            })
+        }
+    }
+
+    /// Check `row` against the schema (arity and per-column types) without
+    /// mutating anything.
+    pub fn validate_row(&self, row: &[Value]) -> Result<()> {
         if row.len() != self.columns.len() {
             return Err(StorageError::LengthMismatch {
                 expected: self.columns.len(),
                 found: row.len(),
             });
         }
+        for (col, value) in self.columns.iter().zip(row) {
+            Self::value_fits(col, value)?;
+        }
+        Ok(())
+    }
+
+    /// Append one row. The slice must have one value per column.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
         // Validate all values first so a failed push can't leave ragged
         // columns behind.
-        for (col, value) in self.columns.iter().zip(row) {
-            if !value.is_null() {
-                let ok = match (col.data_type(), value) {
-                    (t, v) if v.data_type() == Some(t) => true,
-                    (crate::DataType::Float, Value::Int(_)) => true,
-                    _ => false,
-                };
-                if !ok {
-                    return Err(StorageError::TypeMismatch {
-                        expected: col.data_type().to_string(),
-                        found: value
-                            .data_type()
-                            .map(|t| t.to_string())
-                            .unwrap_or_else(|| "Null".into()),
-                    });
-                }
-            }
-        }
+        self.validate_row(row)?;
         for (col, value) in self.columns.iter_mut().zip(row) {
             col.push(value.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Append a batch of rows, all-or-nothing: every row is validated
+    /// (arity and types) before the first one is pushed, so a bad row in the
+    /// middle cannot leave the table partially extended (the WAL replay
+    /// path relies on this for atomic `BulkInsert` application).
+    pub fn push_rows(&mut self, rows: &[Vec<Value>]) -> Result<()> {
+        for row in rows {
+            self.validate_row(row)?;
+        }
+        for row in rows {
+            // Validated above; per-row push can no longer fail.
+            self.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Overwrite `values[i]` into column `cols[i]` of row `row`, atomically:
+    /// row bounds, column bounds and value types are all checked before the
+    /// first write, so a bad cell cannot leave the row half-updated (the
+    /// WAL replay path relies on this for atomic `UpdateRow` application).
+    pub fn set_cells(&mut self, row: usize, cols: &[usize], values: &[Value]) -> Result<()> {
+        let n = self.num_rows();
+        if row >= n {
+            return Err(StorageError::RowOutOfBounds { index: row, len: n });
+        }
+        if cols.len() != values.len() {
+            return Err(StorageError::LengthMismatch {
+                expected: cols.len(),
+                found: values.len(),
+            });
+        }
+        for (&col, value) in cols.iter().zip(values) {
+            let ncols = self.columns.len();
+            if col >= ncols {
+                return Err(StorageError::InvalidSchema(format!(
+                    "column index {col} out of range ({ncols} columns)"
+                )));
+            }
+            Self::value_fits(&self.columns[col], value)?;
+        }
+        for (&col, value) in cols.iter().zip(values) {
+            self.columns[col].set(row, value.clone())?;
         }
         Ok(())
     }

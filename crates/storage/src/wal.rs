@@ -34,14 +34,19 @@ use crate::value::{DataType, Value};
 use std::collections::VecDeque;
 
 /// On-disk format version stamped into every frame.
-pub const FORMAT_VERSION: u8 = 1;
+///
+/// v2: `UpdateRow` carries the touched column indices interleaved with the
+/// before/after images, so partial-column updates (the production write
+/// paths log only the SET-clause columns) replay into the right columns.
+pub const FORMAT_VERSION: u8 = 2;
 
 /// Frame header size: length word + checksum word.
 pub const FRAME_HEADER: usize = 8;
 
-/// Upper bound on a single frame's payload; larger declared lengths are
-/// treated as corruption rather than allocated.
-const MAX_FRAME_LEN: u32 = 1 << 30;
+/// Upper bound on a single frame's payload: appends past it are refused at
+/// write time, and scanned frames declaring more are treated as corruption
+/// rather than allocated.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
 
 /// Default retained-log capacity: 64 MiB.
 pub const DEFAULT_CAPACITY: usize = 64 << 20;
@@ -255,15 +260,21 @@ pub enum WalRecord {
         /// Appended rows, row-major.
         rows: Vec<Vec<Value>>,
     },
-    /// Overwrite one row in place.
+    /// Overwrite the listed columns of one row in place. `cols`, `before`
+    /// and `after` are parallel: `after[i]` replaces column `cols[i]`, whose
+    /// prior value was `before[i]`. Updates touch only the SET-clause
+    /// columns, so the record names them explicitly instead of assuming
+    /// full-row images.
     UpdateRow {
         /// Table name.
         name: String,
         /// Target row index.
         row: u64,
-        /// Row image before the update.
+        /// Touched column indices, parallel to `before`/`after`.
+        cols: Vec<u32>,
+        /// Images of the touched columns before the update.
         before: Vec<Value>,
-        /// Row image after the update.
+        /// Images of the touched columns after the update.
         after: Vec<Value>,
     },
 }
@@ -323,25 +334,22 @@ fn decode_payload(payload: &[u8]) -> Decoded<WalRecord> {
         }
         RecordKind::UpdateRow => {
             let row = c.u64()?;
-            let nb = c.u32()? as usize;
-            if nb > payload.len() {
-                return Err(format!("implausible before-image arity {nb}"));
+            let ncols = c.u32()? as usize;
+            if ncols > payload.len() {
+                return Err(format!("implausible update arity {ncols}"));
             }
-            let mut before = Vec::with_capacity(nb);
-            for _ in 0..nb {
+            let mut cols = Vec::with_capacity(ncols);
+            let mut before = Vec::with_capacity(ncols);
+            let mut after = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                cols.push(c.u32()?);
                 before.push(c.value()?);
-            }
-            let na = c.u32()? as usize;
-            if na > payload.len() {
-                return Err(format!("implausible after-image arity {na}"));
-            }
-            let mut after = Vec::with_capacity(na);
-            for _ in 0..na {
                 after.push(c.value()?);
             }
             WalRecord::UpdateRow {
                 name,
                 row,
+                cols,
                 before,
                 after,
             }
@@ -536,8 +544,18 @@ impl Wal {
     }
 
     /// Frame `payload` and append it. On store failure the record is lost
-    /// (counted in `write_errors`) and the error propagates.
+    /// (counted in `write_errors`) and the error propagates. Payloads past
+    /// [`MAX_FRAME_LEN`] are refused at write time — `scan_log` would treat
+    /// such a frame as corruption and truncate it plus everything after it,
+    /// so letting one through would poison the log tail.
     fn append_payload(&mut self, payload: Vec<u8>) -> Result<()> {
+        if payload.len() > MAX_FRAME_LEN as usize {
+            self.stats.write_errors += 1;
+            return Err(StorageError::Wal(format!(
+                "record payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit",
+                payload.len()
+            )));
+        }
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         put_u32(&mut frame, payload.len() as u32);
         put_u32(&mut frame, crc32(&payload));
@@ -648,27 +666,35 @@ impl Wal {
         self.append_payload(payload)
     }
 
-    /// Log one in-place row update with before and after images
-    /// (the expensive per-row path).
+    /// Log one in-place row update with before and after images of the
+    /// touched columns (the expensive per-row path). `cols`, `before` and
+    /// `after` must be parallel: `after[i]` replaces column `cols[i]`.
     pub fn log_update(
         &mut self,
         name: &str,
         row: usize,
+        cols: &[usize],
         before: &[Value],
         after: &[Value],
     ) -> Result<()> {
         if !self.enabled {
             return Ok(());
         }
+        if cols.len() != before.len() || cols.len() != after.len() {
+            return Err(StorageError::Wal(format!(
+                "update image arity mismatch: {} columns, {} before, {} after",
+                cols.len(),
+                before.len(),
+                after.len()
+            )));
+        }
         let mut payload = Self::payload_header(RecordKind::UpdateRow, name);
         put_u64(&mut payload, row as u64);
-        put_u32(&mut payload, before.len() as u32);
-        for v in before {
-            put_value(&mut payload, v);
-        }
-        put_u32(&mut payload, after.len() as u32);
-        for v in after {
-            put_value(&mut payload, v);
+        put_u32(&mut payload, cols.len() as u32);
+        for ((&col, b), a) in cols.iter().zip(before).zip(after) {
+            put_u32(&mut payload, col as u32);
+            put_value(&mut payload, b);
+            put_value(&mut payload, a);
         }
         self.append_payload(payload)
     }
@@ -705,7 +731,7 @@ mod tests {
     fn updates_are_one_record_per_row() {
         let mut wal = Wal::default();
         for row in 0..50 {
-            wal.log_update("t", row, &[Value::Int(1)], &[Value::Float(0.5)])
+            wal.log_update("t", row, &[0], &[Value::Int(1)], &[Value::Float(0.5)])
                 .unwrap();
         }
         assert_eq!(wal.stats().records, 50);
@@ -720,7 +746,7 @@ mod tests {
         let mut upd = Wal::default();
         for row in 0..1000 {
             let img = t.row(row).unwrap();
-            upd.log_update("t", row, &img, &img).unwrap();
+            upd.log_update("t", row, &[0, 1], &img, &img).unwrap();
         }
         assert!(
             upd.stats().bytes_written > bulk.stats().bytes_written,
@@ -737,7 +763,7 @@ mod tests {
         let mut wal = Wal::disabled();
         let t = small_table(10);
         wal.log_bulk_insert("t", &t, 0).unwrap();
-        wal.log_update("t", 0, &[Value::Int(1)], &[Value::Int(2)])
+        wal.log_update("t", 0, &[0], &[Value::Int(1)], &[Value::Int(2)])
             .unwrap();
         assert_eq!(wal.stats(), WalStats::default());
     }
@@ -748,7 +774,7 @@ mod tests {
         wal.set_record_latency(std::time::Duration::from_micros(200));
         let t0 = std::time::Instant::now();
         for row in 0..20 {
-            wal.log_update("t", row, &[Value::Int(1)], &[Value::Int(2)])
+            wal.log_update("t", row, &[0], &[Value::Int(1)], &[Value::Int(2)])
                 .unwrap();
         }
         assert!(
@@ -778,6 +804,7 @@ mod tests {
         wal.log_update(
             "t",
             1,
+            &[0, 1],
             &[Value::Int(1), Value::Float(1.0)],
             &[Value::Int(9), Value::Null],
         )
@@ -803,8 +830,11 @@ mod tests {
             other => panic!("expected BulkInsert, got {other:?}"),
         }
         match &scan.records[2] {
-            WalRecord::UpdateRow { row, after, .. } => {
+            WalRecord::UpdateRow {
+                row, cols, after, ..
+            } => {
                 assert_eq!(*row, 1);
+                assert_eq!(cols, &vec![0, 1]);
                 assert_eq!(after, &vec![Value::Int(9), Value::Null]);
             }
             other => panic!("expected UpdateRow, got {other:?}"),
@@ -815,9 +845,9 @@ mod tests {
     #[test]
     fn torn_tail_stops_scan_at_last_whole_frame() {
         let mut wal = Wal::default();
-        wal.log_update("t", 0, &[Value::Int(1)], &[Value::Int(2)])
+        wal.log_update("t", 0, &[0], &[Value::Int(1)], &[Value::Int(2)])
             .unwrap();
-        wal.log_update("t", 1, &[Value::Int(3)], &[Value::Int(4)])
+        wal.log_update("t", 1, &[0], &[Value::Int(3)], &[Value::Int(4)])
             .unwrap();
         let bytes = wal.snapshot().unwrap();
         let first_frame = (wal.stats().bytes_written / 2) as usize;
@@ -837,9 +867,9 @@ mod tests {
     #[test]
     fn checksum_failure_stops_scan() {
         let mut wal = Wal::default();
-        wal.log_update("t", 0, &[Value::Int(1)], &[Value::Int(2)])
+        wal.log_update("t", 0, &[0], &[Value::Int(1)], &[Value::Int(2)])
             .unwrap();
-        wal.log_update("t", 1, &[Value::Int(3)], &[Value::Int(4)])
+        wal.log_update("t", 1, &[0], &[Value::Int(3)], &[Value::Int(4)])
             .unwrap();
         let mut bytes = wal.snapshot().unwrap();
         let second_frame_payload = (wal.stats().bytes_written / 2) as usize + FRAME_HEADER;
@@ -890,28 +920,62 @@ mod tests {
 
     #[test]
     fn update_images_round_trip_at_size_extremes() {
-        // Empty and asymmetric before/after images are legal at the log
-        // layer (recovery validates arity against the table, not the WAL):
-        // a delete-style image pairs a full row with nothing, a wide update
-        // carries 64 columns each way.
+        // Zero-column (no-op), single-column partial, and 64-column-wide
+        // updates all round trip, carrying their column indices; the column
+        // set need not start at 0 or be contiguous.
         let wide: Vec<Value> = (0..64).map(Value::Int).collect();
+        let wide_cols: Vec<usize> = (0..64).collect();
         let mut wal = Wal::default();
-        wal.log_update("t", 0, &[], &[]).unwrap();
-        wal.log_update("t", 1, &[Value::Int(1)], &[]).unwrap();
-        wal.log_update("t", 2, &[], &[Value::Int(2)]).unwrap();
-        wal.log_update("t", 3, &wide, &wide).unwrap();
+        wal.log_update("t", 0, &[], &[], &[]).unwrap();
+        wal.log_update("t", 1, &[5], &[Value::Int(1)], &[Value::Int(2)])
+            .unwrap();
+        wal.log_update("t", 3, &wide_cols, &wide, &wide).unwrap();
 
         let scan = scan_log(&wal.snapshot().unwrap());
         assert!(scan.corruption.is_none(), "{:?}", scan.corruption);
-        let images: Vec<(usize, usize)> = scan
+        let images: Vec<(Vec<u32>, usize, usize)> = scan
             .records
             .iter()
             .map(|r| match r {
-                WalRecord::UpdateRow { before, after, .. } => (before.len(), after.len()),
+                WalRecord::UpdateRow {
+                    cols,
+                    before,
+                    after,
+                    ..
+                } => (cols.clone(), before.len(), after.len()),
                 other => panic!("expected UpdateRow, got {other:?}"),
             })
             .collect();
-        assert_eq!(images, vec![(0, 0), (1, 0), (0, 1), (64, 64)]);
+        assert_eq!(images[0], (vec![], 0, 0));
+        assert_eq!(images[1], (vec![5], 1, 1));
+        assert_eq!(images[2].0, (0..64).collect::<Vec<u32>>());
+        assert_eq!((images[2].1, images[2].2), (64, 64));
+    }
+
+    #[test]
+    fn mismatched_update_image_arity_refused_at_write() {
+        let mut wal = Wal::default();
+        let err = wal
+            .log_update("t", 0, &[0, 1], &[Value::Int(1)], &[Value::Int(2)])
+            .unwrap_err();
+        assert!(err.to_string().contains("arity mismatch"), "{err}");
+        assert_eq!(wal.stats().records, 0, "nothing was framed");
+    }
+
+    #[test]
+    fn oversized_payload_refused_at_write() {
+        // A payload past MAX_FRAME_LEN must fail the append instead of
+        // writing a frame recovery would reject as corrupt. Build the
+        // payload directly — materializing a >1 GiB table would dwarf the
+        // test — and check the framing layer's bound.
+        let mut wal = Wal::default();
+        let before = wal.stats();
+        let payload = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let err = wal.append_payload(payload).unwrap_err();
+        assert!(err.to_string().contains("frame limit"), "{err}");
+        assert_eq!(wal.stats().records, before.records, "record not counted");
+        assert_eq!(wal.stats().write_errors, 1, "loss is visible in stats");
+        assert_eq!(wal.retained_bytes().unwrap(), 0, "log tail unpoisoned");
     }
 
     #[test]
@@ -920,7 +984,7 @@ mod tests {
         // more values than the payload could hold must be rejected at
         // decode, truncating the tail like any other corruption.
         let mut wal = Wal::default();
-        wal.log_update("t", 0, &[Value::Int(1)], &[Value::Int(2)])
+        wal.log_update("t", 0, &[0], &[Value::Int(1)], &[Value::Int(2)])
             .unwrap();
         let mut bytes = wal.snapshot().unwrap();
         let good_len = bytes.len();

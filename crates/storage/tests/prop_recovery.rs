@@ -116,12 +116,22 @@ fn apply_op(catalog: &Catalog, op: &Op) -> Result<(), StorageError> {
                 return Ok(());
             }
             let row = row as usize % t.num_rows();
-            let before = t.row(row).unwrap();
-            let after = slot_row(slot, a ^ b, b, a);
-            for (i, v) in after.iter().enumerate() {
-                t.column_mut(i).set(row, v.clone()).unwrap();
+            let full_before = t.row(row).unwrap();
+            let full_after = slot_row(slot, a ^ b, b, a);
+            // Alternate between full-row updates and single-column updates,
+            // mirroring the engine's SET-clause write path, which logs only
+            // the touched columns.
+            let cols: Vec<usize> = if b % 2 == 0 {
+                (0..full_after.len()).collect()
+            } else {
+                vec![a.rem_euclid(full_after.len() as i64) as usize]
+            };
+            let before: Vec<Value> = cols.iter().map(|&c| full_before[c].clone()).collect();
+            let after: Vec<Value> = cols.iter().map(|&c| full_after[c].clone()).collect();
+            for (&c, v) in cols.iter().zip(&after) {
+                t.column_mut(c).set(row, v.clone()).unwrap();
             }
-            catalog.with_wal(|w| w.log_update(&slot_name(slot), row, &before, &after))
+            catalog.with_wal(|w| w.log_update(&slot_name(slot), row, &cols, &before, &after))
         }
         Op::Drop { slot } => {
             let _ = catalog.drop_table(&slot_name(slot));
