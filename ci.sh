@@ -12,7 +12,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test (workspace)"
-cargo test --workspace -q
+echo "==> cargo test (workspace, PA_THREADS=1)"
+PA_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (workspace, PA_THREADS=4)"
+PA_THREADS=4 cargo test --workspace -q
+
+echo "==> scale bench smoke (writes results/BENCH_scale_smoke.json)"
+cargo run --release -p pa-bench --bin scale -- \
+  --n 20000 --d 7 --threads 1,2 --iters 1 \
+  --out results/BENCH_scale_smoke.json
 
 echo "CI gate passed."

@@ -1,0 +1,220 @@
+//! Thread-scaling bench: strategy × n × d × threads → `BENCH_scale.json`.
+//!
+//! ```text
+//! scale [--n N1,N2,..] [--d D1,D2,..] [--threads T1,T2,..] [--iters K]
+//!       [--out PATH]
+//! ```
+//!
+//! Measures the morsel-parallel execution layer on a synthetic fact table
+//! (`store` × `day` × `amt`, LCG-generated, `d` distinct BY values) under
+//! three representative strategies: the best vertical plan (`vpct_best`),
+//! the CASE pivot from F (`case_direct`), and the single-pass hash
+//! dispatcher (`hash_dispatch`). Thread count is driven through
+//! `PA_THREADS`, exactly as a user would set it. Output is machine-readable
+//! JSON: wall ms (best of `--iters`), rows/s, and speedup vs the same
+//! strategy at 1 thread, plus the host's actual parallelism so flat
+//! speedups on small machines are self-explaining.
+
+use pa_bench::time_ms;
+use pa_core::{
+    HorizontalOptions, HorizontalQuery, HorizontalStrategy, PercentageEngine, VpctQuery,
+    VpctStrategy,
+};
+use pa_storage::{Catalog, DataType, Schema, Table, Value};
+use std::fmt::Write as _;
+
+struct Args {
+    ns: Vec<usize>,
+    ds: Vec<usize>,
+    threads: Vec<usize>,
+    iters: usize,
+    out: String,
+}
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                eprintln!("bad list element {p:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ns: vec![1_000_000],
+        ds: vec![7, 50],
+        threads: vec![1, 2, 4],
+        iters: 3,
+        out: "results/BENCH_scale.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = || it.next().unwrap_or_default();
+        match a.as_str() {
+            "--n" => args.ns = parse_list(&next()),
+            "--d" => args.ds = parse_list(&next()),
+            "--threads" => args.threads = parse_list(&next()),
+            "--iters" => args.iters = next().parse().unwrap_or(1),
+            "--out" => args.out = next(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: scale [--n N1,N2,..] [--d D1,D2,..] \
+                     [--threads T1,T2,..] [--iters K] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.ns.is_empty() || args.ds.is_empty() || args.threads.is_empty() {
+        eprintln!("--n/--d/--threads must be non-empty");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// Deterministic fact table: ~101 stores, `d` distinct `day` values.
+fn fact_table(n: usize, d: usize) -> Table {
+    let schema = Schema::from_pairs(&[
+        ("store", DataType::Int),
+        ("day", DataType::Int),
+        ("amt", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut t = Table::with_capacity(schema, n);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        t.push_row(&[
+            Value::Int(((state >> 33) % 101) as i64),
+            Value::Int(((state >> 13) % d as u64) as i64),
+            Value::Float(((state >> 3) % 1000) as f64),
+        ])
+        .expect("generator row matches schema");
+    }
+    t
+}
+
+fn best_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        best = best.min(time_ms(&mut f).0);
+    }
+    best
+}
+
+/// One (strategy, n, d) cell, timed at one thread count.
+fn run_cell(engine: &PercentageEngine<'_>, strategy: &str, iters: usize) -> f64 {
+    match strategy {
+        "vpct_best" => {
+            let q = VpctQuery::single("fact", &["store", "day"], "amt", &["day"]);
+            best_ms(iters, || {
+                engine
+                    .vpct_with(&q, &VpctStrategy::best())
+                    .expect("bench query");
+            })
+        }
+        "case_direct" => {
+            let q = HorizontalQuery::hpct("fact", &["store"], "amt", &["day"]);
+            let opts = HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect);
+            best_ms(iters, || {
+                engine.horizontal_with(&q, &opts).expect("bench query");
+            })
+        }
+        "hash_dispatch" => {
+            let q = HorizontalQuery::hpct("fact", &["store"], "amt", &["day"]);
+            let opts = HorizontalOptions {
+                hash_dispatch: true,
+                ..HorizontalOptions::default()
+            };
+            best_ms(iters, || {
+                engine.horizontal_with(&q, &opts).expect("bench query");
+            })
+        }
+        other => unreachable!("unknown strategy {other}"),
+    }
+}
+
+const STRATEGIES: [&str; 3] = ["vpct_best", "case_direct", "hash_dispatch"];
+
+fn main() {
+    let args = parse_args();
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "scale bench — host parallelism {host_threads}, iters {}, \
+         strategies {STRATEGIES:?}",
+        args.iters
+    );
+
+    let mut rows = Vec::new();
+    for &n in &args.ns {
+        for &d in &args.ds {
+            let catalog = Catalog::new();
+            let (gen_ms, _) = time_ms(|| {
+                catalog
+                    .create_table("fact", fact_table(n, d))
+                    .expect("fresh")
+            });
+            println!("\nn={n} d={d} (generated in {gen_ms:.0} ms)");
+            let engine = PercentageEngine::new(&catalog);
+            for strategy in STRATEGIES {
+                let mut serial_ms = None;
+                for &threads in &args.threads {
+                    // Everything below `choose_parallelism` reads the
+                    // environment (ParallelMode::Auto), so this is exactly
+                    // the user-facing knob.
+                    std::env::set_var("PA_THREADS", threads.to_string());
+                    let ms = run_cell(&engine, strategy, args.iters);
+                    let serial = *serial_ms.get_or_insert(ms);
+                    let speedup = serial / ms.max(1e-9);
+                    println!(
+                        "  {strategy:<14} threads={threads:<2} {ms:>9.1} ms \
+                         {:>12.0} rows/s  x{speedup:.2}",
+                        n as f64 / (ms / 1e3)
+                    );
+                    rows.push((strategy, n, d, threads, ms, speedup));
+                }
+            }
+            std::env::remove_var("PA_THREADS");
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"scale\",");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"iters\": {},", args.iters);
+    json.push_str("  \"results\": [\n");
+    for (i, (strategy, n, d, threads, ms, speedup)) in rows.iter().enumerate() {
+        let rows_per_s = *n as f64 / (ms / 1e3);
+        let _ = write!(
+            json,
+            "    {{\"strategy\": \"{strategy}\", \"n\": {n}, \"d\": {d}, \
+             \"threads\": {threads}, \"wall_ms\": {ms:.3}, \
+             \"rows_per_s\": {rows_per_s:.0}, \
+             \"speedup_vs_serial\": {speedup:.3}}}"
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out, &json).expect("write output file");
+    println!("\nwrote {}", args.out);
+}

@@ -7,14 +7,21 @@
 //! one pass over the source, one group-key probe plus one subgroup-key probe
 //! per row, accumulating straight into the `groups × cells` matrix.
 //!
+//! The scan is morsel-driven like the engine's hash aggregation: when the
+//! [`ParallelConfig`] allows it, contiguous morsel runs fan out over scoped
+//! workers, each accumulating into a thread-local `groups × cells` matrix
+//! (the combo maps are built once and shared read-only), and the partials
+//! merge in worker order so output is identical to the serial scan. Numeric
+//! `sum`/`avg`/`count` lanes over plain columns read through
+//! [`pa_storage::Column::get_f64`] instead of boxing a `Value` per cell.
+//!
 //! The output layout is identical to the CASE strategy's raw table
 //! (`[D1..Dj][term cells × lanes][term total?][extra lanes]`), so the
 //! surrounding pipeline cannot tell which evaluator produced it — only the
 //! work counters differ (`case_condition_evals` stays at zero).
 
 use crate::error::Result;
-use pa_engine::guard::CANCEL_CHECK_INTERVAL;
-use pa_engine::{AggFunc, ExecStats, Expr, ResourceGuard, RowKeyMap};
+use pa_engine::{Acc, AggFunc, ExecStats, Expr, ParallelConfig, ResourceGuard, RowKeyMap};
 use pa_storage::{DataType, Field, Schema, Table, Value};
 
 /// One horizontal term's piece of a pivot pass.
@@ -30,94 +37,145 @@ pub struct PivotTask {
     pub total: Option<Expr>,
 }
 
-#[derive(Debug, Clone)]
-enum Acc {
-    Sum { sum: f64, any: bool },
-    Count(i64),
-    CountDistinct(pa_storage::FxHashSet<Value>),
-    CountStar(i64),
-    Avg { sum: f64, n: i64 },
-    Min(Value),
-    Max(Value),
-}
-
-impl Acc {
-    fn new(func: AggFunc) -> Acc {
-        match func {
-            AggFunc::Sum => Acc::Sum {
-                sum: 0.0,
-                any: false,
-            },
-            AggFunc::Count => Acc::Count(0),
-            AggFunc::CountDistinct => Acc::CountDistinct(Default::default()),
-            AggFunc::CountStar => Acc::CountStar(0),
-            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
-            AggFunc::Min => Acc::Min(Value::Null),
-            AggFunc::Max => Acc::Max(Value::Null),
-        }
-    }
-
-    fn update(&mut self, v: &Value) {
-        match self {
-            Acc::CountStar(n) => *n += 1,
-            _ if v.is_null() => {}
-            Acc::Sum { sum, any } => {
-                if let Some(x) = v.as_f64() {
-                    *sum += x;
-                    *any = true;
-                }
-            }
-            Acc::Count(n) => *n += 1,
-            Acc::CountDistinct(seen) => {
-                seen.insert(v.clone());
-            }
-            Acc::Avg { sum, n } => {
-                if let Some(x) = v.as_f64() {
-                    *sum += x;
-                    *n += 1;
-                }
-            }
-            Acc::Min(m) => {
-                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Less {
-                    *m = v.clone();
-                }
-            }
-            Acc::Max(m) => {
-                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Greater {
-                    *m = v.clone();
-                }
-            }
-        }
-    }
-
-    fn finish(&self) -> Value {
-        match self {
-            Acc::Sum { sum, any } => {
-                if *any {
-                    Value::Float(*sum)
-                } else {
-                    Value::Null
-                }
-            }
-            Acc::Count(n) | Acc::CountStar(n) => Value::Int(*n),
-            Acc::CountDistinct(seen) => Value::Int(seen.len() as i64),
-            Acc::Avg { sum, n } => {
-                if *n > 0 {
-                    Value::Float(sum / *n as f64)
-                } else {
-                    Value::Null
-                }
-            }
-            Acc::Min(v) | Acc::Max(v) => v.clone(),
-        }
-    }
-}
-
 fn lane_dtype(func: AggFunc, input: &Expr, schema: &Schema) -> DataType {
     match func {
         AggFunc::Sum | AggFunc::Avg => DataType::Float,
         AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar => DataType::Int,
         AggFunc::Min | AggFunc::Max => input.output_type(schema).unwrap_or(DataType::Float),
+    }
+}
+
+/// How one lane reads its input per row (mirrors the aggregate operator's
+/// kernel split: typed column reads for numeric sum/avg/count, generic
+/// expression evaluation for everything else).
+#[derive(Debug, Clone, Copy)]
+enum LaneKernel {
+    NumericCol(usize),
+    CountStar,
+    Generic,
+}
+
+fn classify_lane(func: AggFunc, input: &Expr, src: &Table) -> LaneKernel {
+    match func {
+        AggFunc::CountStar => LaneKernel::CountStar,
+        AggFunc::Sum | AggFunc::Avg | AggFunc::Count => match *input {
+            Expr::Col(c)
+                if c < src.num_columns()
+                    && matches!(src.column(c).data_type(), DataType::Int | DataType::Float) =>
+            {
+                LaneKernel::NumericCol(c)
+            }
+            _ => LaneKernel::Generic,
+        },
+        _ => LaneKernel::Generic,
+    }
+}
+
+/// Everything a scan worker needs, shared read-only across threads.
+struct PivotCtx<'a> {
+    src: &'a Table,
+    j_cols: &'a [usize],
+    tasks: &'a [PivotTask],
+    extra_lanes: &'a [(AggFunc, Expr)],
+    combo_maps: &'a [RowKeyMap],
+    task_base: &'a [usize],
+    extra_base: usize,
+    width: usize,
+    template: &'a [Acc],
+    lane_kernels: &'a [Vec<LaneKernel>],
+    total_kernels: &'a [Option<LaneKernel>],
+    extra_kernels: &'a [LaneKernel],
+}
+
+impl PivotCtx<'_> {
+    /// Scan one contiguous chunk morsel by morsel into a thread-local
+    /// partial matrix. One guard charge per morsel meters the budget and
+    /// observes cancellation; each freshly discovered group charges one
+    /// output row (a group found by several workers charges once per
+    /// worker — a conservative over-count that still stops `groups × cells`
+    /// explosions mid-scan).
+    fn scan(
+        &self,
+        chunk: std::ops::Range<usize>,
+        guard: &ResourceGuard,
+        stats: &mut ExecStats,
+        config: &ParallelConfig,
+    ) -> Result<(RowKeyMap, Vec<Acc>)> {
+        let mut groups = RowKeyMap::new();
+        let mut accs: Vec<Acc> = Vec::new();
+        for morsel in config.morsels(chunk) {
+            guard.charge(morsel.len() as u64)?;
+            for row in morsel {
+                let gid = if self.j_cols.is_empty() {
+                    if groups.is_empty() {
+                        groups.get_or_insert_key(&[], stats);
+                    }
+                    0
+                } else {
+                    groups.get_or_insert_row(self.src, self.j_cols, row, stats)
+                };
+                if (gid + 1) * self.width > accs.len() {
+                    // A fresh group allocates `width` accumulator cells;
+                    // charge it as one output row so group explosions trip
+                    // the budget mid-scan.
+                    guard.charge(1)?;
+                    accs.extend_from_slice(self.template);
+                }
+                let base = gid * self.width;
+                for (t, task) in self.tasks.iter().enumerate() {
+                    // O(1): one probe finds the cell, no CASE chain.
+                    let Some(cid) =
+                        self.combo_maps[t].lookup_row(self.src, &task.by_cols, row, stats)
+                    else {
+                        continue;
+                    };
+                    let cell = base + self.task_base[t] + cid * task.lanes.len();
+                    for (l, (_func, input)) in task.lanes.iter().enumerate() {
+                        self.absorb(
+                            &mut accs[cell + l],
+                            self.lane_kernels[t][l],
+                            input,
+                            row,
+                            stats,
+                        )?;
+                    }
+                    if let Some(total) = &task.total {
+                        let tpos = base + self.task_base[t] + task.lanes.len() * task.combos.len();
+                        let kernel = self.total_kernels[t].expect("total lane classified");
+                        self.absorb(&mut accs[tpos], kernel, total, row, stats)?;
+                    }
+                }
+                for (x, (_func, input)) in self.extra_lanes.iter().enumerate() {
+                    self.absorb(
+                        &mut accs[base + self.extra_base + x],
+                        self.extra_kernels[x],
+                        input,
+                        row,
+                        stats,
+                    )?;
+                }
+            }
+        }
+        Ok((groups, accs))
+    }
+
+    fn absorb(
+        &self,
+        acc: &mut Acc,
+        kernel: LaneKernel,
+        input: &Expr,
+        row: usize,
+        stats: &mut ExecStats,
+    ) -> Result<()> {
+        match kernel {
+            LaneKernel::CountStar => acc.update_f64(None),
+            LaneKernel::NumericCol(c) => acc.update_f64(self.src.column(c).get_f64(row)),
+            LaneKernel::Generic => {
+                let v = input.eval(self.src, row, stats)?;
+                acc.update(&v)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -143,11 +201,12 @@ pub fn pivot_aggregate(
     )
 }
 
-/// [`pivot_aggregate`] under a [`ResourceGuard`]: the scan is charged up
-/// front, each new group charges as its accumulator lane is allocated (the
-/// pivot's memory actually grows with `groups × cells`, so group discovery
-/// is exactly where a runaway `Hpct` must be stopped), and the loop checks
-/// for cancellation periodically.
+/// [`pivot_aggregate`] under a [`ResourceGuard`]: the scan is charged morsel
+/// by morsel, and each new group charges as its accumulator lane is
+/// allocated (the pivot's memory actually grows with `groups × cells`, so
+/// group discovery is exactly where a runaway `Hpct` must be stopped).
+/// Parallelism follows the environment configuration
+/// ([`ParallelConfig::from_env`]).
 pub fn pivot_aggregate_guarded(
     src: &Table,
     j_cols: &[usize],
@@ -156,8 +215,32 @@ pub fn pivot_aggregate_guarded(
     guard: &ResourceGuard,
     stats: &mut ExecStats,
 ) -> Result<Table> {
+    pivot_aggregate_with_config(
+        src,
+        j_cols,
+        tasks,
+        extra_lanes,
+        guard,
+        stats,
+        &ParallelConfig::from_env(),
+    )
+}
+
+/// [`pivot_aggregate_guarded`] with an explicit [`ParallelConfig`] (tests
+/// and benches pin thread counts here instead of racing on env vars).
+pub fn pivot_aggregate_with_config(
+    src: &Table,
+    j_cols: &[usize],
+    tasks: &[PivotTask],
+    extra_lanes: &[(AggFunc, Expr)],
+    guard: &ResourceGuard,
+    stats: &mut ExecStats,
+    config: &ParallelConfig,
+) -> Result<Table> {
     stats.statements += 1;
-    // Per-task subgroup-combination maps (combo tuple → cell index).
+    guard.check()?;
+    // Per-task subgroup-combination maps (combo tuple → cell index), built
+    // once and shared read-only across scan workers.
     let mut combo_maps: Vec<RowKeyMap> = Vec::with_capacity(tasks.len());
     for task in tasks {
         let mut m = RowKeyMap::with_capacity(task.combos.len());
@@ -196,51 +279,92 @@ pub fn pivot_aggregate_guarded(
         t
     };
 
-    let mut groups = RowKeyMap::new();
-    let mut accs: Vec<Acc> = Vec::new();
+    let lane_kernels: Vec<Vec<LaneKernel>> = tasks
+        .iter()
+        .map(|task| {
+            task.lanes
+                .iter()
+                .map(|(func, input)| classify_lane(*func, input, src))
+                .collect()
+        })
+        .collect();
+    let total_kernels: Vec<Option<LaneKernel>> = tasks
+        .iter()
+        .map(|task| {
+            task.total
+                .as_ref()
+                .map(|total| classify_lane(AggFunc::Sum, total, src))
+        })
+        .collect();
+    let extra_kernels: Vec<LaneKernel> = extra_lanes
+        .iter()
+        .map(|(func, input)| classify_lane(*func, input, src))
+        .collect();
+
+    let ctx = PivotCtx {
+        src,
+        j_cols,
+        tasks,
+        extra_lanes,
+        combo_maps: &combo_maps,
+        task_base: &task_base,
+        extra_base,
+        width,
+        template: &template,
+        lane_kernels: &lane_kernels,
+        total_kernels: &total_kernels,
+        extra_kernels: &extra_kernels,
+    };
+
     let n = src.num_rows();
     stats.rows_scanned += n as u64;
-    guard.charge(n as u64)?;
-    for row in 0..n {
-        if row % CANCEL_CHECK_INTERVAL == 0 {
-            guard.check()?;
-        }
-        let gid = if j_cols.is_empty() {
-            if groups.is_empty() {
-                groups.get_or_insert_key(&[], stats);
+    let chunks = config.chunks(n);
+
+    let (mut groups, mut accs) = if chunks.len() <= 1 {
+        ctx.scan(0..n, guard, stats, config)?
+    } else {
+        type WorkerOut = Result<(RowKeyMap, Vec<Acc>, ExecStats)>;
+        let worker_results: Vec<WorkerOut> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let ctx = &ctx;
+                    s.spawn(move || -> WorkerOut {
+                        let mut wstats = ExecStats::default();
+                        let (groups, accs) = ctx.scan(chunk, guard, &mut wstats, config)?;
+                        Ok((groups, accs, wstats))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pivot worker panicked"))
+                .collect()
+        });
+        // Deterministic ordered merge: worker 0's partial seeds the global
+        // matrix (its group order is the serial prefix order), later
+        // workers fold in, in worker order.
+        let mut iter = worker_results.into_iter();
+        let (mut groups, mut accs, wstats) = iter.next().expect("at least one worker")?;
+        *stats += wstats;
+        for result in iter {
+            let (wgroups, waccs, wstats) = result?;
+            *stats += wstats;
+            let mut waccs = waccs.into_iter();
+            for key in wgroups.into_keys() {
+                let gid = groups.get_or_insert_key(&key, stats);
+                if (gid + 1) * width > accs.len() {
+                    accs.extend_from_slice(&template);
+                }
+                for w in 0..width {
+                    let partial = waccs.next().expect("partial accs cover groups × width");
+                    accs[gid * width + w].merge(partial)?;
+                }
             }
-            0
-        } else {
-            groups.get_or_insert_row(src, j_cols, row, stats)
-        };
-        if (gid + 1) * width > accs.len() {
-            // A fresh group allocates `width` accumulator cells; charge it as
-            // one output row so group explosions trip the budget mid-scan.
-            guard.charge(1)?;
-            accs.extend_from_slice(&template);
         }
-        let base = gid * width;
-        for (t, task) in tasks.iter().enumerate() {
-            // O(1): one probe finds the cell, no CASE chain.
-            let Some(cid) = groups_lookup(&combo_maps[t], src, &task.by_cols, row, stats) else {
-                continue;
-            };
-            let cell = base + task_base[t] + cid * task.lanes.len();
-            for (l, (_func, input)) in task.lanes.iter().enumerate() {
-                let v = input.eval(src, row, stats)?;
-                accs[cell + l].update(&v);
-            }
-            if let Some(total) = &task.total {
-                let tpos = base + task_base[t] + task.lanes.len() * task.combos.len();
-                let v = total.eval(src, row, stats)?;
-                accs[tpos].update(&v);
-            }
-        }
-        for (x, (_func, input)) in extra_lanes.iter().enumerate() {
-            let v = input.eval(src, row, stats)?;
-            accs[base + extra_base + x].update(&v);
-        }
-    }
+        (groups, accs)
+    };
+
     // Global aggregation yields one row even over empty input.
     if j_cols.is_empty() && groups.is_empty() {
         groups.get_or_insert_key(&[], stats);
@@ -285,16 +409,6 @@ pub fn pivot_aggregate_guarded(
     }
     stats.rows_materialized += n_groups as u64;
     Ok(out)
-}
-
-fn groups_lookup(
-    map: &RowKeyMap,
-    src: &Table,
-    cols: &[usize],
-    row: usize,
-    stats: &mut ExecStats,
-) -> Option<usize> {
-    map.lookup_row(src, cols, row, stats)
 }
 
 #[cfg(test)]
@@ -393,5 +507,71 @@ mod tests {
         assert_eq!(raw.get(0, 3), Value::Float(10.0));
         // store 2 Tue: 15.
         assert_eq!(raw.get(1, 4), Value::Float(15.0));
+    }
+
+    #[test]
+    fn parallel_pivot_identical_to_serial() {
+        // A table large enough for many small morsels: store ∈ 0..23,
+        // dweek cycles over 7 names, integer-valued amounts so chunked
+        // float sums are exact.
+        let schema = Schema::from_pairs(&[
+            ("store", DataType::Int),
+            ("dweek", DataType::Str),
+            ("amt", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let days = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+        let mut t = Table::with_capacity(schema, 9_000);
+        for i in 0..9_000usize {
+            t.push_row(&[
+                Value::Int((i as i64 * 31) % 23),
+                Value::str(days[i % 7]),
+                if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float((i % 97) as f64)
+                },
+            ])
+            .unwrap();
+        }
+        let amt = Expr::col(t.schema(), "amt").unwrap();
+        let tasks = vec![PivotTask {
+            by_cols: vec![1],
+            lanes: vec![(AggFunc::Sum, amt.clone()), (AggFunc::Count, amt.clone())],
+            combos: days.iter().map(|d| vec![Value::str(*d)]).collect(),
+            total: Some(amt),
+        }];
+        let extras = vec![(AggFunc::CountStar, Expr::lit(1))];
+        let serial = pivot_aggregate_with_config(
+            &t,
+            &[0],
+            &tasks,
+            &extras,
+            &ResourceGuard::unlimited(),
+            &mut ExecStats::default(),
+            &ParallelConfig::serial(),
+        )
+        .unwrap();
+        for threads in [2, 4, 7] {
+            let config = ParallelConfig {
+                threads,
+                morsel_rows: 256,
+                min_parallel_rows: 0,
+            };
+            let parallel = pivot_aggregate_with_config(
+                &t,
+                &[0],
+                &tasks,
+                &extras,
+                &ResourceGuard::unlimited(),
+                &mut ExecStats::default(),
+                &config,
+            )
+            .unwrap();
+            let s_rows: Vec<Vec<Value>> = serial.rows().collect();
+            let p_rows: Vec<Vec<Value>> = parallel.rows().collect();
+            assert_eq!(s_rows, p_rows, "threads={threads}");
+        }
     }
 }

@@ -23,8 +23,8 @@ use crate::query::{ExtraAgg, HorizontalQuery};
 use crate::strategy::{HorizontalOptions, HorizontalStrategy};
 use crate::vertical::QueryResult;
 use pa_engine::{
-    create_table_as, distinct_keys, filter, hash_aggregate_guarded, hash_join_guarded, project,
-    AggFunc, AggSpec, ExecStats, Expr, JoinType, ProjSpec, ResourceGuard,
+    create_table_as, distinct_keys, filter, hash_aggregate_with_config, hash_join_guarded, project,
+    AggFunc, AggSpec, ExecStats, Expr, JoinType, ParallelConfig, ProjSpec, ResourceGuard,
 };
 use pa_storage::{Catalog, DataType, Schema, SharedTable, Table, Value};
 
@@ -180,6 +180,10 @@ pub fn eval_horizontal_guarded(
     let f_shared = catalog.table(&q.table)?;
     let f_guard = f_shared.read();
     let f_schema = f_guard.schema().clone();
+    // One parallelism decision per query, sized on the fact table; every
+    // aggregation pass of this evaluation shares it (the engine still
+    // drops small intermediate inputs like FV to the serial path).
+    let par = crate::optimizer::choose_parallelism(opts.parallel, f_guard.num_rows());
 
     for term in &q.terms {
         for b in &term.by {
@@ -281,7 +285,8 @@ pub fn eval_horizontal_guarded(
                 }
             }
         }
-        let fv = hash_aggregate_guarded(&f_guard, &key_cols_f, &specs, guard, &mut stats)?;
+        let fv =
+            hash_aggregate_with_config(&f_guard, &key_cols_f, &specs, guard, &mut stats, &par)?;
         drop(f_guard);
         create_table_as(catalog, &format!("{prefix}FV"), fv.clone(), &mut stats)?;
 
@@ -395,16 +400,25 @@ pub fn eval_horizontal_guarded(
                     .iter()
                     .flat_map(|(lanes, _)| lanes.iter().cloned())
                     .collect();
-                crate::dispatch::pivot_aggregate_guarded(
+                crate::dispatch::pivot_aggregate_with_config(
                     src,
                     &j_cols,
                     &plans_as_tasks(&plans),
                     &flat_extras,
                     guard,
                     &mut stats,
+                    &par,
                 )?
             } else {
-                case_raw(src, &j_cols, &plans, &extra_specs_src, guard, &mut stats)?
+                case_raw(
+                    src,
+                    &j_cols,
+                    &plans,
+                    &extra_specs_src,
+                    guard,
+                    &mut stats,
+                    &par,
+                )?
             }
         }
         HorizontalStrategy::SpjDirect | HorizontalStrategy::SpjFromFv => spj_raw(
@@ -416,6 +430,7 @@ pub fn eval_horizontal_guarded(
             prefix,
             guard,
             &mut stats,
+            &par,
         )?,
     };
     drop(source);
@@ -540,6 +555,7 @@ pub fn eval_horizontal_guarded(
 }
 
 /// CASE strategy: one aggregation pass with `N` CASE-guarded terms.
+#[allow(clippy::too_many_arguments)]
 fn case_raw(
     src: &Table,
     j_cols: &[usize],
@@ -547,6 +563,7 @@ fn case_raw(
     extras: &[(Vec<(AggFunc, Expr)>, Combine)],
     guard: &ResourceGuard,
     stats: &mut ExecStats,
+    par: &ParallelConfig,
 ) -> Result<Table> {
     let mut specs: Vec<AggSpec> = Vec::new();
     for (t, plan) in plans.iter().enumerate() {
@@ -587,7 +604,9 @@ fn case_raw(
             specs.push(AggSpec::new(*func, input.clone(), format!("__x{e}_{l}")));
         }
     }
-    Ok(hash_aggregate_guarded(src, j_cols, &specs, guard, stats)?)
+    Ok(hash_aggregate_with_config(
+        src, j_cols, &specs, guard, stats, par,
+    )?)
 }
 
 /// SPJ strategy: `F0` = distinct groups; one filtered aggregation per
@@ -602,6 +621,7 @@ fn spj_raw(
     prefix: &str,
     guard: &ResourceGuard,
     stats: &mut ExecStats,
+    par: &ParallelConfig,
 ) -> Result<Table> {
     let j_len = j_cols.len();
     if j_len == 0 {
@@ -622,12 +642,13 @@ fn spj_raw(
                 );
                 let filtered = filter(src, &pred, stats)?;
                 for (func, input) in &plan.lanes {
-                    let agg = hash_aggregate_guarded(
+                    let agg = hash_aggregate_with_config(
                         &filtered,
                         &[],
                         &[AggSpec::new(*func, input.clone(), "v")],
                         guard,
                         stats,
+                        par,
                     )?;
                     row.push(agg.get(0, 0));
                     fields.push(pa_storage::Field::new(
@@ -638,12 +659,13 @@ fn spj_raw(
                 }
             }
             if let Some(total) = &plan.total {
-                let agg = hash_aggregate_guarded(
+                let agg = hash_aggregate_with_config(
                     src,
                     &[],
                     &[AggSpec::new(AggFunc::Sum, total.clone(), "t")],
                     guard,
                     stats,
+                    par,
                 )?;
                 row.push(agg.get(0, 0));
                 fields.push(pa_storage::Field::new(format!("__r{idx}"), DataType::Float));
@@ -652,12 +674,13 @@ fn spj_raw(
         }
         for (lanes, _) in extras {
             for (func, input) in lanes {
-                let agg = hash_aggregate_guarded(
+                let agg = hash_aggregate_with_config(
                     src,
                     &[],
                     &[AggSpec::new(*func, input.clone(), "e")],
                     guard,
                     stats,
+                    par,
                 )?;
                 row.push(agg.get(0, 0));
                 fields.push(pa_storage::Field::new(
@@ -698,7 +721,7 @@ fn spj_raw(
                 .enumerate()
                 .map(|(l, (func, input))| AggSpec::new(*func, input.clone(), format!("v{l}")))
                 .collect();
-            let fi = hash_aggregate_guarded(&filtered, j_cols, &specs, guard, stats)?;
+            let fi = hash_aggregate_with_config(&filtered, j_cols, &specs, guard, stats, par)?;
             create_table_as(catalog, &format!("{prefix}F{spj_index}"), fi.clone(), stats)?;
             spj_index += 1;
             let base = joined.num_columns();
@@ -718,12 +741,13 @@ fn spj_raw(
             }
         }
         if let Some(total) = &plan.total {
-            let fi = hash_aggregate_guarded(
+            let fi = hash_aggregate_with_config(
                 src,
                 j_cols,
                 &[AggSpec::new(AggFunc::Sum, total.clone(), "t")],
                 guard,
                 stats,
+                par,
             )?;
             let base = joined.num_columns();
             joined = hash_join_guarded(
@@ -745,7 +769,7 @@ fn spj_raw(
             .enumerate()
             .map(|(l, (func, input))| AggSpec::new(*func, input.clone(), format!("e{l}")))
             .collect();
-        let fi = hash_aggregate_guarded(src, j_cols, &specs, guard, stats)?;
+        let fi = hash_aggregate_with_config(src, j_cols, &specs, guard, stats, par)?;
         let base = joined.num_columns();
         joined = hash_join_guarded(
             &joined,

@@ -32,12 +32,12 @@ pub use lattice::{
 };
 pub use missing::MissingRows;
 pub use olap::eval_vpct_olap;
-pub use optimizer::{choose_horizontal_strategy, choose_vpct_strategy};
-pub use pa_engine::ResourceGuard;
+pub use optimizer::{choose_horizontal_strategy, choose_parallelism, choose_vpct_strategy};
+pub use pa_engine::{ParallelConfig, ResourceGuard};
 pub use query::{
     from_sql, ExtraAgg, HorizontalQuery, HorizontalTerm, Measure, Query, VpctQuery, VpctTerm,
 };
 pub use strategy::{
-    FjSource, HorizontalOptions, HorizontalStrategy, Materialization, VpctStrategy,
+    FjSource, HorizontalOptions, HorizontalStrategy, Materialization, ParallelMode, VpctStrategy,
 };
 pub use vertical::{eval_vpct, eval_vpct_guarded, QueryResult};

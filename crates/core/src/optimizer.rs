@@ -16,7 +16,8 @@
 
 use crate::error::Result;
 use crate::query::{HorizontalQuery, VpctQuery};
-use crate::strategy::{HorizontalStrategy, VpctStrategy};
+use crate::strategy::{HorizontalStrategy, ParallelMode, VpctStrategy};
+use pa_engine::ParallelConfig;
 use pa_storage::{Catalog, Column, FxHashSet, Table};
 
 /// Distinct values of one column above which it counts as "high
@@ -54,6 +55,27 @@ pub fn estimate_distinct(table: &Table, col: usize) -> usize {
 /// it exists as the seam where a cost model would plug in.
 pub fn choose_vpct_strategy(_catalog: &Catalog, _q: &VpctQuery) -> VpctStrategy {
     VpctStrategy::best()
+}
+
+/// Resolve a [`ParallelMode`] against the input size: the requested worker
+/// count (environment for `Auto`), with inputs below the serial threshold
+/// always taking the exact serial code path. The engine re-checks the
+/// threshold per operator; resolving here keeps one decision per query so
+/// every aggregation pass of one evaluation agrees.
+pub fn choose_parallelism(mode: ParallelMode, input_rows: usize) -> ParallelConfig {
+    let config = match mode {
+        ParallelMode::Auto => ParallelConfig::from_env(),
+        ParallelMode::Serial => ParallelConfig::serial(),
+        ParallelMode::Threads(n) => ParallelConfig::with_threads(n),
+    };
+    if config.effective_threads(input_rows) <= 1 {
+        ParallelConfig {
+            threads: 1,
+            ..config
+        }
+    } else {
+        config
+    }
 }
 
 /// Pick the CASE evaluation source for a horizontal query per the paper's
@@ -156,6 +178,21 @@ mod tests {
         assert_eq!(
             choose_horizontal_strategy(&catalog, &q).unwrap(),
             HorizontalStrategy::CaseFromFv
+        );
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(
+            choose_parallelism(ParallelMode::Serial, 10_000_000).threads,
+            1
+        );
+        let forced = choose_parallelism(ParallelMode::Threads(4), 10_000_000);
+        assert_eq!(forced.threads, 4);
+        assert_eq!(
+            choose_parallelism(ParallelMode::Threads(4), 100).threads,
+            1,
+            "small inputs resolve to the serial path"
         );
     }
 

@@ -138,6 +138,21 @@ impl HorizontalStrategy {
     }
 }
 
+/// How the morsel-parallel scan layer is engaged for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelMode {
+    /// Follow the environment (`PA_THREADS` etc. via
+    /// [`pa_engine::ParallelConfig::from_env`]); inputs below the serial
+    /// threshold still take the exact serial code path.
+    #[default]
+    Auto,
+    /// Force the exact serial code path regardless of environment.
+    Serial,
+    /// Force a specific worker count (still subject to the per-morsel
+    /// worker cap and the serial threshold for small inputs).
+    Threads(usize),
+}
+
 /// Options for horizontal evaluation beyond the strategy choice.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HorizontalOptions {
@@ -156,6 +171,8 @@ pub struct HorizontalOptions {
     /// tables, each keyed by `D1..Dj` (the papers' prescribed remedy).
     /// When false, exceeding `max_columns` is an error.
     pub allow_partitioning: bool,
+    /// Morsel-parallel scan engagement for the aggregation passes.
+    pub parallel: ParallelMode,
 }
 
 impl Default for HorizontalOptions {
@@ -165,6 +182,7 @@ impl Default for HorizontalOptions {
             hash_dispatch: false,
             max_columns: 2048,
             allow_partitioning: false,
+            parallel: ParallelMode::Auto,
         }
     }
 }
@@ -220,6 +238,7 @@ mod tests {
         assert_eq!(o.strategy, HorizontalStrategy::CaseDirect);
         assert_eq!(o.max_columns, 2048);
         assert!(!o.hash_dispatch);
+        assert_eq!(o.parallel, ParallelMode::Auto);
         let o = HorizontalOptions::with_strategy(HorizontalStrategy::SpjFromFv);
         assert_eq!(o.strategy, HorizontalStrategy::SpjFromFv);
     }

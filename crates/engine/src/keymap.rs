@@ -68,6 +68,13 @@ impl RowKeyMap {
         &self.keys
     }
 
+    /// Consume the map, yielding the key tuples in group-id order. Used by
+    /// the parallel merge to fold a worker's partial groups into the global
+    /// map without cloning every key.
+    pub fn into_keys(self) -> Vec<Vec<Value>> {
+        self.keys
+    }
+
     /// Group id for the key formed by `cols` of `table[row]`, inserting a
     /// new group when unseen.
     pub fn get_or_insert_row(

@@ -18,15 +18,17 @@ pub mod expr;
 pub mod guard;
 pub mod keymap;
 pub mod ops;
+pub mod parallel;
 pub mod stats;
 
 pub use error::{EngineError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use guard::ResourceGuard;
 pub use keymap::RowKeyMap;
+pub use ops::acc::Acc;
 pub use ops::aggregate::{
-    hash_aggregate, hash_aggregate_guarded, multi_hash_aggregate, multi_hash_aggregate_guarded,
-    resolve_cols, AggFunc, AggSpec,
+    hash_aggregate, hash_aggregate_guarded, hash_aggregate_with_config, multi_hash_aggregate,
+    multi_hash_aggregate_guarded, multi_hash_aggregate_with_config, resolve_cols, AggFunc, AggSpec,
 };
 pub use ops::distinct::{distinct, distinct_keys};
 pub use ops::filter::filter;
@@ -36,4 +38,5 @@ pub use ops::project::{project, ProjSpec};
 pub use ops::sort::{sort, sort_permutation};
 pub use ops::update::{update_from, SetClause};
 pub use ops::window::window_aggregate;
+pub use parallel::ParallelConfig;
 pub use stats::ExecStats;

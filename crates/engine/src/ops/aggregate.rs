@@ -8,11 +8,22 @@
 //! A single-pass synchronized scan computing several grouping levels at once
 //! ([`multi_hash_aggregate`]) implements the paper's "these scans can be
 //! synchronized to have effectively one scan".
+//!
+//! The scan is morsel-driven: the input is walked in fixed-size row morsels
+//! (the unit of guard charging and cancellation latency), and when the
+//! [`ParallelConfig`] allows it, contiguous runs of morsels fan out over
+//! scoped worker threads that accumulate into thread-local partial tables.
+//! Worker partials merge in worker order, which reproduces the serial
+//! group-id assignment exactly (DESIGN.md §7). Numeric `sum`/`avg`/`count`
+//! lanes over plain columns read through [`pa_storage::Column::get_f64`]
+//! instead of boxing a [`Value`] per cell.
 
 use crate::error::{EngineError, Result};
 use crate::expr::Expr;
-use crate::guard::{ResourceGuard, CANCEL_CHECK_INTERVAL};
+use crate::guard::ResourceGuard;
 use crate::keymap::RowKeyMap;
+use crate::ops::acc::Acc;
+use crate::parallel::ParallelConfig;
 use crate::stats::ExecStats;
 use pa_storage::{DataType, Field, Schema, Table, Value};
 
@@ -26,7 +37,8 @@ pub enum AggFunc {
     Count,
     /// `count(DISTINCT expr)` — distinct non-NULL count. Holistic per
     /// Gray et al.: it cannot be re-aggregated from partials, which is why
-    /// the FV-based horizontal strategies reject it.
+    /// the FV-based horizontal strategies reject it. (Thread partials still
+    /// merge exactly, by value-set union.)
     CountDistinct,
     /// `count(*)` — row count.
     CountStar,
@@ -99,94 +111,38 @@ impl AggSpec {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Acc {
-    Sum { sum: f64, any: bool },
-    Count(i64),
-    CountDistinct(pa_storage::FxHashSet<Value>),
-    CountStar(i64),
-    Avg { sum: f64, n: i64 },
-    Min(Value),
-    Max(Value),
+/// How one aggregate lane reads its input per row.
+#[derive(Debug, Clone, Copy)]
+enum Kernel {
+    /// `sum`/`avg`/`count` over a plain numeric column: read through
+    /// `Column::get_f64`, no `Value` construction.
+    NumericCol(usize),
+    /// `count(*)`: no input read at all.
+    CountStar,
+    /// Everything else: evaluate the expression into a `Value`.
+    Generic,
 }
 
-impl Acc {
-    fn new(func: AggFunc) -> Acc {
-        match func {
-            AggFunc::Sum => Acc::Sum {
-                sum: 0.0,
-                any: false,
+/// Classify each spec against the input table's column types.
+fn classify_kernels(aggs: &[AggSpec], input: &Table) -> Vec<Kernel> {
+    aggs.iter()
+        .map(|spec| match spec.func {
+            AggFunc::CountStar => Kernel::CountStar,
+            AggFunc::Sum | AggFunc::Avg | AggFunc::Count => match spec.input {
+                Expr::Col(c)
+                    if c < input.num_columns()
+                        && matches!(
+                            input.column(c).data_type(),
+                            DataType::Int | DataType::Float
+                        ) =>
+                {
+                    Kernel::NumericCol(c)
+                }
+                _ => Kernel::Generic,
             },
-            AggFunc::Count => Acc::Count(0),
-            AggFunc::CountDistinct => Acc::CountDistinct(Default::default()),
-            AggFunc::CountStar => Acc::CountStar(0),
-            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
-            AggFunc::Min => Acc::Min(Value::Null),
-            AggFunc::Max => Acc::Max(Value::Null),
-        }
-    }
-
-    fn update(&mut self, v: &Value) -> Result<()> {
-        match self {
-            Acc::CountStar(n) => *n += 1,
-            _ if v.is_null() => {}
-            Acc::Sum { sum, any } => match v.as_f64() {
-                Some(x) => {
-                    *sum += x;
-                    *any = true;
-                }
-                None => {
-                    return Err(EngineError::ExprType(format!("sum of non-numeric {v}")));
-                }
-            },
-            Acc::Count(n) => *n += 1,
-            Acc::CountDistinct(seen) => {
-                seen.insert(v.clone());
-            }
-            Acc::Avg { sum, n } => match v.as_f64() {
-                Some(x) => {
-                    *sum += x;
-                    *n += 1;
-                }
-                None => {
-                    return Err(EngineError::ExprType(format!("avg of non-numeric {v}")));
-                }
-            },
-            Acc::Min(m) => {
-                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Less {
-                    *m = v.clone();
-                }
-            }
-            Acc::Max(m) => {
-                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Greater {
-                    *m = v.clone();
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn finish(&self) -> Value {
-        match self {
-            Acc::Sum { sum, any } => {
-                if *any {
-                    Value::Float(*sum)
-                } else {
-                    Value::Null
-                }
-            }
-            Acc::Count(n) | Acc::CountStar(n) => Value::Int(*n),
-            Acc::CountDistinct(seen) => Value::Int(seen.len() as i64),
-            Acc::Avg { sum, n } => {
-                if *n > 0 {
-                    Value::Float(sum / *n as f64)
-                } else {
-                    Value::Null
-                }
-            }
-            Acc::Min(v) | Acc::Max(v) => v.clone(),
-        }
-    }
+            _ => Kernel::Generic,
+        })
+        .collect()
 }
 
 /// One grouping level inside a (possibly multi-level) aggregation pass.
@@ -194,6 +150,7 @@ impl Acc {
 struct Level {
     group_cols: Vec<usize>,
     aggs: Vec<AggSpec>,
+    kernels: Vec<Kernel>,
     map: RowKeyMap,
     accs: Vec<Acc>, // groups × aggs, flat
 }
@@ -217,11 +174,39 @@ impl Level {
             }
         }
         for (i, spec) in self.aggs.iter().enumerate() {
-            let v = match spec.func {
-                AggFunc::CountStar => Value::Int(1),
-                _ => spec.input.eval(input, row, stats)?,
-            };
-            self.accs[base + i].update(&v)?;
+            match self.kernels[i] {
+                Kernel::CountStar => self.accs[base + i].update_f64(None),
+                Kernel::NumericCol(c) => {
+                    self.accs[base + i].update_f64(input.column(c).get_f64(row));
+                }
+                Kernel::Generic => {
+                    let v = spec.input.eval(input, row, stats)?;
+                    self.accs[base + i].update(&v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold a worker's partial level into this one, preserving this level's
+    /// group order and appending the partial's unseen groups in its own
+    /// first-appearance order. Because workers scan contiguous chunks in
+    /// row order and merge in worker order, the merged group order equals
+    /// the serial scan's order.
+    fn merge_from(&mut self, other: Level, stats: &mut ExecStats) -> Result<()> {
+        let width = self.aggs.len();
+        let mut other_accs = other.accs.into_iter();
+        for key in other.map.into_keys() {
+            let gid = self.map.get_or_insert_key(&key, stats);
+            if (gid + 1) * width > self.accs.len() {
+                for spec in &self.aggs {
+                    self.accs.push(Acc::new(spec.func));
+                }
+            }
+            for i in 0..width {
+                let partial = other_accs.next().expect("partial accs cover groups × aggs");
+                self.accs[gid * width + i].merge(partial)?;
+            }
         }
         Ok(())
     }
@@ -288,7 +273,8 @@ pub fn hash_aggregate(
 }
 
 /// [`hash_aggregate`] under a [`ResourceGuard`]: scanned and materialized
-/// rows are charged against the guard's budget.
+/// rows are charged against the guard's budget. Parallelism follows the
+/// environment configuration ([`ParallelConfig::from_env`]).
 pub fn hash_aggregate_guarded(
     input: &Table,
     group_cols: &[usize],
@@ -296,8 +282,33 @@ pub fn hash_aggregate_guarded(
     guard: &ResourceGuard,
     stats: &mut ExecStats,
 ) -> Result<Table> {
-    let mut tables =
-        multi_hash_aggregate_guarded(input, &[(group_cols.to_vec(), aggs.to_vec())], guard, stats)?;
+    hash_aggregate_with_config(
+        input,
+        group_cols,
+        aggs,
+        guard,
+        stats,
+        &ParallelConfig::from_env(),
+    )
+}
+
+/// [`hash_aggregate_guarded`] with an explicit [`ParallelConfig`] (tests and
+/// benches pin thread counts here instead of racing on env vars).
+pub fn hash_aggregate_with_config(
+    input: &Table,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    guard: &ResourceGuard,
+    stats: &mut ExecStats,
+    config: &ParallelConfig,
+) -> Result<Table> {
+    let mut tables = multi_hash_aggregate_with_config(
+        input,
+        &[(group_cols.to_vec(), aggs.to_vec())],
+        guard,
+        stats,
+        config,
+    )?;
     Ok(tables.pop().expect("one level in, one table out"))
 }
 
@@ -312,14 +323,49 @@ pub fn multi_hash_aggregate(
     multi_hash_aggregate_guarded(input, levels, &ResourceGuard::unlimited(), stats)
 }
 
-/// [`multi_hash_aggregate`] under a [`ResourceGuard`]: the input scan and
-/// every output group row are charged against the guard's row budget, and
-/// the absorb loop checks for cancellation periodically.
+/// [`multi_hash_aggregate`] under a [`ResourceGuard`]: the input scan is
+/// charged morsel by morsel (so cancellation and budget exhaustion land
+/// within one morsel), and every output group row is charged before
+/// materialization. Parallelism follows [`ParallelConfig::from_env`].
 pub fn multi_hash_aggregate_guarded(
     input: &Table,
     levels: &[(Vec<usize>, Vec<AggSpec>)],
     guard: &ResourceGuard,
     stats: &mut ExecStats,
+) -> Result<Vec<Table>> {
+    multi_hash_aggregate_with_config(input, levels, guard, stats, &ParallelConfig::from_env())
+}
+
+/// Scan `chunk` of `input` morsel by morsel, absorbing into `lvls`.
+/// One guard charge per morsel: the charge both meters the budget and
+/// observes cancellation, so a cancelled guard stops the scan within one
+/// morsel on whichever worker runs this chunk.
+fn scan_chunk(
+    input: &Table,
+    lvls: &mut [Level],
+    chunk: std::ops::Range<usize>,
+    guard: &ResourceGuard,
+    stats: &mut ExecStats,
+    config: &ParallelConfig,
+) -> Result<()> {
+    for morsel in config.morsels(chunk) {
+        guard.charge(morsel.len() as u64)?;
+        for row in morsel {
+            for lvl in lvls.iter_mut() {
+                lvl.absorb(input, row, stats)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`multi_hash_aggregate_guarded`] with an explicit [`ParallelConfig`].
+pub fn multi_hash_aggregate_with_config(
+    input: &Table,
+    levels: &[(Vec<usize>, Vec<AggSpec>)],
+    guard: &ResourceGuard,
+    stats: &mut ExecStats,
+    config: &ParallelConfig,
 ) -> Result<Vec<Table>> {
     for (cols, aggs) in levels {
         for &c in cols {
@@ -336,27 +382,72 @@ pub fn multi_hash_aggregate_guarded(
         }
     }
     stats.statements += 1;
-    let mut lvls: Vec<Level> = levels
+    guard.check()?;
+
+    let kernels: Vec<Vec<Kernel>> = levels
         .iter()
-        .map(|(cols, aggs)| Level {
-            group_cols: cols.clone(),
-            aggs: aggs.clone(),
-            map: RowKeyMap::new(),
-            accs: Vec::new(),
-        })
+        .map(|(_, aggs)| classify_kernels(aggs, input))
         .collect();
+    let make_levels = || -> Vec<Level> {
+        levels
+            .iter()
+            .zip(&kernels)
+            .map(|((cols, aggs), ks)| Level {
+                group_cols: cols.clone(),
+                aggs: aggs.clone(),
+                kernels: ks.clone(),
+                map: RowKeyMap::new(),
+                accs: Vec::new(),
+            })
+            .collect()
+    };
 
     let n = input.num_rows();
     stats.rows_scanned += n as u64;
-    guard.charge(n as u64)?;
-    for row in 0..n {
-        if row % CANCEL_CHECK_INTERVAL == 0 {
-            guard.check()?;
+    let chunks = config.chunks(n);
+
+    let mut lvls: Vec<Level> = if chunks.len() <= 1 {
+        let mut lvls = make_levels();
+        scan_chunk(input, &mut lvls, 0..n, guard, stats, config)?;
+        lvls
+    } else {
+        // Fan the contiguous chunks out over scoped workers; each builds
+        // thread-local partials and its own stats.
+        type WorkerOut = Result<(Vec<Level>, ExecStats)>;
+        let worker_results: Vec<WorkerOut> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let make_levels = &make_levels;
+                    s.spawn(move || -> WorkerOut {
+                        let mut lvls = make_levels();
+                        let mut wstats = ExecStats::default();
+                        scan_chunk(input, &mut lvls, chunk, guard, &mut wstats, config)?;
+                        Ok((lvls, wstats))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("aggregation worker panicked"))
+                .collect()
+        });
+        // Deterministic ordered merge: worker 0's partial seeds the global
+        // tables (its group order is the serial prefix order), later
+        // workers fold in, in worker order.
+        let mut iter = worker_results.into_iter();
+        let (mut merged, wstats) = iter.next().expect("at least one worker")?;
+        *stats += wstats;
+        for result in iter {
+            let (wl, wstats) = result?;
+            *stats += wstats;
+            for (dst, src) in merged.iter_mut().zip(wl) {
+                dst.merge_from(src, stats)?;
+            }
         }
-        for lvl in &mut lvls {
-            lvl.absorb(input, row, stats)?;
-        }
-    }
+        merged
+    };
+
     // Global aggregates return one row even over empty input.
     for lvl in &mut lvls {
         if lvl.group_cols.is_empty() && lvl.map.is_empty() {
@@ -415,6 +506,45 @@ mod tests {
 
     fn sum_a(t: &Table) -> AggSpec {
         AggSpec::sum_col(t.schema(), "salesAmt", "A").unwrap()
+    }
+
+    /// A table big enough to split into many small morsels, with integer
+    /// values so chunked float sums are exact.
+    fn big(n: usize, groups: i64) -> Table {
+        let schema = Schema::from_pairs(&[
+            ("g", DataType::Int),
+            ("s", DataType::Str),
+            ("a", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::with_capacity(schema, n);
+        for i in 0..n {
+            let g = (i as i64 * 7919) % groups;
+            let row = [
+                if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(g)
+                },
+                Value::str(format!("s{}", g % 5)),
+                if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float((i % 100) as f64)
+                },
+            ];
+            t.push_row(&row).unwrap();
+        }
+        t
+    }
+
+    fn par(threads: usize, morsel: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads,
+            morsel_rows: morsel,
+            min_parallel_rows: 0,
+        }
     }
 
     #[test]
@@ -630,7 +760,8 @@ mod tests {
     fn guard_budget_stops_the_scan() {
         let f = sales();
         let mut st = ExecStats::default();
-        // 10 input rows > 5-row budget: charged up front, before absorbing.
+        // 10 input rows > 5-row budget: the whole table is one morsel, so
+        // the first charge fails before absorbing.
         let guard = ResourceGuard::with_row_budget(5);
         let err = hash_aggregate_guarded(&f, &[0], &[sum_a(&f)], &guard, &mut st).unwrap_err();
         assert!(
@@ -671,5 +802,117 @@ mod tests {
             !AggFunc::Count.is_distributive(),
             "count re-aggregates as sum"
         );
+    }
+
+    #[test]
+    fn parallel_output_identical_to_serial() {
+        let t = big(10_000, 37);
+        let a = Expr::Col(2);
+        let specs = vec![
+            AggSpec::new(AggFunc::Sum, a.clone(), "sum"),
+            AggSpec::new(AggFunc::Count, a.clone(), "cnt"),
+            AggSpec::new(AggFunc::CountStar, Expr::lit(1), "n"),
+            AggSpec::new(AggFunc::Avg, a.clone(), "avg"),
+            AggSpec::new(AggFunc::Min, a.clone(), "mn"),
+            AggSpec::new(AggFunc::Max, a, "mx"),
+            AggSpec::new(AggFunc::CountDistinct, Expr::Col(1), "dx"),
+        ];
+        let levels = vec![(vec![0, 1], specs.clone()), (vec![1], specs)];
+        let mut serial_stats = ExecStats::default();
+        let serial = multi_hash_aggregate_with_config(
+            &t,
+            &levels,
+            &ResourceGuard::unlimited(),
+            &mut serial_stats,
+            &ParallelConfig::serial(),
+        )
+        .unwrap();
+        for threads in [2, 4, 7] {
+            let mut st = ExecStats::default();
+            let parallel = multi_hash_aggregate_with_config(
+                &t,
+                &levels,
+                &ResourceGuard::unlimited(),
+                &mut st,
+                &par(threads, 256),
+            )
+            .unwrap();
+            for (s, p) in serial.iter().zip(&parallel) {
+                let s_rows: Vec<Vec<Value>> = s.rows().collect();
+                let p_rows: Vec<Vec<Value>> = p.rows().collect();
+                assert_eq!(s_rows, p_rows, "threads={threads}");
+            }
+            assert_eq!(st.rows_scanned, serial_stats.rows_scanned);
+        }
+    }
+
+    #[test]
+    fn parallel_budget_trips_mid_scan_on_the_shared_meter() {
+        let t = big(20_000, 11);
+        // Budget admits a few morsels, nowhere near the full scan: some
+        // worker's charge must trip it mid-flight.
+        let guard = ResourceGuard::with_row_budget(1_000);
+        let err = hash_aggregate_with_config(
+            &t,
+            &[0],
+            &[AggSpec::new(AggFunc::Sum, Expr::Col(2), "s")],
+            &guard,
+            &mut ExecStats::default(),
+            &par(4, 128),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }), "{err}");
+        assert!(
+            guard.rows_charged() < 20_000,
+            "scan stopped early, charged {}",
+            guard.rows_charged()
+        );
+    }
+
+    #[test]
+    fn precancelled_guard_stops_every_parallel_worker_at_first_morsel() {
+        let t = big(20_000, 11);
+        let guard = ResourceGuard::with_row_budget(u64::MAX);
+        guard.cancel();
+        let err = hash_aggregate_with_config(
+            &t,
+            &[0],
+            &[AggSpec::new(AggFunc::Sum, Expr::Col(2), "s")],
+            &guard,
+            &mut ExecStats::default(),
+            &par(4, 128),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled), "{err}");
+        assert_eq!(guard.rows_charged(), 0, "no morsel was admitted");
+    }
+
+    #[test]
+    fn typed_kernel_handles_int_columns_and_null_groups() {
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("a", DataType::Int)])
+            .unwrap()
+            .into_shared();
+        let mut t = Table::empty(schema);
+        for (g, a) in [(Some(1), Some(10)), (Some(1), None), (None, Some(7))] {
+            t.push_row(&[
+                g.map_or(Value::Null, Value::Int),
+                a.map_or(Value::Null, Value::Int),
+            ])
+            .unwrap();
+        }
+        let a = Expr::Col(1);
+        let specs = vec![
+            AggSpec::new(AggFunc::Sum, a.clone(), "s"),
+            AggSpec::new(AggFunc::Avg, a.clone(), "m"),
+            AggSpec::new(AggFunc::Count, a, "c"),
+        ];
+        let out = hash_aggregate(&t, &[0], &specs, &mut ExecStats::default())
+            .unwrap()
+            .sorted_by(&[0]);
+        // NULL group first.
+        assert_eq!(out.get(0, 1), Value::Float(7.0));
+        assert_eq!(out.get(1, 1), Value::Float(10.0));
+        assert_eq!(out.get(1, 2), Value::Float(10.0));
+        assert_eq!(out.get(1, 3), Value::Int(1));
     }
 }

@@ -51,8 +51,22 @@ pub fn distinct_keys(
     cols: &[usize],
     stats: &mut ExecStats,
 ) -> Result<Vec<Vec<Value>>> {
-    let t = distinct(input, cols, stats)?;
-    Ok(t.rows().collect())
+    if cols.is_empty() {
+        return Err(EngineError::InvalidOperator(
+            "distinct needs at least one column".into(),
+        ));
+    }
+    stats.statements += 1;
+    let n = input.num_rows();
+    stats.rows_scanned += n as u64;
+    // The key map already holds exactly the distinct tuples in
+    // first-occurrence order — no sub-table / per-row Vec<Value> detour.
+    let mut map = RowKeyMap::new();
+    for row in 0..n {
+        map.get_or_insert_row(input, cols, row, stats);
+    }
+    stats.rows_materialized += map.len() as u64;
+    Ok(map.into_keys())
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Physical operators.
 
+pub mod acc;
 pub mod aggregate;
 pub mod distinct;
 pub mod filter;

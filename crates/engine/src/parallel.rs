@@ -1,0 +1,202 @@
+//! Morsel-driven parallel execution configuration.
+//!
+//! The aggregation operators split their input scan into fixed-size row
+//! *morsels* and fan contiguous runs of morsels out over scoped worker
+//! threads. Each worker accumulates into thread-local partial hash tables;
+//! the partials are merged in worker order, which reproduces the serial
+//! first-appearance group order exactly (see DESIGN.md §7 for the
+//! determinism argument).
+//!
+//! [`ParallelConfig`] carries the three knobs: worker count (env
+//! `PA_THREADS`, default [`std::thread::available_parallelism`]), morsel
+//! size (env `PA_MORSEL_ROWS`), and the input size below which the exact
+//! serial code path runs (env `PA_MIN_PARALLEL_ROWS`). `PA_THREADS=1`
+//! always selects the serial path.
+
+use std::ops::Range;
+
+/// Rows per morsel: the unit of guard charging and cancellation latency.
+/// Large enough to amortize the shared atomic `fetch_add`, small enough
+/// that cancellation lands promptly.
+pub const DEFAULT_MORSEL_ROWS: usize = 64 * 1024;
+
+/// Inputs smaller than this stay on the serial path: thread spawn and merge
+/// overhead would dominate, and the serial path keeps exact work-counter
+/// semantics for the small tables unit tests assert on.
+pub const DEFAULT_MIN_PARALLEL_ROWS: usize = 32 * 1024;
+
+/// Knobs for morsel-driven parallel aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Maximum worker threads. `1` means the exact serial code path.
+    pub threads: usize,
+    /// Rows per morsel (guard charge / cancellation granularity).
+    pub morsel_rows: usize,
+    /// Inputs with fewer rows than this always run serial.
+    pub min_parallel_rows: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::serial()
+    }
+}
+
+impl ParallelConfig {
+    /// Single-threaded configuration (the exact serial code path).
+    pub const fn serial() -> ParallelConfig {
+        ParallelConfig {
+            threads: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
+        }
+    }
+
+    /// Configuration with an explicit worker count and default morsel
+    /// sizing.
+    pub fn with_threads(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads: threads.max(1),
+            ..ParallelConfig::serial()
+        }
+    }
+
+    /// Read the configuration from the environment: `PA_THREADS` (default
+    /// [`std::thread::available_parallelism`]), `PA_MORSEL_ROWS`,
+    /// `PA_MIN_PARALLEL_ROWS`. Invalid or zero values fall back to the
+    /// defaults. Read per call so benches can vary `PA_THREADS` between
+    /// runs within one process.
+    pub fn from_env() -> ParallelConfig {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&v| v > 0)
+        };
+        let threads = parse("PA_THREADS")
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        ParallelConfig {
+            threads,
+            morsel_rows: parse("PA_MORSEL_ROWS").unwrap_or(DEFAULT_MORSEL_ROWS),
+            min_parallel_rows: parse("PA_MIN_PARALLEL_ROWS").unwrap_or(DEFAULT_MIN_PARALLEL_ROWS),
+        }
+    }
+
+    /// Worker count actually used for an `n`-row scan: `1` when the input
+    /// is below the serial threshold, otherwise at most one worker per
+    /// morsel.
+    pub fn effective_threads(&self, n_rows: usize) -> usize {
+        if self.threads <= 1 || n_rows < self.min_parallel_rows {
+            return 1;
+        }
+        let morsels = n_rows.div_ceil(self.morsel_rows);
+        self.threads.min(morsels).max(1)
+    }
+
+    /// Statically partition `0..n_rows` into one contiguous, morsel-aligned
+    /// range per worker. Contiguity in row order is what makes the ordered
+    /// merge reproduce serial group order; morsel alignment keeps every
+    /// charge a full morsel except each worker's last.
+    ///
+    /// Returns one non-empty range per effective worker (a single `0..n`
+    /// range when the scan runs serial).
+    pub fn chunks(&self, n_rows: usize) -> Vec<Range<usize>> {
+        let workers = self.effective_threads(n_rows);
+        if workers <= 1 {
+            // One chunk spanning the whole table (not a range-to-vec collect).
+            #[allow(clippy::single_range_in_vec_init)]
+            return vec![0..n_rows];
+        }
+        let morsels = n_rows.div_ceil(self.morsel_rows);
+        let per_worker = morsels / workers;
+        let extra = morsels % workers;
+        let mut out = Vec::with_capacity(workers);
+        let mut next = 0usize;
+        for w in 0..workers {
+            let take = per_worker + usize::from(w < extra);
+            let start = next;
+            next = (next + take * self.morsel_rows).min(n_rows);
+            out.push(start..next);
+        }
+        debug_assert_eq!(next, n_rows);
+        out
+    }
+
+    /// Morsel subranges of one worker chunk, in row order.
+    pub fn morsels(&self, chunk: Range<usize>) -> impl Iterator<Item = Range<usize>> + '_ {
+        let morsel = self.morsel_rows;
+        let end = chunk.end;
+        chunk.step_by(morsel).map(move |start| {
+            let stop = (start + morsel).min(end);
+            start..stop
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_config_is_one_chunk() {
+        let c = ParallelConfig::serial();
+        assert_eq!(c.effective_threads(1_000_000), 1);
+        assert_eq!(c.chunks(10), vec![0..10]);
+    }
+
+    #[test]
+    fn small_inputs_stay_serial() {
+        let c = ParallelConfig::with_threads(8);
+        assert_eq!(c.effective_threads(100), 1);
+        assert_eq!(c.chunks(100), vec![0..100]);
+    }
+
+    #[test]
+    fn chunks_are_contiguous_morsel_aligned_and_cover_input() {
+        let c = ParallelConfig {
+            threads: 4,
+            morsel_rows: 10,
+            min_parallel_rows: 0,
+        };
+        let n = 137;
+        let chunks = c.chunks(n);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.first().unwrap().start, 0);
+        assert_eq!(chunks.last().unwrap().end, n);
+        for pair in chunks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "contiguous");
+            assert_eq!(pair[0].end % 10, 0, "morsel aligned");
+        }
+        let total: usize = chunks.iter().map(|r| r.len()).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn never_more_workers_than_morsels() {
+        let c = ParallelConfig {
+            threads: 16,
+            morsel_rows: 100,
+            min_parallel_rows: 0,
+        };
+        assert_eq!(c.effective_threads(250), 3);
+        let chunks = c.chunks(250);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn morsel_iteration_covers_chunk() {
+        let c = ParallelConfig {
+            threads: 2,
+            morsel_rows: 8,
+            min_parallel_rows: 0,
+        };
+        let morsels: Vec<_> = c.morsels(16..37).collect();
+        assert_eq!(morsels, vec![16..24, 24..32, 32..37]);
+    }
+
+    #[test]
+    fn with_threads_clamps_zero() {
+        assert_eq!(ParallelConfig::with_threads(0).threads, 1);
+    }
+}

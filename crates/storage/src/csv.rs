@@ -5,6 +5,7 @@
 //! module round-trips tables through RFC-4180-style CSV: header row, comma
 //! separation, `"` quoting with `""` escapes, empty field = NULL.
 
+use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::schema::Schema;
 use crate::table::Table;
@@ -36,15 +37,35 @@ pub fn write_csv(table: &Table, out: &mut impl Write) -> Result<()> {
         write_field(out, &f.name).map_err(io_err)?;
     }
     out.write_all(b"\n").map_err(io_err)?;
+    // Columnar cell access: numbers format straight into the writer and
+    // strings resolve through the dictionary, so no `Value` clone or
+    // per-cell `String` is allocated (`Display` output is unchanged).
+    let columns: Vec<&Column> = (0..table.num_columns()).map(|c| table.column(c)).collect();
     for row in 0..table.num_rows() {
-        for col in 0..table.num_columns() {
-            if col > 0 {
+        for (i, col) in columns.iter().enumerate() {
+            if i > 0 {
                 out.write_all(b",").map_err(io_err)?;
             }
-            match table.get(row, col) {
-                Value::Null => {}
-                Value::Str(s) => write_field(out, &s).map_err(io_err)?,
-                v => write_field(out, &v.to_string()).map_err(io_err)?,
+            match col {
+                Column::Int { data, validity } => {
+                    if validity.get(row) {
+                        write!(out, "{}", data[row]).map_err(io_err)?;
+                    }
+                }
+                Column::Float { data, validity } => {
+                    if validity.get(row) {
+                        write!(out, "{}", data[row]).map_err(io_err)?;
+                    }
+                }
+                Column::Str {
+                    dict,
+                    codes,
+                    validity,
+                } => {
+                    if validity.get(row) {
+                        write_field(out, dict.resolve(codes[row])).map_err(io_err)?;
+                    }
+                }
             }
         }
         out.write_all(b"\n").map_err(io_err)?;

@@ -252,6 +252,20 @@ impl Table {
         (0..self.num_rows()).map(move |i| self.columns.iter().map(|c| c.get(i)).collect())
     }
 
+    /// Contiguous row ranges of at most `chunk_rows` rows covering the
+    /// table, in row order — the morsel view parallel scans iterate.
+    /// Workers index the shared columns directly through these ranges; the
+    /// table itself is `Sync` (dictionary strings are `Arc<str>`), so no
+    /// per-chunk copy is made.
+    pub fn row_chunks(&self, chunk_rows: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+        let n = self.num_rows();
+        let step = chunk_rows.max(1);
+        (0..n).step_by(step).map(move |start| {
+            let end = (start + step).min(n);
+            start..end
+        })
+    }
+
     /// Bulk-append all rows of `other` (schemas must be equal).
     pub fn extend_from(&mut self, other: &Table) -> Result<()> {
         if self.schema.as_ref() != other.schema.as_ref() {
@@ -359,6 +373,32 @@ mod tests {
         ])
         .unwrap()
         .into_shared()
+    }
+
+    /// Parallel scans share `&Table` (and its dictionary `Arc<str>`
+    /// payloads) across worker threads; regressing these bounds would break
+    /// the engine's morsel-driven execution at a distance.
+    #[test]
+    fn table_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Table>();
+        assert_send_sync::<Column>();
+        assert_send_sync::<Value>();
+    }
+
+    #[test]
+    fn row_chunks_cover_the_table_in_order() {
+        let mut t = Table::empty(sales_schema());
+        for i in 0..7 {
+            t.push_row(&[Value::str("CA"), Value::str("SF"), Value::Float(i as f64)])
+                .unwrap();
+        }
+        let chunks: Vec<_> = t.row_chunks(3).collect();
+        assert_eq!(chunks, vec![0..3, 3..6, 6..7]);
+        assert_eq!(t.row_chunks(100).collect::<Vec<_>>(), vec![0..7]);
+        assert_eq!(t.row_chunks(0).count(), 7, "zero clamps to one-row chunks");
+        let empty = Table::empty(sales_schema());
+        assert_eq!(empty.row_chunks(3).count(), 0);
     }
 
     #[test]
