@@ -18,6 +18,22 @@ PA_THREADS=1 cargo test --workspace -q
 echo "==> cargo test (workspace, PA_THREADS=4)"
 PA_THREADS=4 cargo test --workspace -q
 
+echo "==> chaos gate: fault-tolerance suites, serial and parallel"
+# Seeded and bounded (proptest case counts are fixed in the test files), so
+# this is deterministic-ish and cheap; PA_THREADS exercises both the exact
+# serial path and real worker fan-out under injected panics and deadlines.
+PA_THREADS=1 cargo test -q -p pa-engine --test fault_containment
+PA_THREADS=4 cargo test -q -p pa-engine --test fault_containment
+PA_THREADS=1 cargo test -q -p pa-core --test fault_isolation
+PA_THREADS=4 cargo test -q -p pa-core --test fault_isolation
+PA_THREADS=1 cargo test -q -p pa-service
+PA_THREADS=4 cargo test -q -p pa-service
+
+echo "==> service overhead smoke (writes results/BENCH_service_smoke.json)"
+cargo run --release -p pa-bench --bin service_overhead -- \
+  --n 5000 --queries 8 --iters 1 \
+  --out results/BENCH_service_smoke.json
+
 echo "==> scale bench smoke (writes results/BENCH_scale_smoke.json)"
 cargo run --release -p pa-bench --bin scale -- \
   --n 20000 --d 7 --threads 1,2 --iters 1 \

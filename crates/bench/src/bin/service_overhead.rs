@@ -1,0 +1,178 @@
+//! Serving-layer overhead bench: what do admission control, per-query
+//! guards/deadlines, and temp-table hygiene cost per query?
+//!
+//! ```text
+//! service_overhead [--n N1,N2,..] [--queries Q] [--iters K] [--out PATH]
+//! ```
+//!
+//! Three tiers run the same `Vpct` SQL over the paper's sales schema:
+//!
+//! * `raw` — bare `PercentageEngine` (reused temp names, no guard limits):
+//!   the floor.
+//! * `guarded` — the serving engine configuration (unique temp names, temp
+//!   sweep after every query, a wall-clock deadline): isolates the
+//!   per-query guard + hygiene cost.
+//! * `service` — `QueryService::execute_sql`: adds FIFO admission and
+//!   result snapshotting, the full serving path.
+//!
+//! Each timed sample executes `--queries` queries so the per-query
+//! overhead (reported in µs vs `raw`) is resolvable at small `n`, where
+//! fixed costs dominate. Output: `results/BENCH_service.json`.
+
+use pa_bench::time_ms;
+use pa_core::PercentageEngine;
+use pa_service::{QueryService, ServiceConfig};
+use pa_storage::Catalog;
+use pa_workload::{install_sales, SalesConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const SQL: &str = "SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city;";
+
+struct Args {
+    ns: Vec<usize>,
+    queries: usize,
+    iters: usize,
+    out: String,
+}
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                eprintln!("bad list element {p:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ns: vec![1_000, 100_000],
+        queries: 64,
+        iters: 3,
+        out: "results/BENCH_service.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = || it.next().unwrap_or_default();
+        match a.as_str() {
+            "--n" => args.ns = parse_list(&next()),
+            "--queries" => args.queries = next().parse().unwrap_or(1),
+            "--iters" => args.iters = next().parse().unwrap_or(1),
+            "--out" => args.out = next(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: service_overhead [--n N1,N2,..] [--queries Q] [--iters K] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.ns.is_empty() || args.queries == 0 {
+        eprintln!("--n and --queries must be non-empty");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn best_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        best = best.min(time_ms(&mut f).0);
+    }
+    best
+}
+
+const TIERS: [&str; 3] = ["raw", "guarded", "service"];
+
+fn run_tier(catalog: &Catalog, tier: &str, queries: usize, iters: usize) -> f64 {
+    match tier {
+        "raw" => {
+            let engine = PercentageEngine::new(catalog);
+            best_ms(iters, || {
+                for _ in 0..queries {
+                    engine.execute_sql(SQL).expect("bench query");
+                }
+            })
+        }
+        "guarded" => {
+            let engine = PercentageEngine::with_unique_temps(catalog)
+                .with_temp_cleanup()
+                .with_deadline(Duration::from_secs(3600));
+            best_ms(iters, || {
+                for _ in 0..queries {
+                    engine.execute_sql(SQL).expect("bench query");
+                }
+            })
+        }
+        "service" => {
+            let service = QueryService::new(catalog, ServiceConfig::default());
+            best_ms(iters, || {
+                for _ in 0..queries {
+                    service.execute_sql(SQL).expect("bench query");
+                }
+            })
+        }
+        other => unreachable!("unknown tier {other}"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "service overhead bench — {} queries per sample, best of {}",
+        args.queries, args.iters
+    );
+
+    let mut cells = Vec::new();
+    for &n in &args.ns {
+        let catalog = Catalog::without_wal();
+        install_sales(&catalog, &SalesConfig { rows: n, seed: 42 }).expect("sales fixture");
+        println!("\nn={n}");
+        let mut raw_ms = None;
+        for tier in TIERS {
+            let ms = run_tier(&catalog, tier, args.queries, args.iters);
+            let per_query_us = ms * 1e3 / args.queries as f64;
+            let raw = *raw_ms.get_or_insert(ms);
+            let overhead_us = (ms - raw) * 1e3 / args.queries as f64;
+            println!(
+                "  {tier:<8} {ms:>9.2} ms/{} queries  {per_query_us:>8.1} us/query  \
+                 (+{overhead_us:.1} us vs raw)",
+                args.queries
+            );
+            cells.push((tier, n, ms, per_query_us, overhead_us));
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"service_overhead\",");
+    let _ = writeln!(json, "  \"queries_per_sample\": {},", args.queries);
+    let _ = writeln!(json, "  \"iters\": {},", args.iters);
+    json.push_str("  \"results\": [\n");
+    for (i, (tier, n, ms, per_query_us, overhead_us)) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"tier\": \"{tier}\", \"n\": {n}, \"wall_ms\": {ms:.3}, \
+             \"us_per_query\": {per_query_us:.2}, \
+             \"overhead_us_vs_raw\": {overhead_us:.2}}}"
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out, &json).expect("write output file");
+    println!("\nwrote {}", args.out);
+}

@@ -324,23 +324,44 @@ pub fn pivot_aggregate_with_config(
         ctx.scan(0..n, guard, stats, config)?
     } else {
         type WorkerOut = Result<(RowKeyMap, Vec<Acc>, ExecStats)>;
+        let panicked = |p: Box<dyn std::any::Any + Send>| crate::CoreError::WorkerPanicked {
+            operator: "pivot_aggregate".into(),
+            payload: pa_engine::error::panic_payload(p),
+        };
         let worker_results: Vec<WorkerOut> = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     let ctx = &ctx;
                     s.spawn(move || -> WorkerOut {
-                        let mut wstats = ExecStats::default();
-                        let (groups, accs) = ctx.scan(chunk, guard, &mut wstats, config)?;
-                        Ok((groups, accs, wstats))
+                        // Contain panics at the thread boundary: convert to a
+                        // typed error and cancel siblings through the shared
+                        // guard so they stop within one morsel.
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> WorkerOut {
+                            let mut wstats = ExecStats::default();
+                            let (groups, accs) = ctx.scan(chunk, guard, &mut wstats, config)?;
+                            Ok((groups, accs, wstats))
+                        }))
+                        .unwrap_or_else(|p| {
+                            guard.cancel();
+                            Err(panicked(p))
+                        })
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("pivot worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| Err(panicked(p))))
                 .collect()
         });
+        // A panic is the root cause; siblings that observed the cancelled
+        // guard only report the secondary `Cancelled` — surface the panic.
+        if let Some(Err(e)) = worker_results
+            .iter()
+            .find(|r| matches!(r, Err(crate::CoreError::WorkerPanicked { .. })))
+        {
+            return Err(e.clone());
+        }
         // Deterministic ordered merge: worker 0's partial seeds the global
         // matrix (its group order is the serial prefix order), later
         // workers fold in, in worker order.

@@ -1,6 +1,6 @@
 //! Core error type.
 
-use pa_engine::EngineError;
+use pa_engine::{AbortCause, EngineError};
 use pa_sql::SqlError;
 use pa_storage::StorageError;
 use std::fmt;
@@ -36,6 +36,21 @@ pub enum CoreError {
     },
     /// The query was cooperatively cancelled through its guard.
     Cancelled,
+    /// A [`pa_engine::ResourceGuard`] wall-clock deadline passed mid-plan.
+    DeadlineExceeded {
+        /// Wall time the query had consumed when the trip was observed.
+        elapsed_ms: u64,
+        /// The configured allowance.
+        limit_ms: u64,
+    },
+    /// A worker thread panicked mid-plan. The panic was contained at the
+    /// operator boundary; the engine and catalog remain usable.
+    WorkerPanicked {
+        /// Which operator's worker pool caught the panic.
+        operator: String,
+        /// The stringified panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -56,6 +71,33 @@ impl fmt::Display for CoreError {
                 "row budget exceeded: plan needed {attempted} rows of work, budget is {budget}"
             ),
             CoreError::Cancelled => write!(f, "query cancelled"),
+            CoreError::DeadlineExceeded {
+                elapsed_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms}ms elapsed against a {limit_ms}ms allowance"
+            ),
+            CoreError::WorkerPanicked { operator, payload } => {
+                write!(f, "worker panicked in {operator}: {payload}")
+            }
+        }
+    }
+}
+
+impl CoreError {
+    /// Classify this error as an [`AbortCause`] for [`pa_engine::ExecStats`]
+    /// observability, or `None` when it is a plan/validation error rather
+    /// than a runtime abort.
+    pub fn abort_cause(&self) -> Option<AbortCause> {
+        match self {
+            CoreError::BudgetExceeded { .. } => Some(AbortCause::Budget),
+            CoreError::DeadlineExceeded { .. } => Some(AbortCause::Deadline),
+            CoreError::Cancelled => Some(AbortCause::Cancelled),
+            CoreError::WorkerPanicked { .. } => Some(AbortCause::WorkerPanic),
+            CoreError::Storage(_) => Some(AbortCause::Storage),
+            CoreError::Engine(EngineError::Storage(_)) => Some(AbortCause::Storage),
+            _ => None,
         }
     }
 }
@@ -86,6 +128,16 @@ impl From<EngineError> for CoreError {
                 CoreError::BudgetExceeded { budget, attempted }
             }
             EngineError::Cancelled => CoreError::Cancelled,
+            EngineError::DeadlineExceeded {
+                elapsed_ms,
+                limit_ms,
+            } => CoreError::DeadlineExceeded {
+                elapsed_ms,
+                limit_ms,
+            },
+            EngineError::WorkerPanicked { operator, payload } => {
+                CoreError::WorkerPanicked { operator, payload }
+            }
             other => CoreError::Engine(other),
         }
     }
@@ -130,6 +182,63 @@ mod tests {
         ));
         let e: CoreError = EngineError::Cancelled.into();
         assert!(matches!(e, CoreError::Cancelled));
+        let e: CoreError = EngineError::DeadlineExceeded {
+            elapsed_ms: 7,
+            limit_ms: 5,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            CoreError::DeadlineExceeded {
+                elapsed_ms: 7,
+                limit_ms: 5
+            }
+        ));
+        let e: CoreError = EngineError::WorkerPanicked {
+            operator: "pivot_aggregate".into(),
+            payload: "boom".into(),
+        }
+        .into();
+        assert!(matches!(e, CoreError::WorkerPanicked { .. }));
+        assert!(e.to_string().contains("pivot_aggregate"), "{e}");
+    }
+
+    #[test]
+    fn abort_causes_classify_runtime_failures() {
+        use pa_engine::AbortCause;
+        let cases: Vec<(CoreError, Option<AbortCause>)> = vec![
+            (
+                CoreError::BudgetExceeded {
+                    budget: 1,
+                    attempted: 2,
+                },
+                Some(AbortCause::Budget),
+            ),
+            (
+                CoreError::DeadlineExceeded {
+                    elapsed_ms: 2,
+                    limit_ms: 1,
+                },
+                Some(AbortCause::Deadline),
+            ),
+            (CoreError::Cancelled, Some(AbortCause::Cancelled)),
+            (
+                CoreError::WorkerPanicked {
+                    operator: "x".into(),
+                    payload: "y".into(),
+                },
+                Some(AbortCause::WorkerPanic),
+            ),
+            (
+                CoreError::Storage(StorageError::Io("disk".into())),
+                Some(AbortCause::Storage),
+            ),
+            (CoreError::InvalidQuery("bad".into()), None),
+            (CoreError::Unsupported("no".into()), None),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.abort_cause(), want, "{err}");
+        }
     }
 
     #[test]

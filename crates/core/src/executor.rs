@@ -12,9 +12,32 @@ use crate::optimizer::{choose_horizontal_strategy, choose_vpct_strategy};
 use crate::query::{from_sql, HorizontalQuery, Query, VpctQuery};
 use crate::strategy::{HorizontalOptions, VpctStrategy};
 use crate::vertical::{eval_vpct_guarded, QueryResult};
-use pa_engine::ResourceGuard;
+use pa_engine::{Clock, Deadline, ResourceGuard};
 use pa_storage::Catalog;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-call execution limits, layered over the engine's defaults. The
+/// serving layer uses this to apply per-session budgets and deadlines
+/// without rebuilding the engine: `Some` overrides the corresponding
+/// engine-level limit for one query, `None` inherits it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Row budget for this query (overrides the engine guard's budget).
+    pub row_budget: Option<u64>,
+    /// Wall-clock allowance for this query, measured on the engine's
+    /// clock (overrides the engine-level default deadline).
+    pub deadline: Option<Duration>,
+}
+
+impl QueryLimits {
+    /// No per-call overrides: inherit everything from the engine.
+    pub fn none() -> QueryLimits {
+        QueryLimits::default()
+    }
+}
 
 /// Outcome of executing a SQL statement: the family is decided by the
 /// validator.
@@ -41,6 +64,15 @@ impl SqlOutcome {
         match self {
             SqlOutcome::Vertical(r) => r.stats,
             SqlOutcome::Horizontal(r) => r.stats,
+        }
+    }
+
+    /// Mutable work counters — the serving layer records degradation and
+    /// abort causes here.
+    pub fn stats_mut(&mut self) -> &mut pa_engine::ExecStats {
+        match self {
+            SqlOutcome::Vertical(r) => &mut r.stats,
+            SqlOutcome::Horizontal(r) => &mut r.stats,
         }
     }
 }
@@ -75,6 +107,9 @@ pub struct PercentageEngine<'a> {
     counter: AtomicU64,
     reuse_temps: bool,
     guard: ResourceGuard,
+    clock: Arc<dyn Clock>,
+    deadline: Option<Duration>,
+    temp_cleanup: bool,
 }
 
 impl<'a> PercentageEngine<'a> {
@@ -87,17 +122,20 @@ impl<'a> PercentageEngine<'a> {
             counter: AtomicU64::new(0),
             reuse_temps: true,
             guard: ResourceGuard::unlimited(),
+            clock: pa_engine::SystemClock::shared(),
+            deadline: None,
+            temp_cleanup: false,
         }
     }
 
     /// Engine that mints fresh temporary names per query (`q3_Fk`, ...),
-    /// keeping every intermediate inspectable.
+    /// keeping every intermediate inspectable. This is also the mode for
+    /// concurrent callers: the atomic counter gives every in-flight query
+    /// a collision-free namespace.
     pub fn with_unique_temps(catalog: &'a Catalog) -> PercentageEngine<'a> {
         PercentageEngine {
-            catalog,
-            counter: AtomicU64::new(0),
             reuse_temps: false,
-            guard: ResourceGuard::unlimited(),
+            ..PercentageEngine::new(catalog)
         }
     }
 
@@ -121,9 +159,41 @@ impl<'a> PercentageEngine<'a> {
         self
     }
 
+    /// Default wall-clock deadline for every query this engine runs; each
+    /// top-level call gets the full allowance, counted from when the call
+    /// starts. Per-call [`QueryLimits`] and
+    /// [`HorizontalOptions::deadline`] override it.
+    pub fn with_deadline(mut self, allow: Duration) -> Self {
+        self.deadline = Some(allow);
+        self
+    }
+
+    /// Measure deadlines on an injected clock instead of the system
+    /// monotonic clock — deterministic deadline tests use
+    /// [`pa_engine::TestClock`] here.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Drop each query's temporary tables from the catalog after the query
+    /// succeeds (they are always dropped when it fails). Result tables stay
+    /// readable through the returned handles — dropping unregisters the
+    /// name without freeing shared data. The serving layer enables this so
+    /// a long-lived catalog does not accrete per-query namespaces.
+    pub fn with_temp_cleanup(mut self) -> Self {
+        self.temp_cleanup = true;
+        self
+    }
+
     /// The guard metering this engine's queries.
     pub fn guard(&self) -> &ResourceGuard {
         &self.guard
+    }
+
+    /// The engine-level default deadline, if any.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// The catalog this engine runs against.
@@ -139,43 +209,108 @@ impl<'a> PercentageEngine<'a> {
         }
     }
 
-    /// Evaluate a vertical percentage query with the recommended strategy.
-    /// Multi-term queries (`m > 1`) evaluate bottom-up on the dimension
-    /// lattice (SIGMOD §3.1: "partial aggregations need to be computed
-    /// bottom-up based on the dimension lattice").
-    pub fn vpct(&self, q: &VpctQuery) -> Result<QueryResult> {
+    /// The fault boundary every top-level query runs inside.
+    ///
+    /// Mints one temp-table prefix for the whole query (WHERE views,
+    /// intermediates and result share the namespace), derives a per-query
+    /// guard layering the per-call limits over the engine defaults, catches
+    /// panics that escape the plan (converting them to
+    /// [`CoreError::WorkerPanicked`] and cancelling the guard so sibling
+    /// workers stop), and guarantees the catalog is swept of this query's
+    /// temporaries on every failure path. Returns the closure's value plus
+    /// the rows this query charged against its guard.
+    fn run_query<T>(
+        &self,
+        op: &str,
+        limits: QueryLimits,
+        opt_deadline: Option<Duration>,
+        f: impl FnOnce(&str, &ResourceGuard) -> Result<T>,
+    ) -> Result<(T, u64)> {
+        let prefix = self.prefix();
+        let allow = limits.deadline.or(opt_deadline).or(self.deadline);
+        let deadline = allow.map(|d| Deadline::with_clock(d, Arc::clone(&self.clock)));
+        let mut qguard = self.guard.per_query_limited(limits.row_budget, deadline);
+        if qguard.is_unlimited() {
+            // No limits anywhere: still meter the query so `rows_charged`
+            // reports its cost and a panic can cancel surviving workers.
+            qguard = ResourceGuard::counting();
+        }
+        let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&prefix, &qguard)))
+            .unwrap_or_else(|p| {
+                // A panic on the query's own thread (parallel workers catch
+                // their own): contain it and stop any surviving workers.
+                qguard.cancel();
+                Err(CoreError::WorkerPanicked {
+                    operator: op.to_string(),
+                    payload: pa_engine::error::panic_payload(p),
+                })
+            });
+        let charged = qguard.rows_charged();
+        match out {
+            Ok(v) => {
+                if self.temp_cleanup {
+                    self.catalog.drop_prefixed(&prefix);
+                }
+                Ok((v, charged))
+            }
+            Err(e) => {
+                // Scope guard: a failed query must not leak temporaries,
+                // whatever stage it died in.
+                self.catalog.drop_prefixed(&prefix);
+                Err(e)
+            }
+        }
+    }
+
+    /// Heuristic vertical evaluation under an externally supplied prefix
+    /// and guard. Multi-term queries (`m > 1`) evaluate bottom-up on the
+    /// dimension lattice (SIGMOD §3.1: "partial aggregations need to be
+    /// computed bottom-up based on the dimension lattice").
+    fn eval_vertical(
+        &self,
+        q: &VpctQuery,
+        prefix: &str,
+        guard: &ResourceGuard,
+    ) -> Result<QueryResult> {
         if q.terms.len() > 1 {
-            return crate::lattice::eval_vpct_lattice_guarded(
-                self.catalog,
-                q,
-                &self.prefix(),
-                &self.guard.per_query(),
-            );
+            return crate::lattice::eval_vpct_lattice_guarded(self.catalog, q, prefix, guard);
         }
         let strat = choose_vpct_strategy(self.catalog, q);
-        self.vpct_with(q, &strat)
+        eval_vpct_guarded(self.catalog, q, &strat, prefix, guard)
+    }
+
+    /// Evaluate a vertical percentage query with the recommended strategy.
+    pub fn vpct(&self, q: &VpctQuery) -> Result<QueryResult> {
+        self.vpct_limited(q, QueryLimits::none())
+    }
+
+    /// [`PercentageEngine::vpct`] with per-call limits.
+    pub fn vpct_limited(&self, q: &VpctQuery, limits: QueryLimits) -> Result<QueryResult> {
+        let (mut r, charged) = self.run_query("vpct", limits, None, |prefix, guard| {
+            self.eval_vertical(q, prefix, guard)
+        })?;
+        r.stats.rows_charged = charged;
+        Ok(r)
     }
 
     /// Evaluate a batch of percentage queries with one shared summary
     /// (SIGMOD §6 future work). See [`crate::lattice::eval_vpct_batch`].
     pub fn vpct_batch(&self, queries: &[VpctQuery]) -> Result<Vec<QueryResult>> {
-        crate::lattice::eval_vpct_batch_guarded(
-            self.catalog,
-            queries,
-            &self.prefix(),
-            &self.guard.per_query(),
-        )
+        let (results, _) =
+            self.run_query("vpct_batch", QueryLimits::none(), None, |prefix, guard| {
+                crate::lattice::eval_vpct_batch_guarded(self.catalog, queries, prefix, guard)
+            })?;
+        Ok(results)
     }
 
     /// Evaluate a vertical percentage query with an explicit strategy.
     pub fn vpct_with(&self, q: &VpctQuery, strat: &VpctStrategy) -> Result<QueryResult> {
-        eval_vpct_guarded(
-            self.catalog,
-            q,
-            strat,
-            &self.prefix(),
-            &self.guard.per_query(),
-        )
+        let (mut r, charged) =
+            self.run_query("vpct", QueryLimits::none(), None, |prefix, guard| {
+                eval_vpct_guarded(self.catalog, q, strat, prefix, guard)
+            })?;
+        r.stats.rows_charged = charged;
+        Ok(r)
     }
 
     /// Evaluate with explicit strategy and missing-row handling.
@@ -185,35 +320,49 @@ impl<'a> PercentageEngine<'a> {
         strat: &VpctStrategy,
         missing: MissingRows,
     ) -> Result<QueryResult> {
-        match missing {
-            MissingRows::Ignore => self.vpct_with(q, strat),
-            MissingRows::PreProcess => {
-                let mut stats = pa_engine::ExecStats::default();
-                preprocess_pad(self.catalog, q, &mut stats)?;
-                let mut result = self.vpct_with(q, strat)?;
-                result.stats += stats;
-                Ok(result)
-            }
-            MissingRows::PostProcess => {
-                let mut result = self.vpct_with(q, strat)?;
-                let mut stats = pa_engine::ExecStats::default();
-                postprocess_pad(self.catalog, q, &result, &mut stats)?;
-                result.stats += stats;
-                Ok(result)
-            }
-        }
+        let (mut r, charged) = self.run_query(
+            "vpct",
+            QueryLimits::none(),
+            None,
+            |prefix, guard| match missing {
+                MissingRows::Ignore => eval_vpct_guarded(self.catalog, q, strat, prefix, guard),
+                MissingRows::PreProcess => {
+                    let mut stats = pa_engine::ExecStats::default();
+                    preprocess_pad(self.catalog, q, &mut stats)?;
+                    let mut result = eval_vpct_guarded(self.catalog, q, strat, prefix, guard)?;
+                    result.stats += stats;
+                    Ok(result)
+                }
+                MissingRows::PostProcess => {
+                    let mut result = eval_vpct_guarded(self.catalog, q, strat, prefix, guard)?;
+                    let mut stats = pa_engine::ExecStats::default();
+                    postprocess_pad(self.catalog, q, &result, &mut stats)?;
+                    result.stats += stats;
+                    Ok(result)
+                }
+            },
+        )?;
+        r.stats.rows_charged = charged;
+        Ok(r)
     }
 
     /// Evaluate a vertical percentage query through the OLAP window-function
     /// baseline (the comparison of SIGMOD Table 6).
     pub fn vpct_olap(&self, q: &VpctQuery) -> Result<QueryResult> {
-        eval_vpct_olap(self.catalog, q, &self.prefix())
+        let (r, _) = self.run_query("vpct_olap", QueryLimits::none(), None, |prefix, _| {
+            eval_vpct_olap(self.catalog, q, prefix)
+        })?;
+        Ok(r)
     }
 
     /// Evaluate a horizontal query, picking the CASE source heuristically.
     pub fn horizontal(&self, q: &HorizontalQuery) -> Result<HorizontalResult> {
         let strategy = choose_horizontal_strategy(self.catalog, q)?;
-        self.horizontal_with(q, &HorizontalOptions::with_strategy(strategy))
+        self.horizontal_limited(
+            q,
+            &HorizontalOptions::with_strategy(strategy),
+            QueryLimits::none(),
+        )
     }
 
     /// Evaluate a horizontal query with explicit options.
@@ -222,13 +371,24 @@ impl<'a> PercentageEngine<'a> {
         q: &HorizontalQuery,
         opts: &HorizontalOptions,
     ) -> Result<HorizontalResult> {
-        eval_horizontal_guarded(
-            self.catalog,
-            q,
-            opts,
-            &self.prefix(),
-            &self.guard.per_query(),
-        )
+        self.horizontal_limited(q, opts, QueryLimits::none())
+    }
+
+    /// [`PercentageEngine::horizontal_with`] with per-call limits. The
+    /// deadline precedence is `limits` > [`HorizontalOptions::deadline`] >
+    /// the engine default.
+    pub fn horizontal_limited(
+        &self,
+        q: &HorizontalQuery,
+        opts: &HorizontalOptions,
+        limits: QueryLimits,
+    ) -> Result<HorizontalResult> {
+        let (mut r, charged) =
+            self.run_query("horizontal", limits, opts.deadline, |prefix, guard| {
+                eval_horizontal_guarded(self.catalog, q, opts, prefix, guard)
+            })?;
+        r.stats.rows_charged = charged;
+        Ok(r)
     }
 
     /// Parse, validate and execute a SQL statement in the percentage
@@ -237,14 +397,38 @@ impl<'a> PercentageEngine<'a> {
     /// `ORDER BY` clause sorts the materialized result (result rows "can be
     /// returned in the order given by GROUP BY").
     pub fn execute_sql(&self, sql: &str) -> Result<SqlOutcome> {
+        self.execute_sql_limited(sql, QueryLimits::none())
+    }
+
+    /// [`PercentageEngine::execute_sql`] with per-call limits — the serving
+    /// layer's entry point for session budgets and deadlines.
+    pub fn execute_sql_limited(&self, sql: &str, limits: QueryLimits) -> Result<SqlOutcome> {
         let stmt = pa_sql::parse(sql)?;
-        let mut query = from_sql(&stmt)?;
-        self.apply_where(&stmt, &mut query)?;
-        let outcome = match query {
-            Query::Vertical(q) => SqlOutcome::Vertical(self.vpct(&q)?),
-            Query::Horizontal(q) => SqlOutcome::Horizontal(self.horizontal(&q)?),
-        };
-        apply_order(&outcome, &stmt.order_by)?;
+        let query = from_sql(&stmt)?;
+        let (mut outcome, charged) =
+            self.run_query("execute_sql", limits, None, |prefix, guard| {
+                let mut query = query;
+                self.apply_where(&stmt, &mut query, prefix)?;
+                let outcome = match query {
+                    Query::Vertical(q) => {
+                        SqlOutcome::Vertical(self.eval_vertical(&q, prefix, guard)?)
+                    }
+                    Query::Horizontal(q) => {
+                        let strategy = choose_horizontal_strategy(self.catalog, &q)?;
+                        let opts = HorizontalOptions::with_strategy(strategy);
+                        SqlOutcome::Horizontal(eval_horizontal_guarded(
+                            self.catalog,
+                            &q,
+                            &opts,
+                            prefix,
+                            guard,
+                        )?)
+                    }
+                };
+                apply_order(&outcome, &stmt.order_by)?;
+                Ok(outcome)
+            })?;
+        outcome.stats_mut().rows_charged = charged;
         Ok(outcome)
     }
 
@@ -256,20 +440,61 @@ impl<'a> PercentageEngine<'a> {
         vstrat: &VpctStrategy,
         hopts: &HorizontalOptions,
     ) -> Result<SqlOutcome> {
+        self.execute_sql_with_limited(sql, vstrat, hopts, QueryLimits::none())
+    }
+
+    /// [`PercentageEngine::execute_sql_with`] with per-call limits.
+    pub fn execute_sql_with_limited(
+        &self,
+        sql: &str,
+        vstrat: &VpctStrategy,
+        hopts: &HorizontalOptions,
+        limits: QueryLimits,
+    ) -> Result<SqlOutcome> {
         let stmt = pa_sql::parse(sql)?;
-        let mut query = from_sql(&stmt)?;
-        self.apply_where(&stmt, &mut query)?;
-        let outcome = match query {
-            Query::Vertical(q) => SqlOutcome::Vertical(self.vpct_with(&q, vstrat)?),
-            Query::Horizontal(q) => SqlOutcome::Horizontal(self.horizontal_with(&q, hopts)?),
+        let query = from_sql(&stmt)?;
+        // An options-level deadline only applies to the family it belongs
+        // to.
+        let opt_deadline = match &query {
+            Query::Horizontal(_) => hopts.deadline,
+            Query::Vertical(_) => None,
         };
-        apply_order(&outcome, &stmt.order_by)?;
+        let (mut outcome, charged) =
+            self.run_query("execute_sql", limits, opt_deadline, |prefix, guard| {
+                let mut query = query;
+                self.apply_where(&stmt, &mut query, prefix)?;
+                let outcome = match query {
+                    Query::Vertical(q) => SqlOutcome::Vertical(eval_vpct_guarded(
+                        self.catalog,
+                        &q,
+                        vstrat,
+                        prefix,
+                        guard,
+                    )?),
+                    Query::Horizontal(q) => SqlOutcome::Horizontal(eval_horizontal_guarded(
+                        self.catalog,
+                        &q,
+                        hopts,
+                        prefix,
+                        guard,
+                    )?),
+                };
+                apply_order(&outcome, &stmt.order_by)?;
+                Ok(outcome)
+            })?;
+        outcome.stats_mut().rows_charged = charged;
         Ok(outcome)
     }
 
     /// Materialize the WHERE-filtered fact table as a view-like temporary
+    /// (in the query's own prefix namespace, so failure cleanup sweeps it)
     /// and point the query at it.
-    fn apply_where(&self, stmt: &pa_sql::SelectStmt, query: &mut Query) -> Result<()> {
+    fn apply_where(
+        &self,
+        stmt: &pa_sql::SelectStmt,
+        query: &mut Query,
+        prefix: &str,
+    ) -> Result<()> {
         let Some(pred) = &stmt.where_clause else {
             return Ok(());
         };
@@ -284,7 +509,7 @@ impl<'a> PercentageEngine<'a> {
             let mut stats = pa_engine::ExecStats::default();
             pa_engine::filter(&f, &expr, &mut stats)?
         };
-        let view_name = format!("{}Fwhere", self.prefix());
+        let view_name = format!("{prefix}Fwhere");
         self.catalog.create_or_replace_table(&view_name, filtered);
         match query {
             Query::Vertical(q) => q.table = view_name,
@@ -294,19 +519,36 @@ impl<'a> PercentageEngine<'a> {
     }
 
     /// Generated SQL for a statement without executing it (the paper's
-    /// code-generator use case).
+    /// code-generator use case). The transcript ends with a comment line
+    /// describing the guard the statement would run under.
     pub fn explain_sql(&self, sql: &str) -> Result<Vec<String>> {
         let stmt = pa_sql::parse(sql)?;
-        match from_sql(&stmt)? {
+        let mut stmts = match from_sql(&stmt)? {
             Query::Vertical(q) => {
                 let strat = choose_vpct_strategy(self.catalog, &q);
-                Ok(crate::codegen::vpct_statements(&q, &strat))
+                crate::codegen::vpct_statements(&q, &strat)
             }
             Query::Horizontal(q) => {
                 let strategy = choose_horizontal_strategy(self.catalog, &q)?;
-                Ok(crate::codegen::horizontal_statements(&q, strategy, None))
+                crate::codegen::horizontal_statements(&q, strategy, None)
             }
-        }
+        };
+        stmts.push(self.guard_comment());
+        Ok(stmts)
+    }
+
+    /// The `-- guard:` transcript line for [`PercentageEngine::explain_sql`].
+    fn guard_comment(&self) -> String {
+        let budget = self
+            .guard
+            .row_budget()
+            .map_or_else(|| "none".to_string(), |b| b.to_string());
+        let deadline = self
+            .deadline
+            .or_else(|| self.guard.deadline())
+            .map_or_else(|| "none".to_string(), |d| format!("{}ms", d.as_millis()));
+        let temps = if self.reuse_temps { "reuse" } else { "unique" };
+        format!("-- guard: budget={budget} deadline={deadline} temps={temps}")
     }
 }
 

@@ -24,7 +24,7 @@ pub mod strategy;
 pub mod vertical;
 
 pub use error::{CoreError, Result};
-pub use executor::{PercentageEngine, SqlOutcome};
+pub use executor::{PercentageEngine, QueryLimits, SqlOutcome};
 pub use horizontal::{eval_horizontal, eval_horizontal_guarded, HorizontalResult};
 pub use lattice::{
     eval_vpct_batch, eval_vpct_batch_guarded, eval_vpct_lattice, eval_vpct_lattice_guarded,
@@ -33,7 +33,10 @@ pub use lattice::{
 pub use missing::MissingRows;
 pub use olap::eval_vpct_olap;
 pub use optimizer::{choose_horizontal_strategy, choose_parallelism, choose_vpct_strategy};
-pub use pa_engine::{ParallelConfig, ResourceGuard};
+pub use pa_engine::{
+    AbortCause, Clock, Deadline, Degradation, ExecStats, ParallelConfig, ResourceGuard,
+    SystemClock, TestClock,
+};
 pub use query::{
     from_sql, ExtraAgg, HorizontalQuery, HorizontalTerm, Measure, Query, VpctQuery, VpctTerm,
 };

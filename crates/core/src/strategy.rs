@@ -173,6 +173,12 @@ pub struct HorizontalOptions {
     pub allow_partitioning: bool,
     /// Morsel-parallel scan engagement for the aggregation passes.
     pub parallel: ParallelMode,
+    /// Wall-clock deadline for the whole query. `None` (the default) means
+    /// no deadline; `Some(d)` arms a [`pa_engine::Deadline`] on the
+    /// per-query guard, so the plan aborts with
+    /// [`crate::CoreError::DeadlineExceeded`] at the next morsel boundary
+    /// after `d` elapses.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for HorizontalOptions {
@@ -183,6 +189,7 @@ impl Default for HorizontalOptions {
             max_columns: 2048,
             allow_partitioning: false,
             parallel: ParallelMode::Auto,
+            deadline: None,
         }
     }
 }
@@ -239,6 +246,7 @@ mod tests {
         assert_eq!(o.max_columns, 2048);
         assert!(!o.hash_dispatch);
         assert_eq!(o.parallel, ParallelMode::Auto);
+        assert_eq!(o.deadline, None);
         let o = HorizontalOptions::with_strategy(HorizontalStrategy::SpjFromFv);
         assert_eq!(o.strategy, HorizontalStrategy::SpjFromFv);
     }

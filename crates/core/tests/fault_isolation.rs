@@ -1,0 +1,241 @@
+//! Query-level fault isolation: an injected panic, exhausted budget, or
+//! expired deadline fails exactly one query with a typed error, sweeps that
+//! query's temporary tables, and leaves the engine serving follow-ups.
+//! Transient log-device errors are absorbed by the WAL retry policy;
+//! permanent ones fail fast with the original typed error.
+
+use pa_core::{CoreError, PercentageEngine, QueryLimits, TestClock};
+use pa_engine::chaos;
+use pa_storage::{Catalog, FaultInjector, FaultPlan, MemLogStore, StorageError, Value, Wal};
+use pa_workload::{install_sales, SalesConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The chaos panic injector is process-global: tests that arm it hold this
+/// lock for their whole arm..observe window.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn chaos_window() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const SQL: &str = "SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city;";
+
+fn sales_catalog(rows: usize) -> Catalog {
+    let catalog = Catalog::without_wal();
+    install_sales(&catalog, &SalesConfig { rows, seed: 7 }).unwrap();
+    catalog
+}
+
+fn rows_of(outcome: &pa_core::SqlOutcome) -> Vec<Vec<Value>> {
+    outcome.table().read().rows().collect()
+}
+
+#[test]
+fn injected_panic_fails_one_query_and_the_engine_stays_usable() {
+    let _w = chaos_window();
+    let catalog = sales_catalog(2048);
+    let engine = PercentageEngine::with_unique_temps(&catalog);
+    let names_before = catalog.table_names();
+
+    chaos::arm(0);
+    let err = engine.execute_sql(SQL).unwrap_err();
+    assert!(!chaos::is_armed(), "the injected panic fired");
+    match &err {
+        CoreError::WorkerPanicked { operator, payload } => {
+            assert_eq!(operator, "execute_sql");
+            assert_eq!(payload, chaos::CHAOS_PANIC_MSG);
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    assert_eq!(err.abort_cause(), Some(pa_core::AbortCause::WorkerPanic));
+    assert_eq!(
+        catalog.table_names(),
+        names_before,
+        "the failed query's temporaries were swept"
+    );
+
+    // The same engine instance serves the follow-up, and its answer matches
+    // a fresh fault-free engine's.
+    let after = engine.execute_sql(SQL).unwrap();
+    let fresh_catalog = sales_catalog(2048);
+    let fresh = PercentageEngine::with_unique_temps(&fresh_catalog)
+        .execute_sql(SQL)
+        .unwrap();
+    assert_eq!(rows_of(&after), rows_of(&fresh));
+    assert!(after.stats().rows_charged > 0, "work accounting survived");
+}
+
+#[test]
+fn failed_queries_never_leak_temp_tables() {
+    let _w = chaos_window();
+    let catalog = sales_catalog(1024);
+    let engine = PercentageEngine::with_unique_temps(&catalog);
+    let names_before = catalog.table_names();
+
+    // Budget abort: typed, and nothing left behind.
+    let err = engine
+        .execute_sql_limited(
+            SQL,
+            QueryLimits {
+                row_budget: Some(16),
+                deadline: None,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::BudgetExceeded { .. }), "{err:?}");
+    assert_eq!(err.abort_cause(), Some(pa_core::AbortCause::Budget));
+    assert_eq!(catalog.table_names(), names_before);
+
+    // Panic abort: same sweep guarantee, repeated to catch ratchets.
+    for _ in 0..3 {
+        chaos::arm(0);
+        let err = engine.execute_sql(SQL).unwrap_err();
+        assert!(matches!(err, CoreError::WorkerPanicked { .. }), "{err:?}");
+        assert_eq!(catalog.table_names(), names_before);
+    }
+
+    // A parse failure never mints a temp namespace at all.
+    assert!(engine.execute_sql("SELECT nonsense;").is_err());
+    assert_eq!(catalog.table_names(), names_before);
+}
+
+#[test]
+fn deadline_is_enforced_on_the_engines_injected_clock() {
+    let catalog = sales_catalog(1024);
+    // Every guard charge advances the clock 1ms; a 0ms allowance expires at
+    // the first morsel boundary, with no wall-clock time involved.
+    let clock = Arc::new(TestClock::with_auto_step(Duration::from_millis(1)));
+    let engine = PercentageEngine::with_unique_temps(&catalog)
+        .with_clock(clock)
+        .with_deadline(Duration::ZERO);
+    let names_before = catalog.table_names();
+
+    let err = engine.execute_sql(SQL).unwrap_err();
+    match &err {
+        CoreError::DeadlineExceeded {
+            elapsed_ms,
+            limit_ms,
+        } => {
+            assert!(elapsed_ms > limit_ms, "{elapsed_ms} vs {limit_ms}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(err.abort_cause(), Some(pa_core::AbortCause::Deadline));
+    assert_eq!(catalog.table_names(), names_before);
+
+    // A per-call limit relaxes the engine default: large allowance, query
+    // runs to completion on the same ticking clock.
+    let ok = engine
+        .execute_sql_limited(
+            SQL,
+            QueryLimits {
+                row_budget: None,
+                deadline: Some(Duration::from_secs(3600)),
+            },
+        )
+        .unwrap();
+    assert!(ok.stats().rows_charged > 0);
+}
+
+#[test]
+fn transient_log_errors_are_absorbed_by_retry() {
+    // The very first append hits a transient device error; the WAL retry
+    // policy absorbs it and the workload proceeds as if nothing happened.
+    let store = FaultInjector::new(
+        MemLogStore::new(),
+        FaultPlan {
+            error_on_op: Some(0),
+            ..FaultPlan::default()
+        },
+    );
+    let catalog = Catalog::from_wal(Wal::with_store(Box::new(store), 1 << 20));
+    install_sales(&catalog, &SalesConfig { rows: 512, seed: 7 }).unwrap();
+
+    let engine = PercentageEngine::with_unique_temps(&catalog);
+    let outcome = engine.execute_sql(SQL).unwrap();
+    assert!(outcome.table().read().num_rows() > 0);
+
+    let stats = catalog.wal_stats();
+    assert!(
+        stats.retries >= 1,
+        "the transient error was retried: {stats:?}"
+    );
+    assert_eq!(stats.write_errors, 0, "and absorbed, not surfaced");
+}
+
+#[test]
+fn permanent_log_corruption_fails_fast_with_the_typed_error() {
+    // Tear the log mid-write: the device goes offline and every later
+    // operation fails permanently. The retry policy must NOT burn backoff
+    // on it — permanent errors surface immediately, with their type intact.
+    let store = FaultInjector::new(
+        MemLogStore::new(),
+        FaultPlan {
+            torn_write_at: Some(64),
+            ..FaultPlan::default()
+        },
+    );
+    let catalog = Catalog::from_wal(Wal::with_store(Box::new(store), 1 << 20));
+
+    // Catalog DDL deliberately absorbs log-device failures (the in-memory
+    // state proceeds; the loss is counted) — so queries still run...
+    install_sales(&catalog, &SalesConfig { rows: 512, seed: 7 }).unwrap();
+    let engine = PercentageEngine::with_unique_temps(&catalog);
+    engine.execute_sql(SQL).unwrap();
+    let stats = catalog.wal_stats();
+    assert!(
+        stats.write_errors >= 1,
+        "the dead device was noticed: {stats:?}"
+    );
+    assert_eq!(stats.retries, 0, "permanent errors are not retried");
+
+    // ...but the WAL layer itself reports the original typed error.
+    let err = catalog
+        .with_wal(|w| {
+            w.log_create_table(
+                "doomed",
+                pa_storage::Schema::from_pairs(&[("x", pa_storage::DataType::Int)])
+                    .unwrap()
+                    .into_shared()
+                    .as_ref(),
+            )
+        })
+        .unwrap_err();
+    assert!(!err.is_transient(), "permanent, not retryable: {err:?}");
+    let core_err = CoreError::from(err);
+    assert_eq!(core_err.abort_cause(), Some(pa_core::AbortCause::Storage));
+}
+
+#[test]
+fn guard_settings_and_work_accounting_surface_in_explain() {
+    let catalog = sales_catalog(256);
+    let engine =
+        PercentageEngine::with_unique_temps(&catalog).with_deadline(Duration::from_millis(250));
+    let plan = engine.explain_sql(SQL).unwrap();
+    let guard_line = plan
+        .iter()
+        .find(|l| l.starts_with("-- guard:"))
+        .expect("explain surfaces the guard configuration");
+    assert!(guard_line.contains("deadline=250ms"), "{guard_line}");
+
+    let outcome = engine
+        .execute_sql_limited(SQL, QueryLimits::none())
+        .unwrap();
+    assert!(outcome.stats().rows_charged > 0);
+    assert_eq!(outcome.stats().degraded_to, None);
+    assert_eq!(outcome.stats().abort_cause, None);
+}
+
+#[test]
+fn storage_error_promotion_is_lossless() {
+    let e = StorageError::TransientIo("device hiccup".into());
+    assert!(e.is_transient());
+    let e = StorageError::Io("device on fire".into());
+    assert!(!e.is_transient());
+    let core_err = CoreError::from(e);
+    assert!(matches!(
+        &core_err,
+        CoreError::Storage(StorageError::Io(msg)) if msg == "device on fire"
+    ));
+}

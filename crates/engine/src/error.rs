@@ -23,6 +23,25 @@ pub enum EngineError {
     /// Cooperative cancellation was requested through a
     /// [`crate::ResourceGuard`].
     Cancelled,
+    /// A [`crate::ResourceGuard`] wall-clock deadline passed mid-plan.
+    /// Durations are carried as whole milliseconds to keep the error
+    /// `Clone + Eq`.
+    DeadlineExceeded {
+        /// Wall time the query had consumed when the trip was observed.
+        elapsed_ms: u64,
+        /// The configured allowance.
+        limit_ms: u64,
+    },
+    /// A parallel worker thread panicked. The panic was caught at the
+    /// thread boundary, sibling workers were cancelled through the shared
+    /// guard, and the panic is reported as this typed error instead of
+    /// unwinding into (and poisoning) the caller.
+    WorkerPanicked {
+        /// Which operator's worker pool caught the panic.
+        operator: String,
+        /// The stringified panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -36,7 +55,28 @@ impl fmt::Display for EngineError {
                 "row budget exceeded: plan needed {attempted} rows of work, budget is {budget}"
             ),
             EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::DeadlineExceeded {
+                elapsed_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms}ms elapsed against a {limit_ms}ms allowance"
+            ),
+            EngineError::WorkerPanicked { operator, payload } => {
+                write!(f, "worker panicked in {operator}: {payload}")
+            }
         }
+    }
+}
+
+/// Render a caught panic payload for [`EngineError::WorkerPanicked`].
+pub fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -84,5 +124,28 @@ mod tests {
         assert!(e.to_string().contains("100"), "{e}");
         assert!(e.to_string().contains("150"), "{e}");
         assert!(EngineError::Cancelled.to_string().contains("cancelled"));
+        let e = EngineError::DeadlineExceeded {
+            elapsed_ms: 120,
+            limit_ms: 100,
+        };
+        assert!(e.to_string().contains("120"), "{e}");
+        assert!(e.to_string().contains("100"), "{e}");
+        let e = EngineError::WorkerPanicked {
+            operator: "multi_hash_aggregate".into(),
+            payload: "boom".into(),
+        };
+        assert!(e.to_string().contains("multi_hash_aggregate"), "{e}");
+        assert!(e.to_string().contains("boom"), "{e}");
+    }
+
+    #[test]
+    fn panic_payloads_stringify() {
+        let p = std::panic::catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(panic_payload(p), "literal");
+        let msg = format!("formatted {}", 7);
+        let p = std::panic::catch_unwind(|| panic!("{msg}")).unwrap_err();
+        assert_eq!(panic_payload(p), "formatted 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42u8)).unwrap_err();
+        assert_eq!(panic_payload(p), "non-string panic payload");
     }
 }

@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod clock;
 pub mod error;
 pub mod expr;
 pub mod guard;
@@ -21,9 +23,10 @@ pub mod ops;
 pub mod parallel;
 pub mod stats;
 
+pub use clock::{Clock, SystemClock, TestClock};
 pub use error::{EngineError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
-pub use guard::ResourceGuard;
+pub use guard::{Deadline, ResourceGuard, CANCEL_CHECK_INTERVAL};
 pub use keymap::RowKeyMap;
 pub use ops::acc::Acc;
 pub use ops::aggregate::{
@@ -39,4 +42,4 @@ pub use ops::sort::{sort, sort_permutation};
 pub use ops::update::{update_from, SetClause};
 pub use ops::window::window_aggregate;
 pub use parallel::ParallelConfig;
-pub use stats::ExecStats;
+pub use stats::{AbortCause, Degradation, ExecStats};

@@ -412,26 +412,49 @@ pub fn multi_hash_aggregate_with_config(
         lvls
     } else {
         // Fan the contiguous chunks out over scoped workers; each builds
-        // thread-local partials and its own stats.
+        // thread-local partials and its own stats. Panics are contained at
+        // the thread boundary: the panicking worker cancels its siblings
+        // through the shared guard (they stop at their next morsel) and the
+        // panic surfaces as a typed `WorkerPanicked`, never an unwind into
+        // the caller.
         type WorkerOut = Result<(Vec<Level>, ExecStats)>;
+        let panicked = |p| EngineError::WorkerPanicked {
+            operator: "multi_hash_aggregate".into(),
+            payload: crate::error::panic_payload(p),
+        };
         let worker_results: Vec<WorkerOut> = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     let make_levels = &make_levels;
+                    let panicked = &panicked;
                     s.spawn(move || -> WorkerOut {
-                        let mut lvls = make_levels();
-                        let mut wstats = ExecStats::default();
-                        scan_chunk(input, &mut lvls, chunk, guard, &mut wstats, config)?;
-                        Ok((lvls, wstats))
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> WorkerOut {
+                            let mut lvls = make_levels();
+                            let mut wstats = ExecStats::default();
+                            scan_chunk(input, &mut lvls, chunk, guard, &mut wstats, config)?;
+                            Ok((lvls, wstats))
+                        }))
+                        .unwrap_or_else(|p| {
+                            guard.cancel();
+                            Err(panicked(p))
+                        })
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("aggregation worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| Err(panicked(p))))
                 .collect()
         });
+        // A worker panic is the root cause; the Cancelled errors it induced
+        // in siblings (possibly earlier in worker order) are secondary.
+        if let Some(Err(e)) = worker_results
+            .iter()
+            .find(|r| matches!(r, Err(EngineError::WorkerPanicked { .. })))
+        {
+            return Err(e.clone());
+        }
         // Deterministic ordered merge: worker 0's partial seeds the global
         // tables (its group order is the serial prefix order), later
         // workers fold in, in worker order.

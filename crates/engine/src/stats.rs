@@ -5,9 +5,67 @@
 //! records. Operators account their work here so tests can assert cost
 //! *shape* (e.g. "direct CASE evaluates N conditions per row of F") instead
 //! of only trusting wall-clock.
+//!
+//! Since the serving layer landed, stats also carry fault-tolerance
+//! observability: total guard charges ([`ExecStats::rows_charged`]), what
+//! the degradation ladder changed ([`ExecStats::degraded_to`]), and why a
+//! first attempt aborted ([`ExecStats::abort_cause`]).
 
 use std::fmt;
 use std::ops::AddAssign;
+
+/// What the serving layer's degradation ladder changed before this result
+/// was produced (None in the common, undegraded case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// The query was retried with the morsel-parallel layer forced serial.
+    Serial,
+    /// A CASE horizontal strategy was swapped for its SPJ counterpart.
+    SpjFallback,
+    /// Both rungs were taken: serial retry, then the SPJ strategy.
+    SerialThenSpj,
+}
+
+impl Degradation {
+    /// Short label for displays and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Degradation::Serial => "serial",
+            Degradation::SpjFallback => "spj",
+            Degradation::SerialThenSpj => "serial+spj",
+        }
+    }
+}
+
+/// Why an attempt at this query aborted (the cause of the *first* failure
+/// when the result came from a degraded retry, or of the final failure when
+/// the query never succeeded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// The row budget ran out.
+    Budget,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// Cooperative cancellation.
+    Cancelled,
+    /// A worker thread panicked and was contained.
+    WorkerPanic,
+    /// The storage layer failed (WAL device, catalog).
+    Storage,
+}
+
+impl AbortCause {
+    /// Short label for displays and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AbortCause::Budget => "budget",
+            AbortCause::Deadline => "deadline",
+            AbortCause::Cancelled => "cancelled",
+            AbortCause::WorkerPanic => "worker-panic",
+            AbortCause::Storage => "storage",
+        }
+    }
+}
 
 /// Work counters accumulated while executing a plan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +91,15 @@ pub struct ExecStats {
     pub wal_records: u64,
     /// WAL bytes written while this plan ran.
     pub wal_bytes: u64,
+    /// Rows charged against the query's [`crate::ResourceGuard`] — the
+    /// metered total the budget was enforced over (scan morsels plus
+    /// materialized group rows), as rolled up by the per-query guard.
+    pub rows_charged: u64,
+    /// What the degradation ladder changed, when this result came from a
+    /// degraded retry.
+    pub degraded_to: Option<Degradation>,
+    /// Why the first attempt aborted, when there was a failed attempt.
+    pub abort_cause: Option<AbortCause>,
 }
 
 impl AddAssign for ExecStats {
@@ -47,6 +114,11 @@ impl AddAssign for ExecStats {
         self.statements += rhs.statements;
         self.wal_records += rhs.wal_records;
         self.wal_bytes += rhs.wal_bytes;
+        self.rows_charged += rhs.rows_charged;
+        // Markers: first set wins, so folding partial stats into a query
+        // total never erases what the service recorded.
+        self.degraded_to = self.degraded_to.or(rhs.degraded_to);
+        self.abort_cause = self.abort_cause.or(rhs.abort_cause);
     }
 }
 
@@ -54,7 +126,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} materialized={} probes={} built={} case_evals={} updated={} sort_cmps={} stmts={} wal_recs={} wal_bytes={}",
+            "scanned={} materialized={} probes={} built={} case_evals={} updated={} sort_cmps={} stmts={} wal_recs={} wal_bytes={} charged={} degraded={} abort={}",
             self.rows_scanned,
             self.rows_materialized,
             self.hash_probes,
@@ -65,6 +137,9 @@ impl fmt::Display for ExecStats {
             self.statements,
             self.wal_records,
             self.wal_bytes,
+            self.rows_charged,
+            self.degraded_to.map_or("none", |d| d.label()),
+            self.abort_cause.map_or("none", |c| c.label()),
         )
     }
 }
@@ -86,11 +161,34 @@ mod tests {
             statements: 8,
             wal_records: 9,
             wal_bytes: 10,
+            rows_charged: 11,
+            degraded_to: None,
+            abort_cause: None,
         };
         a += a;
         assert_eq!(a.rows_scanned, 2);
         assert_eq!(a.wal_bytes, 20);
         assert_eq!(a.statements, 16);
+        assert_eq!(a.rows_charged, 22);
+    }
+
+    #[test]
+    fn markers_stick_across_accumulation() {
+        let mut total = ExecStats {
+            degraded_to: Some(Degradation::Serial),
+            abort_cause: Some(AbortCause::Budget),
+            ..ExecStats::default()
+        };
+        total += ExecStats {
+            degraded_to: Some(Degradation::SpjFallback),
+            abort_cause: Some(AbortCause::Deadline),
+            ..ExecStats::default()
+        };
+        assert_eq!(total.degraded_to, Some(Degradation::Serial), "first wins");
+        assert_eq!(total.abort_cause, Some(AbortCause::Budget));
+        let mut fresh = ExecStats::default();
+        fresh += total;
+        assert_eq!(fresh.degraded_to, Some(Degradation::Serial), "absorbed");
     }
 
     #[test]
@@ -104,8 +202,19 @@ mod tests {
             "updated",
             "stmts",
             "wal_recs",
+            "charged",
+            "degraded",
+            "abort",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
+        let s = ExecStats {
+            degraded_to: Some(Degradation::SerialThenSpj),
+            abort_cause: Some(AbortCause::WorkerPanic),
+            ..ExecStats::default()
+        }
+        .to_string();
+        assert!(s.contains("serial+spj"), "{s}");
+        assert!(s.contains("worker-panic"), "{s}");
     }
 }

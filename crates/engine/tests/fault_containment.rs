@@ -1,0 +1,150 @@
+//! Panic isolation and deadline determinism at the operator level.
+//!
+//! The chaos panic injector is process-global, so every test that arms it
+//! holds `CHAOS` for its whole arm..disarm window — tests in this binary
+//! may run concurrently, but chaos windows never overlap.
+
+use pa_engine::chaos::{self, CHAOS_PANIC_MSG};
+use pa_engine::clock::TestClock;
+use pa_engine::{
+    hash_aggregate_with_config, AggFunc, AggSpec, Deadline, EngineError, ExecStats, Expr,
+    ParallelConfig, ResourceGuard,
+};
+use pa_storage::{DataType, Schema, Table, Value};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn chaos_window() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `n` rows over a few groups with deterministic values.
+fn fixture(n: usize) -> Table {
+    let schema = Schema::from_pairs(&[("g", DataType::Int), ("a", DataType::Float)])
+        .unwrap()
+        .into_shared();
+    let mut t = Table::with_capacity(schema, n);
+    for i in 0..n {
+        t.push_row(&[Value::Int((i % 7) as i64), Value::Float((i % 11) as f64)])
+            .unwrap();
+    }
+    t
+}
+
+fn specs(t: &Table) -> Vec<AggSpec> {
+    let a = Expr::col(t.schema(), "a").unwrap();
+    vec![
+        AggSpec::new(AggFunc::Sum, a.clone(), "sum"),
+        AggSpec::new(AggFunc::Count, a, "cnt"),
+    ]
+}
+
+fn parallel_config(threads: usize, morsel_rows: usize) -> ParallelConfig {
+    ParallelConfig {
+        threads,
+        morsel_rows,
+        min_parallel_rows: 0,
+    }
+}
+
+fn aggregate(t: &Table, guard: &ResourceGuard, cfg: &ParallelConfig) -> Result<Table, EngineError> {
+    hash_aggregate_with_config(t, &[0], &specs(t), guard, &mut ExecStats::default(), cfg)
+}
+
+#[test]
+fn worker_panic_is_caught_as_a_typed_error_and_the_operator_stays_usable() {
+    let _w = chaos_window();
+    let t = fixture(4096);
+    let cfg = parallel_config(4, 256);
+    // 16 morsels split over 4 workers: every scan charge happens on a
+    // worker thread, so tick 3 panics inside a worker.
+    chaos::arm(3);
+    let err = aggregate(&t, &ResourceGuard::unlimited(), &cfg).unwrap_err();
+    assert!(!chaos::is_armed(), "the injected panic fired");
+    match &err {
+        EngineError::WorkerPanicked { operator, payload } => {
+            assert_eq!(operator, "multi_hash_aggregate");
+            assert_eq!(payload, CHAOS_PANIC_MSG);
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    // The same inputs aggregate fine now: nothing was poisoned.
+    let clean = aggregate(&t, &ResourceGuard::unlimited(), &cfg).unwrap();
+    assert_eq!(clean.num_rows(), 7);
+}
+
+#[test]
+fn panicking_worker_cancels_its_siblings_guard() {
+    let _w = chaos_window();
+    let t = fixture(4096);
+    let guard = ResourceGuard::with_row_budget(u64::MAX);
+    chaos::arm(2);
+    let err = aggregate(&t, &guard, &parallel_config(4, 256)).unwrap_err();
+    assert!(matches!(err, EngineError::WorkerPanicked { .. }), "{err:?}");
+    assert!(
+        guard.is_cancelled(),
+        "the catch block cancels the shared guard so siblings stop within a morsel"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Wherever in the scan the panic lands, and whatever the worker
+    /// count, the operator reports the typed error (never unwinding into
+    /// the caller, never deadlocking) and works again immediately after.
+    #[test]
+    fn injected_panic_anywhere_in_the_scan_is_contained(
+        tick in 0u64..16,
+        threads in 2usize..5,
+    ) {
+        let _w = chaos_window();
+        let t = fixture(4096);
+        let cfg = parallel_config(threads, 256);
+        // 16 scan morsels regardless of thread count, all charged on
+        // worker threads; `tick` stays below 16 so the panic always fires
+        // in a worker.
+        chaos::arm(tick);
+        let err = aggregate(&t, &ResourceGuard::unlimited(), &cfg).unwrap_err();
+        chaos::disarm();
+        prop_assert!(
+            matches!(err, EngineError::WorkerPanicked { .. }),
+            "tick {}: {:?}", tick, err
+        );
+        let clean = aggregate(&t, &ResourceGuard::unlimited(), &cfg).unwrap();
+        prop_assert_eq!(clean.num_rows(), 7);
+    }
+
+    /// Deadline determinism: with an injected clock ticking once per guard
+    /// charge, the scan aborts at the same morsel boundary whatever the
+    /// worker count — rows_charged at the trip is a pure function of the
+    /// tick schedule, not of thread scheduling.
+    #[test]
+    fn deadline_aborts_at_the_same_morsel_boundary_across_thread_counts(
+        allow_ticks in 1u64..14,
+    ) {
+        let t = fixture(4096);
+        let mut charged_at_trip = Vec::new();
+        for threads in [1usize, 2, 4] {
+            // Each charge advances the clock 1ms; the allowance expires
+            // after `allow_ticks` charges, independent of wall time.
+            let clock = Arc::new(TestClock::with_auto_step(Duration::from_millis(1)));
+            let guard = ResourceGuard::with_deadline(Deadline::with_clock(
+                Duration::from_millis(allow_ticks),
+                clock,
+            ));
+            let query = guard.per_query();
+            let err = aggregate(&t, &query, &parallel_config(threads, 256)).unwrap_err();
+            prop_assert!(
+                matches!(err, EngineError::DeadlineExceeded { .. }),
+                "threads {}: {:?}", threads, err
+            );
+            charged_at_trip.push(query.rows_charged());
+        }
+        prop_assert_eq!(charged_at_trip[0], charged_at_trip[1], "1 vs 2 threads");
+        prop_assert_eq!(charged_at_trip[0], charged_at_trip[2], "1 vs 4 threads");
+    }
+}

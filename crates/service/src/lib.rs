@@ -1,0 +1,413 @@
+//! # pa-service — the fault-tolerant query service
+//!
+//! [`QueryService`] makes a [`PercentageEngine`] safe to expose to
+//! untrusted concurrent callers. Four pillars, each delegated to the layer
+//! that owns it:
+//!
+//! * **Admission control** (this crate): a bounded FIFO permit pool caps
+//!   concurrent queries; excess callers wait in a capped queue with a
+//!   timeout and are shed with [`ServiceError::Overloaded`] instead of
+//!   piling onto an overloaded engine.
+//! * **Deadlines and budgets** (`pa-engine`'s `ResourceGuard`): per-session
+//!   defaults and per-call overrides become [`QueryLimits`], enforced at
+//!   every morsel boundary.
+//! * **Panic isolation** (`pa-engine`/`pa-core`): worker panics become
+//!   typed `WorkerPanicked` errors; the engine and catalog stay usable.
+//! * **Graceful degradation** (this crate): after a budget trip or a
+//!   contained panic, the service retries down a ladder — first with the
+//!   morsel-parallel layer forced serial, then with the CASE strategy
+//!   swapped for its SPJ counterpart — and records what it did in
+//!   [`pa_engine::ExecStats`] (`degraded_to`, `abort_cause`).
+//!
+//! ```
+//! use pa_service::{QueryService, ServiceConfig};
+//! use pa_storage::{Catalog, DataType, Schema, Table, Value};
+//!
+//! let catalog = Catalog::new();
+//! let schema = Schema::from_pairs(&[("state", DataType::Str), ("amt", DataType::Float)])
+//!     .unwrap()
+//!     .into_shared();
+//! let mut f = Table::empty(schema);
+//! f.push_row(&[Value::str("CA"), Value::Float(30.0)]).unwrap();
+//! f.push_row(&[Value::str("TX"), Value::Float(70.0)]).unwrap();
+//! catalog.create_table("sales", f).unwrap();
+//!
+//! let service = QueryService::new(&catalog, ServiceConfig::default());
+//! let resp = service
+//!     .execute_sql("SELECT state, Vpct(amt) FROM sales GROUP BY state ORDER BY state;")
+//!     .unwrap();
+//! assert_eq!(resp.table.get(0, 1), Value::Float(0.3));
+//! assert_eq!(resp.table.get(1, 1), Value::Float(0.7));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod semaphore;
+
+use pa_core::{
+    CoreError, HorizontalOptions, HorizontalQuery, HorizontalStrategy, ParallelMode,
+    PercentageEngine, QueryLimits, VpctQuery, VpctStrategy,
+};
+use pa_engine::{AbortCause, Degradation, ExecStats};
+use pa_storage::{Catalog, Table};
+use semaphore::{AcquireError, FifoSemaphore, Permit};
+use std::fmt;
+use std::time::Duration;
+
+/// How the service admits, limits, and degrades queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Queries allowed to execute concurrently.
+    pub max_concurrent: usize,
+    /// Callers allowed to wait for a slot; arrivals beyond this are shed
+    /// immediately.
+    pub queue_capacity: usize,
+    /// How long a queued caller waits before being shed.
+    pub queue_timeout: Duration,
+    /// Default per-query limits for sessions that don't set their own.
+    pub default_limits: QueryLimits,
+    /// Whether to walk the degradation ladder (serial retry, then SPJ
+    /// fallback) after a budget trip or contained panic.
+    pub degradation: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_concurrent: 4,
+            queue_capacity: 16,
+            queue_timeout: Duration::from_millis(200),
+            default_limits: QueryLimits::none(),
+            degradation: true,
+        }
+    }
+}
+
+/// Per-session execution settings, layered over [`ServiceConfig`] defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// This session's limits; `None` fields inherit the service defaults.
+    pub limits: QueryLimits,
+}
+
+impl SessionOptions {
+    /// A session with an explicit row budget.
+    pub fn with_row_budget(rows: u64) -> SessionOptions {
+        SessionOptions {
+            limits: QueryLimits {
+                row_budget: Some(rows),
+                deadline: None,
+            },
+        }
+    }
+
+    /// A session with an explicit wall-clock deadline per query.
+    pub fn with_deadline(allow: Duration) -> SessionOptions {
+        SessionOptions {
+            limits: QueryLimits {
+                row_budget: None,
+                deadline: Some(allow),
+            },
+        }
+    }
+}
+
+/// Errors surfaced by the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission was refused: the queue was full (`queued: false`) or the
+    /// queue timeout elapsed (`queued: true`).
+    Overloaded {
+        /// Whether the caller got a queue slot before being shed.
+        queued: bool,
+        /// Concurrency cap that was saturated.
+        max_concurrent: usize,
+    },
+    /// The query itself failed; the typed engine error is preserved.
+    Query(CoreError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded {
+                queued,
+                max_concurrent,
+            } => write!(
+                f,
+                "service overloaded ({} with {max_concurrent} queries in flight)",
+                if *queued {
+                    "queue wait timed out"
+                } else {
+                    "wait queue full"
+                }
+            ),
+            ServiceError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Query(e) => Some(e),
+            ServiceError::Overloaded { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Query(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+/// A completed query: an owned snapshot of the result plus its stats.
+///
+/// The service engine drops per-query temporaries from the catalog after
+/// every query (success or failure), so the result is handed out as an
+/// owned [`Table`] rather than a catalog reference.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// The result rows.
+    pub table: Table,
+    /// Work counters, including `rows_charged`, `degraded_to`, and
+    /// `abort_cause`.
+    pub stats: ExecStats,
+}
+
+/// The fault-tolerant serving facade over one shared [`PercentageEngine`].
+///
+/// The service is `Sync`: one instance serves many threads. All queries
+/// share the engine's unique-temp-name counter, so concurrent requests
+/// never collide in the catalog namespace.
+#[derive(Debug)]
+pub struct QueryService<'a> {
+    engine: PercentageEngine<'a>,
+    sem: FifoSemaphore,
+    config: ServiceConfig,
+}
+
+impl<'a> QueryService<'a> {
+    /// A service over `catalog` with the standard serving engine:
+    /// unique temp names (concurrent-safe) and temp cleanup after every
+    /// query.
+    pub fn new(catalog: &'a Catalog, config: ServiceConfig) -> QueryService<'a> {
+        let engine = PercentageEngine::with_unique_temps(catalog).with_temp_cleanup();
+        QueryService::from_engine(engine, config)
+    }
+
+    /// A service over a caller-built engine — tests inject a `TestClock`
+    /// or an engine-level guard this way. The engine should use unique
+    /// temp names if the service will face concurrent callers.
+    pub fn from_engine(engine: PercentageEngine<'a>, config: ServiceConfig) -> QueryService<'a> {
+        let sem = FifoSemaphore::new(config.max_concurrent.max(1));
+        QueryService {
+            engine,
+            sem,
+            config,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shared engine (e.g. to reach its guard for cancel-all).
+    pub fn engine(&self) -> &PercentageEngine<'a> {
+        &self.engine
+    }
+
+    /// Execution slots currently free. Equals `max_concurrent` whenever the
+    /// service is idle — if it doesn't, a permit leaked.
+    pub fn available_permits(&self) -> usize {
+        self.sem.available()
+    }
+
+    fn admit(&self) -> Result<Permit<'_>> {
+        self.sem
+            .acquire_timeout(self.config.queue_timeout, self.config.queue_capacity)
+            .map_err(|e| ServiceError::Overloaded {
+                queued: e == AcquireError::TimedOut,
+                max_concurrent: self.config.max_concurrent,
+            })
+    }
+
+    fn resolve_limits(&self, session: &SessionOptions) -> QueryLimits {
+        QueryLimits {
+            row_budget: session
+                .limits
+                .row_budget
+                .or(self.config.default_limits.row_budget),
+            deadline: session
+                .limits
+                .deadline
+                .or(self.config.default_limits.deadline),
+        }
+    }
+
+    /// Whether the degradation ladder applies to this failure: a budget
+    /// trip (a cheaper plan may fit) or a contained panic (the fault may
+    /// not recur, and fewer workers means less exposure). Deadline and
+    /// cancellation failures are final — retrying cannot beat a clock that
+    /// already ran out or a caller that asked to stop.
+    fn degradable(&self, e: &CoreError) -> bool {
+        self.config.degradation
+            && matches!(
+                e.abort_cause(),
+                Some(AbortCause::Budget | AbortCause::WorkerPanic)
+            )
+    }
+
+    /// Execute SQL under the default session.
+    pub fn execute_sql(&self, sql: &str) -> Result<ServiceResponse> {
+        self.execute_sql_session(sql, &SessionOptions::default())
+    }
+
+    /// Execute SQL under a session's limits, walking the degradation
+    /// ladder on budget trips and contained panics.
+    pub fn execute_sql_session(
+        &self,
+        sql: &str,
+        session: &SessionOptions,
+    ) -> Result<ServiceResponse> {
+        let _permit = self.admit()?;
+        let limits = self.resolve_limits(session);
+        let first = match self.engine.execute_sql_limited(sql, limits) {
+            Ok(out) => return Ok(respond(out.table().read().clone(), out.stats())),
+            Err(e) if self.degradable(&e) => e,
+            Err(e) => return Err(e.into()),
+        };
+        let cause = first.abort_cause();
+        // Rung 1: force the morsel layer serial (affects the horizontal
+        // family; vertical re-runs unchanged, which absorbs one-shot
+        // faults).
+        let serial = HorizontalOptions {
+            parallel: ParallelMode::Serial,
+            ..HorizontalOptions::default()
+        };
+        match self
+            .engine
+            .execute_sql_with_limited(sql, &VpctStrategy::best(), &serial, limits)
+        {
+            Ok(mut out) => {
+                mark(out.stats_mut(), Degradation::Serial, cause);
+                return Ok(respond(out.table().read().clone(), out.stats()));
+            }
+            Err(e) if self.degradable(&e) => {}
+            Err(e) => return Err(e.into()),
+        }
+        // Rung 2: also swap CASE evaluation for the SPJ strategy.
+        let spj = HorizontalOptions {
+            strategy: HorizontalStrategy::SpjDirect,
+            parallel: ParallelMode::Serial,
+            ..HorizontalOptions::default()
+        };
+        match self
+            .engine
+            .execute_sql_with_limited(sql, &VpctStrategy::best(), &spj, limits)
+        {
+            Ok(mut out) => {
+                mark(out.stats_mut(), Degradation::SerialThenSpj, cause);
+                Ok(respond(out.table().read().clone(), out.stats()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Evaluate a typed vertical query under the default session.
+    pub fn vpct(&self, q: &VpctQuery) -> Result<ServiceResponse> {
+        self.vpct_session(q, &SessionOptions::default())
+    }
+
+    /// Evaluate a typed vertical query under a session's limits. The
+    /// vertical path has no cheaper strategy rung, so only a contained
+    /// panic earns one plain retry.
+    pub fn vpct_session(&self, q: &VpctQuery, session: &SessionOptions) -> Result<ServiceResponse> {
+        let _permit = self.admit()?;
+        let limits = self.resolve_limits(session);
+        match self.engine.vpct_limited(q, limits) {
+            Ok(r) => Ok(respond(r.snapshot(), r.stats)),
+            Err(e)
+                if self.config.degradation
+                    && matches!(e.abort_cause(), Some(AbortCause::WorkerPanic)) =>
+            {
+                let cause = e.abort_cause();
+                let mut r = self.engine.vpct_limited(q, limits)?;
+                mark(&mut r.stats, Degradation::Serial, cause);
+                Ok(respond(r.snapshot(), r.stats))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Evaluate a typed horizontal query under the default session.
+    pub fn horizontal(&self, q: &HorizontalQuery) -> Result<ServiceResponse> {
+        self.horizontal_session(q, &HorizontalOptions::default(), &SessionOptions::default())
+    }
+
+    /// Evaluate a typed horizontal query with explicit options under a
+    /// session's limits, walking the degradation ladder on budget trips
+    /// and contained panics.
+    pub fn horizontal_session(
+        &self,
+        q: &HorizontalQuery,
+        opts: &HorizontalOptions,
+        session: &SessionOptions,
+    ) -> Result<ServiceResponse> {
+        let _permit = self.admit()?;
+        let limits = self.resolve_limits(session);
+        let first = match self.engine.horizontal_limited(q, opts, limits) {
+            Ok(r) => return Ok(respond(r.snapshot(), r.stats)),
+            Err(e) if self.degradable(&e) => e,
+            Err(e) => return Err(e.into()),
+        };
+        let cause = first.abort_cause();
+        let serial = HorizontalOptions {
+            parallel: ParallelMode::Serial,
+            ..opts.clone()
+        };
+        match self.engine.horizontal_limited(q, &serial, limits) {
+            Ok(mut r) => {
+                mark(&mut r.stats, Degradation::Serial, cause);
+                return Ok(respond(r.snapshot(), r.stats));
+            }
+            Err(e) if self.degradable(&e) => {}
+            Err(e) => return Err(e.into()),
+        }
+        let spj = HorizontalOptions {
+            strategy: spj_counterpart(opts.strategy),
+            parallel: ParallelMode::Serial,
+            ..opts.clone()
+        };
+        match self.engine.horizontal_limited(q, &spj, limits) {
+            Ok(mut r) => {
+                mark(&mut r.stats, Degradation::SerialThenSpj, cause);
+                Ok(respond(r.snapshot(), r.stats))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// The SPJ strategy reading from the same source as `s`.
+fn spj_counterpart(s: HorizontalStrategy) -> HorizontalStrategy {
+    match s {
+        HorizontalStrategy::CaseDirect => HorizontalStrategy::SpjDirect,
+        HorizontalStrategy::CaseFromFv => HorizontalStrategy::SpjFromFv,
+        spj => spj,
+    }
+}
+
+fn mark(stats: &mut ExecStats, degraded: Degradation, cause: Option<AbortCause>) {
+    stats.degraded_to = Some(degraded);
+    stats.abort_cause = cause;
+}
+
+fn respond(table: Table, stats: ExecStats) -> ServiceResponse {
+    ServiceResponse { table, stats }
+}

@@ -1,0 +1,297 @@
+//! Functional tests for [`QueryService`]: admission, shedding, session
+//! limits, typed failures, and the degradation ladder — all deterministic
+//! (injected clocks and one-shot chaos panics, no timing assumptions).
+
+use pa_core::{CoreError, PercentageEngine, TestClock};
+use pa_engine::{chaos, Clock, Degradation};
+use pa_service::{QueryService, ServiceConfig, ServiceError, SessionOptions};
+use pa_storage::{Catalog, Value};
+use pa_workload::{install_sales, SalesConfig};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// The chaos panic injector is process-global: tests that arm it hold this
+/// lock for their whole arm..observe window.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn chaos_window() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const VPCT: &str = "SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city;";
+const HPCT: &str = "SELECT state, Hpct(salesAmt BY dweek) FROM sales GROUP BY state;";
+
+fn sales_catalog(rows: usize) -> Catalog {
+    let catalog = Catalog::without_wal();
+    install_sales(&catalog, &SalesConfig { rows, seed: 11 }).unwrap();
+    catalog
+}
+
+fn reference_rows(rows: usize, sql: &str) -> Vec<Vec<Value>> {
+    let catalog = sales_catalog(rows);
+    let out = PercentageEngine::with_unique_temps(&catalog)
+        .execute_sql(sql)
+        .unwrap();
+    out.table().read().rows().collect()
+}
+
+#[test]
+fn concurrent_sessions_match_the_plain_engine() {
+    let rows = 2048;
+    let want_v = reference_rows(rows, VPCT);
+    let want_h = reference_rows(rows, HPCT);
+
+    let catalog = sales_catalog(rows);
+    let service = QueryService::new(&catalog, ServiceConfig::default());
+    std::thread::scope(|s| {
+        for worker in 0..4 {
+            let (service, want_v, want_h) = (&service, &want_v, &want_h);
+            s.spawn(move || {
+                for round in 0..3 {
+                    let (sql, want) = if (worker + round) % 2 == 0 {
+                        (VPCT, want_v)
+                    } else {
+                        (HPCT, want_h)
+                    };
+                    let resp = service.execute_sql(sql).unwrap();
+                    assert_eq!(&resp.table.rows().collect::<Vec<_>>(), want);
+                    assert!(resp.stats.rows_charged > 0);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        service.available_permits(),
+        service.config().max_concurrent,
+        "all permits returned"
+    );
+    assert_eq!(
+        catalog.table_names(),
+        vec!["sales".to_string()],
+        "no temp tables leaked"
+    );
+}
+
+/// A clock whose `now` blocks until the gate opens — holds a query (and its
+/// admission permit) at a deterministic point with no sleeps.
+#[derive(Debug)]
+struct GateClock {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl GateClock {
+    fn new() -> Arc<GateClock> {
+        Arc::new(GateClock {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+impl Clock for GateClock {
+    fn now(&self) -> Duration {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        Duration::ZERO
+    }
+}
+
+#[test]
+fn saturated_service_sheds_instead_of_piling_up() {
+    let catalog = sales_catalog(512);
+    let gate = GateClock::new();
+    // The engine-level deadline makes every query read the clock when its
+    // guard arms — which blocks on the gate, pinning the permit.
+    let engine = PercentageEngine::with_unique_temps(&catalog)
+        .with_temp_cleanup()
+        .with_clock(gate.clone())
+        .with_deadline(Duration::from_secs(3600));
+    let service = QueryService::from_engine(
+        engine,
+        ServiceConfig {
+            max_concurrent: 1,
+            queue_capacity: 0,
+            queue_timeout: Duration::from_millis(10),
+            ..ServiceConfig::default()
+        },
+    );
+
+    std::thread::scope(|s| {
+        let held = s.spawn(|| service.execute_sql(VPCT));
+        // Wait (without timing assumptions) until the held query owns the
+        // only permit.
+        while service.available_permits() != 0 {
+            std::thread::yield_now();
+        }
+        // Queue capacity 0: the second caller is shed instantly, unqueued.
+        match service.execute_sql(VPCT) {
+            Err(ServiceError::Overloaded {
+                queued,
+                max_concurrent,
+            }) => {
+                assert!(!queued, "shed at the door, not from the queue");
+                assert_eq!(max_concurrent, 1);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        gate.open();
+        let resp = held.join().unwrap().unwrap();
+        assert!(resp.table.num_rows() > 0, "the held query completed");
+    });
+    assert_eq!(service.available_permits(), 1);
+}
+
+#[test]
+fn queued_caller_is_shed_after_the_queue_timeout() {
+    let catalog = sales_catalog(512);
+    let gate = GateClock::new();
+    let engine = PercentageEngine::with_unique_temps(&catalog)
+        .with_temp_cleanup()
+        .with_clock(gate.clone())
+        .with_deadline(Duration::from_secs(3600));
+    let service = QueryService::from_engine(
+        engine,
+        ServiceConfig {
+            max_concurrent: 1,
+            queue_capacity: 4,
+            queue_timeout: Duration::from_millis(10),
+            ..ServiceConfig::default()
+        },
+    );
+
+    std::thread::scope(|s| {
+        let held = s.spawn(|| service.execute_sql(VPCT));
+        while service.available_permits() != 0 {
+            std::thread::yield_now();
+        }
+        match service.execute_sql(VPCT) {
+            Err(ServiceError::Overloaded { queued, .. }) => {
+                assert!(queued, "waited in the queue before being shed")
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        gate.open();
+        held.join().unwrap().unwrap();
+    });
+    assert_eq!(service.available_permits(), 1);
+}
+
+#[test]
+fn session_budget_fails_typed_and_leaks_nothing() {
+    let catalog = sales_catalog(1024);
+    let service = QueryService::new(&catalog, ServiceConfig::default());
+    let names_before = catalog.table_names();
+
+    let err = service
+        .execute_sql_session(VPCT, &SessionOptions::with_row_budget(8))
+        .unwrap_err();
+    match err {
+        ServiceError::Query(CoreError::BudgetExceeded { .. }) => {}
+        other => panic!("expected a budget error, got {other:?}"),
+    }
+    assert_eq!(catalog.table_names(), names_before);
+    assert_eq!(
+        service.available_permits(),
+        service.config().max_concurrent,
+        "the permit came back despite the failure"
+    );
+
+    // An unbudgeted session on the same service still works.
+    assert!(service.execute_sql(VPCT).is_ok());
+}
+
+#[test]
+fn session_deadline_is_final_not_degradable() {
+    let catalog = sales_catalog(1024);
+    // 1ms allowance against a clock that advances 1ms per guard charge:
+    // the deadline trips deterministically, and — being a deadline — must
+    // NOT trigger the degradation ladder (a retry cannot un-expire it).
+    let clock = Arc::new(TestClock::with_auto_step(Duration::from_millis(1)));
+    let engine = PercentageEngine::with_unique_temps(&catalog)
+        .with_temp_cleanup()
+        .with_clock(clock);
+    let service = QueryService::from_engine(engine, ServiceConfig::default());
+
+    let err = service
+        .execute_sql_session(
+            VPCT,
+            &SessionOptions::with_deadline(Duration::from_millis(1)),
+        )
+        .unwrap_err();
+    match err {
+        ServiceError::Query(CoreError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+    assert_eq!(service.available_permits(), service.config().max_concurrent);
+}
+
+#[test]
+fn contained_panic_walks_the_ladder_and_records_it() {
+    let _w = chaos_window();
+    let catalog = sales_catalog(1024);
+    let service = QueryService::new(&catalog, ServiceConfig::default());
+    let want = reference_rows(1024, VPCT);
+
+    // The one-shot panic fails the first attempt; the serial retry runs
+    // clean. The response records both what happened and what it cost.
+    chaos::arm(0);
+    let resp = service.execute_sql(VPCT).unwrap();
+    assert!(!chaos::is_armed(), "the injected panic fired");
+    assert_eq!(resp.stats.degraded_to, Some(Degradation::Serial));
+    assert_eq!(
+        resp.stats.abort_cause,
+        Some(pa_engine::AbortCause::WorkerPanic)
+    );
+    assert_eq!(resp.table.rows().collect::<Vec<_>>(), want);
+    assert_eq!(
+        catalog.table_names(),
+        vec!["sales".to_string()],
+        "both the failed and the degraded attempt swept their temps"
+    );
+}
+
+#[test]
+fn degradation_can_be_disabled() {
+    let _w = chaos_window();
+    let catalog = sales_catalog(512);
+    let service = QueryService::new(
+        &catalog,
+        ServiceConfig {
+            degradation: false,
+            ..ServiceConfig::default()
+        },
+    );
+
+    chaos::arm(0);
+    let err = service.execute_sql(VPCT).unwrap_err();
+    assert!(!chaos::is_armed());
+    match err {
+        ServiceError::Query(CoreError::WorkerPanicked { .. }) => {}
+        other => panic!("expected the first failure verbatim, got {other:?}"),
+    }
+    assert_eq!(service.available_permits(), service.config().max_concurrent);
+}
+
+#[test]
+fn typed_vertical_and_horizontal_entry_points_serve() {
+    let catalog = sales_catalog(512);
+    let service = QueryService::new(&catalog, ServiceConfig::default());
+
+    let v = pa_core::VpctQuery::single("sales", &["state", "city"], "salesAmt", &["city"]);
+    let resp = service.vpct(&v).unwrap();
+    assert!(resp.table.num_rows() > 0);
+    assert!(resp.stats.rows_charged > 0);
+
+    let h = pa_core::HorizontalQuery::hpct("sales", &["state"], "salesAmt", &["dweek"]);
+    let resp = service.horizontal(&h).unwrap();
+    assert!(resp.table.num_rows() > 0);
+    assert_eq!(resp.stats.degraded_to, None);
+}

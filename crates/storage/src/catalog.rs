@@ -95,6 +95,34 @@ impl Catalog {
         Ok(())
     }
 
+    /// Drop every table whose name starts with `prefix` — the executor's
+    /// scope-guard cleanup for temporary tables (`q7_Fk`, `q7_Fj0`, ...)
+    /// after a failed or abandoned plan. Returns how many tables were
+    /// dropped. A no-op for an empty catalog or an unmatched prefix.
+    ///
+    /// Callers holding [`SharedTable`] handles to a dropped table keep
+    /// them: dropping unregisters the name, it does not free the data.
+    pub fn drop_prefixed(&self, prefix: &str) -> usize {
+        if prefix.is_empty() {
+            return 0; // refuse to silently clear the whole catalog
+        }
+        let names: Vec<String> = {
+            let tables = self.tables.read();
+            tables
+                .range(prefix.to_string()..)
+                .take_while(|(name, _)| name.starts_with(prefix))
+                .map(|(name, _)| name.clone())
+                .collect()
+        };
+        let mut dropped = 0;
+        for name in &names {
+            if self.drop_table(name).is_ok() {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// True when `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
         self.tables.read().contains_key(name)
@@ -181,7 +209,10 @@ impl Catalog {
         mut store: Box<dyn LogStore>,
         capacity: usize,
     ) -> Result<(Catalog, RecoveryReport)> {
-        let data = store.read_all()?;
+        // Recovery reads retry transient device errors too: a hiccup while
+        // reading the log must not fail a restart that would succeed a
+        // moment later. Permanent errors still propagate untouched.
+        let data = crate::retry::RetryPolicy::default().run(|| store.read_all())?;
         let scan = scan_log(&data);
 
         let mut tables: BTreeMap<String, SharedTable> = BTreeMap::new();
@@ -208,6 +239,7 @@ impl Catalog {
             records: replayed + skipped,
             bytes_written: scan.valid_len,
             write_errors: 0,
+            retries: 0,
         };
         let wal = Wal::resume(store, capacity, stats, scan.frame_lens.into());
         let catalog = Catalog {
@@ -525,6 +557,28 @@ mod tests {
             "bad update touched no cell at all"
         );
         rec.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn drop_prefixed_cleans_temps_and_spares_the_rest() {
+        let cat = Catalog::new();
+        cat.create_table("F", table()).unwrap();
+        cat.create_table("q7_Fk", table()).unwrap();
+        cat.create_table("q7_Fj0", table()).unwrap();
+        cat.create_table("q7_FV", table()).unwrap();
+        cat.create_table("q70_FV", table()).unwrap(); // "q7_" is not a prefix of "q70_FV"
+        cat.create_index("q7_Fk", &["d"]).unwrap();
+
+        assert_eq!(cat.drop_prefixed("q7_"), 3);
+        assert_eq!(
+            cat.table_names(),
+            vec!["F".to_string(), "q70_FV".to_string()],
+            "only the exact prefix was swept"
+        );
+        assert!(cat.index("q7_Fk", &["d"]).is_none(), "indexes die too");
+        assert_eq!(cat.drop_prefixed("q7_"), 0, "idempotent");
+        assert_eq!(cat.drop_prefixed(""), 0, "empty prefix refuses to sweep");
+        assert!(cat.contains("F"));
     }
 
     #[test]

@@ -39,12 +39,35 @@ pub enum StorageError {
     /// WAL failure (e.g. record too large for configured capacity).
     Wal(String),
     /// Log-device I/O failure (stringified to keep the error `Clone + Eq`).
+    /// Permanent: retrying will not help (device offline, corruption).
     Io(String),
+    /// Log-device I/O failure expected to clear on retry (interrupted
+    /// syscall, transient contention, a device hiccup). The retry layer
+    /// ([`crate::retry::RetryPolicy`]) absorbs these; everything else
+    /// fails fast.
+    TransientIo(String),
+}
+
+impl StorageError {
+    /// Whether retrying the failed operation may succeed. Only
+    /// [`StorageError::TransientIo`] qualifies: every other variant is
+    /// either a logic error or a permanent device/corruption failure, and
+    /// retrying would just delay the inevitable.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::TransientIo(_))
+    }
 }
 
 impl From<std::io::Error> for StorageError {
     fn from(e: std::io::Error) -> StorageError {
-        StorageError::Io(e.to_string())
+        use std::io::ErrorKind;
+        match e.kind() {
+            // The kinds the OS documents as retryable.
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                StorageError::TransientIo(e.to_string())
+            }
+            _ => StorageError::Io(e.to_string()),
+        }
     }
 }
 
@@ -67,6 +90,7 @@ impl fmt::Display for StorageError {
             StorageError::InvalidIndex(msg) => write!(f, "invalid index: {msg}"),
             StorageError::Wal(msg) => write!(f, "wal error: {msg}"),
             StorageError::Io(msg) => write!(f, "io error: {msg}"),
+            StorageError::TransientIo(msg) => write!(f, "transient io error: {msg}"),
         }
     }
 }
@@ -98,5 +122,28 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&StorageError::TableNotFound("t".into()));
+    }
+
+    #[test]
+    fn only_transient_io_is_transient() {
+        assert!(StorageError::TransientIo("hiccup".into()).is_transient());
+        for e in [
+            StorageError::Io("dead".into()),
+            StorageError::Wal("bad".into()),
+            StorageError::TableNotFound("t".into()),
+        ] {
+            assert!(!e.is_transient(), "{e}");
+        }
+    }
+
+    #[test]
+    fn io_error_kinds_classify() {
+        use std::io::{Error, ErrorKind};
+        let e: StorageError = Error::new(ErrorKind::Interrupted, "sig").into();
+        assert!(e.is_transient(), "{e}");
+        let e: StorageError = Error::new(ErrorKind::TimedOut, "slow").into();
+        assert!(e.is_transient(), "{e}");
+        let e: StorageError = Error::new(ErrorKind::NotFound, "gone").into();
+        assert!(!e.is_transient(), "{e}");
     }
 }

@@ -152,7 +152,9 @@ impl<S: LogStore> FaultInjector<S> {
         self.ops += 1;
         if self.plan.error_on_op == Some(op) && !self.errored_once {
             self.errored_once = true;
-            return Err(StorageError::Io(format!(
+            // A once-off device error is exactly what the retry layer is
+            // for: typed transient, unlike the permanent offline error above.
+            return Err(StorageError::TransientIo(format!(
                 "injected I/O error on op {op}{}",
                 self.tag()
             )));
@@ -262,7 +264,11 @@ mod tests {
         };
         let mut inj = FaultInjector::new(MemLogStore::new(), plan);
         inj.append(b"ok").unwrap();
-        assert!(inj.append(b"fails").is_err());
+        let err = inj.append(b"fails").unwrap_err();
+        assert!(
+            err.is_transient(),
+            "Nth-op errors are typed transient: {err}"
+        );
         inj.append(b"ok again").unwrap();
         assert_eq!(inj.into_inner().bytes(), b"okok again");
     }

@@ -22,6 +22,7 @@ pub mod fault;
 pub mod hash;
 pub mod index;
 pub mod log;
+pub mod retry;
 pub mod schema;
 pub mod table;
 pub mod value;
@@ -37,6 +38,7 @@ pub use fault::{FaultInjector, FaultPlan};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
 pub use log::{FileLogStore, LogStore, MemLogStore};
+pub use retry::RetryPolicy;
 pub use schema::{Field, Schema};
 pub use table::Table;
 pub use value::{DataType, Value};

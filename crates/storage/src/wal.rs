@@ -28,6 +28,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::log::{LogStore, MemLogStore};
+use crate::retry::RetryPolicy;
 use crate::schema::{Field, Schema};
 use crate::table::Table;
 use crate::value::{DataType, Value};
@@ -86,6 +87,9 @@ pub struct WalStats {
     /// Appends refused by the log device (the in-memory state proceeds;
     /// the loss surfaces at recovery, as on a real sick disk).
     pub write_errors: u64,
+    /// Transient device errors absorbed by the retry policy (the append
+    /// eventually succeeded; without retries these would be write errors).
+    pub retries: u64,
 }
 
 // ---- CRC32 (IEEE 802.3, reflected) ---------------------------------------
@@ -450,6 +454,8 @@ pub struct Wal {
     /// Sizes of retained frames, oldest first, so recycling cuts on frame
     /// boundaries and the retained log always starts at a frame.
     frame_lens: VecDeque<u64>,
+    /// Retry policy for transient device errors on the append path.
+    retry: RetryPolicy,
 }
 
 impl Default for Wal {
@@ -473,6 +479,7 @@ impl Wal {
             stats: WalStats::default(),
             record_latency: std::time::Duration::ZERO,
             frame_lens: VecDeque::new(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -485,6 +492,7 @@ impl Wal {
             stats: WalStats::default(),
             record_latency: std::time::Duration::ZERO,
             frame_lens: VecDeque::new(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -504,6 +512,7 @@ impl Wal {
             stats,
             record_latency: std::time::Duration::ZERO,
             frame_lens: frames,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -520,6 +529,17 @@ impl Wal {
     /// Whether records are being written.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Replace the transient-error retry policy on the append path
+    /// ([`RetryPolicy::none`] restores fail-fast semantics).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active transient-error retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Work counters.
@@ -561,19 +581,24 @@ impl Wal {
         put_u32(&mut frame, crc32(&payload));
         frame.extend_from_slice(&payload);
 
-        match self.store.append(&frame) {
-            Ok(n) if n == frame.len() => {}
-            Ok(n) => {
-                self.stats.write_errors += 1;
-                return Err(StorageError::Wal(format!(
-                    "short append: {n} of {} frame bytes persisted",
-                    frame.len()
-                )));
-            }
-            Err(e) => {
-                self.stats.write_errors += 1;
-                return Err(e);
-            }
+        // Whole-frame appends are safe to retry: a transient error means the
+        // device refused the operation before accepting bytes, so the retry
+        // writes the identical frame, never a duplicate prefix. Permanent
+        // errors (offline device, short append) fail fast with the original
+        // typed error.
+        let store = &mut self.store;
+        let (outcome, retries) = self.retry.run_counted(&mut || match store.append(&frame) {
+            Ok(n) if n == frame.len() => Ok(()),
+            Ok(n) => Err(StorageError::Wal(format!(
+                "short append: {n} of {} frame bytes persisted",
+                frame.len()
+            ))),
+            Err(e) => Err(e),
+        });
+        self.stats.retries += u64::from(retries);
+        if let Err(e) = outcome {
+            self.stats.write_errors += 1;
+            return Err(e);
         }
         self.frame_lens.push_back(frame.len() as u64);
         self.stats.records += 1;
@@ -756,6 +781,58 @@ mod tests {
         );
         assert_eq!(upd.stats().records, 1000);
         assert_eq!(bulk.stats().records, 1);
+    }
+
+    #[test]
+    fn transient_append_error_is_absorbed_by_retry() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            error_on_op: Some(0),
+            ..FaultPlan::default()
+        };
+        let store = FaultInjector::new(MemLogStore::new(), plan);
+        let mut wal = Wal::with_store(Box::new(store), DEFAULT_CAPACITY);
+        wal.set_retry_policy(RetryPolicy {
+            base_delay: std::time::Duration::ZERO,
+            max_delay: std::time::Duration::ZERO,
+            ..RetryPolicy::seeded(1)
+        });
+        wal.log_bulk_insert("t", &small_table(5), 0).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.records, 1, "the append eventually landed");
+        assert_eq!(stats.write_errors, 0, "the hiccup never surfaced");
+        assert_eq!(stats.retries, 1, "one absorbed retry");
+    }
+
+    #[test]
+    fn permanent_append_error_fails_fast_with_the_typed_error() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            torn_write_at: Some(0), // first append tears → device offline
+            ..FaultPlan::default()
+        };
+        let store = FaultInjector::new(MemLogStore::new(), plan);
+        let mut wal = Wal::with_store(Box::new(store), DEFAULT_CAPACITY);
+        let err = wal.log_bulk_insert("t", &small_table(5), 0).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Io(_)) && !err.is_transient(),
+            "permanent corruption keeps its typed error: {err}"
+        );
+        assert_eq!(wal.stats().write_errors, 1);
+        assert_eq!(wal.stats().retries, 0, "no retry against a dead device");
+    }
+
+    #[test]
+    fn retry_policy_round_trips() {
+        let mut wal = Wal::default();
+        assert_eq!(wal.retry_policy(), RetryPolicy::default());
+        wal.set_retry_policy(RetryPolicy::none());
+        assert_eq!(wal.retry_policy(), RetryPolicy::none());
+        assert_eq!(
+            Wal::disabled().retry_policy(),
+            RetryPolicy::none(),
+            "a disabled log never sleeps"
+        );
     }
 
     #[test]
