@@ -29,14 +29,32 @@ PA_THREADS=4 cargo test -q -p pa-core --test fault_isolation
 PA_THREADS=1 cargo test -q -p pa-service
 PA_THREADS=4 cargo test -q -p pa-service
 
+echo "==> oracle gates: differential, golden, parser fuzz"
+# Covered by the workspace run above, but named here so a divergence fails
+# as its own step with the harness's actionable message (strategy pair +
+# first divergent row, unified snapshot diff, or the panicking fuzz seed).
+cargo test -q -p pa-engine --test differential
+cargo test -q --test golden
+cargo test -q -p pa-sql --test fuzz_corpus
+
 echo "==> service overhead smoke (writes results/BENCH_service_smoke.json)"
 cargo run --release -p pa-bench --bin service_overhead -- \
   --n 5000 --queries 8 --iters 1 \
   --out results/BENCH_service_smoke.json
 
 echo "==> scale bench smoke (writes results/BENCH_scale_smoke.json)"
+# Rows now carry an "operators" per-operator breakdown (rows/morsels/ns per
+# span) — the JSON artifact a hosted pipeline would upload.
 cargo run --release -p pa-bench --bin scale -- \
   --n 20000 --d 7 --threads 1,2 --iters 1 \
   --out results/BENCH_scale_smoke.json
+
+echo "==> trace overhead smoke (writes results/BENCH_obs_smoke.json)"
+# Hard-gates tracing-on vs tracing-off overhead; also records obs-off
+# throughput against the scale smoke's case_direct t=1 cell written above.
+cargo run --release -p pa-bench --bin obs_overhead -- \
+  --n 100000 --iters 3 \
+  --baseline results/BENCH_scale_smoke.json \
+  --out results/BENCH_obs_smoke.json
 
 echo "CI gate passed."

@@ -15,12 +15,12 @@
 //! strategy at 1 thread, plus the host's actual parallelism so flat
 //! speedups on small machines are self-explaining.
 
-use pa_bench::time_ms;
+use pa_bench::{lcg_fact_table, operator_breakdown, time_ms};
 use pa_core::{
     HorizontalOptions, HorizontalQuery, HorizontalStrategy, PercentageEngine, VpctQuery,
     VpctStrategy,
 };
-use pa_storage::{Catalog, DataType, Schema, Table, Value};
+use pa_storage::Catalog;
 use std::fmt::Write as _;
 
 struct Args {
@@ -80,31 +80,6 @@ fn parse_args() -> Args {
     args
 }
 
-/// Deterministic fact table: ~101 stores, `d` distinct `day` values.
-fn fact_table(n: usize, d: usize) -> Table {
-    let schema = Schema::from_pairs(&[
-        ("store", DataType::Int),
-        ("day", DataType::Int),
-        ("amt", DataType::Float),
-    ])
-    .unwrap()
-    .into_shared();
-    let mut t = Table::with_capacity(schema, n);
-    let mut state = 0x9e37_79b9_7f4a_7c15u64;
-    for _ in 0..n {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        t.push_row(&[
-            Value::Int(((state >> 33) % 101) as i64),
-            Value::Int(((state >> 13) % d as u64) as i64),
-            Value::Float(((state >> 3) % 1000) as f64),
-        ])
-        .expect("generator row matches schema");
-    }
-    t
-}
-
 fn best_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iters.max(1) {
@@ -145,6 +120,32 @@ fn run_cell(engine: &PercentageEngine<'_>, strategy: &str, iters: usize) -> f64 
     }
 }
 
+/// One untimed traced run of the cell's query: the per-operator breakdown
+/// for the JSON artifact (worker child spans folded into their operator).
+fn trace_cell(engine: &PercentageEngine<'_>, strategy: &str) -> String {
+    let report = match strategy {
+        "vpct_best" => {
+            let q = VpctQuery::single("fact", &["store", "day"], "amt", &["day"]);
+            engine.vpct_traced(&q).expect("bench query").1
+        }
+        "case_direct" => {
+            let q = HorizontalQuery::hpct("fact", &["store"], "amt", &["day"]);
+            let opts = HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect);
+            engine.horizontal_traced(&q, &opts).expect("bench query").1
+        }
+        "hash_dispatch" => {
+            let q = HorizontalQuery::hpct("fact", &["store"], "amt", &["day"]);
+            let opts = HorizontalOptions {
+                hash_dispatch: true,
+                ..HorizontalOptions::default()
+            };
+            engine.horizontal_traced(&q, &opts).expect("bench query").1
+        }
+        other => unreachable!("unknown strategy {other}"),
+    };
+    operator_breakdown(&report)
+}
+
 const STRATEGIES: [&str; 3] = ["vpct_best", "case_direct", "hash_dispatch"];
 
 fn main() {
@@ -164,7 +165,7 @@ fn main() {
             let catalog = Catalog::new();
             let (gen_ms, _) = time_ms(|| {
                 catalog
-                    .create_table("fact", fact_table(n, d))
+                    .create_table("fact", lcg_fact_table(n, d))
                     .expect("fresh")
             });
             println!("\nn={n} d={d} (generated in {gen_ms:.0} ms)");
@@ -177,6 +178,9 @@ fn main() {
                     // the user-facing knob.
                     std::env::set_var("PA_THREADS", threads.to_string());
                     let ms = run_cell(&engine, strategy, args.iters);
+                    // One extra traced (untimed) run per cell feeds the
+                    // per-operator breakdown in the JSON artifact.
+                    let operators = trace_cell(&engine, strategy);
                     let serial = *serial_ms.get_or_insert(ms);
                     let speedup = serial / ms.max(1e-9);
                     println!(
@@ -184,7 +188,7 @@ fn main() {
                          {:>12.0} rows/s  x{speedup:.2}",
                         n as f64 / (ms / 1e3)
                     );
-                    rows.push((strategy, n, d, threads, ms, speedup));
+                    rows.push((strategy, n, d, threads, ms, speedup, operators));
                 }
             }
             std::env::remove_var("PA_THREADS");
@@ -197,14 +201,15 @@ fn main() {
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     json.push_str("  \"results\": [\n");
-    for (i, (strategy, n, d, threads, ms, speedup)) in rows.iter().enumerate() {
+    for (i, (strategy, n, d, threads, ms, speedup, operators)) in rows.iter().enumerate() {
         let rows_per_s = *n as f64 / (ms / 1e3);
         let _ = write!(
             json,
             "    {{\"strategy\": \"{strategy}\", \"n\": {n}, \"d\": {d}, \
              \"threads\": {threads}, \"wall_ms\": {ms:.3}, \
              \"rows_per_s\": {rows_per_s:.0}, \
-             \"speedup_vs_serial\": {speedup:.3}}}"
+             \"speedup_vs_serial\": {speedup:.3}, \
+             \"operators\": {operators}}}"
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

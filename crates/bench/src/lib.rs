@@ -186,6 +186,62 @@ pub fn install_all(catalog: &Catalog, scale: Scale) {
     pa_workload::install_uscensus(catalog, &CensusConfig::at_scale(scale)).expect("fresh catalog");
 }
 
+/// Deterministic LCG-generated fact table shared by the scaling and
+/// observability benches: ~101 `store` values, `d` distinct `day` values,
+/// `amt` in `0..1000`.
+pub fn lcg_fact_table(n: usize, d: usize) -> pa_storage::Table {
+    use pa_storage::{DataType, Schema, Table, Value};
+    let schema = Schema::from_pairs(&[
+        ("store", DataType::Int),
+        ("day", DataType::Int),
+        ("amt", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut t = Table::with_capacity(schema, n);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        t.push_row(&[
+            Value::Int(((state >> 33) % 101) as i64),
+            Value::Int(((state >> 13) % d.max(1) as u64) as i64),
+            Value::Float(((state >> 3) % 1000) as f64),
+        ])
+        .expect("generator row matches schema");
+    }
+    t
+}
+
+/// Per-operator breakdown of a traced run as a JSON array: one object per
+/// top-level operator span, with worker child spans folded into their
+/// operator (`rows`/`morsels` inclusive). This is the `"operators"` field
+/// the bench binaries attach to `results/BENCH_*.json` rows.
+pub fn operator_breakdown(report: &pa_core::TraceReport) -> String {
+    use std::fmt::Write as _;
+    let Some(root) = report.root() else {
+        return "[]".to_string();
+    };
+    let mut out = String::from("[");
+    for (i, op) in report.children(root.id).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"op\": \"{}\", \"rows\": {}, \"morsels\": {}, \"ns\": {}, \"workers\": {}}}",
+            op.name(),
+            report.rows_inclusive(op.id),
+            report.morsels_inclusive(op.id),
+            op.duration_ns(),
+            report.children(op.id).count(),
+        );
+    }
+    out.push(']');
+    out
+}
+
 /// Milliseconds spent running `f` once.
 pub fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
     let t0 = Instant::now();

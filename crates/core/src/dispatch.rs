@@ -21,7 +21,9 @@
 //! work counters differ (`case_condition_evals` stays at zero).
 
 use crate::error::Result;
-use pa_engine::{Acc, AggFunc, ExecStats, Expr, ParallelConfig, ResourceGuard, RowKeyMap};
+use pa_engine::{
+    Acc, AggFunc, ExecStats, Expr, ParallelConfig, ResourceGuard, RowKeyMap, SpanHandle,
+};
 use pa_storage::{DataType, Field, Schema, Table, Value};
 
 /// One horizontal term's piece of a pivot pass.
@@ -100,11 +102,14 @@ impl PivotCtx<'_> {
         guard: &ResourceGuard,
         stats: &mut ExecStats,
         config: &ParallelConfig,
+        span: &mut SpanHandle,
     ) -> Result<(RowKeyMap, Vec<Acc>)> {
         let mut groups = RowKeyMap::new();
         let mut accs: Vec<Acc> = Vec::new();
         for morsel in config.morsels(chunk) {
             guard.charge(morsel.len() as u64)?;
+            span.add_morsels(1);
+            span.add_rows(morsel.len() as u64);
             for row in morsel {
                 let gid = if self.j_cols.is_empty() {
                     if groups.is_empty() {
@@ -119,6 +124,7 @@ impl PivotCtx<'_> {
                     // charge it as one output row so group explosions trip
                     // the budget mid-scan.
                     guard.charge(1)?;
+                    span.add_rows(1);
                     accs.extend_from_slice(self.template);
                 }
                 let base = gid * self.width;
@@ -319,9 +325,10 @@ pub fn pivot_aggregate_with_config(
     let n = src.num_rows();
     stats.rows_scanned += n as u64;
     let chunks = config.chunks(n);
+    let mut span = guard.span("pivot");
 
     let (mut groups, mut accs) = if chunks.len() <= 1 {
-        ctx.scan(0..n, guard, stats, config)?
+        ctx.scan(0..n, guard, stats, config, &mut span)?
     } else {
         type WorkerOut = Result<(RowKeyMap, Vec<Acc>, ExecStats)>;
         let panicked = |p: Box<dyn std::any::Any + Send>| crate::CoreError::WorkerPanicked {
@@ -331,15 +338,20 @@ pub fn pivot_aggregate_with_config(
         let worker_results: Vec<WorkerOut> = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|chunk| {
+                .enumerate()
+                .map(|(w, chunk)| {
                     let ctx = &ctx;
+                    // Worker-index child spans merge deterministically in the
+                    // trace report regardless of thread close order.
+                    let mut wspan = span.child("worker", w as u32);
                     s.spawn(move || -> WorkerOut {
                         // Contain panics at the thread boundary: convert to a
                         // typed error and cancel siblings through the shared
                         // guard so they stop within one morsel.
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> WorkerOut {
                             let mut wstats = ExecStats::default();
-                            let (groups, accs) = ctx.scan(chunk, guard, &mut wstats, config)?;
+                            let (groups, accs) =
+                                ctx.scan(chunk, guard, &mut wstats, config, &mut wspan)?;
                             Ok((groups, accs, wstats))
                         }))
                         .unwrap_or_else(|p| {

@@ -12,7 +12,7 @@ use crate::optimizer::{choose_horizontal_strategy, choose_vpct_strategy};
 use crate::query::{from_sql, HorizontalQuery, Query, VpctQuery};
 use crate::strategy::{HorizontalOptions, VpctStrategy};
 use crate::vertical::{eval_vpct_guarded, QueryResult};
-use pa_engine::{Clock, Deadline, ResourceGuard};
+use pa_engine::{Clock, Deadline, ResourceGuard, TraceReport, Tracer};
 use pa_storage::Catalog;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -226,6 +226,24 @@ impl<'a> PercentageEngine<'a> {
         opt_deadline: Option<Duration>,
         f: impl FnOnce(&str, &ResourceGuard) -> Result<T>,
     ) -> Result<(T, u64)> {
+        let (v, charged, _) = self.run_query_traced(op, limits, opt_deadline, None, f)?;
+        Ok((v, charged))
+    }
+
+    /// [`PercentageEngine::run_query`] with an optional per-query tracer:
+    /// when `Some`, the query runs with a root `query` span open and the
+    /// tracer riding on the per-query guard, so every operator underneath
+    /// records child spans. The drained [`TraceReport`] comes back alongside
+    /// the result — also on the error path's `None`, since a failed query
+    /// drops its report with it.
+    fn run_query_traced<T>(
+        &self,
+        op: &str,
+        limits: QueryLimits,
+        opt_deadline: Option<Duration>,
+        tracer: Option<Tracer>,
+        f: impl FnOnce(&str, &ResourceGuard) -> Result<T>,
+    ) -> Result<(T, u64, Option<TraceReport>)> {
         let prefix = self.prefix();
         let allow = limits.deadline.or(opt_deadline).or(self.deadline);
         let deadline = allow.map(|d| Deadline::with_clock(d, Arc::clone(&self.clock)));
@@ -235,6 +253,12 @@ impl<'a> PercentageEngine<'a> {
             // reports its cost and a panic can cancel surviving workers.
             qguard = ResourceGuard::counting();
         }
+        if let Some(t) = &tracer {
+            qguard = qguard.with_tracer(t.clone());
+        }
+        // The root span must open before any operator span and close after
+        // the last one, so operator timestamps land inside it.
+        let root = tracer.as_ref().map(|t| t.span("query"));
         let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(&prefix, &qguard)))
             .unwrap_or_else(|p| {
                 // A panic on the query's own thread (parallel workers catch
@@ -245,13 +269,15 @@ impl<'a> PercentageEngine<'a> {
                     payload: pa_engine::error::panic_payload(p),
                 })
             });
+        drop(root);
+        let report = tracer.as_ref().map(Tracer::take_report);
         let charged = qguard.rows_charged();
         match out {
             Ok(v) => {
                 if self.temp_cleanup {
                     self.catalog.drop_prefixed(&prefix);
                 }
-                Ok((v, charged))
+                Ok((v, charged, report))
             }
             Err(e) => {
                 // Scope guard: a failed query must not leak temporaries,
@@ -408,7 +434,7 @@ impl<'a> PercentageEngine<'a> {
         let (mut outcome, charged) =
             self.run_query("execute_sql", limits, None, |prefix, guard| {
                 let mut query = query;
-                self.apply_where(&stmt, &mut query, prefix)?;
+                self.apply_where(&stmt, &mut query, prefix, guard)?;
                 let outcome = match query {
                     Query::Vertical(q) => {
                         SqlOutcome::Vertical(self.eval_vertical(&q, prefix, guard)?)
@@ -425,11 +451,93 @@ impl<'a> PercentageEngine<'a> {
                         )?)
                     }
                 };
-                apply_order(&outcome, &stmt.order_by)?;
+                apply_order(&outcome, &stmt.order_by, guard)?;
                 Ok(outcome)
             })?;
         outcome.stats_mut().rows_charged = charged;
         Ok(outcome)
+    }
+
+    /// [`PercentageEngine::execute_sql_limited`] under a per-query tracer:
+    /// returns the outcome together with the drained per-operator
+    /// [`TraceReport`]. This is the programmatic face of
+    /// [`PercentageEngine::explain_analyze_sql`]; the bench binaries use it
+    /// to attach per-operator breakdowns to their JSON artifacts. The input
+    /// may be a bare SELECT or an `EXPLAIN [ANALYZE]` form — the query under
+    /// the wrapper is what runs.
+    pub fn execute_sql_traced(
+        &self,
+        sql: &str,
+        limits: QueryLimits,
+    ) -> Result<(SqlOutcome, TraceReport)> {
+        let stmt = pa_sql::parse_statement(sql)?.select().clone();
+        let query = from_sql(&stmt)?;
+        let tracer = Tracer::enabled(Arc::clone(&self.clock));
+        let (mut outcome, charged, report) = self.run_query_traced(
+            "execute_sql",
+            limits,
+            None,
+            Some(tracer),
+            |prefix, guard| {
+                let mut query = query;
+                self.apply_where(&stmt, &mut query, prefix, guard)?;
+                let outcome = match query {
+                    Query::Vertical(q) => {
+                        SqlOutcome::Vertical(self.eval_vertical(&q, prefix, guard)?)
+                    }
+                    Query::Horizontal(q) => {
+                        let strategy = choose_horizontal_strategy(self.catalog, &q)?;
+                        let opts = HorizontalOptions::with_strategy(strategy);
+                        SqlOutcome::Horizontal(eval_horizontal_guarded(
+                            self.catalog,
+                            &q,
+                            &opts,
+                            prefix,
+                            guard,
+                        )?)
+                    }
+                };
+                apply_order(&outcome, &stmt.order_by, guard)?;
+                Ok(outcome)
+            },
+        )?;
+        outcome.stats_mut().rows_charged = charged;
+        Ok((outcome, report.unwrap_or_default()))
+    }
+
+    /// Evaluate a vertical query under a per-query tracer, returning the
+    /// per-operator [`TraceReport`] alongside the result.
+    pub fn vpct_traced(&self, q: &VpctQuery) -> Result<(QueryResult, TraceReport)> {
+        let tracer = Tracer::enabled(Arc::clone(&self.clock));
+        let (mut r, charged, report) = self.run_query_traced(
+            "vpct",
+            QueryLimits::none(),
+            None,
+            Some(tracer),
+            |prefix, guard| self.eval_vertical(q, prefix, guard),
+        )?;
+        r.stats.rows_charged = charged;
+        Ok((r, report.unwrap_or_default()))
+    }
+
+    /// Evaluate a horizontal query with explicit options under a per-query
+    /// tracer, returning the per-operator [`TraceReport`] alongside the
+    /// result.
+    pub fn horizontal_traced(
+        &self,
+        q: &HorizontalQuery,
+        opts: &HorizontalOptions,
+    ) -> Result<(HorizontalResult, TraceReport)> {
+        let tracer = Tracer::enabled(Arc::clone(&self.clock));
+        let (mut r, charged, report) = self.run_query_traced(
+            "horizontal",
+            QueryLimits::none(),
+            opts.deadline,
+            Some(tracer),
+            |prefix, guard| eval_horizontal_guarded(self.catalog, q, opts, prefix, guard),
+        )?;
+        r.stats.rows_charged = charged;
+        Ok((r, report.unwrap_or_default()))
     }
 
     /// Like [`PercentageEngine::execute_sql`] but with explicit strategy
@@ -462,7 +570,7 @@ impl<'a> PercentageEngine<'a> {
         let (mut outcome, charged) =
             self.run_query("execute_sql", limits, opt_deadline, |prefix, guard| {
                 let mut query = query;
-                self.apply_where(&stmt, &mut query, prefix)?;
+                self.apply_where(&stmt, &mut query, prefix, guard)?;
                 let outcome = match query {
                     Query::Vertical(q) => SqlOutcome::Vertical(eval_vpct_guarded(
                         self.catalog,
@@ -479,7 +587,7 @@ impl<'a> PercentageEngine<'a> {
                         guard,
                     )?),
                 };
-                apply_order(&outcome, &stmt.order_by)?;
+                apply_order(&outcome, &stmt.order_by, guard)?;
                 Ok(outcome)
             })?;
         outcome.stats_mut().rows_charged = charged;
@@ -494,6 +602,7 @@ impl<'a> PercentageEngine<'a> {
         stmt: &pa_sql::SelectStmt,
         query: &mut Query,
         prefix: &str,
+        guard: &ResourceGuard,
     ) -> Result<()> {
         let Some(pred) = &stmt.where_clause else {
             return Ok(());
@@ -507,6 +616,9 @@ impl<'a> PercentageEngine<'a> {
             let f = shared.read();
             let expr = crate::query::ast_to_expr(pred, f.schema())?;
             let mut stats = pa_engine::ExecStats::default();
+            let mut span = guard.span("filter");
+            span.add_rows(f.num_rows() as u64);
+            span.add_morsels(1);
             pa_engine::filter(&f, &expr, &mut stats)?
         };
         let view_name = format!("{prefix}Fwhere");
@@ -522,8 +634,34 @@ impl<'a> PercentageEngine<'a> {
     /// code-generator use case). The transcript ends with a comment line
     /// describing the guard the statement would run under.
     pub fn explain_sql(&self, sql: &str) -> Result<Vec<String>> {
-        let stmt = pa_sql::parse(sql)?;
-        let mut stmts = match from_sql(&stmt)? {
+        let stmt = pa_sql::parse_statement(sql)?.select().clone();
+        let mut stmts = self.plan_statements(&stmt)?;
+        stmts.push(self.guard_comment(None));
+        Ok(stmts)
+    }
+
+    /// `EXPLAIN ANALYZE`: the generated plan of
+    /// [`PercentageEngine::explain_sql`], *executed* under a per-query
+    /// tracer, with one `-- op` line per recorded span (actual rows, morsels
+    /// and nanoseconds) and the `-- guard:` line rendered **after** the run
+    /// so `charged=` reports the rows the query actually metered — the
+    /// pre-run rendering read 0 for every plan. Accepts a bare SELECT or the
+    /// `EXPLAIN [ANALYZE]` forms.
+    pub fn explain_analyze_sql(&self, sql: &str) -> Result<Vec<String>> {
+        let stmt = pa_sql::parse_statement(sql)?.select().clone();
+        let mut lines = self.plan_statements(&stmt)?;
+        let (outcome, report) = self.execute_sql_traced(&stmt.to_string(), QueryLimits::none())?;
+        if let Some(root) = report.root() {
+            render_span_lines(&report, root, 0, &mut lines);
+        }
+        lines.push(self.guard_comment(Some(outcome.stats().rows_charged)));
+        Ok(lines)
+    }
+
+    /// The generated-SQL transcript for a statement (shared by the explain
+    /// entry points).
+    fn plan_statements(&self, stmt: &pa_sql::SelectStmt) -> Result<Vec<String>> {
+        Ok(match from_sql(stmt)? {
             Query::Vertical(q) => {
                 let strat = choose_vpct_strategy(self.catalog, &q);
                 crate::codegen::vpct_statements(&q, &strat)
@@ -532,13 +670,14 @@ impl<'a> PercentageEngine<'a> {
                 let strategy = choose_horizontal_strategy(self.catalog, &q)?;
                 crate::codegen::horizontal_statements(&q, strategy, None)
             }
-        };
-        stmts.push(self.guard_comment());
-        Ok(stmts)
+        })
     }
 
-    /// The `-- guard:` transcript line for [`PercentageEngine::explain_sql`].
-    fn guard_comment(&self) -> String {
+    /// The `-- guard:` transcript line. `charged` is `Some` only on the
+    /// post-run path (`EXPLAIN ANALYZE`), where the per-query meter has a
+    /// real total; plain `EXPLAIN` never executes, so it has no `charged=`
+    /// field to misreport.
+    fn guard_comment(&self, charged: Option<u64>) -> String {
         let budget = self
             .guard
             .row_budget()
@@ -548,17 +687,45 @@ impl<'a> PercentageEngine<'a> {
             .or_else(|| self.guard.deadline())
             .map_or_else(|| "none".to_string(), |d| format!("{}ms", d.as_millis()));
         let temps = if self.reuse_temps { "reuse" } else { "unique" };
-        format!("-- guard: budget={budget} deadline={deadline} temps={temps}")
+        let mut line = format!("-- guard: budget={budget} deadline={deadline} temps={temps}");
+        if let Some(c) = charged {
+            line.push_str(&format!(" charged={c}"));
+        }
+        line
+    }
+}
+
+/// One `-- op` transcript line per span, children indented under parents.
+fn render_span_lines(
+    report: &TraceReport,
+    span: &pa_engine::SpanRecord,
+    depth: usize,
+    out: &mut Vec<String>,
+) {
+    out.push(format!(
+        "-- op {:indent$}{}: rows={} morsels={} time={}ns",
+        "",
+        span.name(),
+        span.rows,
+        span.morsels,
+        span.duration_ns(),
+        indent = depth * 2,
+    ));
+    for child in report.children(span.id) {
+        render_span_lines(report, child, depth + 1, out);
     }
 }
 
 /// Sort a freshly materialized result in place by the named columns.
-fn apply_order(outcome: &SqlOutcome, order_by: &[String]) -> Result<()> {
+fn apply_order(outcome: &SqlOutcome, order_by: &[String], guard: &ResourceGuard) -> Result<()> {
     if order_by.is_empty() {
         return Ok(());
     }
     let shared = outcome.table();
     let mut t = shared.write();
+    let mut span = guard.span("sort");
+    span.add_rows(t.num_rows() as u64);
+    span.add_morsels(1);
     let cols = order_by
         .iter()
         .map(|n| {
@@ -879,6 +1046,133 @@ mod tests {
         let q2 = VpctQuery::single("sales", &["state"], "salesAmt", &[]);
         let err = engine.vpct_batch(&[q1, q2]).unwrap_err();
         assert!(matches!(err, CoreError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_ops_and_post_run_guard_charge() {
+        let catalog = sales_catalog();
+        let engine = PercentageEngine::new(&catalog);
+        let sql = "SELECT state, Hpct(salesAmt BY city) FROM sales GROUP BY state;";
+        let lines = engine
+            .explain_analyze_sql(&format!("EXPLAIN ANALYZE {sql}"))
+            .unwrap();
+        let ops: Vec<&String> = lines.iter().filter(|l| l.starts_with("-- op")).collect();
+        assert!(
+            ops.first().is_some_and(|l| l.contains("query:")),
+            "{lines:?}"
+        );
+        assert!(ops.len() >= 2, "operator spans under the query: {ops:?}");
+        assert!(
+            ops.iter()
+                .all(|l| l.contains("rows=") && l.contains("morsels=") && l.contains("time=")),
+            "{ops:?}"
+        );
+        // Regression (the pre-run rendering would report 0 here): the
+        // `-- guard:` line is built after execution, so `charged=` is the
+        // per-query meter's actual total.
+        let guard_line = lines.last().unwrap();
+        assert!(guard_line.starts_with("-- guard:"), "{guard_line}");
+        let charged: u64 = guard_line
+            .split("charged=")
+            .nth(1)
+            .expect("charged= field present")
+            .parse()
+            .unwrap();
+        let out = engine.execute_sql(sql).unwrap();
+        assert_eq!(charged, out.stats().rows_charged);
+        assert!(charged > 0);
+        // A bare SELECT is accepted too, and plain EXPLAIN (which never
+        // executes) has no `charged=` field to misreport.
+        assert!(engine
+            .explain_analyze_sql(sql)
+            .unwrap()
+            .iter()
+            .any(|l| l.starts_with("-- op")));
+        let plain = engine.explain_sql(sql).unwrap();
+        assert!(plain.last().unwrap().starts_with("-- guard:"));
+        assert!(!plain.last().unwrap().contains("charged="));
+    }
+
+    #[test]
+    fn traced_hpct_op_rows_and_times_cover_the_query_serial_and_parallel() {
+        use crate::strategy::{HorizontalStrategy, ParallelMode};
+        use pa_engine::SpanRecord;
+        use pa_storage::{DataType, Schema, Table};
+
+        // Large enough that `Threads(4)` crosses the serial threshold and
+        // actually fans out (4 default-size morsels).
+        let n: usize = 260_096;
+        let schema = Schema::from_pairs(&[
+            ("state", DataType::Int),
+            ("city", DataType::Int),
+            ("amt", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut f = Table::empty(schema);
+        for i in 0..n {
+            f.push_row(&[
+                Value::Int((i % 7) as i64),
+                Value::Int((i % 13) as i64),
+                Value::Float((i % 97) as f64),
+            ])
+            .unwrap();
+        }
+        let catalog = Catalog::new();
+        catalog.create_table("facts", f).unwrap();
+        let engine = PercentageEngine::new(&catalog);
+        let q = crate::query::HorizontalQuery::hpct("facts", &["state"], "amt", &["city"]);
+
+        for (mode, want_workers) in [
+            (ParallelMode::Serial, false),
+            (ParallelMode::Threads(4), true),
+        ] {
+            let opts = HorizontalOptions {
+                parallel: mode,
+                ..HorizontalOptions::with_strategy(HorizontalStrategy::CaseFromFv)
+            };
+            let (r, report) = engine.horizontal_traced(&q, &opts).unwrap();
+            let root = report.root().expect("root span recorded");
+            assert_eq!(root.label, "query");
+
+            // Per-operator rows fold up to exactly the rows the query's
+            // guard metered.
+            assert_eq!(
+                report.rows_inclusive(root.id),
+                r.stats.rows_charged,
+                "{mode:?}: span rows must sum to the query total"
+            );
+            assert!(r.stats.rows_charged >= n as u64, "{mode:?}");
+
+            // Every span's window nests inside the query's window, and the
+            // top-level operators (which run sequentially) account for the
+            // bulk of — and never more than — the query's wall clock.
+            for s in report.spans() {
+                assert!(
+                    s.start_ns >= root.start_ns && s.end_ns <= root.end_ns,
+                    "{mode:?}: span {} outside the query window",
+                    s.name()
+                );
+            }
+            let op_ns: u64 = report.children(root.id).map(SpanRecord::duration_ns).sum();
+            assert!(op_ns <= report.total_ns(), "{mode:?}");
+            assert!(
+                2 * op_ns >= report.total_ns(),
+                "{mode:?}: operators cover at least half the query ({op_ns} of {})",
+                report.total_ns()
+            );
+
+            let workers = report
+                .spans()
+                .iter()
+                .filter(|s| s.label == "worker")
+                .count();
+            if want_workers {
+                assert!(workers >= 2, "parallel run records worker spans");
+            } else {
+                assert_eq!(workers, 0, "serial run records no worker spans");
+            }
+        }
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub use missing::MissingRows;
 pub use olap::eval_vpct_olap;
 pub use optimizer::{choose_horizontal_strategy, choose_parallelism, choose_vpct_strategy};
 pub use pa_engine::{
-    AbortCause, Clock, Deadline, Degradation, ExecStats, ParallelConfig, ResourceGuard,
-    SystemClock, TestClock,
+    AbortCause, Clock, Deadline, Degradation, ExecStats, MetricsRegistry, ParallelConfig,
+    ResourceGuard, SpanRecord, SystemClock, TestClock, TraceReport, Tracer,
 };
 pub use query::{
     from_sql, ExtraAgg, HorizontalQuery, HorizontalTerm, Measure, Query, VpctQuery, VpctTerm,

@@ -373,6 +373,9 @@ fn scalar_update_divide(
     let n = t.num_rows();
     stats.rows_scanned += n as u64;
     guard.charge(n as u64)?;
+    let mut span = guard.span("update");
+    span.add_rows(n as u64);
+    span.add_morsels(1);
     let denom = total.as_f64();
     for row in 0..n {
         let before = t.column(col).get(row);

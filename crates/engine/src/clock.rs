@@ -1,146 +1,8 @@
 //! Injectable time source for wall-clock deadlines.
 //!
-//! Deadline enforcement must be testable without sleeping: the guard reads
-//! time through the [`Clock`] trait, production uses the monotonic
-//! [`SystemClock`], and tests drive a [`TestClock`] whose hands only move
-//! when the test says so — the same tick schedule always trips a deadline
-//! at the same charge boundary.
+//! The implementation lives in [`pa_obs::clock`] so the tracer and the
+//! deadline guard share one notion of time; this module re-exports it under
+//! the engine paths the rest of the workspace already uses
+//! (`pa_engine::clock::TestClock`, `pa_engine::Clock`, ...).
 
-use std::fmt::Debug;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// A monotonic time source. `now()` is an offset from an arbitrary epoch
-/// fixed at construction; only differences are meaningful.
-pub trait Clock: Debug + Send + Sync {
-    /// Time elapsed since this clock's epoch.
-    fn now(&self) -> Duration;
-}
-
-/// The real monotonic clock, anchored to construction time.
-#[derive(Debug)]
-pub struct SystemClock {
-    epoch: Instant,
-}
-
-impl SystemClock {
-    /// A clock whose epoch is now.
-    pub fn new() -> SystemClock {
-        SystemClock {
-            epoch: Instant::now(),
-        }
-    }
-
-    /// A shared handle, as the guard stores clocks.
-    pub fn shared() -> Arc<dyn Clock> {
-        Arc::new(SystemClock::new())
-    }
-}
-
-impl Default for SystemClock {
-    fn default() -> Self {
-        SystemClock::new()
-    }
-}
-
-impl Clock for SystemClock {
-    fn now(&self) -> Duration {
-        self.epoch.elapsed()
-    }
-}
-
-/// A manually driven clock for deterministic deadline tests.
-///
-/// Time is a shared atomic nanosecond counter: it advances only via
-/// [`TestClock::advance`]/[`TestClock::set`], plus an optional fixed
-/// `auto_step` added on every `now()` read — that models "time passes while
-/// the query works" with perfect reproducibility, since the guard reads the
-/// clock exactly once per charge boundary.
-///
-/// ```
-/// use pa_engine::clock::{Clock, TestClock};
-/// use std::time::Duration;
-///
-/// let clock = TestClock::new();
-/// assert_eq!(clock.now(), Duration::ZERO);
-/// clock.advance(Duration::from_millis(5));
-/// assert_eq!(clock.now(), Duration::from_millis(5));
-/// ```
-#[derive(Debug, Default)]
-pub struct TestClock {
-    nanos: AtomicU64,
-    auto_step_nanos: u64,
-}
-
-impl TestClock {
-    /// A clock frozen at zero.
-    pub fn new() -> TestClock {
-        TestClock::default()
-    }
-
-    /// A clock that ticks forward `step` on every `now()` read (after
-    /// returning the pre-tick value on the first read of each instant).
-    pub fn with_auto_step(step: Duration) -> TestClock {
-        TestClock {
-            nanos: AtomicU64::new(0),
-            auto_step_nanos: step.as_nanos() as u64,
-        }
-    }
-
-    /// Move the hands forward.
-    pub fn advance(&self, by: Duration) {
-        self.nanos
-            .fetch_add(by.as_nanos() as u64, Ordering::Relaxed);
-    }
-
-    /// Set the hands to an absolute offset from the epoch.
-    pub fn set(&self, to: Duration) {
-        self.nanos.store(to.as_nanos() as u64, Ordering::Relaxed);
-    }
-}
-
-impl Clock for TestClock {
-    fn now(&self) -> Duration {
-        let now = if self.auto_step_nanos == 0 {
-            self.nanos.load(Ordering::Relaxed)
-        } else {
-            self.nanos
-                .fetch_add(self.auto_step_nanos, Ordering::Relaxed)
-        };
-        Duration::from_nanos(now)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn system_clock_is_monotone() {
-        let c = SystemClock::new();
-        let a = c.now();
-        let b = c.now();
-        assert!(b >= a);
-    }
-
-    #[test]
-    fn test_clock_moves_only_on_demand() {
-        let c = TestClock::new();
-        assert_eq!(c.now(), Duration::ZERO);
-        assert_eq!(c.now(), Duration::ZERO, "frozen until advanced");
-        c.advance(Duration::from_micros(3));
-        c.advance(Duration::from_micros(4));
-        assert_eq!(c.now(), Duration::from_micros(7));
-        c.set(Duration::from_secs(1));
-        assert_eq!(c.now(), Duration::from_secs(1));
-    }
-
-    #[test]
-    fn auto_step_ticks_per_read() {
-        let c = TestClock::with_auto_step(Duration::from_millis(1));
-        assert_eq!(c.now(), Duration::ZERO, "first read sees the epoch");
-        assert_eq!(c.now(), Duration::from_millis(1));
-        assert_eq!(c.now(), Duration::from_millis(2));
-    }
-}
+pub use pa_obs::clock::{Clock, SystemClock, TestClock};

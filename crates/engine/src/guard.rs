@@ -24,6 +24,7 @@
 
 use crate::clock::{Clock, SystemClock};
 use crate::error::{EngineError, Result};
+use pa_obs::{SpanHandle, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -142,12 +143,19 @@ impl GuardInner {
 #[derive(Debug, Clone, Default)]
 pub struct ResourceGuard {
     inner: Option<Arc<GuardInner>>,
+    /// Span tracer riding on the guard — the one handle every operator
+    /// already receives. Disabled by default, so untraced queries pay one
+    /// `Option` branch per span-open and nothing per row.
+    tracer: Tracer,
 }
 
 impl ResourceGuard {
     /// A guard that admits everything. `charge` and `check` are near-free.
     pub const fn unlimited() -> ResourceGuard {
-        ResourceGuard { inner: None }
+        ResourceGuard {
+            inner: None,
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// A guard admitting at most `rows` rows of work (scanned plus
@@ -195,6 +203,7 @@ impl ResourceGuard {
                 deadline: deadline.as_ref().map(DeadlineState::arm),
                 parent: None,
             })),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -213,6 +222,7 @@ impl ResourceGuard {
                 deadline: None,
                 parent: None,
             })),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -249,7 +259,8 @@ impl ResourceGuard {
         deadline: Option<Deadline>,
     ) -> ResourceGuard {
         let Some(inner) = &self.inner else {
-            return ResourceGuard::with_limits(row_budget, deadline);
+            return ResourceGuard::with_limits(row_budget, deadline)
+                .with_tracer(self.tracer.clone());
         };
         let armed = match &deadline {
             Some(d) => Some(DeadlineState::arm(d)),
@@ -268,7 +279,27 @@ impl ResourceGuard {
                 deadline: armed,
                 parent: Some(Arc::clone(inner)),
             })),
+            tracer: self.tracer.clone(),
         }
+    }
+
+    /// Attach a [`Tracer`]: spans opened via [`ResourceGuard::span`] on
+    /// this guard (and every guard derived from it) record to `tracer`.
+    /// Limits, meters, and roll-up links are untouched.
+    pub fn with_tracer(mut self, tracer: Tracer) -> ResourceGuard {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer riding on this guard (disabled unless one was attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Open an operator span on this guard's tracer. A no-op handle when
+    /// no tracer is attached — operators call this unconditionally.
+    pub fn span(&self, label: &'static str) -> SpanHandle {
+        self.tracer.span(label)
     }
 
     /// Whether this guard enforces anything at all.
@@ -576,6 +607,29 @@ mod tests {
         clock.advance(Duration::from_millis(1));
         g.cancel();
         assert!(matches!(g.charge(1), Err(EngineError::Cancelled)));
+    }
+
+    #[test]
+    fn tracer_rides_along_per_query_derivation() {
+        let clock = Arc::new(TestClock::with_auto_step(Duration::from_nanos(1)));
+        let tracer = Tracer::enabled(clock);
+        let root = tracer.span("query");
+        let g = ResourceGuard::with_row_budget(100).with_tracer(tracer.clone());
+        assert!(g.tracer().is_enabled());
+        // Both the bounded and the unlimited derivation paths propagate it.
+        let q = g.per_query();
+        assert!(q.tracer().is_enabled());
+        let u = ResourceGuard::unlimited()
+            .with_tracer(tracer.clone())
+            .per_query_limited(Some(5), None);
+        assert!(u.tracer().is_enabled());
+        q.span("aggregate").finish();
+        root.finish();
+        let report = tracer.take_report();
+        assert_eq!(report.spans().len(), 2);
+        assert_eq!(report.spans()[1].label, "aggregate");
+        // Untraced guards open no-op spans.
+        assert!(!ResourceGuard::unlimited().span("x").is_enabled());
     }
 
     #[test]

@@ -41,5 +41,6 @@ pub use ops::project::{project, ProjSpec};
 pub use ops::sort::{sort, sort_permutation};
 pub use ops::update::{update_from, SetClause};
 pub use ops::window::window_aggregate;
+pub use pa_obs::{MetricsRegistry, SpanHandle, SpanRecord, TraceReport, Tracer};
 pub use parallel::ParallelConfig;
 pub use stats::{AbortCause, Degradation, ExecStats};

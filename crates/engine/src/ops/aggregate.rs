@@ -25,6 +25,7 @@ use crate::keymap::RowKeyMap;
 use crate::ops::acc::Acc;
 use crate::parallel::ParallelConfig;
 use crate::stats::ExecStats;
+use pa_obs::SpanHandle;
 use pa_storage::{DataType, Field, Schema, Table, Value};
 
 /// Aggregate functions. All skip NULL inputs except `CountStar`.
@@ -347,9 +348,12 @@ fn scan_chunk(
     guard: &ResourceGuard,
     stats: &mut ExecStats,
     config: &ParallelConfig,
+    span: &mut SpanHandle,
 ) -> Result<()> {
     for morsel in config.morsels(chunk) {
         guard.charge(morsel.len() as u64)?;
+        span.add_morsels(1);
+        span.add_rows(morsel.len() as u64);
         for row in morsel {
             for lvl in lvls.iter_mut() {
                 lvl.absorb(input, row, stats)?;
@@ -405,10 +409,11 @@ pub fn multi_hash_aggregate_with_config(
     let n = input.num_rows();
     stats.rows_scanned += n as u64;
     let chunks = config.chunks(n);
+    let mut span = guard.span("aggregate");
 
     let mut lvls: Vec<Level> = if chunks.len() <= 1 {
         let mut lvls = make_levels();
-        scan_chunk(input, &mut lvls, 0..n, guard, stats, config)?;
+        scan_chunk(input, &mut lvls, 0..n, guard, stats, config, &mut span)?;
         lvls
     } else {
         // Fan the contiguous chunks out over scoped workers; each builds
@@ -425,14 +430,27 @@ pub fn multi_hash_aggregate_with_config(
         let worker_results: Vec<WorkerOut> = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|chunk| {
+                .enumerate()
+                .map(|(w, chunk)| {
                     let make_levels = &make_levels;
                     let panicked = &panicked;
+                    // Each worker times itself on a child span keyed by its
+                    // worker index, so the merged trace orders workers
+                    // deterministically regardless of close order.
+                    let mut wspan = span.child("worker", w as u32);
                     s.spawn(move || -> WorkerOut {
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> WorkerOut {
                             let mut lvls = make_levels();
                             let mut wstats = ExecStats::default();
-                            scan_chunk(input, &mut lvls, chunk, guard, &mut wstats, config)?;
+                            scan_chunk(
+                                input,
+                                &mut lvls,
+                                chunk,
+                                guard,
+                                &mut wstats,
+                                config,
+                                &mut wspan,
+                            )?;
                             Ok((lvls, wstats))
                         }))
                         .unwrap_or_else(|p| {
@@ -480,7 +498,9 @@ pub fn multi_hash_aggregate_with_config(
             }
         }
     }
-    guard.charge(lvls.iter().map(|l| l.map.len() as u64).sum())?;
+    let out_rows: u64 = lvls.iter().map(|l| l.map.len() as u64).sum();
+    guard.charge(out_rows)?;
+    span.add_rows(out_rows);
     lvls.into_iter()
         .map(|lvl| lvl.finish(input.schema(), stats))
         .collect()
@@ -866,6 +886,48 @@ mod tests {
                 assert_eq!(s_rows, p_rows, "threads={threads}");
             }
             assert_eq!(st.rows_scanned, serial_stats.rows_scanned);
+        }
+    }
+
+    #[test]
+    fn traced_scan_counts_every_row_exactly_once() {
+        use crate::clock::SystemClock;
+        use pa_obs::Tracer;
+        let t = big(8_192, 13);
+        let specs = vec![AggSpec::new(AggFunc::Sum, Expr::Col(2), "s")];
+        for (threads, expect_workers) in [(1, 0), (4, 4)] {
+            let tracer = Tracer::enabled(SystemClock::shared());
+            let root = tracer.span("query");
+            let guard = ResourceGuard::counting().with_tracer(tracer.clone());
+            hash_aggregate_with_config(
+                &t,
+                &[0],
+                &specs,
+                &guard,
+                &mut ExecStats::default(),
+                &par(threads, 256),
+            )
+            .unwrap();
+            root.finish();
+            let report = tracer.take_report();
+            let agg = report
+                .spans()
+                .iter()
+                .find(|s| s.label == "aggregate")
+                .expect("aggregate span recorded");
+            let workers: Vec<_> = report.children(agg.id).collect();
+            assert_eq!(workers.len(), expect_workers, "threads={threads}");
+            // Scanned rows plus the 13 emitted groups — mirroring exactly
+            // what the guard charges, so a trace ties out to rows_charged.
+            assert_eq!(
+                report.rows_inclusive(agg.id),
+                8_192 + 13,
+                "threads={threads}: every input row and output group counted once"
+            );
+            assert_eq!(report.morsels_inclusive(agg.id), 8_192 / 256);
+            // Worker order in the report is the deterministic merge order.
+            let ordinals: Vec<_> = workers.iter().map(|w| w.ordinal.unwrap()).collect();
+            assert_eq!(ordinals, (0..expect_workers as u32).collect::<Vec<_>>());
         }
     }
 

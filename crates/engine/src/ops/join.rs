@@ -101,6 +101,7 @@ pub fn hash_join_guarded(
         }
     }
     stats.statements += 1;
+    let mut span = guard.span("join");
 
     // Build side.
     let built;
@@ -118,6 +119,8 @@ pub fn hash_join_guarded(
     let n = left.num_rows();
     stats.rows_scanned += n as u64;
     guard.charge((n + right.num_rows()) as u64)?;
+    span.add_rows((n + right.num_rows()) as u64);
+    span.add_morsels(1);
     let mut left_rows: Vec<usize> = Vec::with_capacity(n);
     let mut right_rows: Vec<Option<usize>> = Vec::with_capacity(n);
     let mut key_buf: Vec<Value> = Vec::with_capacity(left_keys.len());
@@ -142,10 +145,12 @@ pub fn hash_join_guarded(
         let produced = left_rows.len() - charged;
         if produced >= JOIN_CHARGE_BATCH {
             guard.charge(produced as u64)?;
+            span.add_rows(produced as u64);
             charged = left_rows.len();
         }
     }
     guard.charge((left_rows.len() - charged) as u64)?;
+    span.add_rows((left_rows.len() - charged) as u64);
 
     // Assemble output schema with deduplicated names.
     let mut fields: Vec<Field> = left.schema().fields().to_vec();

@@ -1,0 +1,360 @@
+//! Differential oracle harness: every pair of evaluation strategies that
+//! claims to compute the same relation must produce *byte-identical*
+//! results, and a divergence must fail with an actionable message — the
+//! two strategy names and the first row where they disagree.
+//!
+//! Three oracles, mirroring the repo's equivalence claims:
+//!
+//! 1. **CASE vs SPJ** (± hash dispatch): all four `HorizontalStrategy`
+//!    plans over proptest-generated fact tables (NULL dimensions, NULL and
+//!    negative measures, duplicate rows).
+//! 2. **Serial vs parallel**: `ParallelMode::Serial` against
+//!    `Threads(1|2|4)` on a table large enough (> 3 morsels) that 4 real
+//!    workers engage — driven through `HorizontalOptions.parallel`, not
+//!    the environment, so the test cannot race other tests over env vars.
+//! 3. **Vertical vs horizontally-transposed-then-flattened**: the `Hpct`
+//!    matrix mapped back to `(group, by-value, pct)` triples via its cell
+//!    column names must equal the `Vpct` relation, modulo the documented
+//!    NULL-cell divergence (SIGMOD's `ELSE 0` CASE arm renders an
+//!    all-NULL cell as 0 where `Vpct`'s `sum()` of nothing is NULL).
+//!
+//! Measures are integer-valued floats throughout: their sums are exact
+//! under any regrouping of additions (DESIGN.md §7), so "identical" means
+//! bitwise equality, not within-epsilon. This is a pa-engine *dev*
+//! dependency on pa-core — a dev-dep cycle Cargo permits — because the
+//! strategies under test are planned above the operator layer but the
+//! operators are what diverge.
+
+use pa_core::{
+    HorizontalOptions, HorizontalQuery, HorizontalStrategy, ParallelMode, PercentageEngine,
+    VpctQuery, VpctStrategy,
+};
+use pa_storage::{Catalog, DataType, Schema, Table, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Row {
+    g: Option<i64>,
+    d: Option<i64>,
+    a: Option<i64>,
+}
+
+/// NULLs in every column, few distinct keys (duplicates guaranteed),
+/// negative measures (zero-sum groups reachable).
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (
+        prop::option::weighted(0.9, 0..4i64),
+        prop::option::weighted(0.9, 0..5i64),
+        prop::option::weighted(0.85, -3..=3i64),
+    )
+        .prop_map(|(g, d, a)| Row { g, d, a })
+}
+
+fn build_catalog(rows: &[Row]) -> Catalog {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("g", DataType::Int),
+        ("d", DataType::Int),
+        ("a", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut t = Table::with_capacity(schema, rows.len());
+    for r in rows {
+        t.push_row(&[
+            Value::from(r.g),
+            Value::from(r.d),
+            Value::from(r.a.map(|x| x as f64)),
+        ])
+        .unwrap();
+    }
+    catalog.create_table("f", t).unwrap();
+    catalog
+}
+
+fn sorted_rows(t: &Table) -> Vec<Vec<Value>> {
+    let all: Vec<usize> = (0..t.num_columns()).collect();
+    t.sorted_by(&all).rows().collect()
+}
+
+/// Byte-identical comparison with an actionable verdict: `None` on
+/// agreement, otherwise a message carrying both strategy names, the first
+/// divergent (sorted) row index and both rows in full.
+fn first_divergence(name_a: &str, a: &Table, name_b: &str, b: &Table) -> Option<String> {
+    if a.num_columns() != b.num_columns() {
+        return Some(format!(
+            "{name_a} vs {name_b}: column count {} vs {}",
+            a.num_columns(),
+            b.num_columns()
+        ));
+    }
+    let ra = sorted_rows(a);
+    let rb = sorted_rows(b);
+    for (i, (x, y)) in ra.iter().zip(rb.iter()).enumerate() {
+        if x != y {
+            return Some(format!(
+                "{name_a} vs {name_b}: first divergent row {i}: {x:?} vs {y:?}"
+            ));
+        }
+    }
+    if ra.len() != rb.len() {
+        let i = ra.len().min(rb.len());
+        let extra = if ra.len() > rb.len() {
+            format!("{name_a} has extra row {:?}", ra[i])
+        } else {
+            format!("{name_b} has extra row {:?}", rb[i])
+        };
+        return Some(format!(
+            "{name_a} vs {name_b}: row count {} vs {}; first unmatched row {i}: {extra}",
+            ra.len(),
+            rb.len()
+        ));
+    }
+    None
+}
+
+/// Every horizontal plan variant under test: the four strategies plus the
+/// hash-dispatch ablation of each CASE strategy.
+fn horizontal_variants() -> Vec<(String, HorizontalOptions)> {
+    let mut v = Vec::new();
+    for strategy in HorizontalStrategy::all() {
+        v.push((
+            strategy.label().to_string(),
+            HorizontalOptions::with_strategy(strategy),
+        ));
+    }
+    for strategy in [
+        HorizontalStrategy::CaseDirect,
+        HorizontalStrategy::CaseFromFv,
+    ] {
+        v.push((
+            format!("{}+dispatch", strategy.label()),
+            HorizontalOptions {
+                strategy,
+                hash_dispatch: true,
+                ..HorizontalOptions::default()
+            },
+        ));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Oracle 1: CASE vs SPJ (and ± dispatch) are byte-identical.
+    #[test]
+    fn case_and_spj_strategies_are_byte_identical(
+        rows in prop::collection::vec(row_strategy(), 1..60)
+    ) {
+        let catalog = build_catalog(&rows);
+        let engine = PercentageEngine::with_unique_temps(&catalog);
+        let q = HorizontalQuery::hpct("f", &["g"], "a", &["d"]);
+        let variants = horizontal_variants();
+        let (ref_name, ref_opts) = &variants[0];
+        let reference = engine.horizontal_with(&q, ref_opts).unwrap().snapshot();
+        for (name, opts) in &variants[1..] {
+            let got = engine.horizontal_with(&q, opts).unwrap().snapshot();
+            if let Some(diff) = first_divergence(ref_name, &reference, name, &got) {
+                prop_assert!(false, "{diff}");
+            }
+        }
+    }
+
+    /// Oracle 1b: the vertical strategies against the best plan, same
+    /// byte-identical contract.
+    #[test]
+    fn vertical_strategies_are_byte_identical(
+        rows in prop::collection::vec(row_strategy(), 1..60)
+    ) {
+        let catalog = build_catalog(&rows);
+        let engine = PercentageEngine::with_unique_temps(&catalog);
+        let q = VpctQuery::single("f", &["g", "d"], "a", &["d"]);
+        let reference = engine.vpct_with(&q, &VpctStrategy::best()).unwrap().snapshot();
+        for strat in [
+            VpctStrategy::without_index(),
+            VpctStrategy::with_update(),
+            VpctStrategy::fj_from_f(),
+            VpctStrategy::synchronized(),
+        ] {
+            let got = engine.vpct_with(&q, &strat).unwrap().snapshot();
+            if let Some(diff) = first_divergence("best", &reference, &format!("{strat:?}"), &got) {
+                prop_assert!(false, "{diff}");
+            }
+        }
+    }
+
+    /// Oracle 3: flattening the `Hpct` matrix reproduces `Vpct`.
+    #[test]
+    fn flattened_horizontal_equals_vertical(
+        rows in prop::collection::vec(row_strategy(), 1..60)
+    ) {
+        let catalog = build_catalog(&rows);
+        let engine = PercentageEngine::with_unique_temps(&catalog);
+        let v = engine
+            .vpct(&VpctQuery::single("f", &["g", "d"], "a", &["d"]))
+            .unwrap()
+            .snapshot();
+        let h = engine
+            .horizontal(&HorizontalQuery::hpct("f", &["g"], "a", &["d"]))
+            .unwrap();
+        let ht = h.snapshot();
+        let names = &h.cell_columns[0];
+        let mut hrow = std::collections::HashMap::new();
+        for r in 0..ht.num_rows() {
+            hrow.insert(ht.get(r, 0).to_string(), r);
+        }
+        // Every vertical row must be found in the flattened matrix.
+        for r in 0..v.num_rows() {
+            let g = v.get(r, 0).to_string();
+            let d = v.get(r, 1);
+            let col_name = names
+                .iter()
+                .find(|n| **n == format!("d={d}"))
+                .expect("cell column exists for every observed BY value");
+            let c = ht.schema().index_of(col_name).unwrap();
+            let pct_h = ht.get(hrow[&g], c);
+            let pct_v = v.get(r, 2);
+            if pct_v.is_null() {
+                // Documented divergence: all-NULL cell is NULL vertically,
+                // 0 horizontally (ELSE 0) — unless the whole group total is
+                // zero/NULL, where both are NULL.
+                prop_assert!(
+                    pct_h.is_null() || pct_h.as_f64().is_some_and(|x| x == 0.0),
+                    "vertical vs horizontal-flattened: g={g} d={d}: \
+                     horizontal {pct_h:?} for NULL vertical cell"
+                );
+            } else {
+                prop_assert!(
+                    pct_h == pct_v,
+                    "vertical vs horizontal-flattened: first divergent cell \
+                     g={g} d={d}: vertical {pct_v:?} vs horizontal {pct_h:?}"
+                );
+            }
+        }
+        // And the matrix must not contain cells the vertical relation lacks:
+        // every non-NULL, non-zero cell corresponds to some vertical row.
+        let vert_rows = v.num_rows();
+        let mut nonzero_cells = 0usize;
+        for r in 0..ht.num_rows() {
+            for name in names {
+                let c = ht.schema().index_of(name).unwrap();
+                match ht.get(r, c).as_f64() {
+                    Some(x) if x != 0.0 => nonzero_cells += 1,
+                    _ => {}
+                }
+            }
+        }
+        prop_assert!(
+            nonzero_cells <= vert_rows,
+            "horizontal matrix has {nonzero_cells} non-zero cells but the \
+             vertical relation only {vert_rows} rows"
+        );
+    }
+}
+
+/// Oracle 2: serial vs real morsel parallelism, all strategies.
+///
+/// 260 096 rows = 3×64Ki morsels + remainder, above the 32Ki serial
+/// threshold, so `Threads(4)` engages four genuine workers
+/// (`ParallelConfig::effective_threads`). Deterministic LCG data — the
+/// point here is the fan-out/merge path, not input diversity (oracle 1
+/// covers that).
+#[test]
+fn serial_and_parallel_plans_are_byte_identical() {
+    const N: usize = 260_096;
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("g", DataType::Int),
+        ("d", DataType::Int),
+        ("a", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut t = Table::with_capacity(schema, N);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..N {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let g = (state >> 33) % 101;
+        let d = (state >> 13) % 7;
+        let a = (state >> 3) % 1000;
+        t.push_row(&[
+            Value::from(g as i64),
+            Value::from(d as i64),
+            Value::from(a as f64),
+        ])
+        .unwrap();
+    }
+    catalog.create_table("f", t).unwrap();
+    let engine = PercentageEngine::with_unique_temps(&catalog);
+    let q = HorizontalQuery::hpct("f", &["g"], "a", &["d"]);
+
+    for (name, opts) in horizontal_variants() {
+        let serial = engine
+            .horizontal_with(
+                &q,
+                &HorizontalOptions {
+                    parallel: ParallelMode::Serial,
+                    ..opts.clone()
+                },
+            )
+            .unwrap()
+            .snapshot();
+        for threads in [1usize, 2, 4] {
+            let parallel = engine
+                .horizontal_with(
+                    &q,
+                    &HorizontalOptions {
+                        parallel: ParallelMode::Threads(threads),
+                        ..opts.clone()
+                    },
+                )
+                .unwrap()
+                .snapshot();
+            if let Some(diff) = first_divergence(
+                &format!("{name}/serial"),
+                &serial,
+                &format!("{name}/threads={threads}"),
+                &parallel,
+            ) {
+                panic!("{diff}");
+            }
+        }
+    }
+}
+
+/// The harness itself must be able to see a divergence: feed it two tables
+/// that differ in one cell and check the message carries both names and
+/// the divergent row.
+#[test]
+fn harness_reports_injected_divergence() {
+    let schema = Schema::from_pairs(&[("g", DataType::Int), ("p", DataType::Float)])
+        .unwrap()
+        .into_shared();
+    let mut a = Table::empty(schema.clone());
+    let mut b = Table::empty(schema);
+    for g in 0..3i64 {
+        a.push_row(&[Value::from(g), Value::from(0.25f64)]).unwrap();
+        let p = if g == 1 { 0.5 } else { 0.25 };
+        b.push_row(&[Value::from(g), Value::from(p)]).unwrap();
+    }
+    let msg =
+        first_divergence("case_direct", &a, "spj_direct", &b).expect("divergence must be detected");
+    assert!(
+        msg.contains("case_direct") && msg.contains("spj_direct"),
+        "message names both strategies: {msg}"
+    );
+    assert!(
+        msg.contains("first divergent row 1"),
+        "message pins the first divergent row: {msg}"
+    );
+
+    // Row-count divergence is also actionable.
+    let mut c = Table::empty(a.schema().clone());
+    c.push_row(&[Value::from(0i64), Value::from(0.25f64)])
+        .unwrap();
+    let msg = first_divergence("serial", &a, "threads=4", &c).expect("count divergence");
+    assert!(msg.contains("row count 3 vs 1"), "{msg}");
+}

@@ -1,0 +1,26 @@
+//! # pa-obs — observability primitives
+//!
+//! The leaf crate the rest of the workspace instruments itself with. Three
+//! pieces, no external dependencies:
+//!
+//! - [`Clock`]: the injectable monotonic time source (moved here from
+//!   `pa-engine` so the tracer and the deadline guard share one notion of
+//!   time). [`SystemClock`] for production, [`TestClock`] for deterministic
+//!   tests.
+//! - [`MetricsRegistry`]: named counters/gauges/fixed-bucket histograms.
+//!   Registration takes a lock once; every increment afterwards is one
+//!   relaxed atomic. Renders the Prometheus text format deterministically.
+//! - [`Tracer`]: span-based operator tracing. Disabled it is a `None`
+//!   branch; enabled it stamps open/close times from the [`Clock`] and
+//!   buffers one record per span, merged into a deterministic
+//!   [`TraceReport`] (JSON-dumpable) at the end of a query.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{Clock, SystemClock, TestClock};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{SpanHandle, SpanRecord, TraceReport, Tracer};

@@ -1,0 +1,373 @@
+//! Lock-light metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! The registry is the only place with a lock, and it is touched only at
+//! registration time: [`MetricsRegistry::counter`] (and friends) hand back
+//! an `Arc` handle that callers cache, and every subsequent increment is a
+//! single relaxed atomic on that handle. Rendering walks the registry under
+//! the lock and emits the Prometheus text exposition format with metric
+//! names in sorted order, so the output is deterministic and diffable.
+//!
+//! Naming follows Prometheus conventions: `pa_<crate>_<what>_<unit>` with
+//! `_total` for counters, and dimensional breakdowns encoded as labels in
+//! the registered name (e.g. `pa_service_shed_total{reason="queue_full"}`
+//! — each label combination is its own handle).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Move up by `n`.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Move down by `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed bucket boundaries chosen at registration.
+///
+/// Buckets are upper-bound inclusive (`v <= bound`), with an implicit
+/// `+Inf` bucket at the end, matching Prometheus semantics. Observation is
+/// a linear scan over the (few, fixed) bounds plus three relaxed atomics —
+/// no allocation, no lock.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        let mut sorted: Vec<u64> = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: sorted,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative count of observations `<= bound` for each configured
+    /// bound, ending with the `+Inf` total.
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            out.push((self.bounds.get(i).copied(), acc));
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// Registry of named metrics with a deterministic Prometheus-text render.
+///
+/// ```
+/// use pa_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let queries = reg.counter("pa_queries_total", "Queries accepted");
+/// queries.inc();
+/// assert!(reg.render().contains("pa_queries_total 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// A shared empty registry (most owners hold `Arc<MetricsRegistry>`).
+    pub fn shared() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    /// Get or register the counter named `name`. The name may carry a
+    /// Prometheus label set (`pa_shed_total{reason="timeout"}`); each label
+    /// combination is an independent counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        let entry = m.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::new(Counter::default())),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or register the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        let entry = m.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::new(Gauge::default())),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Get or register the histogram named `name` with the given bucket
+    /// upper bounds (sorted and deduplicated; a `+Inf` bucket is implicit).
+    /// Re-registration returns the existing handle; the bounds of the first
+    /// registration win.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        let entry = m.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::new(Histogram::new(bounds))),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Render every registered metric in the Prometheus text exposition
+    /// format, names in sorted order. `# HELP`/`# TYPE` headers are emitted
+    /// once per base name (labelled variants of one metric share them).
+    pub fn render(&self) -> String {
+        let m = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, entry) in m.iter() {
+            let base = name.split('{').next().unwrap_or(name);
+            if base != last_base {
+                let kind = match &entry.metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# HELP {base} {}\n", entry.help));
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_base = base.to_string();
+            }
+            match &entry.metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let (base_name, labels) = match name.find('{') {
+                        Some(i) => (&name[..i], name[i + 1..name.len() - 1].to_string()),
+                        None => (name.as_str(), String::new()),
+                    };
+                    let sep = if labels.is_empty() { "" } else { "," };
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let le = match bound {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        out.push_str(&format!(
+                            "{base_name}_bucket{{{labels}{sep}le=\"{le}\"}} {cum}\n"
+                        ));
+                    }
+                    let lb = if labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{{{labels}}}")
+                    };
+                    out.push_str(&format!("{base_name}_sum{lb} {}\n", h.sum()));
+                    out.push_str(&format!("{base_name}_count{lb} {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("pa_x_total", "x");
+        let b = reg.counter("pa_x_total", "x");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("pa_inflight", "in-flight");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-1);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_inclusive() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 99, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5 + 10 + 11 + 99 + 5000);
+        let cum = h.cumulative_buckets();
+        assert_eq!(
+            cum,
+            vec![
+                (Some(10), 2),   // 5, 10 (upper bound inclusive)
+                (Some(100), 4),  // + 11, 99
+                (Some(1000), 4), // nothing between 101 and 1000
+                (None, 5),       // +Inf catches 5000
+            ]
+        );
+    }
+
+    #[test]
+    fn render_is_sorted_and_prometheus_shaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pa_b_total", "b counter").add(2);
+        reg.gauge("pa_a_gauge", "a gauge").set(7);
+        reg.histogram("pa_c_ns", "c histogram", &[50, 500])
+            .observe(60);
+        let text = reg.render();
+        let a = text.find("pa_a_gauge").unwrap();
+        let b = text.find("pa_b_total").unwrap();
+        let c = text.find("pa_c_ns").unwrap();
+        assert!(a < b && b < c, "sorted by name:\n{text}");
+        assert!(text.contains("# TYPE pa_a_gauge gauge"));
+        assert!(text.contains("# TYPE pa_b_total counter"));
+        assert!(text.contains("# TYPE pa_c_ns histogram"));
+        assert!(text.contains("pa_c_ns_bucket{le=\"50\"} 0"));
+        assert!(text.contains("pa_c_ns_bucket{le=\"500\"} 1"));
+        assert!(text.contains("pa_c_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("pa_c_ns_sum 60"));
+        assert!(text.contains("pa_c_ns_count 1"));
+    }
+
+    #[test]
+    fn labelled_variants_share_one_header() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pa_shed_total{reason=\"queue_full\"}", "sheds")
+            .inc();
+        reg.counter("pa_shed_total{reason=\"timeout\"}", "sheds")
+            .add(2);
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE pa_shed_total counter").count(), 1);
+        assert!(text.contains("pa_shed_total{reason=\"queue_full\"} 1"));
+        assert!(text.contains("pa_shed_total{reason=\"timeout\"} 2"));
+    }
+
+    #[test]
+    fn labelled_histogram_renders_labels_inside_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("pa_wait_ns{queue=\"fifo\"}", "wait", &[100]);
+        h.observe(7);
+        let text = reg.render();
+        assert!(
+            text.contains("pa_wait_ns_bucket{queue=\"fifo\",le=\"100\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("pa_wait_ns_sum{queue=\"fifo\"} 7"));
+        assert!(text.contains("pa_wait_ns_count{queue=\"fifo\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pa_x", "x");
+        reg.gauge("pa_x", "x");
+    }
+}

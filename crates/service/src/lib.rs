@@ -49,10 +49,12 @@ use pa_core::{
     PercentageEngine, QueryLimits, VpctQuery, VpctStrategy,
 };
 use pa_engine::{AbortCause, Degradation, ExecStats};
+use pa_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use pa_storage::{Catalog, Table};
 use semaphore::{AcquireError, FifoSemaphore, Permit};
 use std::fmt;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How the service admits, limits, and degrades queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +191,85 @@ pub struct QueryService<'a> {
     engine: PercentageEngine<'a>,
     sem: FifoSemaphore,
     config: ServiceConfig,
+    registry: Arc<MetricsRegistry>,
+    metrics: ServiceMetrics,
+}
+
+/// Handles into the service's [`MetricsRegistry`], registered once at
+/// construction so the hot path touches only atomics.
+#[derive(Debug)]
+struct ServiceMetrics {
+    queries: Arc<Counter>,
+    failures: Arc<Counter>,
+    rows_charged: Arc<Counter>,
+    shed_queue_full: Arc<Counter>,
+    shed_timeout: Arc<Counter>,
+    degraded_serial: Arc<Counter>,
+    degraded_spj: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    queue_wait: Arc<Histogram>,
+}
+
+impl ServiceMetrics {
+    fn register(r: &MetricsRegistry) -> ServiceMetrics {
+        ServiceMetrics {
+            queries: r.counter(
+                "pa_service_queries_total",
+                "Queries that passed admission control",
+            ),
+            failures: r.counter(
+                "pa_service_failures_total",
+                "Admitted queries that returned an error",
+            ),
+            rows_charged: r.counter(
+                "pa_service_rows_charged_total",
+                "Rows charged against per-query guards by successful queries",
+            ),
+            shed_queue_full: r.counter(
+                "pa_service_shed_total{reason=\"queue_full\"}",
+                "Arrivals shed by admission control",
+            ),
+            shed_timeout: r.counter(
+                "pa_service_shed_total{reason=\"timeout\"}",
+                "Arrivals shed by admission control",
+            ),
+            degraded_serial: r.counter(
+                "pa_service_degraded_total{rung=\"serial\"}",
+                "Queries answered from a degradation-ladder rung",
+            ),
+            degraded_spj: r.counter(
+                "pa_service_degraded_total{rung=\"serial_then_spj\"}",
+                "Queries answered from a degradation-ladder rung",
+            ),
+            inflight: r.gauge("pa_service_inflight", "Queries currently executing"),
+            queue_wait: r.histogram(
+                "pa_service_queue_wait_nanoseconds",
+                "Admission-queue wait per admitted query",
+                &[
+                    1_000,
+                    10_000,
+                    100_000,
+                    1_000_000,
+                    10_000_000,
+                    100_000_000,
+                    1_000_000_000,
+                ],
+            ),
+        }
+    }
+}
+
+/// An admitted query's execution slot: the semaphore permit plus the
+/// in-flight gauge, decremented when the slot is released (any exit path).
+struct Admission<'s> {
+    _permit: Permit<'s>,
+    inflight: Arc<Gauge>,
+}
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.inflight.sub(1);
+    }
 }
 
 impl<'a> QueryService<'a> {
@@ -204,17 +285,41 @@ impl<'a> QueryService<'a> {
     /// or an engine-level guard this way. The engine should use unique
     /// temp names if the service will face concurrent callers.
     pub fn from_engine(engine: PercentageEngine<'a>, config: ServiceConfig) -> QueryService<'a> {
+        QueryService::from_engine_with_metrics(engine, config, MetricsRegistry::shared())
+    }
+
+    /// [`QueryService::from_engine`] registering this service's metrics in a
+    /// caller-owned registry, so several services (or other subsystems, e.g.
+    /// a WAL) share one scrape endpoint.
+    pub fn from_engine_with_metrics(
+        engine: PercentageEngine<'a>,
+        config: ServiceConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> QueryService<'a> {
         let sem = FifoSemaphore::new(config.max_concurrent.max(1));
+        let metrics = ServiceMetrics::register(&registry);
         QueryService {
             engine,
             sem,
             config,
+            registry,
+            metrics,
         }
     }
 
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// The registry holding this service's metrics.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The service's metrics in Prometheus text exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.registry.render()
     }
 
     /// The shared engine (e.g. to reach its guard for cancel-all).
@@ -228,13 +333,55 @@ impl<'a> QueryService<'a> {
         self.sem.available()
     }
 
-    fn admit(&self) -> Result<Permit<'_>> {
-        self.sem
+    fn admit(&self) -> Result<Admission<'_>> {
+        let start = Instant::now();
+        match self
+            .sem
             .acquire_timeout(self.config.queue_timeout, self.config.queue_capacity)
-            .map_err(|e| ServiceError::Overloaded {
-                queued: e == AcquireError::TimedOut,
-                max_concurrent: self.config.max_concurrent,
-            })
+        {
+            Ok(permit) => {
+                self.metrics
+                    .queue_wait
+                    .observe(start.elapsed().as_nanos() as u64);
+                self.metrics.inflight.add(1);
+                Ok(Admission {
+                    _permit: permit,
+                    inflight: Arc::clone(&self.metrics.inflight),
+                })
+            }
+            Err(e) => {
+                let queued = e == AcquireError::TimedOut;
+                if queued {
+                    self.metrics.shed_timeout.inc();
+                } else {
+                    self.metrics.shed_queue_full.inc();
+                }
+                Err(ServiceError::Overloaded {
+                    queued,
+                    max_concurrent: self.config.max_concurrent,
+                })
+            }
+        }
+    }
+
+    /// Record an admitted query's outcome in the metrics registry and pass
+    /// it through.
+    fn record(&self, res: Result<ServiceResponse>) -> Result<ServiceResponse> {
+        self.metrics.queries.inc();
+        match &res {
+            Ok(r) => {
+                self.metrics.rows_charged.add(r.stats.rows_charged);
+                match r.stats.degraded_to {
+                    Some(Degradation::Serial) => self.metrics.degraded_serial.inc(),
+                    Some(Degradation::SerialThenSpj | Degradation::SpjFallback) => {
+                        self.metrics.degraded_spj.inc()
+                    }
+                    None => {}
+                }
+            }
+            Err(_) => self.metrics.failures.inc(),
+        }
+        res
     }
 
     fn resolve_limits(&self, session: &SessionOptions) -> QueryLimits {
@@ -275,7 +422,14 @@ impl<'a> QueryService<'a> {
         sql: &str,
         session: &SessionOptions,
     ) -> Result<ServiceResponse> {
-        let _permit = self.admit()?;
+        let _admission = self.admit()?;
+        let res = self.execute_sql_degraded(sql, session);
+        self.record(res)
+    }
+
+    /// The degradation-ladder body of [`QueryService::execute_sql_session`],
+    /// run while holding an admission slot.
+    fn execute_sql_degraded(&self, sql: &str, session: &SessionOptions) -> Result<ServiceResponse> {
         let limits = self.resolve_limits(session);
         let first = match self.engine.execute_sql_limited(sql, limits) {
             Ok(out) => return Ok(respond(out.table().read().clone(), out.stats())),
@@ -328,7 +482,14 @@ impl<'a> QueryService<'a> {
     /// vertical path has no cheaper strategy rung, so only a contained
     /// panic earns one plain retry.
     pub fn vpct_session(&self, q: &VpctQuery, session: &SessionOptions) -> Result<ServiceResponse> {
-        let _permit = self.admit()?;
+        let _admission = self.admit()?;
+        let res = self.vpct_degraded(q, session);
+        self.record(res)
+    }
+
+    /// The retry body of [`QueryService::vpct_session`], run while holding
+    /// an admission slot.
+    fn vpct_degraded(&self, q: &VpctQuery, session: &SessionOptions) -> Result<ServiceResponse> {
         let limits = self.resolve_limits(session);
         match self.engine.vpct_limited(q, limits) {
             Ok(r) => Ok(respond(r.snapshot(), r.stats)),
@@ -359,7 +520,19 @@ impl<'a> QueryService<'a> {
         opts: &HorizontalOptions,
         session: &SessionOptions,
     ) -> Result<ServiceResponse> {
-        let _permit = self.admit()?;
+        let _admission = self.admit()?;
+        let res = self.horizontal_degraded(q, opts, session);
+        self.record(res)
+    }
+
+    /// The degradation-ladder body of [`QueryService::horizontal_session`],
+    /// run while holding an admission slot.
+    fn horizontal_degraded(
+        &self,
+        q: &HorizontalQuery,
+        opts: &HorizontalOptions,
+        session: &SessionOptions,
+    ) -> Result<ServiceResponse> {
         let limits = self.resolve_limits(session);
         let first = match self.engine.horizontal_limited(q, opts, limits) {
             Ok(r) => return Ok(respond(r.snapshot(), r.stats)),

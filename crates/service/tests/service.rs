@@ -295,3 +295,98 @@ fn typed_vertical_and_horizontal_entry_points_serve() {
     assert!(resp.table.num_rows() > 0);
     assert_eq!(resp.stats.degraded_to, None);
 }
+
+#[test]
+fn metrics_registry_mirrors_admissions_sheds_and_work() {
+    let catalog = sales_catalog(512);
+    let gate = GateClock::new();
+    let engine = PercentageEngine::with_unique_temps(&catalog)
+        .with_temp_cleanup()
+        .with_clock(gate.clone())
+        .with_deadline(Duration::from_secs(3600));
+    let service = QueryService::from_engine(
+        engine,
+        ServiceConfig {
+            max_concurrent: 1,
+            queue_capacity: 0,
+            queue_timeout: Duration::from_millis(10),
+            ..ServiceConfig::default()
+        },
+    );
+
+    std::thread::scope(|s| {
+        let held = s.spawn(|| service.execute_sql(VPCT));
+        // The in-flight gauge reads 1 once the held query owns the permit
+        // (spin on the metric itself: the gauge increments just after the
+        // permit is taken).
+        while !service.render_metrics().contains("pa_service_inflight 1") {
+            std::thread::yield_now();
+        }
+        // Queue capacity 0: the second caller is shed at the door.
+        match service.execute_sql(VPCT) {
+            Err(ServiceError::Overloaded { queued, .. }) => assert!(!queued),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        gate.open();
+        let resp = held.join().unwrap().unwrap();
+
+        // One rule violation: admitted, fails, counted as a failure.
+        service
+            .execute_sql("SELECT Vpct(salesAmt BY city) FROM sales")
+            .unwrap_err();
+
+        let text = service.render_metrics();
+        assert!(
+            text.contains("# TYPE pa_service_queries_total counter"),
+            "{text}"
+        );
+        // The shed arrival never passed admission: 2 queries, not 3.
+        assert!(text.contains("pa_service_queries_total 2"), "{text}");
+        assert!(text.contains("pa_service_failures_total 1"), "{text}");
+        assert!(
+            text.contains("pa_service_shed_total{reason=\"queue_full\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pa_service_shed_total{reason=\"timeout\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("pa_service_inflight 0"), "{text}");
+        assert!(
+            text.contains("pa_service_queue_wait_nanoseconds_count 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "pa_service_rows_charged_total {}",
+                resp.stats.rows_charged
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains("pa_service_degraded_total{rung=\"serial\"} 0"),
+            "{text}"
+        );
+    });
+    assert_eq!(service.available_permits(), 1);
+}
+
+#[test]
+fn degradation_rungs_are_counted_in_metrics() {
+    let _w = chaos_window();
+    let catalog = sales_catalog(512);
+    let service = QueryService::new(&catalog, ServiceConfig::default());
+
+    chaos::arm(0);
+    let resp = service.execute_sql(VPCT).unwrap();
+    assert_eq!(resp.stats.degraded_to, Some(Degradation::Serial));
+    let text = service.render_metrics();
+    assert!(
+        text.contains("pa_service_degraded_total{rung=\"serial\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("pa_service_degraded_total{rung=\"serial_then_spj\"} 0"),
+        "{text}"
+    );
+}

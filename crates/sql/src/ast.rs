@@ -205,6 +205,48 @@ pub struct SelectStmt {
     pub order_by: Vec<String>,
 }
 
+/// A top-level statement: a SELECT, optionally under an `EXPLAIN` prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Plain query.
+    Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] <select>` — show the generated plan, with actual
+    /// per-operator rows/morsels/timings when `analyze` is set.
+    Explain {
+        /// Execute the query and annotate the plan with observed costs.
+        analyze: bool,
+        /// The query being explained.
+        stmt: SelectStmt,
+    },
+}
+
+impl Statement {
+    /// The SELECT under any EXPLAIN wrapper.
+    pub fn select(&self) -> &SelectStmt {
+        match self {
+            Statement::Select(s) => s,
+            Statement::Explain { stmt, .. } => stmt,
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    /// Canonical rendering; [`crate::parse_statement`] of the output yields
+    /// back an equal statement.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain { analyze, stmt } => {
+                write!(
+                    f,
+                    "EXPLAIN {}{stmt}",
+                    if *analyze { "ANALYZE " } else { "" }
+                )
+            }
+        }
+    }
+}
+
 impl fmt::Display for AggCall {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}(", self.func.sql_name())?;

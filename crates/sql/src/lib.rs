@@ -18,7 +18,7 @@ pub mod parser;
 pub mod token;
 pub mod validate;
 
-pub use ast::{AggCall, AggName, AstExpr, BinOp, SelectItem, SelectStmt};
+pub use ast::{AggCall, AggName, AstExpr, BinOp, SelectItem, SelectStmt, Statement};
 pub use error::{Result, SqlError};
-pub use parser::parse;
+pub use parser::{parse, parse_statement};
 pub use validate::{is_strict_paper_form, validate, QueryKind};

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the percentage-query dialect.
 
-use crate::ast::{AggCall, AggName, AstExpr, BinOp, SelectItem, SelectStmt};
+use crate::ast::{AggCall, AggName, AstExpr, BinOp, SelectItem, SelectStmt, Statement};
 use crate::error::{Result, SqlError};
 use crate::token::{tokenize, Spanned, Token};
 
@@ -14,6 +14,25 @@ pub fn parse(input: &str) -> Result<SelectStmt> {
         return Err(p.err_at(t.offset, "trailing tokens after statement"));
     }
     Ok(stmt)
+}
+
+/// Parse one top-level statement: a SELECT, optionally wrapped in
+/// `EXPLAIN` / `EXPLAIN ANALYZE`.
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let explain = p.accept_kw("EXPLAIN");
+    let analyze = explain && p.accept_kw("ANALYZE");
+    let stmt = p.select_stmt()?;
+    p.accept(&Token::Semi);
+    if let Some(t) = p.peek() {
+        return Err(p.err_at(t.offset, "trailing tokens after statement"));
+    }
+    Ok(if explain {
+        Statement::Explain { analyze, stmt }
+    } else {
+        Statement::Select(stmt)
+    })
 }
 
 struct Parser {
@@ -580,5 +599,46 @@ mod tests {
     #[test]
     fn keywords_case_insensitive() {
         assert!(parse("select a from t group by a").is_ok());
+    }
+
+    #[test]
+    fn explain_statement_forms() {
+        let q = "SELECT store, Hpct(amt BY dweek) FROM sales GROUP BY store";
+        match parse_statement(q).unwrap() {
+            Statement::Select(s) => assert_eq!(s.from, "sales"),
+            other => panic!("expected Select, got {other:?}"),
+        }
+        match parse_statement(&format!("EXPLAIN {q}")).unwrap() {
+            Statement::Explain { analyze, stmt } => {
+                assert!(!analyze);
+                assert_eq!(stmt, parse(q).unwrap());
+            }
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        match parse_statement(&format!("explain analyze {q};")).unwrap() {
+            Statement::Explain { analyze, stmt } => {
+                assert!(analyze);
+                assert_eq!(stmt, parse(q).unwrap());
+            }
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        // ANALYZE alone is not a prefix; EXPLAIN needs a SELECT after it.
+        assert!(parse_statement(&format!("ANALYZE {q}")).is_err());
+        assert!(parse_statement("EXPLAIN").is_err());
+        assert!(parse_statement("EXPLAIN ANALYZE 42").is_err());
+    }
+
+    #[test]
+    fn explain_statement_round_trips_through_display() {
+        for q in [
+            "SELECT a FROM t;",
+            "EXPLAIN SELECT state, Vpct(a BY city) FROM f GROUP BY state, city;",
+            "EXPLAIN ANALYZE SELECT store, Hpct(amt BY dweek) FROM sales GROUP BY store;",
+        ] {
+            let stmt = parse_statement(q).unwrap();
+            let printed = stmt.to_string();
+            assert_eq!(parse_statement(&printed).unwrap(), stmt, "{q}");
+            assert_eq!(printed, q, "canonical form is stable");
+        }
     }
 }

@@ -32,7 +32,9 @@ use crate::retry::RetryPolicy;
 use crate::schema::{Field, Schema};
 use crate::table::Table;
 use crate::value::{DataType, Value};
+use pa_obs::{Counter, MetricsRegistry};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// On-disk format version stamped into every frame.
 ///
@@ -443,6 +445,37 @@ pub fn scan_log(data: &[u8]) -> LogScan {
 
 // ---- the WAL -------------------------------------------------------------
 
+/// Counter handles mirroring [`WalStats`] into a [`MetricsRegistry`], so
+/// the service's Prometheus endpoint sees absorbed retries and write errors
+/// without polling every catalog's WAL.
+#[derive(Debug)]
+struct WalMetrics {
+    records: Arc<Counter>,
+    bytes: Arc<Counter>,
+    write_errors: Arc<Counter>,
+    retries: Arc<Counter>,
+}
+
+impl WalMetrics {
+    fn register(registry: &MetricsRegistry) -> WalMetrics {
+        WalMetrics {
+            records: registry.counter("pa_storage_wal_records_total", "WAL records appended"),
+            bytes: registry.counter(
+                "pa_storage_wal_bytes_total",
+                "WAL frame bytes appended (header + payload)",
+            ),
+            write_errors: registry.counter(
+                "pa_storage_wal_write_errors_total",
+                "WAL appends lost after exhausting retries (or refused)",
+            ),
+            retries: registry.counter(
+                "pa_storage_wal_retries_total",
+                "Transient WAL append errors absorbed by the retry policy",
+            ),
+        }
+    }
+}
+
 /// Write-ahead log: framed, checksummed records over a [`LogStore`].
 #[derive(Debug)]
 pub struct Wal {
@@ -456,6 +489,8 @@ pub struct Wal {
     frame_lens: VecDeque<u64>,
     /// Retry policy for transient device errors on the append path.
     retry: RetryPolicy,
+    /// Registered counter handles, when a registry is attached.
+    metrics: Option<WalMetrics>,
 }
 
 impl Default for Wal {
@@ -480,6 +515,7 @@ impl Wal {
             record_latency: std::time::Duration::ZERO,
             frame_lens: VecDeque::new(),
             retry: RetryPolicy::default(),
+            metrics: None,
         }
     }
 
@@ -493,6 +529,7 @@ impl Wal {
             record_latency: std::time::Duration::ZERO,
             frame_lens: VecDeque::new(),
             retry: RetryPolicy::none(),
+            metrics: None,
         }
     }
 
@@ -513,6 +550,7 @@ impl Wal {
             record_latency: std::time::Duration::ZERO,
             frame_lens: frames,
             retry: RetryPolicy::default(),
+            metrics: None,
         }
     }
 
@@ -547,6 +585,14 @@ impl Wal {
         self.stats
     }
 
+    /// Mirror this log's counters into `registry` (Prometheus names
+    /// `pa_storage_wal_*`). Counters are cumulative across every WAL that
+    /// attaches to the same registry; increments happen on the append path
+    /// alongside [`WalStats`], one relaxed atomic each.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(WalMetrics::register(registry));
+    }
+
     /// Bytes currently retained by the store.
     pub fn retained_bytes(&mut self) -> Result<u64> {
         self.store.len()
@@ -571,6 +617,9 @@ impl Wal {
     fn append_payload(&mut self, payload: Vec<u8>) -> Result<()> {
         if payload.len() > MAX_FRAME_LEN as usize {
             self.stats.write_errors += 1;
+            if let Some(m) = &self.metrics {
+                m.write_errors.inc();
+            }
             return Err(StorageError::Wal(format!(
                 "record payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit",
                 payload.len()
@@ -596,13 +645,23 @@ impl Wal {
             Err(e) => Err(e),
         });
         self.stats.retries += u64::from(retries);
+        if let Some(m) = &self.metrics {
+            m.retries.add(u64::from(retries));
+        }
         if let Err(e) = outcome {
             self.stats.write_errors += 1;
+            if let Some(m) = &self.metrics {
+                m.write_errors.inc();
+            }
             return Err(e);
         }
         self.frame_lens.push_back(frame.len() as u64);
         self.stats.records += 1;
         self.stats.bytes_written += frame.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.records.inc();
+            m.bytes.add(frame.len() as u64);
+        }
 
         if !self.record_latency.is_zero() {
             // Spin-wait: simulated forced write of this record.
@@ -750,6 +809,40 @@ mod tests {
         wal.log_bulk_insert("t", &t, 0).unwrap();
         assert_eq!(wal.stats().records, 1);
         assert!(wal.stats().bytes_written > 100 * 8);
+    }
+
+    #[test]
+    fn attached_registry_mirrors_wal_counters() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let reg = MetricsRegistry::new();
+        let plan = FaultPlan {
+            error_on_op: Some(0),
+            ..FaultPlan::default()
+        };
+        let store = FaultInjector::new(MemLogStore::new(), plan);
+        let mut wal = Wal::with_store(Box::new(store), DEFAULT_CAPACITY);
+        wal.set_retry_policy(RetryPolicy {
+            base_delay: std::time::Duration::ZERO,
+            max_delay: std::time::Duration::ZERO,
+            ..RetryPolicy::seeded(1)
+        });
+        wal.attach_metrics(&reg);
+        wal.log_bulk_insert("t", &small_table(5), 0).unwrap();
+        wal.log_update("t", 0, &[0], &[Value::Int(0)], &[Value::Int(9)])
+            .unwrap();
+        let stats = wal.stats();
+        let text = reg.render();
+        assert!(text.contains(&format!("pa_storage_wal_records_total {}", stats.records)));
+        assert!(text.contains(&format!(
+            "pa_storage_wal_bytes_total {}",
+            stats.bytes_written
+        )));
+        assert!(
+            text.contains(&format!("pa_storage_wal_retries_total {}", stats.retries)),
+            "absorbed retry is visible: {text}"
+        );
+        assert!(stats.retries >= 1, "the injected hiccup was retried");
+        assert!(text.contains("pa_storage_wal_write_errors_total 0"));
     }
 
     #[test]

@@ -39,10 +39,12 @@
 //! * [`engine`] — physical operators (hash aggregation, joins, windows...).
 //! * [`sql`] — the extended SQL dialect (`Vpct`, `Hpct`, `agg(A BY ...)`).
 //! * [`core`] — percentage queries, evaluation strategies, code generation.
+//! * [`service`] — admission control, degradation, service metrics.
 //! * [`workload`] — the papers' evaluation data sets, synthesized.
 
 pub use pa_core as core;
 pub use pa_engine as engine;
+pub use pa_service as service;
 pub use pa_sql as sql;
 pub use pa_storage as storage;
 pub use pa_workload as workload;
@@ -52,10 +54,11 @@ pub mod prelude {
     pub use pa_core::{
         eval_horizontal, eval_vpct, eval_vpct_olap, CoreError, ExtraAgg, FjSource,
         HorizontalOptions, HorizontalQuery, HorizontalResult, HorizontalStrategy, HorizontalTerm,
-        Materialization, Measure, MissingRows, PercentageEngine, QueryResult, SqlOutcome,
-        VpctQuery, VpctStrategy, VpctTerm,
+        Materialization, Measure, MissingRows, ParallelMode, PercentageEngine, QueryResult,
+        SqlOutcome, VpctQuery, VpctStrategy, VpctTerm,
     };
-    pub use pa_engine::{AggFunc, ExecStats, ResourceGuard};
+    pub use pa_engine::{AggFunc, ExecStats, MetricsRegistry, ResourceGuard, TraceReport, Tracer};
+    pub use pa_service::{QueryService, ServiceConfig, ServiceError};
     pub use pa_storage::{Catalog, DataType, MemLogStore, RecoveryReport, Schema, Table, Value};
     pub use pa_workload::{CensusConfig, EmployeeConfig, SalesConfig, Scale, TransactionConfig};
 }
