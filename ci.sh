@@ -49,6 +49,15 @@ cargo run --release -p pa-bench --bin scale -- \
   --n 20000 --d 7 --threads 1,2 --iters 1 \
   --out results/BENCH_scale_smoke.json
 
+echo "==> code-path gate: case_direct within 2x of hash_dispatch (n=1M, d=50)"
+# The dense jump-table CASE path must keep the paper's worst case (wide BY
+# list) competitive with the single-pass hash dispatcher; rows also record
+# group_path and combo_cache_hit_rate in the JSON artifact.
+cargo run --release -p pa-bench --bin scale -- \
+  --n 1000000 --d 50 --threads 1 --iters 2 \
+  --assert-case-within 2.0 \
+  --out results/BENCH_codepath_gate.json
+
 echo "==> trace overhead smoke (writes results/BENCH_obs_smoke.json)"
 # Hard-gates tracing-on vs tracing-off overhead; also records obs-off
 # throughput against the scale smoke's case_direct t=1 cell written above.

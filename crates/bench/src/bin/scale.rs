@@ -29,6 +29,9 @@ struct Args {
     threads: Vec<usize>,
     iters: usize,
     out: String,
+    /// CI gate: fail unless `case_direct` stays within this factor of
+    /// `hash_dispatch` in every measured cell (0 = no gate).
+    assert_case_within: f64,
 }
 
 fn parse_list(s: &str) -> Vec<usize> {
@@ -50,6 +53,7 @@ fn parse_args() -> Args {
         threads: vec![1, 2, 4],
         iters: 3,
         out: "results/BENCH_scale.json".to_string(),
+        assert_case_within: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,10 +64,17 @@ fn parse_args() -> Args {
             "--threads" => args.threads = parse_list(&next()),
             "--iters" => args.iters = next().parse().unwrap_or(1),
             "--out" => args.out = next(),
+            "--assert-case-within" => {
+                args.assert_case_within = next().parse().unwrap_or_else(|_| {
+                    eprintln!("--assert-case-within takes a factor, e.g. 2.0");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: scale [--n N1,N2,..] [--d D1,D2,..] \
-                     [--threads T1,T2,..] [--iters K] [--out PATH]"
+                     [--threads T1,T2,..] [--iters K] [--out PATH] \
+                     [--assert-case-within FACTOR]"
                 );
                 std::process::exit(0);
             }
@@ -88,22 +99,70 @@ fn best_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// One (strategy, n, d) cell, timed at one thread count.
-fn run_cell(engine: &PercentageEngine<'_>, strategy: &str, iters: usize) -> f64 {
-    match strategy {
+/// Group-path + combination-cache telemetry of one run, derived from its
+/// [`pa_engine::ExecStats`] counters.
+#[derive(Clone, Copy, Default)]
+struct CellTelemetry {
+    dense_ops: u64,
+    hash_ops: u64,
+    combo_hits: u64,
+    combo_misses: u64,
+}
+
+impl CellTelemetry {
+    fn of(stats: &pa_engine::ExecStats) -> CellTelemetry {
+        CellTelemetry {
+            dense_ops: stats.dense_group_ops,
+            hash_ops: stats.hash_group_ops,
+            combo_hits: stats.combo_cache_hits,
+            combo_misses: stats.combo_cache_misses,
+        }
+    }
+
+    /// Which group path the run took: every lookup pass dense, every pass
+    /// hashed, a mix (e.g. hash group map with dense cell maps), or none
+    /// (no grouped aggregation at all).
+    fn group_path(&self) -> &'static str {
+        match (self.dense_ops > 0, self.hash_ops > 0) {
+            (true, false) => "dense",
+            (false, true) => "hash",
+            (true, true) => "mixed",
+            (false, false) => "none",
+        }
+    }
+
+    fn combo_hit_rate(&self) -> f64 {
+        let total = self.combo_hits + self.combo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.combo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One (strategy, n, d) cell, timed at one thread count. Returns the best
+/// wall time plus the last run's group-path/cache telemetry (identical
+/// across iterations except that the first run of a fresh catalog misses
+/// the combination cache).
+fn run_cell(engine: &PercentageEngine<'_>, strategy: &str, iters: usize) -> (f64, CellTelemetry) {
+    let mut telemetry = CellTelemetry::default();
+    let ms = match strategy {
         "vpct_best" => {
             let q = VpctQuery::single("fact", &["store", "day"], "amt", &["day"]);
             best_ms(iters, || {
-                engine
+                let r = engine
                     .vpct_with(&q, &VpctStrategy::best())
                     .expect("bench query");
+                telemetry = CellTelemetry::of(&r.stats);
             })
         }
         "case_direct" => {
             let q = HorizontalQuery::hpct("fact", &["store"], "amt", &["day"]);
             let opts = HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect);
             best_ms(iters, || {
-                engine.horizontal_with(&q, &opts).expect("bench query");
+                let r = engine.horizontal_with(&q, &opts).expect("bench query");
+                telemetry = CellTelemetry::of(&r.stats);
             })
         }
         "hash_dispatch" => {
@@ -113,11 +172,13 @@ fn run_cell(engine: &PercentageEngine<'_>, strategy: &str, iters: usize) -> f64 
                 ..HorizontalOptions::default()
             };
             best_ms(iters, || {
-                engine.horizontal_with(&q, &opts).expect("bench query");
+                let r = engine.horizontal_with(&q, &opts).expect("bench query");
+                telemetry = CellTelemetry::of(&r.stats);
             })
         }
         other => unreachable!("unknown strategy {other}"),
-    }
+    };
+    (ms, telemetry)
 }
 
 /// One untimed traced run of the cell's query: the per-operator breakdown
@@ -177,7 +238,7 @@ fn main() {
                     // environment (ParallelMode::Auto), so this is exactly
                     // the user-facing knob.
                     std::env::set_var("PA_THREADS", threads.to_string());
-                    let ms = run_cell(&engine, strategy, args.iters);
+                    let (ms, telemetry) = run_cell(&engine, strategy, args.iters);
                     // One extra traced (untimed) run per cell feeds the
                     // per-operator breakdown in the JSON artifact.
                     let operators = trace_cell(&engine, strategy);
@@ -185,10 +246,13 @@ fn main() {
                     let speedup = serial / ms.max(1e-9);
                     println!(
                         "  {strategy:<14} threads={threads:<2} {ms:>9.1} ms \
-                         {:>12.0} rows/s  x{speedup:.2}",
-                        n as f64 / (ms / 1e3)
+                         {:>12.0} rows/s  x{speedup:.2}  \
+                         group_path={} combo_hit_rate={:.2}",
+                        n as f64 / (ms / 1e3),
+                        telemetry.group_path(),
+                        telemetry.combo_hit_rate(),
                     );
-                    rows.push((strategy, n, d, threads, ms, speedup, operators));
+                    rows.push((strategy, n, d, threads, ms, speedup, telemetry, operators));
                 }
             }
             std::env::remove_var("PA_THREADS");
@@ -201,7 +265,8 @@ fn main() {
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     let _ = writeln!(json, "  \"iters\": {},", args.iters);
     json.push_str("  \"results\": [\n");
-    for (i, (strategy, n, d, threads, ms, speedup, operators)) in rows.iter().enumerate() {
+    for (i, (strategy, n, d, threads, ms, speedup, telemetry, operators)) in rows.iter().enumerate()
+    {
         let rows_per_s = *n as f64 / (ms / 1e3);
         let _ = write!(
             json,
@@ -209,7 +274,11 @@ fn main() {
              \"threads\": {threads}, \"wall_ms\": {ms:.3}, \
              \"rows_per_s\": {rows_per_s:.0}, \
              \"speedup_vs_serial\": {speedup:.3}, \
-             \"operators\": {operators}}}"
+             \"group_path\": \"{}\", \
+             \"combo_cache_hit_rate\": {:.3}, \
+             \"operators\": {operators}}}",
+            telemetry.group_path(),
+            telemetry.combo_hit_rate(),
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -222,4 +291,35 @@ fn main() {
     }
     std::fs::write(&args.out, &json).expect("write output file");
     println!("\nwrote {}", args.out);
+
+    // CI gate: the code-path CASE evaluation must stay within the given
+    // factor of the hash dispatcher in every measured cell.
+    if args.assert_case_within > 0.0 {
+        let mut failed = false;
+        for (case_strategy, n, d, threads, case_ms, ..) in &rows {
+            if *case_strategy != "case_direct" {
+                continue;
+            }
+            let Some((.., dispatch_ms, _, _, _)) = rows
+                .iter()
+                .find(|r| r.0 == "hash_dispatch" && r.1 == *n && r.2 == *d && r.3 == *threads)
+            else {
+                continue;
+            };
+            let factor = case_ms / dispatch_ms.max(1e-9);
+            let ok = factor <= args.assert_case_within;
+            println!(
+                "gate n={n} d={d} threads={threads}: case_direct {case_ms:.1} ms vs \
+                 hash_dispatch {dispatch_ms:.1} ms — x{factor:.2} \
+                 (limit x{:.2}) {}",
+                args.assert_case_within,
+                if ok { "OK" } else { "FAIL" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("code-path gate failed: case_direct exceeded the allowed factor");
+            std::process::exit(1);
+        }
+    }
 }

@@ -22,9 +22,10 @@
 
 use crate::error::Result;
 use pa_engine::{
-    Acc, AggFunc, ExecStats, Expr, ParallelConfig, ResourceGuard, RowKeyMap, SpanHandle,
+    Acc, AggFunc, DenseKeySpace, ExecStats, Expr, GroupMap, ParallelConfig, ResourceGuard,
+    RowKeyMap, SpanHandle,
 };
-use pa_storage::{DataType, Field, Schema, Table, Value};
+use pa_storage::{Column, DataType, Field, Schema, Table, Value};
 
 /// One horizontal term's piece of a pivot pass.
 #[derive(Debug, Clone)]
@@ -73,13 +74,86 @@ fn classify_lane(func: AggFunc, input: &Expr, src: &Table) -> LaneKernel {
     }
 }
 
+/// Per-task subgroup-combination lookup: combo tuple → cell index.
+///
+/// When the task's BY columns dense-encode (see [`DenseKeySpace`]), the
+/// lookup is a precomputed *jump table* — `composite code → cell`, one
+/// array index per row, no hashing and no key comparison. Otherwise it
+/// falls back to the hash map. `u32::MAX` marks a code with no cell (the
+/// row belongs to no listed combination and is skipped, exactly like a
+/// failed hash probe).
+enum CellMap {
+    /// Jump table over the BY columns' composite-code space.
+    Dense {
+        space: DenseKeySpace,
+        code_to_cell: Vec<u32>,
+    },
+    /// Hash fallback (combo tuple → cell index).
+    Hash(RowKeyMap),
+}
+
+impl CellMap {
+    /// Build the lookup for one task, preferring the jump table within
+    /// `budget` codes. A combo whose value lies outside the encoded domain
+    /// (possible when the combos were cached before the dictionary grew, or
+    /// came from another snapshot) matches no row of `src`, so leaving its
+    /// code unmapped is exact.
+    fn build(src: &Table, task: &PivotTask, budget: usize) -> CellMap {
+        if let Some(space) = DenseKeySpace::try_build(src, &task.by_cols, budget) {
+            let mut code_to_cell = vec![u32::MAX; space.size()];
+            for (cid, combo) in task.combos.iter().enumerate() {
+                if let Some(code) = space.code_of_key(src, combo) {
+                    code_to_cell[code] = cid as u32;
+                }
+            }
+            return CellMap::Dense {
+                space,
+                code_to_cell,
+            };
+        }
+        let mut m = RowKeyMap::with_capacity(task.combos.len());
+        let mut discard = ExecStats::default();
+        for combo in &task.combos {
+            m.get_or_insert_key(combo, &mut discard);
+        }
+        CellMap::Hash(m)
+    }
+
+    fn is_dense(&self) -> bool {
+        matches!(self, CellMap::Dense { .. })
+    }
+
+    /// Cell index for `src[row]`'s subgroup key, or `None` when the row
+    /// belongs to no listed combination.
+    #[inline]
+    fn lookup_row(
+        &self,
+        src: &Table,
+        by_cols: &[usize],
+        row: usize,
+        stats: &mut ExecStats,
+    ) -> Option<usize> {
+        match self {
+            CellMap::Dense {
+                space,
+                code_to_cell,
+            } => {
+                let cell = code_to_cell[space.code_of_row(src, row)];
+                (cell != u32::MAX).then_some(cell as usize)
+            }
+            CellMap::Hash(m) => m.lookup_row(src, by_cols, row, stats),
+        }
+    }
+}
+
 /// Everything a scan worker needs, shared read-only across threads.
 struct PivotCtx<'a> {
     src: &'a Table,
     j_cols: &'a [usize],
     tasks: &'a [PivotTask],
     extra_lanes: &'a [(AggFunc, Expr)],
-    combo_maps: &'a [RowKeyMap],
+    group_space: &'a Option<DenseKeySpace>,
+    cell_maps: &'a [CellMap],
     task_base: &'a [usize],
     extra_base: usize,
     width: usize,
@@ -103,8 +177,8 @@ impl PivotCtx<'_> {
         stats: &mut ExecStats,
         config: &ParallelConfig,
         span: &mut SpanHandle,
-    ) -> Result<(RowKeyMap, Vec<Acc>)> {
-        let mut groups = RowKeyMap::new();
+    ) -> Result<(GroupMap, Vec<Acc>)> {
+        let mut groups = GroupMap::for_space(self.group_space.clone());
         let mut accs: Vec<Acc> = Vec::new();
         for morsel in config.morsels(chunk) {
             guard.charge(morsel.len() as u64)?;
@@ -129,9 +203,10 @@ impl PivotCtx<'_> {
                 }
                 let base = gid * self.width;
                 for (t, task) in self.tasks.iter().enumerate() {
-                    // O(1): one probe finds the cell, no CASE chain.
+                    // O(1): one jump-table index (or hash probe) finds the
+                    // cell, no CASE chain.
                     let Some(cid) =
-                        self.combo_maps[t].lookup_row(self.src, &task.by_cols, row, stats)
+                        self.cell_maps[t].lookup_row(self.src, &task.by_cols, row, stats)
                     else {
                         continue;
                     };
@@ -245,17 +320,29 @@ pub fn pivot_aggregate_with_config(
 ) -> Result<Table> {
     stats.statements += 1;
     guard.check()?;
-    // Per-task subgroup-combination maps (combo tuple → cell index), built
-    // once and shared read-only across scan workers.
-    let mut combo_maps: Vec<RowKeyMap> = Vec::with_capacity(tasks.len());
-    for task in tasks {
-        let mut m = RowKeyMap::with_capacity(task.combos.len());
-        let mut discard = ExecStats::default();
-        for combo in &task.combos {
-            m.get_or_insert_key(combo, &mut discard);
-        }
-        combo_maps.push(m);
+    // Group-key code space and per-task cell lookups, built once before the
+    // fan-out and shared read-only across scan workers (workers clone the
+    // space, so every worker assigns identical composite codes and the
+    // merge can fold partials by code). Each pass — the group path and each
+    // task's cell path — records which side it took.
+    let group_space = DenseKeySpace::try_build(src, j_cols, config.dense_budget);
+    if group_space.is_some() {
+        stats.dense_group_ops += 1;
+    } else {
+        stats.hash_group_ops += 1;
     }
+    let cell_maps: Vec<CellMap> = tasks
+        .iter()
+        .map(|task| {
+            let m = CellMap::build(src, task, config.dense_budget);
+            if m.is_dense() {
+                stats.dense_group_ops += 1;
+            } else {
+                stats.hash_group_ops += 1;
+            }
+            m
+        })
+        .collect();
 
     // Row width of the accumulator matrix.
     let mut task_base: Vec<usize> = Vec::with_capacity(tasks.len());
@@ -312,7 +399,8 @@ pub fn pivot_aggregate_with_config(
         j_cols,
         tasks,
         extra_lanes,
-        combo_maps: &combo_maps,
+        group_space: &group_space,
+        cell_maps: &cell_maps,
         task_base: &task_base,
         extra_base,
         width,
@@ -330,7 +418,7 @@ pub fn pivot_aggregate_with_config(
     let (mut groups, mut accs) = if chunks.len() <= 1 {
         ctx.scan(0..n, guard, stats, config, &mut span)?
     } else {
-        type WorkerOut = Result<(RowKeyMap, Vec<Acc>, ExecStats)>;
+        type WorkerOut = Result<(GroupMap, Vec<Acc>, ExecStats)>;
         let panicked = |p: Box<dyn std::any::Any + Send>| crate::CoreError::WorkerPanicked {
             operator: "pivot_aggregate".into(),
             payload: pa_engine::error::panic_payload(p),
@@ -384,8 +472,8 @@ pub fn pivot_aggregate_with_config(
             let (wgroups, waccs, wstats) = result?;
             *stats += wstats;
             let mut waccs = waccs.into_iter();
-            for key in wgroups.into_keys() {
-                let gid = groups.get_or_insert_key(&key, stats);
+            for gid in groups.merge_ids(wgroups, stats) {
+                let gid = gid as usize;
                 if (gid + 1) * width > accs.len() {
                     accs.extend_from_slice(&template);
                 }
@@ -429,19 +517,22 @@ pub fn pivot_aggregate_with_config(
             lane_dtype(*func, input, src_schema),
         ));
     }
+    // Column-direct build: key columns come straight from the group map
+    // (no per-row `Vec<Value>` clone), accumulator lanes fill one typed
+    // column at a time.
+    let acc_dtypes: Vec<DataType> = fields[j_cols.len()..].iter().map(|f| f.dtype).collect();
     let schema = Schema::new(fields)?.into_shared();
     let n_groups = groups.len();
-    let mut out = Table::with_capacity(schema, n_groups);
-    for gid in 0..n_groups {
-        let mut row: Vec<Value> = groups.keys()[gid].clone();
-        let base = gid * width;
-        for w in 0..width {
-            row.push(accs[base + w].finish());
+    let mut columns = groups.build_key_columns(src, j_cols)?;
+    for (w, &dtype) in acc_dtypes.iter().enumerate() {
+        let mut col = Column::new(dtype);
+        for gid in 0..n_groups {
+            col.push(accs[gid * width + w].finish())?;
         }
-        out.push_row(&row)?;
+        columns.push(col);
     }
     stats.rows_materialized += n_groups as u64;
-    Ok(out)
+    Ok(Table::from_columns(schema, columns)?)
 }
 
 #[cfg(test)]
@@ -591,6 +682,7 @@ mod tests {
                 threads,
                 morsel_rows: 256,
                 min_parallel_rows: 0,
+                ..ParallelConfig::serial()
             };
             let parallel = pivot_aggregate_with_config(
                 &t,

@@ -339,6 +339,13 @@ pub fn eval_horizontal_guarded(
     let src_schema = src.schema().clone();
 
     // ---------- Distinct subgroup combinations → result columns. ----------
+    // The distinct BY-combination set depends only on the fact table's
+    // data (FV preserves it: FV groups by `group_by ∪ by`, so the distinct
+    // BY tuples are identical over F and FV), so it is memoized in the
+    // catalog's combination cache keyed by `(table, BY columns)`. The
+    // cache is invalidated by every logged mutation of the table, so a hit
+    // is always current; it is charged to the guard like the scan it
+    // replaces would charge its output.
     let multi_term = q.terms.len() > 1;
     let mut plans: Vec<TermPlan> = Vec::new();
     for (t, term) in q.terms.iter().enumerate() {
@@ -347,14 +354,37 @@ pub fn eval_horizontal_guarded(
             .iter()
             .map(|n| src_schema.index_of(n).map_err(CoreError::from))
             .collect::<Result<Vec<_>>>()?;
-        let mut combos = distinct_keys(src, &by_src_cols, &mut stats)?;
-        combos.sort_by(|a, b| {
-            a.iter()
-                .zip(b)
-                .map(|(x, y)| x.total_cmp(y))
-                .find(|o| *o != std::cmp::Ordering::Equal)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        let combos: Vec<Vec<Value>> = {
+            let mut span = guard.span("combos");
+            let combos = match catalog.combo_cache().get(&q.table, &term.by) {
+                Some(cached) => {
+                    stats.combo_cache_hits += 1;
+                    (*cached).clone()
+                }
+                None => {
+                    stats.combo_cache_misses += 1;
+                    let mut combos = distinct_keys(src, &by_src_cols, &mut stats)?;
+                    combos.sort_by(|a, b| {
+                        a.iter()
+                            .zip(b)
+                            .map(|(x, y)| x.total_cmp(y))
+                            .find(|o| *o != std::cmp::Ordering::Equal)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    catalog
+                        .combo_cache()
+                        .store(&q.table, &term.by, combos.clone());
+                    combos
+                }
+            };
+            // The combination set is materialized output either way; charge
+            // it identically on hit and miss so budgets and traces don't
+            // depend on cache temperature.
+            guard.charge(combos.len() as u64)?;
+            span.add_rows(combos.len() as u64);
+            span.add_morsels(1);
+            combos
+        };
         let prefix_name = if multi_term { term.name.as_str() } else { "" };
         let mut names: Vec<String> = combos
             .iter()
@@ -395,7 +425,27 @@ pub fn eval_horizontal_guarded(
     // ---------- Raw table: [j][term0 lanes×cells][term0 total?].. [extras] --
     let raw = match opts.strategy {
         HorizontalStrategy::CaseDirect | HorizontalStrategy::CaseFromFv => {
-            if opts.hash_dispatch {
+            // Jump-table CASE: when every term's BY columns dense-encode,
+            // the pivot operator evaluates the CASE strategy with one
+            // `composite code → output column` array index per row instead
+            // of the O(N) predicate chain. `hash_dispatch` is the ablation
+            // that forces every lookup (groups and cells) through the hash
+            // path (dense budget 0); ineligible inputs fall back to the
+            // legacy CASE chain.
+            let dense_eligible = opts.jump_table
+                && plans.iter().all(|p| {
+                    pa_engine::DenseKeySpace::try_build(src, &p.by_src_cols, par.dense_budget)
+                        .is_some()
+                });
+            if opts.hash_dispatch || dense_eligible {
+                let pivot_par = if opts.hash_dispatch {
+                    ParallelConfig {
+                        dense_budget: 0,
+                        ..par
+                    }
+                } else {
+                    par
+                };
                 let flat_extras: Vec<(AggFunc, Expr)> = extra_specs_src
                     .iter()
                     .flat_map(|(lanes, _)| lanes.iter().cloned())
@@ -407,7 +457,7 @@ pub fn eval_horizontal_guarded(
                     &flat_extras,
                     guard,
                     &mut stats,
-                    &par,
+                    &pivot_par,
                 )?
             } else {
                 case_raw(
@@ -1062,7 +1112,7 @@ mod tests {
     }
 
     #[test]
-    fn case_direct_cost_is_n_conditions_per_row_dispatch_is_constant() {
+    fn case_direct_cost_is_n_conditions_per_row_jump_table_is_constant() {
         // Blow the example up so the per-row CASE chain dominates the small
         // fixed cost of the post-projection guards.
         let catalog = store_sales_catalog();
@@ -1076,14 +1126,33 @@ mod tests {
             assert_eq!(t.num_rows(), 60);
         }
         let q = HorizontalQuery::hpct("sales", &["store"], "salesAmt", &["dweek"]);
-        let case = eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "c1_").unwrap();
-        // Raw phase: 60 rows × 2 combos = 120 conditions, plus a small
-        // post-projection constant (3 groups × 2 cells × 2 guards).
+        // Legacy chain (jump table off): 60 rows × 2 combos = 120
+        // conditions in the raw phase, plus the small post-projection
+        // constant (3 groups × 2 cells × 2 guards).
+        let legacy = eval_horizontal(
+            &catalog,
+            &q,
+            &HorizontalOptions {
+                jump_table: false,
+                ..HorizontalOptions::default()
+            },
+            "c1_",
+        )
+        .unwrap();
         assert!(
-            case.stats.case_condition_evals >= 120,
+            legacy.stats.case_condition_evals >= 120,
             "{}",
-            case.stats.case_condition_evals
+            legacy.stats.case_condition_evals
         );
+        // (The legacy run still counts dense ops for its GROUP BY hash
+        // aggregation — only the CASE evaluation itself avoids the pivot.)
+        // Default: the jump table pays only the post-projection guards —
+        // independent of n — and every lookup pass runs dense.
+        let jump = eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "c2_").unwrap();
+        assert_eq!(jump.stats.case_condition_evals, 12);
+        assert!(jump.stats.dense_group_ops > 0, "{}", jump.stats);
+        assert_eq!(jump.stats.hash_group_ops, 0, "{}", jump.stats);
+        // Hash-dispatch ablation: same constant CASE cost, hash lookups.
         let dispatch = eval_horizontal(
             &catalog,
             &q,
@@ -1091,12 +1160,48 @@ mod tests {
                 hash_dispatch: true,
                 ..HorizontalOptions::default()
             },
-            "c2_",
+            "c3_",
         )
         .unwrap();
-        // Dispatch pays only the post-projection guards — independent of n.
         assert_eq!(dispatch.stats.case_condition_evals, 12);
-        assert!(dispatch.stats.case_condition_evals * 5 < case.stats.case_condition_evals);
+        assert_eq!(dispatch.stats.dense_group_ops, 0, "{}", dispatch.stats);
+        assert!(dispatch.stats.hash_group_ops > 0, "{}", dispatch.stats);
+        assert!(dispatch.stats.case_condition_evals * 5 < legacy.stats.case_condition_evals);
+    }
+
+    #[test]
+    fn combo_cache_serves_repeat_queries_and_mutations_invalidate() {
+        let catalog = store_sales_catalog();
+        let q = hpct_query();
+        let first = eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "k1_").unwrap();
+        assert_eq!(first.stats.combo_cache_misses, 1, "{}", first.stats);
+        assert_eq!(first.stats.combo_cache_hits, 0);
+        // Same table + BY dims, different strategy: served from cache.
+        let second = eval_horizontal(
+            &catalog,
+            &q,
+            &HorizontalOptions::with_strategy(HorizontalStrategy::CaseFromFv),
+            "k2_",
+        )
+        .unwrap();
+        assert_eq!(second.stats.combo_cache_hits, 1, "{}", second.stats);
+        assert_eq!(second.stats.combo_cache_misses, 0);
+        assert_eq!(
+            first.snapshot().sorted_by(&[0]).rows().collect::<Vec<_>>(),
+            second.snapshot().sorted_by(&[0]).rows().collect::<Vec<_>>(),
+        );
+        // A logged append invalidates: the next query re-discovers and sees
+        // the new combination as a new result column.
+        let extra_schema = catalog.table("sales").unwrap().read().schema().clone();
+        let mut wed = Table::empty(extra_schema);
+        wed.push_row(&[Value::Int(2), Value::str("Wed"), Value::Float(50.0)])
+            .unwrap();
+        pa_engine::insert_into(&catalog, "sales", &wed, &mut ExecStats::default()).unwrap();
+        let third = eval_horizontal(&catalog, &q, &HorizontalOptions::default(), "k3_").unwrap();
+        assert_eq!(third.stats.combo_cache_misses, 1, "{}", third.stats);
+        let t = third.snapshot();
+        assert_eq!(t.num_columns(), 5, "Wed became a column");
+        assert_eq!(t.schema().field_at(3).name, "dweek=Wed");
     }
 
     #[test]

@@ -204,7 +204,7 @@ pub fn postprocess_pad(
         let mut target = result.table.write();
         let start = target.num_rows();
         target.extend_from(&pad)?;
-        catalog.with_wal(|w| w.log_bulk_insert("FV", &target, start))?;
+        catalog.with_wal_mutating("FV", |w| w.log_bulk_insert("FV", &target, start))?;
         stats.rows_materialized += appended;
         stats.statements += 1;
     }

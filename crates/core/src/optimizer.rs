@@ -25,6 +25,22 @@ use pa_storage::{Catalog, Column, FxHashSet, Table};
 /// monthNo(12); the selective ones start at dept(100) and age(100).
 pub const LOW_SELECTIVITY_MAX: usize = 32;
 
+/// Estimated BY-domain size (product of per-column distinct counts) above
+/// which a horizontal query routes through `FV` instead of evaluating the
+/// CASE terms directly from `F`.
+///
+/// The paper's rule — direct only for "no more than two columns ... each of
+/// them [with] low selectivity" — priced the per-row O(N) CASE chain. With
+/// jump-table CASE evaluation (see [`pa_engine::DenseKeySpace`]) a direct
+/// scan pays O(1) per row regardless of how many output columns the BY
+/// domain expands to, so column count and per-column selectivity stop
+/// mattering on their own; what is left is the width of the accumulator
+/// block and the dispatch table, which grow with the *product* of the
+/// distinct counts. Past this budget the jump table stops paying for
+/// itself (and the result is about to hit `max_columns` anyway), so the
+/// FV pre-aggregation — which shrinks the scanned input instead — wins.
+pub const DIRECT_CELL_BUDGET: usize = 1024;
+
 /// Rows sampled when estimating a column's distinct count.
 const SAMPLE_ROWS: usize = 100_000;
 
@@ -33,6 +49,13 @@ const SAMPLE_ROWS: usize = 100_000;
 /// dictionary. The estimate is a lower bound, which is the safe direction
 /// for the "low selectivity" test.
 pub fn estimate_distinct(table: &Table, col: usize) -> usize {
+    estimate_distinct_up_to(table, col, LOW_SELECTIVITY_MAX)
+}
+
+/// [`estimate_distinct`] with a caller-chosen early-exit threshold: stops
+/// scanning once more than `cap` distinct values have been seen, so the
+/// result is exact below `cap` and a lower bound above it.
+pub fn estimate_distinct_up_to(table: &Table, col: usize, cap: usize) -> usize {
     match table.column(col) {
         Column::Str { dict, .. } => dict.len(),
         column => {
@@ -40,8 +63,8 @@ pub fn estimate_distinct(table: &Table, col: usize) -> usize {
             let mut seen: FxHashSet<Option<i64>> = FxHashSet::default();
             for row in 0..n {
                 seen.insert(column.key_fragment(row));
-                if seen.len() > LOW_SELECTIVITY_MAX {
-                    // Early exit: already high selectivity.
+                if seen.len() > cap {
+                    // Early exit: already over the caller's threshold.
                     return seen.len();
                 }
             }
@@ -78,9 +101,18 @@ pub fn choose_parallelism(mode: ParallelMode, input_rows: usize) -> ParallelConf
     }
 }
 
-/// Pick the CASE evaluation source for a horizontal query per the paper's
-/// rule: direct from `F` for at most two low-selectivity subgrouping
-/// columns, from `FV` otherwise.
+/// Pick the CASE evaluation source for a horizontal query.
+///
+/// The paper's rule ("direct from `F` for at most two low-selectivity
+/// subgrouping columns, from `FV` otherwise") priced the O(N)-per-row CASE
+/// chain that a SQL optimizer is stuck with. Our default evaluation is the
+/// jump-table code path, where a direct scan costs O(1) per row however
+/// many columns the BY list expands to — so the rule is recalibrated to
+/// what still matters: the estimated BY-domain *cell count* per term. At
+/// most [`DIRECT_CELL_BUDGET`] cells, the direct scan wins (one pass over
+/// `F`, no `FV` materialization); past it, pre-aggregating into `FV`
+/// shrinks the scanned input and the direct scan's dense structures would
+/// not fit a cache-resident table anyway.
 pub fn choose_horizontal_strategy(
     catalog: &Catalog,
     q: &HorizontalQuery,
@@ -98,12 +130,14 @@ pub fn choose_horizontal_strategy(
     let f_shared = catalog.table(&q.table)?;
     let f = f_shared.read();
     for term in &q.terms {
-        if term.by.len() > 2 {
-            return Ok(HorizontalStrategy::CaseFromFv);
-        }
+        let mut cells: usize = 1;
         for b in &term.by {
             let col = f.schema().index_of(b)?;
-            if estimate_distinct(&f, col) > LOW_SELECTIVITY_MAX {
+            // +1 for the NULL slot each dimension carries in the dense
+            // encoding; saturating keeps huge domains from wrapping.
+            let distinct = estimate_distinct_up_to(&f, col, DIRECT_CELL_BUDGET) + 1;
+            cells = cells.saturating_mul(distinct);
+            if cells > DIRECT_CELL_BUDGET {
                 return Ok(HorizontalStrategy::CaseFromFv);
             }
         }
@@ -161,9 +195,25 @@ mod tests {
     }
 
     #[test]
-    fn high_selectivity_goes_indirect() {
+    fn high_selectivity_small_domain_goes_direct() {
+        // dept has 100 distinct values — "high selectivity" under the
+        // paper's rule, which would have routed through FV. The jump-table
+        // recalibration keeps it direct: 101 cells is far under
+        // DIRECT_CELL_BUDGET and one O(1)-per-row scan of F beats
+        // materializing FV first.
         let catalog = catalog(7);
         let q = crate::HorizontalQuery::hpct("sales", &["store"], "amt", &["dept"]);
+        assert_eq!(
+            choose_horizontal_strategy(&catalog, &q).unwrap(),
+            HorizontalStrategy::CaseDirect
+        );
+    }
+
+    #[test]
+    fn over_budget_domain_goes_indirect() {
+        // (100+1) dept slots × (11+1) day slots = 1212 cells > 1024.
+        let catalog = catalog(11);
+        let q = crate::HorizontalQuery::hpct("sales", &["store"], "amt", &["dept", "day"]);
         assert_eq!(
             choose_horizontal_strategy(&catalog, &q).unwrap(),
             HorizontalStrategy::CaseFromFv
@@ -171,13 +221,28 @@ mod tests {
     }
 
     #[test]
-    fn three_by_columns_go_indirect() {
+    fn three_by_columns_over_budget_go_indirect() {
+        // 11 × 3 × 101 = 3333 cells — three BY columns alone no longer
+        // force FV, but this product blows the cell budget.
         let catalog = catalog(2);
         let mut q = crate::HorizontalQuery::hpct("sales", &[], "amt", &["store", "day", "dept"]);
         q.terms[0].by = vec!["store".into(), "day".into(), "dept".into()];
         assert_eq!(
             choose_horizontal_strategy(&catalog, &q).unwrap(),
             HorizontalStrategy::CaseFromFv
+        );
+    }
+
+    #[test]
+    fn three_low_cardinality_by_columns_go_direct() {
+        // (10+1) store × (2+1) day × (2+1) day = 99 cells ≤ 1024: the
+        // paper's hard two-column cutoff is gone.
+        let catalog = catalog(2);
+        let mut q = crate::HorizontalQuery::hpct("sales", &[], "amt", &["store", "day"]);
+        q.terms[0].by = vec!["store".into(), "day".into(), "day".into()];
+        assert_eq!(
+            choose_horizontal_strategy(&catalog, &q).unwrap(),
+            HorizontalStrategy::CaseDirect
         );
     }
 

@@ -164,6 +164,14 @@ pub struct HorizontalOptions {
     /// ... to O(1) using a hash-based search"). Implemented here as an
     /// ablation; only affects the CASE strategies.
     pub hash_dispatch: bool,
+    /// Evaluate the CASE strategies through the code-path pivot when every
+    /// term's BY columns dense-encode (see [`pa_engine::DenseKeySpace`]):
+    /// the per-row O(N) predicate chain becomes one precomputed
+    /// `composite code → output column` array index. On by default —
+    /// ineligible inputs (float BY columns, domains over the dense budget)
+    /// fall back to the legacy CASE chain automatically. Turn off to force
+    /// the legacy chain (cost-model ablations and differential tests).
+    pub jump_table: bool,
     /// Maximum columns a single result table may have (the DBMS limit the
     /// papers worry about). Teradata V2R4's limit was 2048.
     pub max_columns: usize,
@@ -186,6 +194,7 @@ impl Default for HorizontalOptions {
         HorizontalOptions {
             strategy: HorizontalStrategy::CaseDirect,
             hash_dispatch: false,
+            jump_table: true,
             max_columns: 2048,
             allow_partitioning: false,
             parallel: ParallelMode::Auto,
@@ -245,6 +254,7 @@ mod tests {
         assert_eq!(o.strategy, HorizontalStrategy::CaseDirect);
         assert_eq!(o.max_columns, 2048);
         assert!(!o.hash_dispatch);
+        assert!(o.jump_table, "code-path CASE evaluation is the default");
         assert_eq!(o.parallel, ParallelMode::Auto);
         assert_eq!(o.deadline, None);
         let o = HorizontalOptions::with_strategy(HorizontalStrategy::SpjFromFv);

@@ -384,7 +384,7 @@ fn scalar_update_divide(
             _ => Value::Null,
         };
         stats.case_condition_evals += 1;
-        catalog.with_wal(|wal| {
+        catalog.with_wal_mutating(table, |wal| {
             wal.log_update(
                 table,
                 row,

@@ -89,6 +89,7 @@ proptest! {
                 threads,
                 morsel_rows: 16,
                 min_parallel_rows: 0,
+            ..ParallelConfig::serial()
             };
             outs.push(pivot_aggregate_with_config(
                 &t,

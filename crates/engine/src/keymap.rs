@@ -1,14 +1,32 @@
-//! Grouping hash table shared by aggregation, join, and DISTINCT.
+//! Group-id assignment shared by aggregation, join, and DISTINCT.
 //!
-//! Maps a tuple of key values to a dense group id. Input rows are hashed
-//! straight from their columns (no per-row key allocation); a key tuple is
-//! materialized only once per *distinct* group. Collisions are resolved by
-//! value comparison.
+//! Two code paths map a tuple of key values to a dense group id:
+//!
+//! * [`RowKeyMap`] — the general hash path. Input rows are hashed straight
+//!   from their columns (no per-row key allocation); a key tuple is
+//!   materialized only once per *distinct* group. Collisions are resolved
+//!   by value comparison.
+//! * [`DenseKeySpace`] / [`DenseGroupMap`] — the code path. When every key
+//!   column has a small enumerable domain (dictionary codes for strings, a
+//!   narrow observed range for integers), keys compress to a mixed-radix
+//!   *composite code* and group lookup becomes one array index — no
+//!   hashing, no `Value` construction, no key comparison.
+//!
+//! [`GroupMap`] unifies the two behind one interface so operators pick per
+//! input: dense when the cardinality product fits the configured budget,
+//! hash otherwise. Both paths assign group ids in first-appearance scan
+//! order, which is what keeps parallel merges byte-identical to the serial
+//! plan (DESIGN.md §7, §10).
 
 use crate::stats::ExecStats;
 use pa_storage::hash::FxHashMap;
-use pa_storage::{FxHasher, Table, Value};
+use pa_storage::{Column, FxHasher, Table, Value};
 use std::hash::Hasher;
+
+/// Default ceiling on the composite-code space (product of per-dimension
+/// radices) for the dense group path. 2^20 codes × 4-byte slot ≈ 4 MiB of
+/// direct-addressed table per worker — beyond that the hash path wins.
+pub const DEFAULT_DENSE_BUDGET: usize = 1 << 20;
 
 /// Hash table from key tuples to dense group ids.
 #[derive(Debug, Default)]
@@ -157,6 +175,372 @@ impl RowKeyMap {
     }
 }
 
+// ---- dense (code-path) grouping ------------------------------------------
+
+/// How one key dimension maps to a slot in `0..radix`. Slot 0 is always the
+/// NULL slot, so NULL groups exactly like the hash path's `key_eq`.
+#[derive(Debug, Clone, Copy)]
+enum DimCoder {
+    /// Dictionary-encoded string column: slot = code + 1.
+    Str,
+    /// Integer column with observed range `[min, min + radix - 2]`:
+    /// slot = value - min + 1.
+    Int {
+        /// Smallest non-NULL value observed at build time.
+        min: i64,
+    },
+}
+
+/// Mixed-radix composite-code space over a tuple of key columns.
+///
+/// Each dimension contributes a slot in `0..radix_d` (0 = NULL); the
+/// composite code is `Σ slot_d × stride_d`, a bijection between key tuples
+/// and `0..size()`. Built against one immutable table snapshot: the
+/// per-dimension domains (dictionary size, integer range) are fixed at
+/// build time, so every row of that snapshot encodes in range.
+#[derive(Debug, Clone)]
+pub struct DenseKeySpace {
+    cols: Vec<usize>,
+    dims: Vec<DimCoder>,
+    radices: Vec<usize>,
+    strides: Vec<usize>,
+    size: usize,
+}
+
+impl DenseKeySpace {
+    /// Try to build a code space for `cols` of `table` whose size stays
+    /// within `budget` codes. Returns `None` — callers fall back to the
+    /// hash path — when the key is empty, the budget is 0 (dense path
+    /// disabled), any column is `Float` (unbounded domain), or the
+    /// cardinality product overflows the budget.
+    pub fn try_build(table: &Table, cols: &[usize], budget: usize) -> Option<DenseKeySpace> {
+        if cols.is_empty() || budget == 0 {
+            return None;
+        }
+        let mut dims = Vec::with_capacity(cols.len());
+        let mut radices = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let (coder, radix) = match table.column(c) {
+                Column::Str { dict, .. } => (DimCoder::Str, dict.len().checked_add(1)?),
+                Column::Int { data, validity } => {
+                    let mut min = i64::MAX;
+                    let mut max = i64::MIN;
+                    for (i, &v) in data.iter().enumerate() {
+                        if validity.get(i) {
+                            min = min.min(v);
+                            max = max.max(v);
+                        }
+                    }
+                    if min > max {
+                        // All-NULL dimension: only the NULL slot.
+                        (DimCoder::Int { min: 0 }, 1)
+                    } else {
+                        let span = usize::try_from(max.checked_sub(min)?).ok()?;
+                        (DimCoder::Int { min }, span.checked_add(2)?)
+                    }
+                }
+                Column::Float { .. } => return None,
+            };
+            dims.push(coder);
+            radices.push(radix);
+        }
+        let mut strides = Vec::with_capacity(cols.len());
+        let mut size = 1usize;
+        for &radix in &radices {
+            strides.push(size);
+            size = size.checked_mul(radix)?;
+            if size > budget {
+                return None;
+            }
+        }
+        Some(DenseKeySpace {
+            cols: cols.to_vec(),
+            dims,
+            radices,
+            strides,
+            size,
+        })
+    }
+
+    /// Number of addressable composite codes (product of radices).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Key columns the space encodes, in key order.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    #[inline]
+    fn slot_of_row(&self, table: &Table, d: usize, row: usize) -> usize {
+        match (table.column(self.cols[d]), self.dims[d]) {
+            (
+                Column::Str {
+                    codes, validity, ..
+                },
+                DimCoder::Str,
+            ) => {
+                if validity.get(row) {
+                    codes[row] as usize + 1
+                } else {
+                    0
+                }
+            }
+            (Column::Int { data, validity }, DimCoder::Int { min }) => {
+                if validity.get(row) {
+                    (data[row] - min) as usize + 1
+                } else {
+                    0
+                }
+            }
+            _ => unreachable!("column type changed under a built key space"),
+        }
+    }
+
+    /// Composite code of one row of the table the space was built on.
+    #[inline]
+    pub fn code_of_row(&self, table: &Table, row: usize) -> usize {
+        let mut code = 0;
+        for d in 0..self.dims.len() {
+            code += self.slot_of_row(table, d, row) * self.strides[d];
+        }
+        code
+    }
+
+    /// Composite code of an explicit key tuple, or `None` when some value
+    /// lies outside the encoded domain (it then matches no row of the
+    /// table, because the domains cover every value the table holds).
+    pub fn code_of_key(&self, table: &Table, key: &[Value]) -> Option<usize> {
+        debug_assert_eq!(key.len(), self.cols.len());
+        let mut code = 0;
+        for (d, v) in key.iter().enumerate() {
+            let slot = match (v, self.dims[d]) {
+                (Value::Null, _) => 0,
+                (Value::Str(s), DimCoder::Str) => {
+                    let Column::Str { dict, .. } = table.column(self.cols[d]) else {
+                        return None;
+                    };
+                    dict.code_of(s)? as usize + 1
+                }
+                (Value::Int(i), DimCoder::Int { min }) => {
+                    let slot = usize::try_from(i.checked_sub(min)?).ok()? + 1;
+                    if slot >= self.radices[d] {
+                        return None;
+                    }
+                    slot
+                }
+                _ => return None,
+            };
+            code += slot * self.strides[d];
+        }
+        Some(code)
+    }
+
+    /// Decode dimension `d` of a composite code back into its key value.
+    pub fn key_value(&self, table: &Table, code: usize, d: usize) -> Value {
+        let slot = (code / self.strides[d]) % self.radices[d];
+        if slot == 0 {
+            return Value::Null;
+        }
+        match self.dims[d] {
+            DimCoder::Str => {
+                let Column::Str { dict, .. } = table.column(self.cols[d]) else {
+                    unreachable!("column type changed under a built key space")
+                };
+                Value::Str(dict.resolve((slot - 1) as u32).clone())
+            }
+            DimCoder::Int { min } => Value::Int(min + slot as i64 - 1),
+        }
+    }
+}
+
+/// Direct-addressed group-id map over a [`DenseKeySpace`]: `code → gid` is
+/// one array index. Group ids are assigned in first-appearance order, same
+/// as [`RowKeyMap`], so the two paths produce byte-identical output.
+#[derive(Debug)]
+pub struct DenseGroupMap {
+    space: DenseKeySpace,
+    /// `u32::MAX` marks an unseen code (the space fits 2^20 ≪ u32::MAX).
+    code_to_gid: Vec<u32>,
+    /// Composite code per group id, in first-appearance order.
+    gid_to_code: Vec<u32>,
+}
+
+impl DenseGroupMap {
+    /// Empty map over `space`.
+    pub fn new(space: DenseKeySpace) -> DenseGroupMap {
+        DenseGroupMap {
+            code_to_gid: vec![u32::MAX; space.size()],
+            gid_to_code: Vec::new(),
+            space,
+        }
+    }
+
+    /// Number of distinct groups seen.
+    pub fn len(&self) -> usize {
+        self.gid_to_code.len()
+    }
+
+    /// True when no groups have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.gid_to_code.is_empty()
+    }
+
+    /// The code space this map addresses.
+    pub fn space(&self) -> &DenseKeySpace {
+        &self.space
+    }
+
+    /// Group id for a composite code, inserting a new group when unseen.
+    #[inline]
+    pub fn get_or_insert_code(&mut self, code: usize) -> usize {
+        let gid = self.code_to_gid[code];
+        if gid != u32::MAX {
+            return gid as usize;
+        }
+        let gid = self.gid_to_code.len() as u32;
+        self.code_to_gid[code] = gid;
+        self.gid_to_code.push(code as u32);
+        gid as usize
+    }
+
+    /// Group id for the key formed by the space's columns of `table[row]`,
+    /// inserting a new group when unseen.
+    #[inline]
+    pub fn get_or_insert_row(&mut self, table: &Table, row: usize) -> usize {
+        let code = self.space.code_of_row(table, row);
+        self.get_or_insert_code(code)
+    }
+}
+
+/// Group-id assignment behind either code path. Operators pick the variant
+/// per input via [`GroupMap::choose`]; everything downstream (scan, merge,
+/// materialization) is path-agnostic and byte-identical across paths.
+#[derive(Debug)]
+pub enum GroupMap {
+    /// General hash path ([`RowKeyMap`]).
+    Hash(RowKeyMap),
+    /// Direct-addressed code path ([`DenseGroupMap`]).
+    Dense(DenseGroupMap),
+}
+
+impl GroupMap {
+    /// Dense map over `space` when one was built, hash map otherwise.
+    pub fn for_space(space: Option<DenseKeySpace>) -> GroupMap {
+        match space {
+            Some(space) => GroupMap::Dense(DenseGroupMap::new(space)),
+            None => GroupMap::Hash(RowKeyMap::new()),
+        }
+    }
+
+    /// Choose the group path for `cols` of `table` under `budget`.
+    pub fn choose(table: &Table, cols: &[usize], budget: usize) -> GroupMap {
+        GroupMap::for_space(DenseKeySpace::try_build(table, cols, budget))
+    }
+
+    /// `"dense"` or `"hash"` — for stats and bench artifacts.
+    pub fn path(&self) -> &'static str {
+        match self {
+            GroupMap::Hash(_) => "hash",
+            GroupMap::Dense(_) => "dense",
+        }
+    }
+
+    /// Number of distinct groups seen.
+    pub fn len(&self) -> usize {
+        match self {
+            GroupMap::Hash(m) => m.len(),
+            GroupMap::Dense(m) => m.len(),
+        }
+    }
+
+    /// True when no groups have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Group id for the key formed by `cols` of `table[row]`, inserting a
+    /// new group when unseen. `cols` must be the columns the map was chosen
+    /// for (the dense path encodes its own column list).
+    #[inline]
+    pub fn get_or_insert_row(
+        &mut self,
+        table: &Table,
+        cols: &[usize],
+        row: usize,
+        stats: &mut ExecStats,
+    ) -> usize {
+        match self {
+            GroupMap::Hash(m) => m.get_or_insert_row(table, cols, row, stats),
+            GroupMap::Dense(m) => m.get_or_insert_row(table, row),
+        }
+    }
+
+    /// Group id for an explicit key tuple, inserting when unseen. Only the
+    /// hash path supports explicit keys; levels with an empty key (global
+    /// aggregates) always choose it.
+    pub fn get_or_insert_key(&mut self, key: &[Value], stats: &mut ExecStats) -> usize {
+        match self {
+            GroupMap::Hash(m) => m.get_or_insert_key(key, stats),
+            GroupMap::Dense(_) => unreachable!("explicit keys require the hash group path"),
+        }
+    }
+
+    /// Fold another map's groups into this one, returning this map's group
+    /// id for each of `other`'s group ids (in `other`'s id order). Unseen
+    /// groups are appended in `other`'s first-appearance order — the
+    /// deterministic worker-order merge both aggregation operators rely on.
+    pub fn merge_ids(&mut self, other: GroupMap, stats: &mut ExecStats) -> Vec<u32> {
+        match (self, other) {
+            (GroupMap::Hash(dst), GroupMap::Hash(src)) => src
+                .into_keys()
+                .iter()
+                .map(|key| dst.get_or_insert_key(key, stats) as u32)
+                .collect(),
+            (GroupMap::Dense(dst), GroupMap::Dense(src)) => src
+                .gid_to_code
+                .iter()
+                .map(|&code| dst.get_or_insert_code(code as usize) as u32)
+                .collect(),
+            _ => unreachable!("worker partials always share one group path"),
+        }
+    }
+
+    /// Materialize the key columns, one [`Column`] per key dimension with
+    /// one entry per group id — the output layout, built directly from the
+    /// stored keys without cloning a `Vec<Value>` per row. `table`/`cols`
+    /// must be the input the map was built over.
+    pub fn build_key_columns(
+        &self,
+        table: &Table,
+        cols: &[usize],
+    ) -> crate::error::Result<Vec<Column>> {
+        let mut out = Vec::with_capacity(cols.len());
+        match self {
+            GroupMap::Hash(m) => {
+                for (d, &c) in cols.iter().enumerate() {
+                    let mut col = Column::new(table.column(c).data_type());
+                    for key in m.keys() {
+                        col.push(key[d].clone())?;
+                    }
+                    out.push(col);
+                }
+            }
+            GroupMap::Dense(m) => {
+                for (d, &c) in cols.iter().enumerate() {
+                    let mut col = Column::new(table.column(c).data_type());
+                    for &code in &m.gid_to_code {
+                        col.push(m.space.key_value(table, code as usize, d))?;
+                    }
+                    out.push(col);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +613,143 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(m.len(), 2);
+    }
+
+    /// Str × Int table with NULLs in both key dimensions.
+    fn mixed_table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("s", DataType::Str),
+            ("d", DataType::Int),
+            ("f", DataType::Float),
+        ])
+        .unwrap()
+        .into_shared();
+        let mut t = Table::empty(schema);
+        for (s, d) in [
+            (Some("CA"), Some(10)),
+            (Some("TX"), Some(12)),
+            (None, Some(10)),
+            (Some("CA"), None),
+            (Some("CA"), Some(10)),
+            (None, Some(10)),
+        ] {
+            t.push_row(&[
+                s.map_or(Value::Null, Value::str),
+                d.map_or(Value::Null, Value::Int),
+                Value::Float(1.0),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn dense_space_respects_budget_and_column_types() {
+        let t = mixed_table();
+        // s: 2 dict values + NULL = 3; d: range 10..=12 + NULL = 4.
+        let space = DenseKeySpace::try_build(&t, &[0, 1], 1 << 20).unwrap();
+        assert_eq!(space.size(), 12);
+        // A budget below the product forces the hash fallback.
+        assert!(DenseKeySpace::try_build(&t, &[0, 1], 11).is_none());
+        assert!(DenseKeySpace::try_build(&t, &[0, 1], 0).is_none());
+        // Float columns never dense-encode.
+        assert!(DenseKeySpace::try_build(&t, &[2], 1 << 20).is_none());
+        assert!(DenseKeySpace::try_build(&t, &[], 1 << 20).is_none());
+    }
+
+    #[test]
+    fn dense_gids_match_hash_gids_in_scan_order() {
+        let t = mixed_table();
+        let mut hash = RowKeyMap::new();
+        let mut dense = DenseGroupMap::new(DenseKeySpace::try_build(&t, &[0, 1], 1 << 20).unwrap());
+        let mut st = ExecStats::default();
+        for row in 0..t.num_rows() {
+            let h = hash.get_or_insert_row(&t, &[0, 1], row, &mut st);
+            let d = dense.get_or_insert_row(&t, row);
+            assert_eq!(h, d, "row {row}");
+        }
+        assert_eq!(hash.len(), dense.len());
+    }
+
+    #[test]
+    fn dense_codes_round_trip_through_key_values() {
+        let t = mixed_table();
+        let space = DenseKeySpace::try_build(&t, &[0, 1], 1 << 20).unwrap();
+        for row in 0..t.num_rows() {
+            let code = space.code_of_row(&t, row);
+            assert!(code < space.size());
+            let key: Vec<Value> = (0..2).map(|d| space.key_value(&t, code, d)).collect();
+            assert!(key[0].key_eq(&t.get(row, 0)), "row {row}");
+            assert!(key[1].key_eq(&t.get(row, 1)), "row {row}");
+            assert_eq!(space.code_of_key(&t, &key), Some(code));
+        }
+        // Out-of-domain keys are rejected, not mis-encoded.
+        assert_eq!(
+            space.code_of_key(&t, &[Value::str("NV"), Value::Int(10)]),
+            None
+        );
+        assert_eq!(
+            space.code_of_key(&t, &[Value::str("CA"), Value::Int(99)]),
+            None
+        );
+    }
+
+    #[test]
+    fn group_map_merge_ids_agrees_across_paths() {
+        let t = mixed_table();
+        let mut st = ExecStats::default();
+        let space = DenseKeySpace::try_build(&t, &[0, 1], 1 << 20).unwrap();
+        // Worker 0 sees rows 0..3, worker 1 rows 3..6; merge in worker order.
+        let run = |mut maps: Vec<GroupMap>, st: &mut ExecStats| -> (Vec<u32>, usize) {
+            for row in 0..3 {
+                maps[0].get_or_insert_row(&t, &[0, 1], row, st);
+            }
+            for row in 3..6 {
+                maps[1].get_or_insert_row(&t, &[0, 1], row, st);
+            }
+            let w1 = maps.pop().unwrap();
+            let mut global = maps.pop().unwrap();
+            let ids = global.merge_ids(w1, st);
+            (ids, global.len())
+        };
+        let (hash_ids, hash_len) = run(
+            vec![
+                GroupMap::Hash(RowKeyMap::new()),
+                GroupMap::Hash(RowKeyMap::new()),
+            ],
+            &mut st,
+        );
+        let (dense_ids, dense_len) = run(
+            vec![
+                GroupMap::Dense(DenseGroupMap::new(space.clone())),
+                GroupMap::Dense(DenseGroupMap::new(space)),
+            ],
+            &mut st,
+        );
+        assert_eq!(hash_ids, dense_ids);
+        assert_eq!(hash_len, dense_len);
+    }
+
+    #[test]
+    fn build_key_columns_matches_stored_keys_on_both_paths() {
+        let t = mixed_table();
+        let mut st = ExecStats::default();
+        let mut hash = GroupMap::Hash(RowKeyMap::new());
+        let mut dense = GroupMap::choose(&t, &[0, 1], 1 << 20);
+        assert_eq!(dense.path(), "dense");
+        assert_eq!(hash.path(), "hash");
+        for row in 0..t.num_rows() {
+            hash.get_or_insert_row(&t, &[0, 1], row, &mut st);
+            dense.get_or_insert_row(&t, &[0, 1], row, &mut st);
+        }
+        let h = hash.build_key_columns(&t, &[0, 1]).unwrap();
+        let d = dense.build_key_columns(&t, &[0, 1]).unwrap();
+        assert_eq!(h.len(), 2);
+        for (hc, dc) in h.iter().zip(&d) {
+            assert_eq!(hc.len(), hash.len());
+            for i in 0..hc.len() {
+                assert_eq!(hc.get(i), dc.get(i));
+            }
+        }
     }
 }

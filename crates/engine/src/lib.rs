@@ -27,7 +27,7 @@ pub use clock::{Clock, SystemClock, TestClock};
 pub use error::{EngineError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use guard::{Deadline, ResourceGuard, CANCEL_CHECK_INTERVAL};
-pub use keymap::RowKeyMap;
+pub use keymap::{DenseGroupMap, DenseKeySpace, GroupMap, RowKeyMap, DEFAULT_DENSE_BUDGET};
 pub use ops::acc::Acc;
 pub use ops::aggregate::{
     hash_aggregate, hash_aggregate_guarded, hash_aggregate_with_config, multi_hash_aggregate,

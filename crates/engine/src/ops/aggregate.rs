@@ -21,12 +21,12 @@
 use crate::error::{EngineError, Result};
 use crate::expr::Expr;
 use crate::guard::ResourceGuard;
-use crate::keymap::RowKeyMap;
+use crate::keymap::{DenseKeySpace, GroupMap};
 use crate::ops::acc::Acc;
 use crate::parallel::ParallelConfig;
 use crate::stats::ExecStats;
 use pa_obs::SpanHandle;
-use pa_storage::{DataType, Field, Schema, Table, Value};
+use pa_storage::{Column, DataType, Field, Schema, Table};
 
 /// Aggregate functions. All skip NULL inputs except `CountStar`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,7 +152,7 @@ struct Level {
     group_cols: Vec<usize>,
     aggs: Vec<AggSpec>,
     kernels: Vec<Kernel>,
-    map: RowKeyMap,
+    map: GroupMap,
     accs: Vec<Acc>, // groups × aggs, flat
 }
 
@@ -197,8 +197,8 @@ impl Level {
     fn merge_from(&mut self, other: Level, stats: &mut ExecStats) -> Result<()> {
         let width = self.aggs.len();
         let mut other_accs = other.accs.into_iter();
-        for key in other.map.into_keys() {
-            let gid = self.map.get_or_insert_key(&key, stats);
+        for gid in self.map.merge_ids(other.map, stats) {
+            let gid = gid as usize;
             if (gid + 1) * width > self.accs.len() {
                 for spec in &self.aggs {
                     self.accs.push(Acc::new(spec.func));
@@ -212,7 +212,11 @@ impl Level {
         Ok(())
     }
 
-    fn finish(self, input_schema: &Schema, stats: &mut ExecStats) -> Result<Table> {
+    /// Materialize the level: key columns built directly from the group
+    /// map's stored keys (no per-row `Vec<Value>` clone), aggregate columns
+    /// from the accumulator matrix.
+    fn finish(self, input: &Table, stats: &mut ExecStats) -> Result<Table> {
+        let input_schema = input.schema();
         let mut fields: Vec<Field> = self
             .group_cols
             .iter()
@@ -226,17 +230,16 @@ impl Level {
         }
         let schema = Schema::new(fields)?.into_shared();
         let n_groups = self.map.len();
-        let mut out = Table::with_capacity(schema, n_groups);
-        for gid in 0..n_groups {
-            let mut row: Vec<Value> = self.map.keys()[gid].clone();
-            let base = gid * self.aggs.len();
-            for i in 0..self.aggs.len() {
-                row.push(self.accs[base + i].finish());
+        let mut columns = self.map.build_key_columns(input, &self.group_cols)?;
+        for (i, spec) in self.aggs.iter().enumerate() {
+            let mut col = Column::new(spec.output_type(input_schema));
+            for gid in 0..n_groups {
+                col.push(self.accs[gid * self.aggs.len() + i].finish())?;
             }
-            out.push_row(&row)?;
+            columns.push(col);
         }
         stats.rows_materialized += n_groups as u64;
-        Ok(out)
+        Ok(Table::from_columns(schema, columns)?)
     }
 }
 
@@ -392,15 +395,30 @@ pub fn multi_hash_aggregate_with_config(
         .iter()
         .map(|(_, aggs)| classify_kernels(aggs, input))
         .collect();
+    // Decide the group path once per level (the per-dimension domain scan
+    // is O(n) for integer columns); workers clone the shared key space so
+    // every partial uses the same codes and the merge can fold by code.
+    let spaces: Vec<Option<DenseKeySpace>> = levels
+        .iter()
+        .map(|(cols, _)| DenseKeySpace::try_build(input, cols, config.dense_budget))
+        .collect();
+    for space in &spaces {
+        if space.is_some() {
+            stats.dense_group_ops += 1;
+        } else {
+            stats.hash_group_ops += 1;
+        }
+    }
     let make_levels = || -> Vec<Level> {
         levels
             .iter()
             .zip(&kernels)
-            .map(|((cols, aggs), ks)| Level {
+            .zip(&spaces)
+            .map(|(((cols, aggs), ks), space)| Level {
                 group_cols: cols.clone(),
                 aggs: aggs.clone(),
                 kernels: ks.clone(),
-                map: RowKeyMap::new(),
+                map: GroupMap::for_space(space.clone()),
                 accs: Vec::new(),
             })
             .collect()
@@ -502,7 +520,7 @@ pub fn multi_hash_aggregate_with_config(
     guard.charge(out_rows)?;
     span.add_rows(out_rows);
     lvls.into_iter()
-        .map(|lvl| lvl.finish(input.schema(), stats))
+        .map(|lvl| lvl.finish(input, stats))
         .collect()
 }
 
@@ -517,7 +535,7 @@ pub fn resolve_cols(schema: &Schema, names: &[&str]) -> Result<Vec<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pa_storage::Schema;
+    use pa_storage::{Schema, Value};
 
     /// The paper's Table 1 fact table.
     fn sales() -> Table {
@@ -587,6 +605,7 @@ mod tests {
             threads,
             morsel_rows: morsel,
             min_parallel_rows: 0,
+            ..ParallelConfig::serial()
         }
     }
 

@@ -46,7 +46,7 @@ pub fn insert_into(
         let mut target = shared.write();
         let start = target.num_rows();
         target.extend_from(rows)?;
-        catalog.with_wal(|wal| wal.log_bulk_insert(name, &target, start))?;
+        catalog.with_wal_mutating(name, |wal| wal.log_bulk_insert(name, &target, start))?;
     }
     absorb_wal_delta(catalog, before, stats);
     stats.rows_materialized += rows.num_rows() as u64;

@@ -113,8 +113,9 @@ pub fn update_from(
             .iter()
             .map(|s| target.column(s.target_col).get(row))
             .collect();
-        catalog
-            .with_wal(|wal| wal.log_update(target_name, row, &set_cols, &before_img, &new_vals))?;
+        catalog.with_wal_mutating(target_name, |wal| {
+            wal.log_update(target_name, row, &set_cols, &before_img, &new_vals)
+        })?;
         for (s, v) in sets.iter().zip(new_vals.drain(..)) {
             target.column_mut(s.target_col).set(row, v)?;
         }

@@ -34,6 +34,10 @@ pub struct ParallelConfig {
     pub morsel_rows: usize,
     /// Inputs with fewer rows than this always run serial.
     pub min_parallel_rows: usize,
+    /// Ceiling on the composite-code space for the dense group path
+    /// (env `PA_DENSE_BUDGET`; `0` disables dense grouping entirely).
+    /// See [`crate::keymap::DenseKeySpace`].
+    pub dense_budget: usize,
 }
 
 impl Default for ParallelConfig {
@@ -49,6 +53,7 @@ impl ParallelConfig {
             threads: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
+            dense_budget: crate::keymap::DEFAULT_DENSE_BUDGET,
         }
     }
 
@@ -63,9 +68,10 @@ impl ParallelConfig {
 
     /// Read the configuration from the environment: `PA_THREADS` (default
     /// [`std::thread::available_parallelism`]), `PA_MORSEL_ROWS`,
-    /// `PA_MIN_PARALLEL_ROWS`. Invalid or zero values fall back to the
-    /// defaults. Read per call so benches can vary `PA_THREADS` between
-    /// runs within one process.
+    /// `PA_MIN_PARALLEL_ROWS`, `PA_DENSE_BUDGET` (0 disables the dense
+    /// group path). Invalid or zero values fall back to the defaults
+    /// (except the dense budget, where 0 is meaningful). Read per call so
+    /// benches can vary `PA_THREADS` between runs within one process.
     pub fn from_env() -> ParallelConfig {
         let parse = |name: &str| {
             std::env::var(name)
@@ -79,6 +85,10 @@ impl ParallelConfig {
             threads,
             morsel_rows: parse("PA_MORSEL_ROWS").unwrap_or(DEFAULT_MORSEL_ROWS),
             min_parallel_rows: parse("PA_MIN_PARALLEL_ROWS").unwrap_or(DEFAULT_MIN_PARALLEL_ROWS),
+            dense_budget: std::env::var("PA_DENSE_BUDGET")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(crate::keymap::DEFAULT_DENSE_BUDGET),
         }
     }
 
@@ -157,6 +167,7 @@ mod tests {
             threads: 4,
             morsel_rows: 10,
             min_parallel_rows: 0,
+            ..ParallelConfig::serial()
         };
         let n = 137;
         let chunks = c.chunks(n);
@@ -177,6 +188,7 @@ mod tests {
             threads: 16,
             morsel_rows: 100,
             min_parallel_rows: 0,
+            ..ParallelConfig::serial()
         };
         assert_eq!(c.effective_threads(250), 3);
         let chunks = c.chunks(250);
@@ -190,6 +202,7 @@ mod tests {
             threads: 2,
             morsel_rows: 8,
             min_parallel_rows: 0,
+            ..ParallelConfig::serial()
         };
         let morsels: Vec<_> = c.morsels(16..37).collect();
         assert_eq!(morsels, vec![16..24, 24..32, 32..37]);

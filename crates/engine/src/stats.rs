@@ -95,6 +95,16 @@ pub struct ExecStats {
     /// metered total the budget was enforced over (scan morsels plus
     /// materialized group rows), as rolled up by the per-query guard.
     pub rows_charged: u64,
+    /// Aggregation passes (group maps and dispatch tables) that took the
+    /// dense direct-addressed code path (DESIGN.md §10).
+    pub dense_group_ops: u64,
+    /// Aggregation passes that fell back to the hash group path.
+    pub hash_group_ops: u64,
+    /// Combination-catalog lookups answered from cache (the `SELECT
+    /// DISTINCT` discovery pass was skipped).
+    pub combo_cache_hits: u64,
+    /// Combination-catalog lookups that missed and ran the discovery pass.
+    pub combo_cache_misses: u64,
     /// What the degradation ladder changed, when this result came from a
     /// degraded retry.
     pub degraded_to: Option<Degradation>,
@@ -115,6 +125,10 @@ impl AddAssign for ExecStats {
         self.wal_records += rhs.wal_records;
         self.wal_bytes += rhs.wal_bytes;
         self.rows_charged += rhs.rows_charged;
+        self.dense_group_ops += rhs.dense_group_ops;
+        self.hash_group_ops += rhs.hash_group_ops;
+        self.combo_cache_hits += rhs.combo_cache_hits;
+        self.combo_cache_misses += rhs.combo_cache_misses;
         // Markers: first set wins, so folding partial stats into a query
         // total never erases what the service recorded.
         self.degraded_to = self.degraded_to.or(rhs.degraded_to);
@@ -126,7 +140,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} materialized={} probes={} built={} case_evals={} updated={} sort_cmps={} stmts={} wal_recs={} wal_bytes={} charged={} degraded={} abort={}",
+            "scanned={} materialized={} probes={} built={} case_evals={} updated={} sort_cmps={} stmts={} wal_recs={} wal_bytes={} charged={} dense_ops={} hash_ops={} combo_hits={} combo_misses={} degraded={} abort={}",
             self.rows_scanned,
             self.rows_materialized,
             self.hash_probes,
@@ -138,6 +152,10 @@ impl fmt::Display for ExecStats {
             self.wal_records,
             self.wal_bytes,
             self.rows_charged,
+            self.dense_group_ops,
+            self.hash_group_ops,
+            self.combo_cache_hits,
+            self.combo_cache_misses,
             self.degraded_to.map_or("none", |d| d.label()),
             self.abort_cause.map_or("none", |c| c.label()),
         )
@@ -162,6 +180,10 @@ mod tests {
             wal_records: 9,
             wal_bytes: 10,
             rows_charged: 11,
+            dense_group_ops: 12,
+            hash_group_ops: 13,
+            combo_cache_hits: 14,
+            combo_cache_misses: 15,
             degraded_to: None,
             abort_cause: None,
         };
@@ -170,6 +192,10 @@ mod tests {
         assert_eq!(a.wal_bytes, 20);
         assert_eq!(a.statements, 16);
         assert_eq!(a.rows_charged, 22);
+        assert_eq!(a.dense_group_ops, 24);
+        assert_eq!(a.hash_group_ops, 26);
+        assert_eq!(a.combo_cache_hits, 28);
+        assert_eq!(a.combo_cache_misses, 30);
     }
 
     #[test]
@@ -203,6 +229,10 @@ mod tests {
             "stmts",
             "wal_recs",
             "charged",
+            "dense_ops",
+            "hash_ops",
+            "combo_hits",
+            "combo_misses",
             "degraded",
             "abort",
         ] {

@@ -1,0 +1,211 @@
+//! Regression tests for the combination catalog and the dense group path:
+//!
+//! * every logged mutation (bulk INSERT, per-row UPDATE) must invalidate
+//!   the mutated table's cached combination sets — and only that table's;
+//! * a recovered catalog starts with a cold (empty) combination cache;
+//! * a dimension whose dictionary outgrows the dense-code budget
+//!   mid-append must silently fall back to the hash group path with
+//!   byte-identical results.
+
+use pa_engine::{
+    hash_aggregate_with_config, insert_into, update_from, AggFunc, AggSpec, ExecStats, Expr,
+    ParallelConfig, ResourceGuard, SetClause,
+};
+use pa_storage::{Catalog, DataType, Schema, Table, Value};
+
+fn dims(names: &[&str]) -> Vec<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+fn sales_catalog() -> Catalog {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("store", DataType::Int),
+        ("dweek", DataType::Str),
+        ("amt", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut t = Table::empty(schema);
+    for (s, d, a) in [
+        (1, "Mon", 10.0),
+        (1, "Tue", 20.0),
+        (2, "Mon", 5.0),
+        (2, "Tue", 7.0),
+    ] {
+        t.push_row(&[Value::Int(s), Value::str(d), Value::Float(a)])
+            .unwrap();
+    }
+    catalog.create_table("sales", t).unwrap();
+    catalog
+}
+
+/// One-row batch with the sales schema.
+fn batch(catalog: &Catalog, s: i64, d: &str, a: f64) -> Table {
+    let schema = catalog.table("sales").unwrap().read().schema().clone();
+    let mut b = Table::empty(schema);
+    b.push_row(&[Value::Int(s), Value::str(d), Value::Float(a)])
+        .unwrap();
+    b
+}
+
+fn seed_cache(catalog: &Catalog) {
+    catalog.combo_cache().store(
+        "sales",
+        &dims(&["dweek"]),
+        vec![vec![Value::str("Mon")], vec![Value::str("Tue")]],
+    );
+    catalog
+        .combo_cache()
+        .store("other", &dims(&["dweek"]), vec![vec![Value::str("Mon")]]);
+}
+
+#[test]
+fn wal_append_invalidates_combo_catalog() {
+    let catalog = sales_catalog();
+    seed_cache(&catalog);
+    let before = catalog.combo_cache().stats();
+    assert_eq!(before.entries, 2);
+
+    let mut stats = ExecStats::default();
+    let b = batch(&catalog, 3, "Wed", 1.0);
+    insert_into(&catalog, "sales", &b, &mut stats).unwrap();
+
+    let after = catalog.combo_cache().stats();
+    assert!(
+        catalog
+            .combo_cache()
+            .get("sales", &dims(&["dweek"]))
+            .is_none(),
+        "append must drop the mutated table's cached combinations"
+    );
+    assert!(
+        catalog
+            .combo_cache()
+            .get("other", &dims(&["dweek"]))
+            .is_some(),
+        "append must not drop other tables' entries"
+    );
+    assert_eq!(after.invalidations, before.invalidations + 1);
+}
+
+#[test]
+fn wal_update_invalidates_combo_catalog() {
+    let catalog = sales_catalog();
+    seed_cache(&catalog);
+
+    // UPDATE sales SET amt = amt joined against a one-row source — the
+    // values don't matter, only that the mutation is logged.
+    let src = batch(&catalog, 1, "Mon", 0.0);
+    let sets = vec![SetClause {
+        target_col: 2,
+        expr: Expr::Col(2),
+    }];
+    let mut stats = ExecStats::default();
+    let n = update_from(&catalog, "sales", &[0], &src, &[0], None, &sets, &mut stats).unwrap();
+    assert!(n > 0, "update must touch at least one row");
+
+    assert!(
+        catalog
+            .combo_cache()
+            .get("sales", &dims(&["dweek"]))
+            .is_none(),
+        "logged UPDATE must drop the mutated table's cached combinations"
+    );
+    assert!(
+        catalog
+            .combo_cache()
+            .get("other", &dims(&["dweek"]))
+            .is_some(),
+        "UPDATE must not drop other tables' entries"
+    );
+    assert!(catalog.combo_cache().stats().invalidations >= 1);
+}
+
+#[test]
+fn recovered_catalog_starts_cache_cold() {
+    let catalog = sales_catalog();
+    seed_cache(&catalog);
+    assert_eq!(catalog.combo_cache().stats().entries, 2);
+
+    let image = catalog.with_wal(|w| w.snapshot()).unwrap();
+    let (recovered, report) =
+        Catalog::recover(Box::new(pa_storage::log::MemLogStore::from_bytes(image))).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+
+    let stats = recovered.combo_cache().stats();
+    assert_eq!(
+        stats.entries, 0,
+        "recovery must not resurrect cached combination sets"
+    );
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 0);
+}
+
+#[test]
+fn dictionary_overflow_mid_append_falls_back_to_hash() {
+    // A string dimension under a tiny dense budget: dense while the
+    // dictionary is small, hash after appends push it past the budget —
+    // with byte-identical aggregation results on both paths.
+    let budget = 16;
+    let config = ParallelConfig {
+        dense_budget: budget,
+        ..ParallelConfig::serial()
+    };
+    let catalog = sales_catalog();
+    let specs = vec![AggSpec::new(AggFunc::Sum, Expr::Col(2), "total")];
+    let guard = ResourceGuard::unlimited();
+
+    let shared = catalog.table("sales").unwrap();
+    let mut stats = ExecStats::default();
+    let out = hash_aggregate_with_config(&shared.read(), &[1], &specs, &guard, &mut stats, &config)
+        .unwrap();
+    assert_eq!(out.num_rows(), 2);
+    assert!(
+        stats.dense_group_ops > 0 && stats.hash_group_ops == 0,
+        "small dictionary must run dense: {stats}"
+    );
+
+    // Mid-append dictionary growth: more distinct strings than the budget.
+    let mut stats = ExecStats::default();
+    for i in 0..budget as i64 {
+        let b = batch(&catalog, 9, &format!("day{i}"), 1.0);
+        insert_into(&catalog, "sales", &b, &mut stats).unwrap();
+    }
+
+    let mut dense_stats = ExecStats::default();
+    let dense = hash_aggregate_with_config(
+        &shared.read(),
+        &[1],
+        &specs,
+        &guard,
+        &mut dense_stats,
+        &ParallelConfig::serial(), // default budget: still dense-eligible
+    )
+    .unwrap();
+    assert!(
+        dense_stats.dense_group_ops > 0 && dense_stats.hash_group_ops == 0,
+        "{dense_stats}"
+    );
+
+    let mut hash_stats = ExecStats::default();
+    let hashed = hash_aggregate_with_config(
+        &shared.read(),
+        &[1],
+        &specs,
+        &guard,
+        &mut hash_stats,
+        &config, // overflowed budget: must fall back
+    )
+    .unwrap();
+    assert!(
+        hash_stats.hash_group_ops > 0 && hash_stats.dense_group_ops == 0,
+        "overflowed dictionary must fall back to hash: {hash_stats}"
+    );
+
+    let key: Vec<usize> = vec![0];
+    let d: Vec<Vec<Value>> = dense.sorted_by(&key).rows().collect();
+    let h: Vec<Vec<Value>> = hashed.sorted_by(&key).rows().collect();
+    assert_eq!(d, h, "dense and hash group paths must agree byte-for-byte");
+    assert_eq!(d.len(), 2 + budget);
+}

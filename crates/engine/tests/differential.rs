@@ -113,8 +113,13 @@ fn first_divergence(name_a: &str, a: &Table, name_b: &str, b: &Table) -> Option<
     None
 }
 
-/// Every horizontal plan variant under test: the four strategies plus the
-/// hash-dispatch ablation of each CASE strategy.
+/// Every horizontal plan variant under test: the four strategies (the CASE
+/// pair defaulting to the dense jump-table group path), the hash-dispatch
+/// ablation of each CASE strategy (hash group path through the same pivot),
+/// and the legacy O(N)-per-row CASE chain of each (jump table off). The
+/// three CASE code paths — dense pivot, hash pivot, legacy chain — all
+/// appear, so every oracle that consumes this list is also a
+/// dense-vs-hash-vs-legacy differential.
 fn horizontal_variants() -> Vec<(String, HorizontalOptions)> {
     let mut v = Vec::new();
     for strategy in HorizontalStrategy::all() {
@@ -132,6 +137,14 @@ fn horizontal_variants() -> Vec<(String, HorizontalOptions)> {
             HorizontalOptions {
                 strategy,
                 hash_dispatch: true,
+                ..HorizontalOptions::default()
+            },
+        ));
+        v.push((
+            format!("{}+legacy-chain", strategy.label()),
+            HorizontalOptions {
+                strategy,
+                jump_table: false,
                 ..HorizontalOptions::default()
             },
         ));
@@ -321,6 +334,149 @@ fn serial_and_parallel_plans_are_byte_identical() {
             ) {
                 panic!("{diff}");
             }
+        }
+    }
+}
+
+/// Deterministic fact table with one dimension optionally stretched across
+/// more codes than the dense budget (values spaced `spread` apart), so the
+/// same generator produces inputs on either side of the 2^20-code budget.
+fn budget_catalog(n: usize, g_spread: i64, d_spread: i64) -> Catalog {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("g", DataType::Int),
+        ("d", DataType::Int),
+        ("a", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut t = Table::with_capacity(schema, n);
+    let mut state = 0xdead_beef_cafe_f00du64;
+    for _ in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let g = ((state >> 33) % 7) as i64 * g_spread;
+        let d = ((state >> 13) % 7) as i64 * d_spread;
+        let a = ((state >> 3) % 1000) as i64;
+        t.push_row(&[Value::from(g), Value::from(d), Value::from(a as f64)])
+            .unwrap();
+    }
+    catalog.create_table("f", t).unwrap();
+    catalog
+}
+
+/// Dense vs hash vs legacy CASE paths on both sides of the dense-code
+/// budget, byte-identical at 1/2/4 workers against the serial plan.
+///
+/// * `d_spread = 230_000` pushes the BY dimension over the 2^20-code
+///   budget: the jump table is ineligible, the default plan falls back to
+///   the legacy chain, `+dispatch` runs the all-hash pivot.
+/// * `g_spread = 230_000` pushes only the GROUP BY dimension over budget
+///   while the BY dimension stays dense: the pivot runs with a hash group
+///   map but dense per-term cell maps — the mixed path.
+/// * spreads of 1 keep everything dense (the all-dense side).
+#[test]
+fn group_paths_agree_on_both_sides_of_the_dense_budget() {
+    const N: usize = 200_000; // 4 morsels: real fan-out at Threads(4)
+    let case_variants: Vec<(String, HorizontalOptions)> = horizontal_variants()
+        .into_iter()
+        .filter(|(name, _)| name.contains("CASE"))
+        .collect();
+    for (g_spread, d_spread) in [(1, 1), (1, 230_000), (230_000, 1)] {
+        let catalog = budget_catalog(N, g_spread, d_spread);
+        let engine = PercentageEngine::with_unique_temps(&catalog);
+        let q = HorizontalQuery::hpct("f", &["g"], "a", &["d"]);
+        let (ref_name, ref_opts) = &case_variants[0];
+        let reference = engine
+            .horizontal_with(
+                &q,
+                &HorizontalOptions {
+                    parallel: ParallelMode::Serial,
+                    ..ref_opts.clone()
+                },
+            )
+            .unwrap();
+        if (g_spread, d_spread) == (1, 1) {
+            assert!(
+                reference.stats.dense_group_ops > 0 && reference.stats.hash_group_ops == 0,
+                "all-dense input must take the dense path: {:?}",
+                reference.stats
+            );
+        }
+        if (g_spread, d_spread) == (230_000, 1) {
+            assert!(
+                reference.stats.dense_group_ops > 0 && reference.stats.hash_group_ops > 0,
+                "over-budget GROUP BY with dense BY must take the mixed path: {:?}",
+                reference.stats
+            );
+        }
+        let reference = reference.snapshot();
+        for (name, opts) in &case_variants {
+            for threads in [1usize, 2, 4] {
+                let got = engine
+                    .horizontal_with(
+                        &q,
+                        &HorizontalOptions {
+                            parallel: ParallelMode::Threads(threads),
+                            ..opts.clone()
+                        },
+                    )
+                    .unwrap();
+                // (Only the direct variant: FROM FV builds FV through the
+                // regular aggregation, which may legitimately run dense.)
+                if name == "CASE from F+dispatch" {
+                    assert_eq!(
+                        got.stats.dense_group_ops, 0,
+                        "hash dispatch must never touch the dense path: {:?}",
+                        got.stats
+                    );
+                }
+                let got = got.snapshot();
+                if let Some(diff) = first_divergence(
+                    &format!("{ref_name}/serial/spread=({g_spread},{d_spread})"),
+                    &reference,
+                    &format!("{name}/threads={threads}/spread=({g_spread},{d_spread})"),
+                    &got,
+                ) {
+                    panic!("{diff}");
+                }
+            }
+        }
+    }
+}
+
+/// A cache-warm combination catalog must not change a single byte of the
+/// result, only the miss/hit counters.
+#[test]
+fn cache_cold_and_cache_warm_catalog_are_byte_identical() {
+    let catalog = budget_catalog(50_000, 1, 1);
+    let engine = PercentageEngine::with_unique_temps(&catalog);
+    let q = HorizontalQuery::hpct("f", &["g"], "a", &["d"]);
+    for (name, opts) in horizontal_variants()
+        .into_iter()
+        .filter(|(name, _)| name.contains("CASE"))
+    {
+        catalog.combo_cache().invalidate_table("f");
+        let cold = engine.horizontal_with(&q, &opts).unwrap();
+        assert!(
+            cold.stats.combo_cache_misses > 0 && cold.stats.combo_cache_hits == 0,
+            "{name}: first evaluation must miss the cold cache: {:?}",
+            cold.stats
+        );
+        let warm = engine.horizontal_with(&q, &opts).unwrap();
+        assert!(
+            warm.stats.combo_cache_hits > 0 && warm.stats.combo_cache_misses == 0,
+            "{name}: second evaluation must hit the warm cache: {:?}",
+            warm.stats
+        );
+        if let Some(diff) = first_divergence(
+            &format!("{name}/cold"),
+            &cold.snapshot(),
+            &format!("{name}/warm"),
+            &warm.snapshot(),
+        ) {
+            panic!("{diff}");
         }
     }
 }

@@ -47,6 +47,7 @@ fn parallel_config(threads: usize, morsel_rows: usize) -> ParallelConfig {
         threads,
         morsel_rows,
         min_parallel_rows: 0,
+        ..ParallelConfig::serial()
     }
 }
 

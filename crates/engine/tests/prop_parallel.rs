@@ -77,6 +77,7 @@ fn config(threads: usize) -> ParallelConfig {
         threads,
         morsel_rows: 16,
         min_parallel_rows: 0,
+        ..ParallelConfig::serial()
     }
 }
 
@@ -179,6 +180,7 @@ fn cancelling_mid_scan_stops_all_parallel_workers() {
         threads: 4,
         morsel_rows: 512,
         min_parallel_rows: 0,
+        ..ParallelConfig::serial()
     };
 
     let result = std::thread::scope(|s| {

@@ -5,6 +5,7 @@
 //! UPDATE mutates in place (the cost the paper measures) instead of
 //! copy-on-write.
 
+use crate::combos::ComboCache;
 use crate::error::{Result, StorageError};
 use crate::index::HashIndex;
 use crate::log::LogStore;
@@ -20,11 +21,13 @@ pub type SharedTable = Arc<RwLock<Table>>;
 /// Key for the index registry: (table name, key column names).
 type IndexKey = (String, Vec<String>);
 
-/// Catalog of named tables, their secondary indexes, and the WAL.
+/// Catalog of named tables, their secondary indexes, the combination
+/// cache, and the WAL.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, SharedTable>>,
     indexes: RwLock<BTreeMap<IndexKey, Arc<HashIndex>>>,
+    combos: ComboCache,
     wal: Mutex<Wal>,
 }
 
@@ -45,6 +48,7 @@ impl Catalog {
         Catalog {
             tables: RwLock::new(BTreeMap::new()),
             indexes: RwLock::new(BTreeMap::new()),
+            combos: ComboCache::new(),
             wal: Mutex::new(wal),
         }
     }
@@ -68,6 +72,7 @@ impl Catalog {
         let mut tables = self.tables.write();
         self.log_table_created(&name, &table);
         self.invalidate_indexes(&name);
+        self.combos.invalidate_table(&name);
         let shared: SharedTable = Arc::new(RwLock::new(table));
         tables.insert(name, Arc::clone(&shared));
         shared
@@ -92,6 +97,7 @@ impl Catalog {
         // `WalStats::write_errors` and surfaces at recovery.
         let _ = self.wal.lock().log_drop_table(name);
         self.invalidate_indexes(name);
+        self.combos.invalidate_table(name);
         Ok(())
     }
 
@@ -161,6 +167,20 @@ impl Catalog {
     /// Run `f` with the write-ahead log.
     pub fn with_wal<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> R {
         f(&mut self.wal.lock())
+    }
+
+    /// Run `f` with the WAL *after* invalidating `table`'s cached
+    /// combination sets — the funnel every logged data mutation (bulk
+    /// insert, per-row update) goes through, so the combo cache can never
+    /// serve combinations discovered before the mutation.
+    pub fn with_wal_mutating<R>(&self, table: &str, f: impl FnOnce(&mut Wal) -> R) -> R {
+        self.combos.invalidate_table(table);
+        f(&mut self.wal.lock())
+    }
+
+    /// The distinct-combination cache (see [`ComboCache`]).
+    pub fn combo_cache(&self) -> &ComboCache {
+        &self.combos
     }
 
     /// WAL counters snapshot.
@@ -242,9 +262,12 @@ impl Catalog {
             retries: 0,
         };
         let wal = Wal::resume(store, capacity, stats, scan.frame_lens.into());
+        // The combination cache starts empty on recovery: nothing cached
+        // before the crash survives into the recovered catalog.
         let catalog = Catalog {
             tables: RwLock::new(tables),
             indexes: RwLock::new(BTreeMap::new()),
+            combos: ComboCache::new(),
             wal: Mutex::new(wal),
         };
         Ok((catalog, report))

@@ -15,6 +15,7 @@
 pub mod bitmap;
 pub mod catalog;
 pub mod column;
+pub mod combos;
 pub mod csv;
 pub mod dictionary;
 pub mod error;
@@ -31,6 +32,7 @@ pub mod wal;
 pub use bitmap::Bitmap;
 pub use catalog::{Catalog, RecoveryReport, SharedTable};
 pub use column::Column;
+pub use combos::{ComboCache, ComboCacheStats};
 pub use csv::{read_csv, write_csv};
 pub use dictionary::Dictionary;
 pub use error::{Result, StorageError};

@@ -71,7 +71,9 @@ fn olap_baseline_is_row_granular() {
 }
 
 /// Table 5 / DMKD Table 3: direct CASE work scales with n × N; indirect
-/// CASE replaces n by |FV|.
+/// CASE replaces n by |FV|. This is the *legacy* predicate-chain cost shape
+/// (`jump_table: false`) — the default jump-table code path makes the same
+/// query O(1) per row, asserted at the end.
 #[test]
 fn indirect_case_cuts_condition_evaluations() {
     let catalog = sales_catalog(20_000);
@@ -81,13 +83,21 @@ fn indirect_case_cuts_condition_evaluations() {
     let direct = engine
         .horizontal_with(
             &q,
-            &HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect),
+            &HorizontalOptions {
+                strategy: HorizontalStrategy::CaseDirect,
+                jump_table: false,
+                ..HorizontalOptions::default()
+            },
         )
         .unwrap();
     let indirect = engine
         .horizontal_with(
             &q,
-            &HorizontalOptions::with_strategy(HorizontalStrategy::CaseFromFv),
+            &HorizontalOptions {
+                strategy: HorizontalStrategy::CaseFromFv,
+                jump_table: false,
+                ..HorizontalOptions::default()
+            },
         )
         .unwrap();
     assert!(
@@ -101,6 +111,19 @@ fn indirect_case_cuts_condition_evaluations() {
         indirect.stats.case_condition_evals,
         direct.stats.case_condition_evals
     );
+    // The default jump-table path removes the chain altogether: what
+    // remains is output-sized (the percentage-division pass over |groups|
+    // × N cells), not scan-sized n × N work.
+    let jump = engine
+        .horizontal_with(&q, &HorizontalOptions::default())
+        .unwrap();
+    assert!(
+        jump.stats.case_condition_evals * 50 < direct.stats.case_condition_evals,
+        "jump table {} vs legacy chain {}",
+        jump.stats.case_condition_evals,
+        direct.stats.case_condition_evals
+    );
+    assert!(jump.stats.dense_group_ops > 0, "{}", jump.stats);
 }
 
 /// DMKD Table 3: SPJ re-scans the source once per result column and joins N
@@ -139,14 +162,23 @@ fn spj_scans_explode_with_n() {
     assert!(spj_fv.stats.rows_scanned < spj.stats.rows_scanned / 2);
 }
 
-/// The paper's future-work hash dispatch: O(1) per row instead of O(N).
+/// The paper's future-work hash dispatch: O(1) per row instead of O(N) —
+/// measured against the legacy chain, since the default jump-table path is
+/// already O(1). The two O(1) evaluators differ only in lookup machinery:
+/// dense composite-code indexing vs hashing.
 #[test]
 fn hash_dispatch_removes_case_chains() {
     let catalog = sales_catalog(20_000);
     let engine = PercentageEngine::new(&catalog);
     let q = HorizontalQuery::hpct("sales", &["dept"], "salesAmt", &["dweek", "monthNo"]);
     let case = engine
-        .horizontal_with(&q, &HorizontalOptions::default())
+        .horizontal_with(
+            &q,
+            &HorizontalOptions {
+                jump_table: false,
+                ..HorizontalOptions::default()
+            },
+        )
         .unwrap();
     let dispatch = engine
         .horizontal_with(
@@ -161,6 +193,21 @@ fn hash_dispatch_removes_case_chains() {
         dispatch.stats.case_condition_evals * 50 < case.stats.case_condition_evals,
         "dispatch {} vs case {}",
         dispatch.stats.case_condition_evals,
+        case.stats.case_condition_evals
+    );
+    assert!(
+        dispatch.stats.dense_group_ops == 0 && dispatch.stats.hash_group_ops > 0,
+        "the ablation runs every lookup through the hash path: {}",
+        dispatch.stats
+    );
+    // The default (dense) evaluator does the same constant per-row work.
+    let dense = engine
+        .horizontal_with(&q, &HorizontalOptions::default())
+        .unwrap();
+    assert!(
+        dense.stats.case_condition_evals * 50 < case.stats.case_condition_evals,
+        "dense {} vs case {}",
+        dense.stats.case_condition_evals,
         case.stats.case_condition_evals
     );
 }

@@ -163,9 +163,16 @@ fn heuristic_optimizer_picks_sources_as_documented() {
         .unwrap();
     assert!(stmts.iter().any(|s| s.contains("FROM sales")), "{stmts:?}");
     assert!(!stmts[0].contains("INSERT INTO FV"), "{stmts:?}");
-    // Selective BY column (dept has 100 values) → indirect via FV.
+    // A selective BY column (dept has 100 values) also stays direct now:
+    // the jump-table CASE path prices 101 cells as one array index per
+    // row, so selectivity alone no longer routes through FV.
     let stmts = engine
         .explain_sql("SELECT state, Hpct(salesAmt BY dept) FROM sales GROUP BY state")
+        .unwrap();
+    assert!(!stmts[0].contains("INSERT INTO FV"), "{stmts:?}");
+    // Past the cell budget (dept × monthNo ≈ 1313 cells > 1024) → FV.
+    let stmts = engine
+        .explain_sql("SELECT state, Hpct(salesAmt BY dept, monthNo) FROM sales GROUP BY state")
         .unwrap();
     assert!(stmts[0].contains("INSERT INTO FV"), "{stmts:?}");
 }
