@@ -29,6 +29,29 @@ PA_THREADS=4 cargo test -q -p pa-core --test fault_isolation
 PA_THREADS=1 cargo test -q -p pa-service
 PA_THREADS=4 cargo test -q -p pa-service
 
+echo "==> checkpoint-crash matrix: torn writes, compaction, recovery load"
+# Every crash point in the checkpoint lifecycle, serial and parallel:
+# * crash_offsets — exhaustive byte-level cuts of the WAL tail and of the
+#   checkpoint frame mid-append (fault on checkpoint write / between save
+#   and compaction), checkpoints enabled AND disabled;
+# * the catalog's seeded FaultInjector suites — torn checkpoint device,
+#   unreadable store at recovery load, degraded WAL-only operation;
+# * combo_regressions — recovery (plain and checkpoint-aware) must leave
+#   the combination cache verifiably cold;
+# * snapshot_oracle — pinned-view reads stay byte-identical under
+#   concurrent seeded writers at each thread count.
+PA_THREADS=1 cargo test -q -p pa-storage --test crash_offsets
+PA_THREADS=4 cargo test -q -p pa-storage --test crash_offsets
+PA_THREADS=1 cargo test -q -p pa-storage --lib checkpoint
+PA_THREADS=4 cargo test -q -p pa-storage --lib checkpoint
+PA_THREADS=1 cargo test -q -p pa-engine --test combo_regressions --test snapshot_oracle
+PA_THREADS=4 cargo test -q -p pa-engine --test combo_regressions --test snapshot_oracle
+
+echo "==> recovery bench gate: checkpoint+suffix >= 5x full replay (n=1M)"
+cargo run --release -p pa-bench --bin recovery -- \
+  --n 1000000 --gate 5.0 \
+  --out results/BENCH_recovery.json
+
 echo "==> oracle gates: differential, golden, parser fuzz"
 # Covered by the workspace run above, but named here so a divergence fails
 # as its own step with the harness's actionable message (strategy pair +

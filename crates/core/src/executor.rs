@@ -209,6 +209,27 @@ impl<'a> PercentageEngine<'a> {
         }
     }
 
+    /// Pin `table` at the current catalog epoch and rewrite the reference
+    /// to the snapshot's hidden alias, so the whole query scans one frozen
+    /// version while concurrent writers keep mutating the live table. The
+    /// returned guard must outlive the query: dropping it releases the
+    /// pin. `None` (name untouched) when the table is absent — the query
+    /// then surfaces its own typed not-found error downstream.
+    fn pin_source(&self, table: &mut String) -> Option<Arc<pa_storage::SnapshotView>> {
+        let view = self.catalog.pin_table(table)?;
+        *table = view.alias().to_string();
+        Some(view)
+    }
+
+    /// [`PercentageEngine::pin_source`] for either query family.
+    fn pin_query(&self, query: &mut Query) -> Option<Arc<pa_storage::SnapshotView>> {
+        let table = match query {
+            Query::Vertical(q) => &mut q.table,
+            Query::Horizontal(q) => &mut q.table,
+        };
+        self.pin_source(table)
+    }
+
     /// The fault boundary every top-level query runs inside.
     ///
     /// Mints one temp-table prefix for the whole query (WHERE views,
@@ -312,8 +333,10 @@ impl<'a> PercentageEngine<'a> {
 
     /// [`PercentageEngine::vpct`] with per-call limits.
     pub fn vpct_limited(&self, q: &VpctQuery, limits: QueryLimits) -> Result<QueryResult> {
+        let mut q = q.clone();
+        let _pin = self.pin_source(&mut q.table);
         let (mut r, charged) = self.run_query("vpct", limits, None, |prefix, guard| {
-            self.eval_vertical(q, prefix, guard)
+            self.eval_vertical(&q, prefix, guard)
         })?;
         r.stats.rows_charged = charged;
         Ok(r)
@@ -322,18 +345,25 @@ impl<'a> PercentageEngine<'a> {
     /// Evaluate a batch of percentage queries with one shared summary
     /// (SIGMOD §6 future work). See [`crate::lattice::eval_vpct_batch`].
     pub fn vpct_batch(&self, queries: &[VpctQuery]) -> Result<Vec<QueryResult>> {
+        let mut queries: Vec<VpctQuery> = queries.to_vec();
+        let _pins: Vec<_> = queries
+            .iter_mut()
+            .map(|q| self.pin_source(&mut q.table))
+            .collect();
         let (results, _) =
             self.run_query("vpct_batch", QueryLimits::none(), None, |prefix, guard| {
-                crate::lattice::eval_vpct_batch_guarded(self.catalog, queries, prefix, guard)
+                crate::lattice::eval_vpct_batch_guarded(self.catalog, &queries, prefix, guard)
             })?;
         Ok(results)
     }
 
     /// Evaluate a vertical percentage query with an explicit strategy.
     pub fn vpct_with(&self, q: &VpctQuery, strat: &VpctStrategy) -> Result<QueryResult> {
+        let mut q = q.clone();
+        let _pin = self.pin_source(&mut q.table);
         let (mut r, charged) =
             self.run_query("vpct", QueryLimits::none(), None, |prefix, guard| {
-                eval_vpct_guarded(self.catalog, q, strat, prefix, guard)
+                eval_vpct_guarded(self.catalog, &q, strat, prefix, guard)
             })?;
         r.stats.rows_charged = charged;
         Ok(r)
@@ -346,23 +376,32 @@ impl<'a> PercentageEngine<'a> {
         strat: &VpctStrategy,
         missing: MissingRows,
     ) -> Result<QueryResult> {
+        let mut q = q.clone();
+        // PreProcess pads the *live* fact table in place; pinning would
+        // redirect the pad into the frozen alias, corrupting the snapshot
+        // and losing the pad. That mode runs unpinned by design.
+        let _pin = if matches!(missing, MissingRows::PreProcess) {
+            None
+        } else {
+            self.pin_source(&mut q.table)
+        };
         let (mut r, charged) = self.run_query(
             "vpct",
             QueryLimits::none(),
             None,
             |prefix, guard| match missing {
-                MissingRows::Ignore => eval_vpct_guarded(self.catalog, q, strat, prefix, guard),
+                MissingRows::Ignore => eval_vpct_guarded(self.catalog, &q, strat, prefix, guard),
                 MissingRows::PreProcess => {
                     let mut stats = pa_engine::ExecStats::default();
-                    preprocess_pad(self.catalog, q, &mut stats)?;
-                    let mut result = eval_vpct_guarded(self.catalog, q, strat, prefix, guard)?;
+                    preprocess_pad(self.catalog, &q, &mut stats)?;
+                    let mut result = eval_vpct_guarded(self.catalog, &q, strat, prefix, guard)?;
                     result.stats += stats;
                     Ok(result)
                 }
                 MissingRows::PostProcess => {
-                    let mut result = eval_vpct_guarded(self.catalog, q, strat, prefix, guard)?;
+                    let mut result = eval_vpct_guarded(self.catalog, &q, strat, prefix, guard)?;
                     let mut stats = pa_engine::ExecStats::default();
-                    postprocess_pad(self.catalog, q, &result, &mut stats)?;
+                    postprocess_pad(self.catalog, &q, &result, &mut stats)?;
                     result.stats += stats;
                     Ok(result)
                 }
@@ -375,8 +414,10 @@ impl<'a> PercentageEngine<'a> {
     /// Evaluate a vertical percentage query through the OLAP window-function
     /// baseline (the comparison of SIGMOD Table 6).
     pub fn vpct_olap(&self, q: &VpctQuery) -> Result<QueryResult> {
+        let mut q = q.clone();
+        let _pin = self.pin_source(&mut q.table);
         let (r, _) = self.run_query("vpct_olap", QueryLimits::none(), None, |prefix, _| {
-            eval_vpct_olap(self.catalog, q, prefix)
+            eval_vpct_olap(self.catalog, &q, prefix)
         })?;
         Ok(r)
     }
@@ -409,9 +450,11 @@ impl<'a> PercentageEngine<'a> {
         opts: &HorizontalOptions,
         limits: QueryLimits,
     ) -> Result<HorizontalResult> {
+        let mut q = q.clone();
+        let _pin = self.pin_source(&mut q.table);
         let (mut r, charged) =
             self.run_query("horizontal", limits, opts.deadline, |prefix, guard| {
-                eval_horizontal_guarded(self.catalog, q, opts, prefix, guard)
+                eval_horizontal_guarded(self.catalog, &q, opts, prefix, guard)
             })?;
         r.stats.rows_charged = charged;
         Ok(r)
@@ -430,7 +473,8 @@ impl<'a> PercentageEngine<'a> {
     /// layer's entry point for session budgets and deadlines.
     pub fn execute_sql_limited(&self, sql: &str, limits: QueryLimits) -> Result<SqlOutcome> {
         let stmt = pa_sql::parse(sql)?;
-        let query = from_sql(&stmt)?;
+        let mut query = from_sql(&stmt)?;
+        let _pin = self.pin_query(&mut query);
         let (mut outcome, charged) =
             self.run_query("execute_sql", limits, None, |prefix, guard| {
                 let mut query = query;
@@ -471,7 +515,8 @@ impl<'a> PercentageEngine<'a> {
         limits: QueryLimits,
     ) -> Result<(SqlOutcome, TraceReport)> {
         let stmt = pa_sql::parse_statement(sql)?.select().clone();
-        let query = from_sql(&stmt)?;
+        let mut query = from_sql(&stmt)?;
+        let _pin = self.pin_query(&mut query);
         let tracer = Tracer::enabled(Arc::clone(&self.clock));
         let (mut outcome, charged, report) = self.run_query_traced(
             "execute_sql",
@@ -508,13 +553,15 @@ impl<'a> PercentageEngine<'a> {
     /// Evaluate a vertical query under a per-query tracer, returning the
     /// per-operator [`TraceReport`] alongside the result.
     pub fn vpct_traced(&self, q: &VpctQuery) -> Result<(QueryResult, TraceReport)> {
+        let mut q = q.clone();
+        let _pin = self.pin_source(&mut q.table);
         let tracer = Tracer::enabled(Arc::clone(&self.clock));
         let (mut r, charged, report) = self.run_query_traced(
             "vpct",
             QueryLimits::none(),
             None,
             Some(tracer),
-            |prefix, guard| self.eval_vertical(q, prefix, guard),
+            |prefix, guard| self.eval_vertical(&q, prefix, guard),
         )?;
         r.stats.rows_charged = charged;
         Ok((r, report.unwrap_or_default()))
@@ -528,13 +575,15 @@ impl<'a> PercentageEngine<'a> {
         q: &HorizontalQuery,
         opts: &HorizontalOptions,
     ) -> Result<(HorizontalResult, TraceReport)> {
+        let mut q = q.clone();
+        let _pin = self.pin_source(&mut q.table);
         let tracer = Tracer::enabled(Arc::clone(&self.clock));
         let (mut r, charged, report) = self.run_query_traced(
             "horizontal",
             QueryLimits::none(),
             opts.deadline,
             Some(tracer),
-            |prefix, guard| eval_horizontal_guarded(self.catalog, q, opts, prefix, guard),
+            |prefix, guard| eval_horizontal_guarded(self.catalog, &q, opts, prefix, guard),
         )?;
         r.stats.rows_charged = charged;
         Ok((r, report.unwrap_or_default()))
@@ -560,7 +609,8 @@ impl<'a> PercentageEngine<'a> {
         limits: QueryLimits,
     ) -> Result<SqlOutcome> {
         let stmt = pa_sql::parse(sql)?;
-        let query = from_sql(&stmt)?;
+        let mut query = from_sql(&stmt)?;
+        let _pin = self.pin_query(&mut query);
         // An options-level deadline only applies to the family it belongs
         // to.
         let opt_deadline = match &query {

@@ -29,6 +29,9 @@ pub fn create_table_as(
     let shared = catalog.create_or_replace_table(name, rows);
     absorb_wal_delta(catalog, before, stats);
     stats.rows_materialized += n;
+    // Policy check runs outside any table guard (a due checkpoint takes
+    // the WAL lock and snapshots every table).
+    catalog.maybe_checkpoint();
     Ok(shared)
 }
 
@@ -50,6 +53,8 @@ pub fn insert_into(
     }
     absorb_wal_delta(catalog, before, stats);
     stats.rows_materialized += rows.num_rows() as u64;
+    // The target guard is released; a due checkpoint can fence and cut now.
+    catalog.maybe_checkpoint();
     Ok(())
 }
 

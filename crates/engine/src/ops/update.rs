@@ -125,6 +125,10 @@ pub fn update_from(
     let wal_after = catalog.wal_stats();
     stats.wal_records += wal_after.records - wal_before.records;
     stats.wal_bytes += wal_after.bytes_written - wal_before.bytes_written;
+    // Release the target guard before the policy check: a due checkpoint
+    // read-locks every table while fencing the WAL.
+    drop(target);
+    catalog.maybe_checkpoint();
     Ok(updated)
 }
 

@@ -142,6 +142,82 @@ fn recovered_catalog_starts_cache_cold() {
     assert_eq!(stats.misses, 0);
 }
 
+/// Checkpoint slot the test can read back after `checkpoint_now`.
+#[derive(Debug, Clone, Default)]
+struct SharedCkpt(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl pa_storage::CheckpointStore for SharedCkpt {
+    fn save(&mut self, frame: &[u8]) -> pa_storage::Result<()> {
+        *self.0.lock().unwrap() = frame.to_vec();
+        Ok(())
+    }
+
+    fn read_raw(&mut self) -> pa_storage::Result<Vec<u8>> {
+        Ok(self.0.lock().unwrap().clone())
+    }
+}
+
+/// Mirror of [`recovered_catalog_starts_cache_cold`] for checkpoint-aware
+/// recovery: installing image tables goes through the same mutation funnel
+/// live writes use, so nothing cached before the crash can survive — even
+/// though the image itself bypasses record-by-record replay.
+#[test]
+fn checkpoint_recovered_catalog_starts_cache_cold() {
+    let catalog = sales_catalog();
+    let store = SharedCkpt::default();
+    catalog.set_checkpoint_store(
+        Box::new(store.clone()),
+        pa_storage::CheckpointPolicy::disabled(),
+    );
+
+    // A pre-checkpoint append, the checkpoint, then a post-checkpoint
+    // append: recovery must install the image AND replay a WAL suffix.
+    let mut stats = ExecStats::default();
+    insert_into(
+        &catalog,
+        "sales",
+        &batch(&catalog, 3, "Wed", 2.0),
+        &mut stats,
+    )
+    .unwrap();
+    catalog.checkpoint_now().unwrap();
+    insert_into(
+        &catalog,
+        "sales",
+        &batch(&catalog, 4, "Thu", 3.0),
+        &mut stats,
+    )
+    .unwrap();
+    seed_cache(&catalog);
+    assert_eq!(catalog.combo_cache().stats().entries, 2);
+
+    let wal = catalog.with_wal(|w| w.snapshot()).unwrap();
+    let (recovered, report) = Catalog::recover_with_checkpoint(
+        Box::new(pa_storage::log::MemLogStore::from_bytes(wal)),
+        Box::new(store.clone()),
+        1 << 20,
+        pa_storage::CheckpointPolicy::disabled(),
+    )
+    .unwrap();
+    assert!(report.checkpoint_error.is_none(), "{report:?}");
+    assert!(report.checkpoint_tables >= 1 && report.checkpoint_lsn > 1);
+    assert!(
+        report.records_replayed >= 1,
+        "the post-checkpoint suffix must replay: {report:?}"
+    );
+
+    let stats = recovered.combo_cache().stats();
+    assert_eq!(
+        stats.entries, 0,
+        "checkpoint install must leave the combination cache cold"
+    );
+    assert_eq!((stats.hits, stats.misses), (0, 0));
+
+    let live: Vec<Vec<Value>> = catalog.table("sales").unwrap().read().rows().collect();
+    let rec: Vec<Vec<Value>> = recovered.table("sales").unwrap().read().rows().collect();
+    assert_eq!(rec, live, "image + suffix must reproduce the live table");
+}
+
 #[test]
 fn dictionary_overflow_mid_append_falls_back_to_hash() {
     // A string dimension under a tiny dense budget: dense while the

@@ -1,0 +1,206 @@
+//! Snapshot-isolation differential oracle.
+//!
+//! A query pinned to a [`pa_storage::SnapshotView`] must be isolated from
+//! every write that lands after the pin: its result is byte-identical to
+//! the same query on a quiesced catalog frozen at the pin's epoch, no
+//! matter how many seeded appends and updates hammer the live table while
+//! the query runs, and no matter which parallel mode evaluates it
+//! (serial, 1, 2, or 4 workers).
+//!
+//! The pinned alias is scanned directly (the executor recognizes the
+//! hidden prefix and skips re-pinning), so the Arc the test holds is the
+//! only thing keeping the frozen columns alive — exactly how the executor
+//! holds its per-query pin.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pa_core::{HorizontalOptions, HorizontalQuery, ParallelMode, PercentageEngine};
+use pa_storage::{Catalog, DataType, Schema, Table, Value};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Integer-valued measures (exact sums under any regrouping), NULLs in
+/// every column, few distinct keys.
+fn seeded_row(state: &mut u64) -> Vec<Value> {
+    let g = lcg(state);
+    let d = lcg(state);
+    let a = lcg(state);
+    vec![
+        if g.is_multiple_of(10) {
+            Value::Null
+        } else {
+            Value::Int((g % 4) as i64)
+        },
+        if d.is_multiple_of(11) {
+            Value::Null
+        } else {
+            Value::Int((d % 5) as i64)
+        },
+        if a.is_multiple_of(8) {
+            Value::Null
+        } else {
+            Value::Float((a % 7) as f64 - 3.0)
+        },
+    ]
+}
+
+fn build_catalog(rows: usize, seed: u64) -> Catalog {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("g", DataType::Int),
+        ("d", DataType::Int),
+        ("a", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut t = Table::with_capacity(schema, rows);
+    let mut state = seed;
+    for _ in 0..rows {
+        t.push_row(&seeded_row(&mut state)).unwrap();
+    }
+    catalog.create_table("f", t).unwrap();
+    catalog
+}
+
+/// (column names, sorted rows): the byte-identity fingerprint.
+fn fingerprint(t: &Table) -> (Vec<String>, Vec<Vec<Value>>) {
+    let names: Vec<String> = t.schema().fields().iter().map(|f| f.name.clone()).collect();
+    let all: Vec<usize> = (0..t.num_columns()).collect();
+    (names, t.sorted_by(&all).rows().collect())
+}
+
+/// One seeded writer mutation through the catalog's logging funnel:
+/// mostly appends, every fourth op a logged in-place update.
+fn writer_op(catalog: &Catalog, state: &mut u64) {
+    let shared = catalog.table("f").unwrap();
+    let mut t = shared.write();
+    if lcg(state).is_multiple_of(4) && t.num_rows() > 0 {
+        let row = (lcg(state) as usize) % t.num_rows();
+        let before = vec![t.column(2).get(row)];
+        let after = vec![Value::Float((lcg(state) % 9) as f64)];
+        t.column_mut(2).set(row, after[0].clone()).unwrap();
+        catalog
+            .with_wal_mutating("f", |w| w.log_update("f", row, &[2], &before, &after))
+            .unwrap();
+    } else {
+        let start = t.num_rows();
+        let row = seeded_row(state);
+        t.push_row(&row).unwrap();
+        catalog
+            .with_wal_mutating("f", |w| w.log_bulk_insert("f", &t, start))
+            .unwrap();
+    }
+}
+
+#[test]
+fn pinned_snapshot_queries_are_byte_identical_under_concurrent_writes() {
+    let modes = [
+        ParallelMode::Serial,
+        ParallelMode::Threads(1),
+        ParallelMode::Threads(2),
+        ParallelMode::Threads(4),
+    ];
+    let catalog = build_catalog(2_000, 42);
+    let engine = PercentageEngine::with_unique_temps(&catalog);
+    let view = catalog.pin_table("f").unwrap();
+
+    // Quiesced reference: a standalone catalog holding a copy of the
+    // frozen table, queried before any writer starts.
+    let refcat = Catalog::new();
+    refcat
+        .create_table("f", view.table().read().clone())
+        .unwrap();
+    let ref_engine = PercentageEngine::with_unique_temps(&refcat);
+    let hq = HorizontalQuery::hpct("f", &["g"], "a", &["d"]);
+    let expected: Vec<_> = modes
+        .iter()
+        .map(|mode| {
+            let opts = HorizontalOptions {
+                parallel: *mode,
+                ..HorizontalOptions::default()
+            };
+            fingerprint(&ref_engine.horizontal_with(&hq, &opts).unwrap().snapshot())
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for w in 0..2u64 {
+            let catalog = &catalog;
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut state = 0xD1F0_5EED ^ (w << 17);
+                while !stop.load(Ordering::Relaxed) {
+                    writer_op(catalog, &mut state);
+                }
+            });
+        }
+
+        // The pinned alias is a frozen table: every query over it, in any
+        // parallel mode, must reproduce the quiesced reference while the
+        // writers race.
+        let aq = HorizontalQuery::hpct(view.alias(), &["g"], "a", &["d"]);
+        for round in 0..12 {
+            for (mode, exp) in modes.iter().zip(&expected) {
+                let opts = HorizontalOptions {
+                    parallel: *mode,
+                    ..HorizontalOptions::default()
+                };
+                let got = fingerprint(&engine.horizontal_with(&aq, &opts).unwrap().snapshot());
+                assert_eq!(
+                    &got, exp,
+                    "round {round}, {mode:?}: pinned snapshot result drifted"
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The race was real: writers moved the live table past the pin...
+    let live_rows = catalog.table("f").unwrap().read().num_rows();
+    assert!(live_rows > view.rows(), "writers never landed a row");
+    // ...the view still sees exactly its frozen high-water mark...
+    assert_eq!(view.table().read().num_rows(), view.rows());
+    // ...and a fresh pin observes the new version of the world.
+    let fresh = catalog.pin_table("f").unwrap();
+    assert!(fresh.version() > view.version());
+    assert_eq!(fresh.rows(), live_rows);
+}
+
+/// Degraded/retried queries re-pin: after the first pin is dropped and the
+/// table mutates, the executor's next automatic pin must observe the new
+/// epoch — queries on the *source name* see fresh data, never the stale
+/// frozen alias.
+#[test]
+fn repinning_after_writes_observes_the_new_epoch() {
+    let catalog = build_catalog(500, 7);
+    let engine = PercentageEngine::with_unique_temps(&catalog);
+    let hq = HorizontalQuery::hpct("f", &["g"], "a", &["d"]);
+    let before = fingerprint(&engine.horizontal(&hq).unwrap().snapshot());
+
+    let mut state = 99;
+    for _ in 0..40 {
+        writer_op(&catalog, &mut state);
+    }
+
+    let after = fingerprint(&engine.horizontal(&hq).unwrap().snapshot());
+    assert_ne!(
+        before, after,
+        "a fresh query must re-pin and see the mutated table"
+    );
+
+    // And the re-pinned run matches a quiesced copy of the *new* state.
+    let refcat = Catalog::new();
+    refcat
+        .create_table("f", catalog.table("f").unwrap().read().clone())
+        .unwrap();
+    let ref_engine = PercentageEngine::with_unique_temps(&refcat);
+    let expected = fingerprint(&ref_engine.horizontal(&hq).unwrap().snapshot());
+    assert_eq!(after, expected);
+}

@@ -113,6 +113,28 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the
+    /// smallest configured bound whose cumulative count reaches
+    /// `q * count`. `None` when the histogram is empty or the quantile
+    /// falls in the open-ended `+Inf` bucket — callers should treat that
+    /// as "beyond every configured bound" and fall back to their own
+    /// ceiling.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            if acc >= rank {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
+
     /// Cumulative count of observations `<= bound` for each configured
     /// bound, ending with the `+Inf` total.
     pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
@@ -292,6 +314,25 @@ mod tests {
         assert_eq!(g.get(), 3);
         g.set(-1);
         assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn histogram_quantile_picks_the_smallest_covering_bound() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        for v in [1, 2, 3, 50, 60, 70, 80, 90, 500, 5000] {
+            h.observe(v);
+        }
+        // 10 observations: 3 <= 10, 8 <= 100, 9 <= 1000, 1 beyond.
+        assert_eq!(
+            h.quantile(0.0),
+            Some(10),
+            "floor clamps to the first bucket"
+        );
+        assert_eq!(h.quantile(0.3), Some(10));
+        assert_eq!(h.quantile(0.8), Some(100));
+        assert_eq!(h.quantile(0.9), Some(1000));
+        assert_eq!(h.quantile(1.0), None, "max lives in the +Inf bucket");
     }
 
     #[test]

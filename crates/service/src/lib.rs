@@ -124,6 +124,13 @@ pub enum ServiceError {
         queued: bool,
         /// Concurrency cap that was saturated.
         max_concurrent: usize,
+        /// Callers still waiting in the admission queue at shed time.
+        queue_depth: usize,
+        /// Suggested backoff before retrying: the p90 admission-queue wait
+        /// of recently admitted queries, falling back to the configured
+        /// queue timeout while the histogram is empty (or its tail runs
+        /// past every bucket).
+        retry_after: Duration,
     },
     /// The query itself failed; the typed engine error is preserved.
     Query(CoreError),
@@ -135,9 +142,12 @@ impl fmt::Display for ServiceError {
             ServiceError::Overloaded {
                 queued,
                 max_concurrent,
+                queue_depth,
+                retry_after,
             } => write!(
                 f,
-                "service overloaded ({} with {max_concurrent} queries in flight)",
+                "service overloaded ({} with {max_concurrent} queries in flight, \
+                 {queue_depth} waiting; retry after {retry_after:?})",
                 if *queued {
                     "queue wait timed out"
                 } else {
@@ -333,6 +343,18 @@ impl<'a> QueryService<'a> {
         self.sem.available()
     }
 
+    /// Backoff hint for shed callers: the p90 queue wait of recently
+    /// admitted queries, or the configured queue timeout when the
+    /// histogram cannot answer (no admissions yet, or the tail sits in
+    /// the open-ended bucket).
+    fn retry_after_hint(&self) -> Duration {
+        self.metrics
+            .queue_wait
+            .quantile(0.9)
+            .map(Duration::from_nanos)
+            .unwrap_or(self.config.queue_timeout)
+    }
+
     fn admit(&self) -> Result<Admission<'_>> {
         let start = Instant::now();
         match self
@@ -359,6 +381,8 @@ impl<'a> QueryService<'a> {
                 Err(ServiceError::Overloaded {
                     queued,
                     max_concurrent: self.config.max_concurrent,
+                    queue_depth: self.sem.waiters(),
+                    retry_after: self.retry_after_hint(),
                 })
             }
         }

@@ -136,9 +136,15 @@ fn saturated_service_sheds_instead_of_piling_up() {
             Err(ServiceError::Overloaded {
                 queued,
                 max_concurrent,
+                retry_after,
+                ..
             }) => {
                 assert!(!queued, "shed at the door, not from the queue");
                 assert_eq!(max_concurrent, 1);
+                assert!(
+                    retry_after > Duration::ZERO,
+                    "shed callers always get a usable backoff hint"
+                );
             }
             other => panic!("expected Overloaded, got {other:?}"),
         }

@@ -111,6 +111,29 @@ impl Bitmap {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// Backing words, for columnar serialization (checkpoint images).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitmap of `len` bits from raw backing words (checkpoint
+    /// decode). Tail bits past `len` in the last word are masked off and
+    /// the ones count is recomputed, so any `len.div_ceil(64)`-word vector
+    /// round-trips to a structurally valid bitmap.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Option<Bitmap> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        let ones = words.iter().map(|w| w.count_ones() as usize).sum();
+        Some(Bitmap { words, len, ones })
+    }
+
     /// Append all bits of `other`.
     pub fn extend_from(&mut self, other: &Bitmap) {
         // Bit-at-a-time is fine: extend is used on the bulk-insert path where

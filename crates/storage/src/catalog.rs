@@ -4,16 +4,33 @@
 //! (`Fk`, `Fj`, `FV`, `FH`, `F0..FN`). Tables are individually lockable so an
 //! UPDATE mutates in place (the cost the paper measures) instead of
 //! copy-on-write.
+//!
+//! Two robustness layers ride on top of the table map:
+//!
+//! * **Snapshot reads** — [`Catalog::pin_table`] freezes a table's current
+//!   contents into an immutable [`SnapshotView`] (an `Arc`-shared
+//!   copy-on-write clone registered under a hidden `__snap…` alias), so
+//!   scans read one stable version while writers keep appending. Pinning
+//!   costs one shallow [`Table::clone`]; the first mutation after a pin
+//!   detaches the writer's columns.
+//! * **Checkpoints** — [`Catalog::checkpoint_now`] serializes the whole
+//!   catalog into a [`crate::checkpoint`] image at one WAL LSN and
+//!   compacts the log prefix behind it; [`Catalog::recover_with_checkpoint`]
+//!   loads the newest valid image and replays only the WAL suffix.
 
+use crate::checkpoint::{encode_image, scan_checkpoints, CheckpointPolicy, CheckpointStore};
 use crate::combos::ComboCache;
 use crate::error::{Result, StorageError};
 use crate::index::HashIndex;
 use crate::log::LogStore;
+use crate::retry::RetryPolicy;
 use crate::table::Table;
 use crate::wal::{scan_log, Wal, WalRecord, WalStats, DEFAULT_CAPACITY};
+use pa_obs::{Counter, Gauge, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 /// A table shared between operators, lockable for in-place mutation.
 pub type SharedTable = Arc<RwLock<Table>>;
@@ -21,14 +38,175 @@ pub type SharedTable = Arc<RwLock<Table>>;
 /// Key for the index registry: (table name, key column names).
 type IndexKey = (String, Vec<String>);
 
+/// Name prefix of the hidden alias tables backing pinned snapshots. Names
+/// under it are filtered from [`Catalog::table_names`], never WAL-logged,
+/// and refused as snapshot sources.
+pub const SNAP_PREFIX: &str = "__snap";
+
+/// An immutable view of one table pinned at a point in time.
+///
+/// The view holds the frozen table under a hidden catalog alias; queries
+/// rewrite their table reference to [`SnapshotView::alias`] and scan that,
+/// while writers keep mutating the live table. Dropping the last `Arc`
+/// releases the pin; the catalog sweeps the alias on a later pin.
+#[derive(Debug)]
+pub struct SnapshotView {
+    table: SharedTable,
+    alias: String,
+    source: String,
+    epoch: u64,
+    version: u64,
+    rows: usize,
+}
+
+impl SnapshotView {
+    /// The frozen table (never mutated after the pin).
+    pub fn table(&self) -> &SharedTable {
+        &self.table
+    }
+
+    /// Hidden catalog name the frozen table is registered under; queries
+    /// scan this alias.
+    pub fn alias(&self) -> &str {
+        &self.alias
+    }
+
+    /// Name of the live table this view was pinned from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Global mutation epoch at pin time.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Per-table version at pin time (bumps on every logged mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Row high-water mark: rows visible to this snapshot.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// One live pin per source table, plus aliases awaiting sweep.
+#[derive(Debug, Default)]
+struct SnapRegistry {
+    /// Newest pin per source table.
+    current: BTreeMap<String, SnapEntry>,
+    /// Aliases whose entry was superseded; removed once unpinned.
+    retired: Vec<RetiredSnap>,
+}
+
+#[derive(Debug)]
+struct RetiredSnap {
+    alias: String,
+    source: String,
+    view: Weak<SnapshotView>,
+}
+
+#[derive(Debug)]
+struct SnapEntry {
+    version: u64,
+    alias: String,
+    view: Weak<SnapshotView>,
+}
+
+/// Checkpoint wiring: where images go, when to cut them, and how the last
+/// attempt went.
+struct CheckpointState {
+    store: Box<dyn CheckpointStore>,
+    policy: CheckpointPolicy,
+    /// WAL counters at the last successful checkpoint, for policy `due`.
+    last_records: u64,
+    last_bytes: u64,
+    /// True after a failed checkpoint: the catalog runs WAL-only until a
+    /// later attempt succeeds. Writes are never failed by this.
+    degraded: bool,
+    retry: RetryPolicy,
+}
+
+impl std::fmt::Debug for CheckpointState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointState")
+            .field("policy", &self.policy)
+            .field("degraded", &self.degraded)
+            .finish()
+    }
+}
+
+/// Registered handles mirroring checkpoint/snapshot activity into a
+/// [`MetricsRegistry`] (Prometheus names `pa_storage_checkpoint_*`,
+/// `pa_storage_snapshot_*`).
+#[derive(Debug)]
+struct CatalogMetrics {
+    checkpoint_writes: Arc<Counter>,
+    checkpoint_failures: Arc<Counter>,
+    checkpoint_bytes: Arc<Counter>,
+    checkpoint_lsn: Arc<Gauge>,
+    checkpoint_degraded: Arc<Gauge>,
+    snapshot_epoch: Arc<Gauge>,
+    snapshot_pins: Arc<Counter>,
+}
+
+impl CatalogMetrics {
+    fn register(registry: &MetricsRegistry) -> CatalogMetrics {
+        CatalogMetrics {
+            checkpoint_writes: registry.counter(
+                "pa_storage_checkpoint_writes_total",
+                "checkpoint images written successfully",
+            ),
+            checkpoint_failures: registry.counter(
+                "pa_storage_checkpoint_failures_total",
+                "checkpoint attempts that failed (catalog degrades to WAL-only)",
+            ),
+            checkpoint_bytes: registry.counter(
+                "pa_storage_checkpoint_bytes_total",
+                "checkpoint frame bytes written",
+            ),
+            checkpoint_lsn: registry.gauge(
+                "pa_storage_checkpoint_lsn",
+                "WAL LSN fence of the newest checkpoint",
+            ),
+            checkpoint_degraded: registry.gauge(
+                "pa_storage_checkpoint_degraded",
+                "1 while the catalog runs WAL-only after a checkpoint failure",
+            ),
+            snapshot_epoch: registry
+                .gauge("pa_storage_snapshot_epoch", "global catalog mutation epoch"),
+            snapshot_pins: registry.counter(
+                "pa_storage_snapshot_pins_total",
+                "snapshot views pinned by queries",
+            ),
+        }
+    }
+}
+
 /// Catalog of named tables, their secondary indexes, the combination
-/// cache, and the WAL.
+/// cache, the WAL, and the checkpoint/snapshot machinery.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<BTreeMap<String, SharedTable>>,
     indexes: RwLock<BTreeMap<IndexKey, Arc<HashIndex>>>,
     combos: ComboCache,
     wal: Mutex<Wal>,
+    /// Global mutation epoch: bumps on every logged create/drop/mutation.
+    epoch: AtomicU64,
+    /// Per-table mutation versions (absent → 0), driving snapshot reuse.
+    versions: RwLock<BTreeMap<String, u64>>,
+    /// Snapshot pins and retired aliases. Lock order: `snaps` before
+    /// `tables`, never the reverse.
+    snaps: Mutex<SnapRegistry>,
+    /// Monotonic discriminator for snapshot alias names, so two freezes of
+    /// the same (table, version) never collide.
+    snap_seq: AtomicU64,
+    /// Checkpoint wiring, absent until a store is attached. Held across a
+    /// whole checkpoint attempt to serialize checkpointers.
+    checkpoint: Mutex<Option<CheckpointState>>,
+    metrics: RwLock<Option<CatalogMetrics>>,
 }
 
 impl Catalog {
@@ -46,10 +224,22 @@ impl Catalog {
     /// [`crate::log::FileLogStore`] or a fault-injecting store).
     pub fn from_wal(wal: Wal) -> Catalog {
         Catalog {
-            tables: RwLock::new(BTreeMap::new()),
-            indexes: RwLock::new(BTreeMap::new()),
-            combos: ComboCache::new(),
             wal: Mutex::new(wal),
+            ..Catalog::default()
+        }
+    }
+
+    /// Bump the global epoch and `name`'s version — every logged DDL or
+    /// data mutation funnels through here. Hidden snapshot aliases are
+    /// immutable by contract and skip the bump.
+    fn bump_version(&self, name: &str) {
+        if name.starts_with(SNAP_PREFIX) {
+            return;
+        }
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.versions.write().entry(name.to_string()).or_insert(0) += 1;
+        if let Some(m) = &*self.metrics.read() {
+            m.snapshot_epoch.set(epoch as i64);
         }
     }
 
@@ -61,6 +251,7 @@ impl Catalog {
             return Err(StorageError::TableExists(name));
         }
         self.log_table_created(&name, &table);
+        self.bump_version(&name);
         let shared: SharedTable = Arc::new(RwLock::new(table));
         tables.insert(name, Arc::clone(&shared));
         Ok(shared)
@@ -71,6 +262,7 @@ impl Catalog {
         let name = name.into();
         let mut tables = self.tables.write();
         self.log_table_created(&name, &table);
+        self.bump_version(&name);
         self.invalidate_indexes(&name);
         self.combos.invalidate_table(&name);
         let shared: SharedTable = Arc::new(RwLock::new(table));
@@ -94,8 +286,12 @@ impl Catalog {
             return Err(StorageError::TableNotFound(name.into()));
         }
         // DDL is not failed by a sick log device; the loss is counted in
-        // `WalStats::write_errors` and surfaces at recovery.
-        let _ = self.wal.lock().log_drop_table(name);
+        // `WalStats::write_errors` and surfaces at recovery. Hidden
+        // snapshot aliases were never logged, so their drop isn't either.
+        if !name.starts_with(SNAP_PREFIX) {
+            let _ = self.wal.lock().log_drop_table(name);
+            self.bump_version(name);
+        }
         self.invalidate_indexes(name);
         self.combos.invalidate_table(name);
         Ok(())
@@ -134,9 +330,15 @@ impl Catalog {
         self.tables.read().contains_key(name)
     }
 
-    /// Sorted table names.
+    /// Sorted table names. Hidden snapshot aliases are filtered out —
+    /// they are plumbing, not part of the user-visible catalog.
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().keys().cloned().collect()
+        self.tables
+            .read()
+            .keys()
+            .filter(|n| !n.starts_with(SNAP_PREFIX))
+            .cloned()
+            .collect()
     }
 
     /// Build (or rebuild) a hash index on `table_name(key_names...)`.
@@ -172,8 +374,16 @@ impl Catalog {
     /// Run `f` with the WAL *after* invalidating `table`'s cached
     /// combination sets — the funnel every logged data mutation (bulk
     /// insert, per-row update) goes through, so the combo cache can never
-    /// serve combinations discovered before the mutation.
+    /// serve combinations discovered before the mutation. The table's
+    /// snapshot version and the global epoch bump too: the next
+    /// [`Catalog::pin_table`] freezes a fresh view.
+    ///
+    /// Callers may hold the table's write guard here, so this must never
+    /// take the `checkpoint` mutex (a checkpointer serializing tables
+    /// would deadlock); checkpoints are triggered *after* write guards
+    /// drop, via [`Catalog::maybe_checkpoint`].
     pub fn with_wal_mutating<R>(&self, table: &str, f: impl FnOnce(&mut Wal) -> R) -> R {
+        self.bump_version(table);
         self.combos.invalidate_table(table);
         f(&mut self.wal.lock())
     }
@@ -210,6 +420,303 @@ impl Catalog {
         Ok(())
     }
 
+    // ---- snapshot reads --------------------------------------------------
+
+    /// Global mutation epoch (bumps on every logged DDL/data mutation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// `name`'s mutation version (0 for a never-mutated or absent table).
+    pub fn table_version(&self, name: &str) -> u64 {
+        self.versions.read().get(name).copied().unwrap_or(0)
+    }
+
+    fn count_pin(&self) {
+        if let Some(m) = &*self.metrics.read() {
+            m.snapshot_pins.inc();
+        }
+    }
+
+    /// Pin an immutable snapshot of `name`'s current contents.
+    ///
+    /// Cheap: one shallow [`Table::clone`] (the columns are `Arc`-shared
+    /// until the live table's next write detaches them) registered under a
+    /// hidden `__snap…` alias. Repeat pins of an unchanged table reuse the
+    /// same frozen alias, so per-alias caches (indexes, combination sets)
+    /// stay warm across queries. Returns `None` for an absent table or a
+    /// snapshot alias itself.
+    pub fn pin_table(&self, name: &str) -> Option<Arc<SnapshotView>> {
+        if name.starts_with(SNAP_PREFIX) {
+            return None;
+        }
+        let mut snaps = self.snaps.lock();
+        let version = self.table_version(name);
+        let epoch = self.epoch();
+        let source = self.tables.read().get(name).cloned()?;
+        if let Some(entry) = snaps.current.get_mut(name) {
+            // Reuse needs the version to match AND the frozen alias to
+            // still share the live table's column storage — the CoW
+            // identity catches mutations that bypassed the WAL funnel,
+            // which a version number alone would miss.
+            let unchanged = entry.version == version
+                && self
+                    .tables
+                    .read()
+                    .get(&entry.alias)
+                    .is_some_and(|frozen| source.read().shares_columns(&frozen.read()));
+            if unchanged {
+                if let Some(view) = entry.view.upgrade() {
+                    self.count_pin();
+                    return Some(view);
+                }
+                // All pins were dropped but the alias table is still
+                // registered (not yet swept): re-issue a view over it.
+                if let Some(shared) = self.tables.read().get(&entry.alias).cloned() {
+                    let rows = shared.read().num_rows();
+                    let view = Arc::new(SnapshotView {
+                        table: shared,
+                        alias: entry.alias.clone(),
+                        source: name.to_string(),
+                        epoch,
+                        version,
+                        rows,
+                    });
+                    entry.view = Arc::downgrade(&view);
+                    self.count_pin();
+                    return Some(view);
+                }
+            }
+        }
+        // Freeze the current contents under a fresh alias.
+        let frozen = source.read().clone();
+        let rows = frozen.num_rows();
+        let seq = self.snap_seq.fetch_add(1, Ordering::Relaxed);
+        let alias = format!("{SNAP_PREFIX}{seq}_v{version}_{name}");
+        let shared: SharedTable = Arc::new(RwLock::new(frozen));
+        self.tables
+            .write()
+            .insert(alias.clone(), Arc::clone(&shared));
+        let view = Arc::new(SnapshotView {
+            table: shared,
+            alias: alias.clone(),
+            source: name.to_string(),
+            epoch,
+            version,
+            rows,
+        });
+        if let Some(old) = snaps.current.insert(
+            name.to_string(),
+            SnapEntry {
+                version,
+                alias,
+                view: Arc::downgrade(&view),
+            },
+        ) {
+            snaps.retired.push(RetiredSnap {
+                alias: old.alias,
+                source: name.to_string(),
+                view: old.view,
+            });
+        }
+        self.sweep_locked(&mut snaps);
+        self.count_pin();
+        Some(view)
+    }
+
+    /// Pin a snapshot of every user-visible table at the current epoch.
+    pub fn snapshot(&self) -> Vec<Arc<SnapshotView>> {
+        self.table_names()
+            .into_iter()
+            .filter_map(|n| self.pin_table(&n))
+            .collect()
+    }
+
+    /// Forget every cached distinct-combination set derived from `name`,
+    /// including those keyed by its snapshot aliases. Executors scan pinned
+    /// aliases, so the cache keys combos by the alias actually scanned;
+    /// a plain [`ComboCache::invalidate_table`] on the source name would
+    /// leave those alias entries warm.
+    pub fn invalidate_combos(&self, name: &str) {
+        self.combos.invalidate_table(name);
+        let snaps = self.snaps.lock();
+        if let Some(entry) = snaps.current.get(name) {
+            self.combos.invalidate_table(&entry.alias);
+        }
+        for r in &snaps.retired {
+            if r.source == name {
+                self.combos.invalidate_table(&r.alias);
+            }
+        }
+    }
+
+    /// Drop the hidden alias tables of superseded snapshots nobody pins
+    /// anymore. Runs automatically on every fresh pin; callable explicitly
+    /// after a burst of queries.
+    pub fn sweep_snapshots(&self) {
+        let mut snaps = self.snaps.lock();
+        self.sweep_locked(&mut snaps);
+    }
+
+    fn sweep_locked(&self, snaps: &mut SnapRegistry) {
+        let mut dead = Vec::new();
+        snaps.retired.retain(|r| {
+            if r.view.strong_count() == 0 {
+                dead.push(r.alias.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if dead.is_empty() {
+            return;
+        }
+        let mut tables = self.tables.write();
+        for alias in dead {
+            tables.remove(&alias);
+            self.invalidate_indexes(&alias);
+            self.combos.invalidate_table(&alias);
+        }
+    }
+
+    /// Mirror checkpoint/snapshot/WAL/combo-cache counters into `registry`
+    /// (Prometheus names `pa_storage_*`).
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        let m = CatalogMetrics::register(registry);
+        m.snapshot_epoch.set(self.epoch() as i64);
+        *self.metrics.write() = Some(m);
+        self.wal.lock().attach_metrics(registry);
+        self.combos.attach_metrics(registry);
+    }
+
+    // ---- checkpoints -----------------------------------------------------
+
+    /// Attach a checkpoint store and cut policy. [`Catalog::maybe_checkpoint`]
+    /// consults the policy; [`Catalog::checkpoint_now`] forces a cut.
+    pub fn set_checkpoint_store(&self, store: Box<dyn CheckpointStore>, policy: CheckpointPolicy) {
+        let stats = self.wal.lock().stats();
+        *self.checkpoint.lock() = Some(CheckpointState {
+            store,
+            policy,
+            last_records: stats.records,
+            last_bytes: stats.bytes_written,
+            degraded: false,
+            retry: RetryPolicy::default(),
+        });
+    }
+
+    /// True while the catalog runs WAL-only after a failed checkpoint
+    /// (writes proceed; only restart time suffers).
+    pub fn checkpoint_degraded(&self) -> bool {
+        self.checkpoint.lock().as_ref().is_some_and(|s| s.degraded)
+    }
+
+    /// Cut a checkpoint now: serialize every user table at one WAL LSN
+    /// fence, persist the image (transient store errors absorbed by the
+    /// retry policy), and compact the WAL prefix behind the fence. Returns
+    /// the fence LSN.
+    ///
+    /// Errors: [`StorageError::Checkpoint`] when no store is attached or
+    /// the image cannot be written (the catalog degrades to WAL-only —
+    /// state is safe, restarts just replay more);
+    /// [`StorageError::CheckpointContended`] when concurrent writers kept
+    /// moving the LSN fence (not a degradation — try again later).
+    pub fn checkpoint_now(&self) -> Result<u64> {
+        let mut guard = self.checkpoint.lock();
+        let state = guard
+            .as_mut()
+            .ok_or_else(|| StorageError::Checkpoint("no checkpoint store attached".into()))?;
+        let outcome = self.checkpoint_locked(state);
+        if let Err(e) = &outcome {
+            if !matches!(e, StorageError::CheckpointContended) {
+                self.note_checkpoint_failure(state);
+            }
+        }
+        outcome
+    }
+
+    /// Cut a checkpoint if the policy says one is due. Never blocks on a
+    /// running checkpoint and never fails the caller: a write path calls
+    /// this *after* releasing its table guard, and a failed cut only flips
+    /// the catalog into degraded (WAL-only) mode.
+    pub fn maybe_checkpoint(&self) {
+        let Some(mut guard) = self.checkpoint.try_lock() else {
+            return; // another checkpointer is at work
+        };
+        let Some(state) = guard.as_mut() else {
+            return;
+        };
+        if state.degraded {
+            return; // WAL-only until an explicit checkpoint_now succeeds
+        }
+        let stats = self.wal.lock().stats();
+        let records = stats.records.saturating_sub(state.last_records);
+        let bytes = stats.bytes_written.saturating_sub(state.last_bytes);
+        if !state.policy.due(records, bytes) {
+            return;
+        }
+        match self.checkpoint_locked(state) {
+            Ok(_) | Err(StorageError::CheckpointContended) => {}
+            Err(_) => self.note_checkpoint_failure(state),
+        }
+    }
+
+    fn note_checkpoint_failure(&self, state: &mut CheckpointState) {
+        state.degraded = true;
+        if let Some(m) = &*self.metrics.read() {
+            m.checkpoint_failures.inc();
+            m.checkpoint_degraded.set(1);
+        }
+    }
+
+    /// The checkpoint protocol, called with the `checkpoint` mutex held.
+    ///
+    /// Writers take a table write guard *then* the WAL lock, so the
+    /// checkpointer must never hold the WAL lock while locking tables
+    /// (ABBA). Instead it reads an LSN fence, serializes without any WAL
+    /// lock, and re-reads the fence: unchanged means no record landed
+    /// mid-serialization, so the image is exactly "everything below the
+    /// fence". (Data mutations hold their table's write guard across both
+    /// the mutation and its WAL append, so a half-visible mutation blocks
+    /// `t.read()` until its record is in the log — the fence then catches
+    /// it.) A moved fence retries; persistent contention reports
+    /// [`StorageError::CheckpointContended`] without degrading.
+    fn checkpoint_locked(&self, state: &mut CheckpointState) -> Result<u64> {
+        const FENCE_ATTEMPTS: usize = 3;
+        for _ in 0..FENCE_ATTEMPTS {
+            let fence = self.wal.lock().next_lsn();
+            let tables: Vec<(String, Table)> = {
+                let map = self.tables.read();
+                map.iter()
+                    .filter(|(n, _)| !n.starts_with(SNAP_PREFIX))
+                    .map(|(n, t)| (n.clone(), t.read().clone()))
+                    .collect()
+            };
+            let epoch = self.epoch();
+            if self.wal.lock().next_lsn() != fence {
+                continue;
+            }
+            let refs: Vec<(String, &Table)> = tables.iter().map(|(n, t)| (n.clone(), t)).collect();
+            let frame = encode_image(&refs, epoch, fence)?;
+            let retry = state.retry;
+            let store = &mut state.store;
+            retry.run(|| store.save(&frame))?;
+            self.wal.lock().compact(fence)?;
+            let stats = self.wal.lock().stats();
+            state.last_records = stats.records;
+            state.last_bytes = stats.bytes_written;
+            state.degraded = false;
+            if let Some(m) = &*self.metrics.read() {
+                m.checkpoint_writes.inc();
+                m.checkpoint_bytes.add(frame.len() as u64);
+                m.checkpoint_lsn.set(fence as i64);
+                m.checkpoint_degraded.set(0);
+            }
+            return Ok(fence);
+        }
+        Err(StorageError::CheckpointContended)
+    }
+
     /// Rebuild a catalog from the log in `store` (crash recovery).
     ///
     /// Valid frames are replayed in order; the first torn or
@@ -226,20 +733,92 @@ impl Catalog {
     /// [`Catalog::recover`] with an explicit retained-log capacity for the
     /// resumed WAL.
     pub fn recover_with_capacity(
-        mut store: Box<dyn LogStore>,
+        store: Box<dyn LogStore>,
         capacity: usize,
     ) -> Result<(Catalog, RecoveryReport)> {
+        Catalog::recover_impl(store, None, capacity, CheckpointPolicy::disabled())
+    }
+
+    /// Checkpoint-aware recovery: load the newest valid image from `ckpt`,
+    /// install its tables, and replay only the WAL records at or past the
+    /// image's LSN fence. Records below the fence are counted in
+    /// [`RecoveryReport::records_pre_checkpoint`] and skipped — the image
+    /// already contains them. Any checkpoint failure (unreadable store,
+    /// torn or corrupt image) falls back to the previous image or full WAL
+    /// replay, recorded in [`RecoveryReport::checkpoint_error`] — recovery
+    /// itself never fails because of a bad checkpoint.
+    ///
+    /// The recovered catalog keeps `ckpt` as its checkpoint store under
+    /// `policy`, and its combination cache is verifiably cold: the install
+    /// is routed through the same mutation funnel live writes use.
+    pub fn recover_with_checkpoint(
+        store: Box<dyn LogStore>,
+        ckpt: Box<dyn CheckpointStore>,
+        capacity: usize,
+        policy: CheckpointPolicy,
+    ) -> Result<(Catalog, RecoveryReport)> {
+        Catalog::recover_impl(store, Some(ckpt), capacity, policy)
+    }
+
+    fn recover_impl(
+        mut store: Box<dyn LogStore>,
+        ckpt: Option<Box<dyn CheckpointStore>>,
+        capacity: usize,
+        policy: CheckpointPolicy,
+    ) -> Result<(Catalog, RecoveryReport)> {
+        // Load the newest valid checkpoint image, when a store is given.
+        // Reads retry transient device errors; permanent errors and
+        // undecodable images degrade to full replay, never fail recovery.
+        let mut checkpoint_error = None;
+        let mut image = None;
+        let mut ckpt = ckpt;
+        if let Some(ckpt) = ckpt.as_mut() {
+            let raw = match RetryPolicy::default().run(|| ckpt.read_raw()) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    checkpoint_error = Some(e.to_string());
+                    Vec::new()
+                }
+            };
+            let (newest, why) = scan_checkpoints(&raw);
+            if let Some(why) = why {
+                checkpoint_error = Some(match checkpoint_error.take() {
+                    Some(prev) => format!("{prev}; {why}"),
+                    None => why,
+                });
+            }
+            image = newest;
+        }
+        let (start_lsn, image_epoch, mut tables, checkpoint_tables) = match image {
+            Some(img) => {
+                let n = img.tables.len() as u64;
+                let map: BTreeMap<String, SharedTable> = img
+                    .tables
+                    .into_iter()
+                    .map(|(name, t)| (name, Arc::new(RwLock::new(t))))
+                    .collect();
+                (img.lsn, img.epoch, map, n)
+            }
+            None => (0, 0, BTreeMap::new(), 0),
+        };
+
         // Recovery reads retry transient device errors too: a hiccup while
         // reading the log must not fail a restart that would succeed a
         // moment later. Permanent errors still propagate untouched.
-        let data = crate::retry::RetryPolicy::default().run(|| store.read_all())?;
+        let data = RetryPolicy::default().run(|| store.read_all())?;
         let scan = scan_log(&data);
+        let next_lsn = scan.next_lsn(start_lsn.max(1));
 
-        let mut tables: BTreeMap<String, SharedTable> = BTreeMap::new();
         let mut replayed = 0u64;
         let mut skipped = 0u64;
-        for record in scan.records {
-            if apply_record(&mut tables, record) {
+        let mut pre_checkpoint = 0u64;
+        let lsns = scan.lsns;
+        for (record, lsn) in scan.records.into_iter().zip(lsns.iter().copied()) {
+            if lsn < start_lsn {
+                // Already inside the checkpoint image (a crash can land
+                // between image save and WAL compaction).
+                pre_checkpoint += 1;
+            } else if apply_record(&mut tables, record) {
                 replayed += 1;
             } else {
                 skipped += 1;
@@ -249,27 +828,48 @@ impl Catalog {
         let report = RecoveryReport {
             records_replayed: replayed,
             records_skipped: skipped,
+            records_pre_checkpoint: pre_checkpoint,
             bytes_skipped: scan.total_len - scan.valid_len,
             truncation_offset: (scan.valid_len < scan.total_len).then_some(scan.valid_len),
             corruption: scan.corruption,
+            checkpoint_lsn: start_lsn,
+            checkpoint_tables,
+            checkpoint_error,
         };
         store.truncate(scan.valid_len)?;
 
         let stats = WalStats {
-            records: replayed + skipped,
+            records: replayed + skipped + pre_checkpoint,
             bytes_written: scan.valid_len,
             write_errors: 0,
             retries: 0,
         };
-        let wal = Wal::resume(store, capacity, stats, scan.frame_lens.into());
+        let frames = lsns
+            .iter()
+            .copied()
+            .zip(scan.frame_lens.iter().copied())
+            .collect();
+        let wal = Wal::resume(store, capacity, stats, frames, next_lsn);
         // The combination cache starts empty on recovery: nothing cached
         // before the crash survives into the recovered catalog.
         let catalog = Catalog {
             tables: RwLock::new(tables),
-            indexes: RwLock::new(BTreeMap::new()),
-            combos: ComboCache::new(),
             wal: Mutex::new(wal),
+            ..Catalog::default()
         };
+        catalog.epoch.store(image_epoch, Ordering::Relaxed);
+        // Route the install through the same funnel live mutations use, so
+        // the combo cache is verifiably cold for every installed table.
+        for name in catalog.table_names() {
+            catalog.with_wal_mutating(&name, |_| {});
+        }
+        debug_assert!(
+            catalog.combo_cache().is_empty(),
+            "recovered combo cache must start cold"
+        );
+        if let Some(ckpt) = ckpt {
+            catalog.set_checkpoint_store(ckpt, policy);
+        }
         Ok((catalog, report))
     }
 }
@@ -282,12 +882,25 @@ pub struct RecoveryReport {
     /// Valid records whose replay could not apply (table recycled away,
     /// stale row index); these are counted, not fatal.
     pub records_skipped: u64,
+    /// Records already covered by the checkpoint image (LSN below its
+    /// fence) and therefore not replayed. Expected whenever a crash lands
+    /// between image save and WAL compaction; does not affect
+    /// [`RecoveryReport::is_clean`].
+    pub records_pre_checkpoint: u64,
     /// Bytes discarded from the untrusted tail.
     pub bytes_skipped: u64,
     /// Offset the log was truncated to, when a tail was discarded.
     pub truncation_offset: Option<u64>,
     /// Why the scan stopped before the end of the log, if it did.
     pub corruption: Option<String>,
+    /// LSN fence of the checkpoint image recovery started from (0 when
+    /// none was loaded).
+    pub checkpoint_lsn: u64,
+    /// Tables installed from the checkpoint image.
+    pub checkpoint_tables: u64,
+    /// Why checkpoint loading fell back (unreadable store, torn or
+    /// corrupt image), if it did. Recovery proceeded via WAL replay.
+    pub checkpoint_error: Option<String>,
 }
 
 impl RecoveryReport {
@@ -602,6 +1215,291 @@ mod tests {
         assert_eq!(cat.drop_prefixed("q7_"), 0, "idempotent");
         assert_eq!(cat.drop_prefixed(""), 0, "empty prefix refuses to sweep");
         assert!(cat.contains("F"));
+    }
+
+    /// Checkpoint slot over a shared buffer, so a test can hand the same
+    /// bytes to [`Catalog::recover_with_checkpoint`] after the writing
+    /// catalog is gone.
+    #[derive(Debug, Clone, Default)]
+    struct SharedCkptStore(Arc<Mutex<Vec<u8>>>);
+
+    impl crate::checkpoint::CheckpointStore for SharedCkptStore {
+        fn save(&mut self, frame: &[u8]) -> Result<()> {
+            *self.0.lock() = frame.to_vec();
+            Ok(())
+        }
+
+        fn read_raw(&mut self) -> Result<Vec<u8>> {
+            Ok(self.0.lock().clone())
+        }
+    }
+
+    /// Mimic the engine's write path: mutate under the table's write guard,
+    /// then log through the mutation funnel (which bumps the version).
+    fn append_row(cat: &Catalog, name: &str, d: i64, a: f64) {
+        let shared = cat.table(name).unwrap();
+        let mut t = shared.write();
+        let start = t.num_rows();
+        t.push_row(&[Value::Int(d), Value::Float(a)]).unwrap();
+        cat.with_wal_mutating(name, |w| w.log_bulk_insert(name, &t, start).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_compacts_wal_and_recovery_replays_only_the_suffix() {
+        let cat = Catalog::new();
+        cat.create_table("F", table()).unwrap();
+        append_row(&cat, "F", 2, 3.0);
+        let store = SharedCkptStore::default();
+        cat.set_checkpoint_store(Box::new(store.clone()), CheckpointPolicy::disabled());
+
+        let wal_before = cat.with_wal(|w| w.snapshot()).unwrap().len();
+        let fence = cat.checkpoint_now().unwrap();
+        assert!(fence >= 3, "create + bulk + insert sit below the fence");
+        assert!(!cat.checkpoint_degraded());
+        let wal_after = cat.with_wal(|w| w.snapshot()).unwrap().len();
+        assert!(
+            wal_after < wal_before,
+            "checkpoint compacts the WAL prefix ({wal_before} -> {wal_after})"
+        );
+
+        append_row(&cat, "F", 3, 4.0);
+        let wal_img = cat.with_wal(|w| w.snapshot()).unwrap();
+        let (rec, report) = Catalog::recover_with_checkpoint(
+            Box::new(crate::log::MemLogStore::from_bytes(wal_img)),
+            Box::new(store.clone()),
+            DEFAULT_CAPACITY,
+            CheckpointPolicy::disabled(),
+        )
+        .unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.checkpoint_lsn, fence);
+        assert_eq!(report.checkpoint_tables, 1);
+        assert_eq!(
+            report.records_pre_checkpoint, 0,
+            "prefix was compacted away"
+        );
+        assert_eq!(
+            report.records_replayed, 1,
+            "only the post-checkpoint insert"
+        );
+        assert!(report.checkpoint_error.is_none());
+
+        rec.check_integrity().unwrap();
+        assert!(
+            rec.combo_cache().is_empty(),
+            "install runs through the funnel; combos start cold"
+        );
+        let f = rec.table("F").unwrap();
+        let f = f.read();
+        assert_eq!(f.num_rows(), 3);
+        assert_eq!(f.row(2).unwrap(), vec![Value::Int(3), Value::Float(4.0)]);
+
+        // The recovered catalog kept the checkpoint store: another cut works.
+        let fence2 = rec.checkpoint_now().unwrap();
+        assert!(fence2 >= fence, "fences are monotone across recoveries");
+    }
+
+    #[test]
+    fn recovery_skips_records_already_inside_the_image() {
+        // A crash can land between image save and WAL compaction; the
+        // recovered state must not double-apply the prefix.
+        let cat = Catalog::new();
+        cat.create_table("F", table()).unwrap();
+        append_row(&cat, "F", 2, 3.0);
+        let full_wal = cat.with_wal(|w| w.snapshot()).unwrap();
+        let store = SharedCkptStore::default();
+        cat.set_checkpoint_store(Box::new(store.clone()), CheckpointPolicy::disabled());
+        let fence = cat.checkpoint_now().unwrap();
+
+        // Recover from the *uncompacted* WAL plus the image.
+        let (rec, report) = Catalog::recover_with_checkpoint(
+            Box::new(crate::log::MemLogStore::from_bytes(full_wal)),
+            Box::new(store),
+            DEFAULT_CAPACITY,
+            CheckpointPolicy::disabled(),
+        )
+        .unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.checkpoint_lsn, fence);
+        assert_eq!(
+            report.records_pre_checkpoint, 3,
+            "create + 2 inserts skipped"
+        );
+        assert_eq!(report.records_replayed, 0);
+        let f = rec.table("F").unwrap();
+        let f = f.read();
+        assert_eq!(f.num_rows(), 2, "no double-applied rows");
+        assert_eq!(f.row(1).unwrap(), vec![Value::Int(2), Value::Float(3.0)]);
+    }
+
+    #[test]
+    fn torn_checkpoint_degrades_to_wal_only_and_recovery_survives() {
+        use crate::checkpoint::LogCheckpointStore;
+        use crate::fault::{FaultInjector, FaultPlan};
+        use crate::log::MemLogStore;
+
+        let cat = Catalog::new();
+        cat.create_table("F", table()).unwrap();
+        append_row(&cat, "F", 2, 3.0);
+
+        // Checkpoint device tears ten bytes into its first write.
+        let plan = FaultPlan {
+            torn_write_at: Some(10),
+            ..FaultPlan::default()
+        };
+        let torn = LogCheckpointStore::new(Box::new(FaultInjector::new(MemLogStore::new(), plan)));
+        cat.set_checkpoint_store(Box::new(torn), CheckpointPolicy::every_records(1));
+
+        let err = cat.checkpoint_now().unwrap_err();
+        assert!(
+            !matches!(err, StorageError::CheckpointContended),
+            "torn write is a real failure: {err}"
+        );
+        assert!(cat.checkpoint_degraded(), "catalog drops to WAL-only mode");
+
+        // Writes keep flowing and policy checks stay silent no-ops.
+        append_row(&cat, "F", 3, 4.0);
+        cat.maybe_checkpoint();
+        assert!(cat.checkpoint_degraded());
+
+        // The WAL was never compacted (the cut failed before its fence
+        // landed), so plain WAL recovery reconstructs everything.
+        let wal_img = cat.with_wal(|w| w.snapshot()).unwrap();
+        let (rec, report) = Catalog::recover(Box::new(MemLogStore::from_bytes(wal_img))).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.checkpoint_lsn, 0);
+        assert_eq!(rec.table("F").unwrap().read().num_rows(), 3);
+    }
+
+    #[test]
+    fn unreadable_checkpoint_store_falls_back_to_full_replay() {
+        use crate::checkpoint::LogCheckpointStore;
+        use crate::fault::{FaultInjector, FaultPlan};
+        use crate::log::MemLogStore;
+
+        let cat = Catalog::new();
+        cat.create_table("F", table()).unwrap();
+        append_row(&cat, "F", 2, 3.0);
+        let wal_img = cat.with_wal(|w| w.snapshot()).unwrap();
+
+        // Dead-on-arrival checkpoint device: every read errors permanently.
+        let plan = FaultPlan {
+            torn_write_at: Some(0),
+            ..FaultPlan::default()
+        };
+        let mut dead = FaultInjector::new(MemLogStore::new(), plan);
+        let _ = crate::log::LogStore::append(&mut dead, b"x"); // kill the device
+        let (rec, report) = Catalog::recover_with_checkpoint(
+            Box::new(MemLogStore::from_bytes(wal_img)),
+            Box::new(LogCheckpointStore::new(Box::new(dead))),
+            DEFAULT_CAPACITY,
+            CheckpointPolicy::disabled(),
+        )
+        .unwrap();
+        assert!(
+            report.checkpoint_error.is_some(),
+            "fallback is recorded: {report:?}"
+        );
+        assert_eq!(report.checkpoint_lsn, 0);
+        assert_eq!(report.records_replayed, 3, "full WAL replay");
+        assert_eq!(rec.table("F").unwrap().read().num_rows(), 2);
+    }
+
+    #[test]
+    fn maybe_checkpoint_honors_the_record_policy() {
+        let cat = Catalog::new();
+        assert!(
+            matches!(cat.checkpoint_now(), Err(StorageError::Checkpoint(_))),
+            "no store attached"
+        );
+        cat.create_table("F", table()).unwrap();
+        let store = SharedCkptStore::default();
+        cat.set_checkpoint_store(Box::new(store.clone()), CheckpointPolicy::every_records(2));
+
+        cat.maybe_checkpoint();
+        assert!(store.0.lock().is_empty(), "nothing logged since attach");
+        append_row(&cat, "F", 2, 2.0);
+        cat.maybe_checkpoint();
+        assert!(
+            store.0.lock().is_empty(),
+            "one record is below the threshold"
+        );
+        append_row(&cat, "F", 3, 3.0);
+        cat.maybe_checkpoint();
+        assert!(
+            !store.0.lock().is_empty(),
+            "two records since attach trip the policy"
+        );
+    }
+
+    #[test]
+    fn pins_freeze_reuse_and_sweep() {
+        let cat = Catalog::new();
+        cat.create_table("F", table()).unwrap();
+        let p1 = cat.pin_table("F").unwrap();
+        let p2 = cat.pin_table("F").unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "unchanged table reuses the same pin");
+        assert_eq!(p1.source(), "F");
+        assert_eq!(p1.rows(), 1);
+        assert_eq!(
+            cat.table_names(),
+            vec!["F".to_string()],
+            "aliases stay hidden"
+        );
+        assert!(
+            cat.table(p1.alias()).is_ok(),
+            "alias is a real registered table"
+        );
+        assert!(
+            cat.pin_table(p1.alias()).is_none(),
+            "snapshot aliases cannot themselves be pinned"
+        );
+
+        append_row(&cat, "F", 5, 6.0);
+        let p3 = cat.pin_table("F").unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3), "mutation forces a fresh freeze");
+        assert!(p3.version() > p1.version());
+        assert!(p3.epoch() > p1.epoch());
+        assert_eq!(p3.rows(), 2);
+        assert_eq!(
+            p1.table().read().num_rows(),
+            1,
+            "old pin still sees its frozen rows"
+        );
+
+        // Same-version repin after all pins dropped reuses the alias while
+        // it is still registered.
+        let alias3 = p3.alias().to_string();
+        drop(p3);
+        let p4 = cat.pin_table("F").unwrap();
+        assert_eq!(
+            p4.alias(),
+            alias3,
+            "repin reuses the still-registered alias"
+        );
+
+        // Superseded + unpinned aliases are reclaimed by the sweep.
+        let old_alias = p1.alias().to_string();
+        drop(p1);
+        drop(p2);
+        cat.sweep_snapshots();
+        assert!(
+            cat.table(&old_alias).is_err(),
+            "dead snapshot alias reclaimed"
+        );
+        assert!(cat.table(p4.alias()).is_ok(), "live pin keeps its alias");
+    }
+
+    #[test]
+    fn snapshot_pins_every_user_table() {
+        let cat = Catalog::new();
+        cat.create_table("F", table()).unwrap();
+        cat.create_table("G", table()).unwrap();
+        let views = cat.snapshot();
+        let sources: Vec<&str> = views.iter().map(|v| v.source()).collect();
+        assert_eq!(sources, vec!["F", "G"]);
+        let epoch = cat.epoch();
+        assert!(views.iter().all(|v| v.epoch() == epoch));
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub enum StorageError {
     /// ([`crate::retry::RetryPolicy`]) absorbs these; everything else
     /// fails fast.
     TransientIo(String),
+    /// Checkpoint serialization, storage, or decode failure. Permanent:
+    /// recovery falls back to the previous checkpoint + full WAL replay.
+    Checkpoint(String),
+    /// A checkpoint attempt kept losing its LSN fence to concurrent
+    /// writers and gave up; the WAL keeps the state, try again when the
+    /// write rate drops.
+    CheckpointContended,
 }
 
 impl StorageError {
@@ -91,6 +98,10 @@ impl fmt::Display for StorageError {
             StorageError::Wal(msg) => write!(f, "wal error: {msg}"),
             StorageError::Io(msg) => write!(f, "io error: {msg}"),
             StorageError::TransientIo(msg) => write!(f, "transient io error: {msg}"),
+            StorageError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            StorageError::CheckpointContended => {
+                write!(f, "checkpoint lost its LSN fence to concurrent writers")
+            }
         }
     }
 }

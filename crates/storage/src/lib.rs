@@ -14,6 +14,7 @@
 
 pub mod bitmap;
 pub mod catalog;
+pub mod checkpoint;
 pub mod column;
 pub mod combos;
 pub mod csv;
@@ -30,7 +31,11 @@ pub mod value;
 pub mod wal;
 
 pub use bitmap::Bitmap;
-pub use catalog::{Catalog, RecoveryReport, SharedTable};
+pub use catalog::{Catalog, RecoveryReport, SharedTable, SnapshotView, SNAP_PREFIX};
+pub use checkpoint::{
+    scan_checkpoints, CheckpointImage, CheckpointPolicy, CheckpointStore, FileCheckpointStore,
+    LogCheckpointStore, MemCheckpointStore,
+};
 pub use column::Column;
 pub use combos::{ComboCache, ComboCacheStats};
 pub use csv::{read_csv, write_csv};

@@ -121,21 +121,41 @@ pub struct FileLogStore {
 
 impl FileLogStore {
     /// Open (or create) the log file at `path`, appending after any
-    /// existing content.
+    /// existing content. When the file is newly created, the parent
+    /// directory is fsynced so a power loss cannot lose the directory
+    /// entry for a log we have already written into.
     pub fn open(path: impl AsRef<Path>) -> Result<FileLogStore> {
         let path = path.as_ref().to_path_buf();
+        let existed = path.exists();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(&path)?;
+        if !existed {
+            if let Some(dir) = parent_dir(&path) {
+                crate::checkpoint::sync_dir(&dir)?;
+            }
+        }
         Ok(FileLogStore { path, file })
     }
 
     /// The backing file's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+/// Directory holding `path`, for post-create/-rewrite fsyncs. `None` when
+/// the parent is empty (bare relative filename resolves to the cwd, which
+/// we leave alone).
+fn parent_dir(path: &Path) -> Option<PathBuf> {
+    let dir = path.parent()?;
+    if dir.as_os_str().is_empty() {
+        None
+    } else {
+        Some(dir.to_path_buf())
     }
 }
 
@@ -169,6 +189,12 @@ impl LogStore for FileLogStore {
     fn truncate(&mut self, len: u64) -> Result<()> {
         if len < self.len()? {
             self.file.set_len(len)?;
+            // set_len is a metadata change: force it (and the parent
+            // entry) down so a crash cannot resurrect the discarded tail.
+            self.file.sync_all()?;
+            if let Some(dir) = parent_dir(&self.path) {
+                crate::checkpoint::sync_dir(&dir)?;
+            }
         }
         Ok(())
     }
@@ -181,6 +207,12 @@ impl LogStore for FileLogStore {
         self.file.seek(SeekFrom::Start(0))?;
         self.file.write_all(&all)?;
         self.file.flush()?;
+        // The rewrite changed both contents and length; make the shrink
+        // durable before the caller trusts the recycled window.
+        self.file.sync_all()?;
+        if let Some(dir) = parent_dir(&self.path) {
+            crate::checkpoint::sync_dir(&dir)?;
+        }
         Ok(())
     }
 

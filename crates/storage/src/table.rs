@@ -9,6 +9,13 @@ use std::sync::Arc;
 
 /// A columnar table: a shared schema plus one [`Column`] per field.
 ///
+/// The column vector is held behind an [`Arc`] with copy-on-write
+/// semantics: `Table::clone` is a cheap refcount bump (the snapshot path —
+/// [`crate::Catalog`] epochs clone tables per pinned read), and the first
+/// mutation after a clone detaches a private copy via [`Arc::make_mut`].
+/// While a table is unshared (the common case) the extra cost per mutation
+/// is one refcount check.
+///
 /// ```
 /// use pa_storage::{DataType, Schema, Table, Value};
 ///
@@ -21,11 +28,15 @@ use std::sync::Arc;
 /// assert_eq!(t.num_rows(), 2);
 /// assert_eq!(t.get(1, 1), Value::Null);
 /// assert_eq!(t.sorted_by(&[0]).get(0, 0), Value::str("Dallas"));
+///
+/// let snapshot = t.clone(); // shares columns, no copy
+/// t.push_row(&[Value::str("Austin"), Value::Float(1.0)]).unwrap(); // detaches
+/// assert_eq!(snapshot.num_rows(), 2, "snapshot unaffected");
 /// ```
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Arc<Schema>,
-    columns: Vec<Column>,
+    columns: Arc<Vec<Column>>,
 }
 
 impl Table {
@@ -36,7 +47,10 @@ impl Table {
             .iter()
             .map(|f| Column::new(f.dtype))
             .collect();
-        Table { schema, columns }
+        Table {
+            schema,
+            columns: Arc::new(columns),
+        }
     }
 
     /// Empty table pre-sized for `capacity` rows.
@@ -46,7 +60,22 @@ impl Table {
             .iter()
             .map(|f| Column::with_capacity(f.dtype, capacity))
             .collect();
-        Table { schema, columns }
+        Table {
+            schema,
+            columns: Arc::new(columns),
+        }
+    }
+
+    /// Copy-on-write access to the column vector: detaches a private copy
+    /// when the columns are shared with a snapshot, no-op when unshared.
+    fn cols_mut(&mut self) -> &mut Vec<Column> {
+        Arc::make_mut(&mut self.columns)
+    }
+
+    /// True when `self` and `other` share the same physical column storage
+    /// (neither side has written since they were cloned apart).
+    pub fn shares_columns(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.columns, &other.columns)
     }
 
     /// Build a table from pre-constructed columns. Column count and lengths
@@ -77,7 +106,10 @@ impl Table {
                 }
             }
         }
-        Ok(Table { schema, columns })
+        Ok(Table {
+            schema,
+            columns: Arc::new(columns),
+        })
     }
 
     /// The schema.
@@ -97,7 +129,7 @@ impl Table {
             });
         }
         let n = self.num_rows();
-        for (field, col) in self.schema.fields().iter().zip(&self.columns) {
+        for (field, col) in self.schema.fields().iter().zip(self.columns.iter()) {
             if field.dtype != col.data_type() {
                 return Err(StorageError::TypeMismatch {
                     expected: field.dtype.to_string(),
@@ -124,9 +156,10 @@ impl Table {
         &self.columns[i]
     }
 
-    /// Mutable column by position (UPDATE path).
+    /// Mutable column by position (UPDATE path). Detaches from any shared
+    /// snapshot before handing out the reference (copy-on-write).
     pub fn column_mut(&mut self, i: usize) -> &mut Column {
-        &mut self.columns[i]
+        &mut self.cols_mut()[i]
     }
 
     /// Column by name.
@@ -186,7 +219,7 @@ impl Table {
         // Validate all values first so a failed push can't leave ragged
         // columns behind.
         self.validate_row(row)?;
-        for (col, value) in self.columns.iter_mut().zip(row) {
+        for (col, value) in self.cols_mut().iter_mut().zip(row) {
             col.push(value.clone())?;
         }
         Ok(())
@@ -232,7 +265,7 @@ impl Table {
             Self::value_fits(&self.columns[col], value)?;
         }
         for (&col, value) in cols.iter().zip(values) {
-            self.columns[col].set(row, value.clone())?;
+            self.cols_mut()[col].set(row, value.clone())?;
         }
         Ok(())
     }
@@ -274,7 +307,7 @@ impl Table {
                 other.schema, self.schema
             )));
         }
-        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+        for (dst, src) in self.cols_mut().iter_mut().zip(other.columns.iter()) {
             dst.extend_from(src)?;
         }
         Ok(())
@@ -284,7 +317,7 @@ impl Table {
     pub fn take(&self, rows: &[usize]) -> Table {
         Table {
             schema: Arc::clone(&self.schema),
-            columns: self.columns.iter().map(|c| c.take(rows)).collect(),
+            columns: Arc::new(self.columns.iter().map(|c| c.take(rows)).collect()),
         }
     }
 
@@ -384,6 +417,36 @@ mod tests {
         assert_send_sync::<Table>();
         assert_send_sync::<Column>();
         assert_send_sync::<Value>();
+    }
+
+    #[test]
+    fn clone_is_shallow_and_cow_detaches_on_write() {
+        let mut t = Table::empty(sales_schema());
+        t.push_row(&[Value::str("CA"), Value::str("SF"), Value::Float(1.0)])
+            .unwrap();
+        let snap = t.clone();
+        assert!(snap.shares_columns(&t), "clone shares storage");
+
+        // Every mutation path detaches instead of writing through.
+        t.push_row(&[Value::str("TX"), Value::str("Austin"), Value::Float(2.0)])
+            .unwrap();
+        assert!(!snap.shares_columns(&t), "first write detaches");
+        assert_eq!(snap.num_rows(), 1, "snapshot frozen at clone time");
+        assert_eq!(t.num_rows(), 2);
+
+        let snap2 = t.clone();
+        t.set_cells(0, &[2], &[Value::Float(9.0)]).unwrap();
+        assert_eq!(snap2.get(0, 2), Value::Float(1.0), "set_cells detaches");
+
+        let snap3 = t.clone();
+        t.column_mut(2).set(0, Value::Float(7.0)).unwrap();
+        assert_eq!(snap3.get(0, 2), Value::Float(9.0), "column_mut detaches");
+
+        let snap4 = t.clone();
+        let other = snap4.clone();
+        t.extend_from(&other).unwrap();
+        assert_eq!(snap4.num_rows(), 2, "extend_from detaches");
+        assert_eq!(t.num_rows(), 4);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! frame    := [len: u32 le] [crc32: u32 le] [payload]
-//! payload  := [version: u8] [kind: u8] [name_len: u32 le] [name] [body]
+//! payload  := [version: u8] [kind: u8] [lsn: u64 le] [name_len: u32 le] [name] [body]
 //! ```
 //!
 //! `len` counts payload bytes; `crc32` (IEEE) covers the payload. Records
@@ -41,7 +41,15 @@ use std::sync::Arc;
 /// v2: `UpdateRow` carries the touched column indices interleaved with the
 /// before/after images, so partial-column updates (the production write
 /// paths log only the SET-clause columns) replay into the right columns.
-pub const FORMAT_VERSION: u8 = 2;
+///
+/// v3: every record carries its log sequence number (LSN) so
+/// checkpoint-aware recovery can skip records already captured by a
+/// checkpoint image, and [`Wal::compact`] can truncate the log prefix a
+/// checkpoint made redundant.
+pub const FORMAT_VERSION: u8 = 3;
+
+/// Byte offset of the LSN field inside a payload (after version + kind).
+const LSN_OFFSET: usize = 2;
 
 /// Frame header size: length word + checksum word.
 pub const FRAME_HEADER: usize = 8;
@@ -96,8 +104,14 @@ pub struct WalStats {
 
 // ---- CRC32 (IEEE 802.3, reflected) ---------------------------------------
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Slicing-by-8 tables: `TABLES[t][b]` is the CRC contribution of byte `b`
+/// sitting `t` positions deep in an 8-byte window, so eight bytes fold in
+/// one step instead of eight dependent table lookups. Multi-megabyte
+/// checkpoint images make the checksum a measurable slice of recovery; the
+/// classic per-byte loop tops out near 400 MB/s while this runs in the
+/// gigabytes.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -110,34 +124,58 @@ const fn crc32_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static CRC32_TABLE: [u32; 256] = crc32_table();
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
 
-/// IEEE CRC32 of `data`.
+/// IEEE CRC32 of `data` (reflected, 802.3 polynomial).
 pub fn crc32(data: &[u8]) -> u32 {
+    let t = &CRC32_TABLES;
     let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = (c >> 8) ^ CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize];
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ c;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = (c >> 8) ^ t[0][((c ^ b as u32) & 0xFF) as usize];
     }
     !c
 }
 
 // ---- payload codec -------------------------------------------------------
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
@@ -297,7 +335,7 @@ impl WalRecord {
     }
 }
 
-fn decode_payload(payload: &[u8]) -> Decoded<WalRecord> {
+fn decode_payload(payload: &[u8]) -> Decoded<(u64, WalRecord)> {
     let mut c = Cursor::new(payload);
     let version = c.u8()?;
     if version != FORMAT_VERSION {
@@ -305,6 +343,7 @@ fn decode_payload(payload: &[u8]) -> Decoded<WalRecord> {
     }
     let kind = c.u8()?;
     let kind = RecordKind::from_u8(kind).ok_or_else(|| format!("unknown record kind {kind}"))?;
+    let lsn = c.u64()?;
     let name = c.str()?;
     let record = match kind {
         RecordKind::CreateTable => {
@@ -367,7 +406,7 @@ fn decode_payload(payload: &[u8]) -> Decoded<WalRecord> {
             payload.len() - c.pos
         ));
     }
-    Ok(record)
+    Ok((lsn, record))
 }
 
 /// Result of scanning raw log bytes for valid frames.
@@ -384,6 +423,23 @@ pub struct LogScan {
     pub corruption: Option<String>,
     /// Byte size of each valid frame, in log order (header included).
     pub frame_lens: Vec<u64>,
+    /// LSN of each valid frame, parallel to `frame_lens` / `records`.
+    pub lsns: Vec<u64>,
+}
+
+impl LogScan {
+    /// The LSN the next append should use: one past the largest scanned
+    /// LSN, or `floor` (the checkpoint's LSN, when recovering from one)
+    /// if that is larger or the log is empty.
+    pub fn next_lsn(&self, floor: u64) -> u64 {
+        self.lsns
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(floor)
+            .max(floor)
+    }
 }
 
 /// Decode frames from `data` until the end or the first torn / corrupt
@@ -391,6 +447,7 @@ pub struct LogScan {
 pub fn scan_log(data: &[u8]) -> LogScan {
     let mut records = Vec::new();
     let mut frame_lens = Vec::new();
+    let mut lsns = Vec::new();
     let mut pos = 0usize;
     let mut corruption = None;
     while pos < data.len() {
@@ -425,7 +482,10 @@ pub fn scan_log(data: &[u8]) -> LogScan {
             break;
         }
         match decode_payload(payload) {
-            Ok(record) => records.push(record),
+            Ok((lsn, record)) => {
+                records.push(record);
+                lsns.push(lsn);
+            }
             Err(why) => {
                 corruption = Some(format!("undecodable record at offset {pos}: {why}"));
                 break;
@@ -440,6 +500,7 @@ pub fn scan_log(data: &[u8]) -> LogScan {
         total_len: data.len() as u64,
         corruption,
         frame_lens,
+        lsns,
     }
 }
 
@@ -484,9 +545,13 @@ pub struct Wal {
     enabled: bool,
     stats: WalStats,
     record_latency: std::time::Duration,
-    /// Sizes of retained frames, oldest first, so recycling cuts on frame
-    /// boundaries and the retained log always starts at a frame.
-    frame_lens: VecDeque<u64>,
+    /// Retained frames, oldest first, as `(lsn, byte size)` pairs, so both
+    /// recycling and checkpoint compaction cut on frame boundaries and the
+    /// retained log always starts at a frame.
+    frames: VecDeque<(u64, u64)>,
+    /// LSN the next appended record will carry. Starts at 1 so LSN 0 can
+    /// mean "before everything" (the no-checkpoint floor).
+    next_lsn: u64,
     /// Retry policy for transient device errors on the append path.
     retry: RetryPolicy,
     /// Registered counter handles, when a registry is attached.
@@ -513,7 +578,8 @@ impl Wal {
             enabled: true,
             stats: WalStats::default(),
             record_latency: std::time::Duration::ZERO,
-            frame_lens: VecDeque::new(),
+            frames: VecDeque::new(),
+            next_lsn: 1,
             retry: RetryPolicy::default(),
             metrics: None,
         }
@@ -527,20 +593,23 @@ impl Wal {
             enabled: false,
             stats: WalStats::default(),
             record_latency: std::time::Duration::ZERO,
-            frame_lens: VecDeque::new(),
+            frames: VecDeque::new(),
+            next_lsn: 1,
             retry: RetryPolicy::none(),
             metrics: None,
         }
     }
 
     /// Resume logging onto a store whose valid prefix was just recovered:
-    /// `frames` are the retained frame sizes, `stats` the counters carried
-    /// over from the scan.
+    /// `frames` are the retained `(lsn, byte size)` pairs, `stats` the
+    /// counters carried over from the scan, `next_lsn` one past the
+    /// largest recovered LSN (checkpoint floor included).
     pub(crate) fn resume(
         store: Box<dyn LogStore>,
         capacity: usize,
         stats: WalStats,
-        frames: VecDeque<u64>,
+        frames: VecDeque<(u64, u64)>,
+        next_lsn: u64,
     ) -> Wal {
         Wal {
             store,
@@ -548,7 +617,8 @@ impl Wal {
             enabled: true,
             stats,
             record_latency: std::time::Duration::ZERO,
-            frame_lens: frames,
+            frames,
+            next_lsn: next_lsn.max(1),
             retry: RetryPolicy::default(),
             metrics: None,
         }
@@ -614,7 +684,7 @@ impl Wal {
     /// [`MAX_FRAME_LEN`] are refused at write time — `scan_log` would treat
     /// such a frame as corruption and truncate it plus everything after it,
     /// so letting one through would poison the log tail.
-    fn append_payload(&mut self, payload: Vec<u8>) -> Result<()> {
+    fn append_payload(&mut self, mut payload: Vec<u8>) -> Result<()> {
         if payload.len() > MAX_FRAME_LEN as usize {
             self.stats.write_errors += 1;
             if let Some(m) = &self.metrics {
@@ -624,6 +694,12 @@ impl Wal {
                 "record payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame limit",
                 payload.len()
             )));
+        }
+        // Stamp this record's LSN over the placeholder the header writer
+        // left, before the checksum is computed.
+        let lsn = self.next_lsn;
+        if payload.len() >= LSN_OFFSET + 8 {
+            payload[LSN_OFFSET..LSN_OFFSET + 8].copy_from_slice(&lsn.to_le_bytes());
         }
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         put_u32(&mut frame, payload.len() as u32);
@@ -655,7 +731,8 @@ impl Wal {
             }
             return Err(e);
         }
-        self.frame_lens.push_back(frame.len() as u64);
+        self.frames.push_back((lsn, frame.len() as u64));
+        self.next_lsn = lsn + 1;
         self.stats.records += 1;
         self.stats.bytes_written += frame.len() as u64;
         if let Some(m) = &self.metrics {
@@ -678,14 +755,14 @@ impl Wal {
     /// capacity, down to half capacity (like rotating a fixed set of log
     /// files). The newest frame is never dropped.
     fn recycle(&mut self) -> Result<()> {
-        let mut retained: u64 = self.frame_lens.iter().sum();
+        let mut retained: u64 = self.frames.iter().map(|&(_, len)| len).sum();
         if retained <= self.capacity as u64 {
             return Ok(());
         }
         let target = (self.capacity / 2) as u64;
         let mut cut = 0u64;
-        while retained > target && self.frame_lens.len() > 1 {
-            let oldest = self.frame_lens.pop_front().expect("len checked > 1");
+        while retained > target && self.frames.len() > 1 {
+            let (_, oldest) = self.frames.pop_front().expect("len checked > 1");
             cut += oldest;
             retained -= oldest;
         }
@@ -695,10 +772,35 @@ impl Wal {
         Ok(())
     }
 
+    /// The LSN the next appended record will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Drop every retained frame whose LSN is below `upto_lsn` — the
+    /// prefix a checkpoint at `upto_lsn` made redundant. Unlike
+    /// [`Wal::recycle`] this may empty the log entirely (the checkpoint
+    /// image carries the state). Returns the number of bytes discarded.
+    pub fn compact(&mut self, upto_lsn: u64) -> Result<u64> {
+        let mut cut = 0u64;
+        while let Some(&(lsn, len)) = self.frames.front() {
+            if lsn >= upto_lsn {
+                break;
+            }
+            self.frames.pop_front();
+            cut += len;
+        }
+        if cut > 0 {
+            self.store.discard_front(cut)?;
+        }
+        Ok(cut)
+    }
+
     fn payload_header(kind: RecordKind, name: &str) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(16 + name.len());
+        let mut payload = Vec::with_capacity(24 + name.len());
         payload.push(FORMAT_VERSION);
         payload.push(kind as u8);
+        put_u64(&mut payload, 0); // LSN placeholder, stamped at append time
         put_str(&mut payload, name);
         payload
     }
@@ -1179,9 +1281,69 @@ mod tests {
     }
 
     #[test]
+    fn lsns_are_stamped_monotonically_and_survive_scan() {
+        let mut wal = Wal::default();
+        let t = small_table(2);
+        wal.log_create_table("t", t.schema()).unwrap();
+        wal.log_bulk_insert("t", &t, 0).unwrap();
+        wal.log_drop_table("t").unwrap();
+        assert_eq!(wal.next_lsn(), 4, "three records consumed LSNs 1..=3");
+
+        let scan = scan_log(&wal.snapshot().unwrap());
+        assert!(scan.corruption.is_none(), "{:?}", scan.corruption);
+        assert_eq!(scan.lsns, vec![1, 2, 3]);
+        assert_eq!(scan.next_lsn(1), 4);
+        assert_eq!(scan_log(&[]).next_lsn(7), 7, "empty log yields the floor");
+    }
+
+    #[test]
+    fn compact_drops_exactly_the_prefix_below_the_lsn() {
+        let mut wal = Wal::default();
+        for row in 0..5 {
+            wal.log_update("t", row, &[0], &[Value::Int(1)], &[Value::Int(2)])
+                .unwrap();
+        }
+        let cut = wal.compact(4).unwrap(); // drop LSNs 1..=3
+        assert!(cut > 0);
+        let scan = scan_log(&wal.snapshot().unwrap());
+        assert!(scan.corruption.is_none(), "{:?}", scan.corruption);
+        assert_eq!(scan.lsns, vec![4, 5], "suffix at or past the LSN survives");
+        assert_eq!(wal.compact(4).unwrap(), 0, "idempotent");
+
+        // Compacting past the end may empty the log entirely — the
+        // checkpoint image carries the state.
+        wal.compact(u64::MAX).unwrap();
+        assert_eq!(wal.retained_bytes().unwrap(), 0);
+        // Appends resume with the next LSN, never reusing a compacted one.
+        wal.log_update("t", 9, &[0], &[Value::Int(1)], &[Value::Int(2)])
+            .unwrap();
+        let scan = scan_log(&wal.snapshot().unwrap());
+        assert_eq!(scan.lsns, vec![6]);
+    }
+
+    #[test]
     fn crc32_known_vector() {
         // IEEE CRC32 of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_slicing_matches_bytewise_reference_at_every_length() {
+        // The 8-byte slicing fold must agree with the canonical per-byte
+        // loop for every remainder length and across chunk boundaries.
+        fn reference(data: &[u8]) -> u32 {
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in data {
+                c = (c >> 8) ^ CRC32_TABLES[0][((c ^ b as u32) & 0xFF) as usize];
+            }
+            !c
+        }
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 }

@@ -37,6 +37,16 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
+    /// Acquire the lock without blocking; `None` when already held.
+    /// Recovers from poisoning like [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         match self.0.get_mut() {
@@ -161,6 +171,17 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 6);
         assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held_and_succeeds_when_free() {
+        let m = Mutex::new(1);
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none(), "held lock must not be re-entered");
+        }
+        *m.try_lock().expect("free lock") += 1;
+        assert_eq!(*m.lock(), 2);
     }
 
     #[test]
