@@ -75,11 +75,24 @@ cargo run --release -p pa-bench --bin scale -- \
 echo "==> code-path gate: case_direct within 2x of hash_dispatch (n=1M, d=50)"
 # The dense jump-table CASE path must keep the paper's worst case (wide BY
 # list) competitive with the single-pass hash dispatcher; rows also record
-# group_path and combo_cache_hit_rate in the JSON artifact.
+# group_path, kernel_path, pack_width and combo_cache_hit_rate in the JSON
+# artifact.
 cargo run --release -p pa-bench --bin scale -- \
   --n 1000000 --d 50 --threads 1 --iters 2 \
   --assert-case-within 2.0 \
   --out results/BENCH_codepath_gate.json
+
+echo "==> vectorized-kernel gate: case_direct >= 2x scalar baseline (n=1M, d=50)"
+# The fused bit-packed kernels (DESIGN.md §12) must hold at least 2x over
+# the recorded scalar-path baseline (43.4 ms in results/BENCH_scale.json
+# before vectorization → ceiling 21.7 ms), and the kernel-path smoke proves
+# the vectorized path actually engaged — case_direct block-at-a-time, the
+# sorted scenario through the RLE fast path — rather than silently falling
+# back to the scalar loop.
+cargo run --release -p pa-bench --bin scale -- \
+  --n 1000000 --d 50 --threads 1 --iters 2 \
+  --assert-case-max-ms 21.7 --assert-vectorized \
+  --out results/BENCH_kernel_gate.json
 
 echo "==> trace overhead smoke (writes results/BENCH_obs_smoke.json)"
 # Hard-gates tracing-on vs tracing-off overhead; also records obs-off

@@ -32,6 +32,13 @@ struct Args {
     /// CI gate: fail unless `case_direct` stays within this factor of
     /// `hash_dispatch` in every measured cell (0 = no gate).
     assert_case_within: f64,
+    /// CI gate: fail if any `case_direct` cell exceeds this wall time in
+    /// ms (0 = no gate). Pins the vectorized-kernel speedup against a
+    /// recorded scalar baseline.
+    assert_case_max_ms: f64,
+    /// CI smoke: fail unless every `case_direct`/`case_sorted` cell ran
+    /// the vectorized kernels, and the sorted scenario hit the RLE path.
+    assert_vectorized: bool,
 }
 
 fn parse_list(s: &str) -> Vec<usize> {
@@ -54,6 +61,8 @@ fn parse_args() -> Args {
         iters: 3,
         out: "results/BENCH_scale.json".to_string(),
         assert_case_within: 0.0,
+        assert_case_max_ms: 0.0,
+        assert_vectorized: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -70,11 +79,19 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 })
             }
+            "--assert-case-max-ms" => {
+                args.assert_case_max_ms = next().parse().unwrap_or_else(|_| {
+                    eprintln!("--assert-case-max-ms takes a wall time in ms, e.g. 21.7");
+                    std::process::exit(2);
+                })
+            }
+            "--assert-vectorized" => args.assert_vectorized = true,
             "--help" | "-h" => {
                 println!(
                     "usage: scale [--n N1,N2,..] [--d D1,D2,..] \
                      [--threads T1,T2,..] [--iters K] [--out PATH] \
-                     [--assert-case-within FACTOR]"
+                     [--assert-case-within FACTOR] \
+                     [--assert-case-max-ms MS] [--assert-vectorized]"
                 );
                 std::process::exit(0);
             }
@@ -99,14 +116,18 @@ fn best_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// Group-path + combination-cache telemetry of one run, derived from its
-/// [`pa_engine::ExecStats`] counters.
+/// Group-path + kernel-path + combination-cache telemetry of one run,
+/// derived from its [`pa_engine::ExecStats`] counters.
 #[derive(Clone, Copy, Default)]
 struct CellTelemetry {
     dense_ops: u64,
     hash_ops: u64,
     combo_hits: u64,
     combo_misses: u64,
+    vec_rows: u64,
+    scalar_rows: u64,
+    rle_runs: u64,
+    pack_width: u64,
 }
 
 impl CellTelemetry {
@@ -116,6 +137,10 @@ impl CellTelemetry {
             hash_ops: stats.hash_group_ops,
             combo_hits: stats.combo_cache_hits,
             combo_misses: stats.combo_cache_misses,
+            vec_rows: stats.vectorized_kernel_rows,
+            scalar_rows: stats.scalar_kernel_rows,
+            rle_runs: stats.rle_runs,
+            pack_width: stats.pack_width,
         }
     }
 
@@ -128,6 +153,24 @@ impl CellTelemetry {
             (false, true) => "hash",
             (true, true) => "mixed",
             (false, false) => "none",
+        }
+    }
+
+    /// Which scan kernels ran (DESIGN.md §12): `rle` when the vectorized
+    /// path collapsed constant code blocks into run-level updates,
+    /// `vectorized` when every aggregation scanned block-at-a-time,
+    /// `mixed` when some pass fell back, `scalar` when none vectorized.
+    fn kernel_path(&self) -> &'static str {
+        if self.vec_rows == 0 {
+            return "scalar";
+        }
+        if self.rle_runs > 0 {
+            return "rle";
+        }
+        if self.scalar_rows > 0 {
+            "mixed"
+        } else {
+            "vectorized"
         }
     }
 
@@ -176,6 +219,16 @@ fn run_cell(engine: &PercentageEngine<'_>, strategy: &str, iters: usize) -> (f64
                 telemetry = CellTelemetry::of(&r.stats);
             })
         }
+        "case_sorted" => {
+            // Same plan as case_direct over the day-sorted clone of the
+            // fact table: constant code blocks engage the RLE fast path.
+            let q = HorizontalQuery::hpct("fact_sorted", &["store"], "amt", &["day"]);
+            let opts = HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect);
+            best_ms(iters, || {
+                let r = engine.horizontal_with(&q, &opts).expect("bench query");
+                telemetry = CellTelemetry::of(&r.stats);
+            })
+        }
         other => unreachable!("unknown strategy {other}"),
     };
     (ms, telemetry)
@@ -202,12 +255,17 @@ fn trace_cell(engine: &PercentageEngine<'_>, strategy: &str) -> String {
             };
             engine.horizontal_traced(&q, &opts).expect("bench query").1
         }
+        "case_sorted" => {
+            let q = HorizontalQuery::hpct("fact_sorted", &["store"], "amt", &["day"]);
+            let opts = HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect);
+            engine.horizontal_traced(&q, &opts).expect("bench query").1
+        }
         other => unreachable!("unknown strategy {other}"),
     };
     operator_breakdown(&report)
 }
 
-const STRATEGIES: [&str; 3] = ["vpct_best", "case_direct", "hash_dispatch"];
+const STRATEGIES: [&str; 4] = ["vpct_best", "case_direct", "hash_dispatch", "case_sorted"];
 
 fn main() {
     let args = parse_args();
@@ -225,9 +283,13 @@ fn main() {
         for &d in &args.ds {
             let catalog = Catalog::new();
             let (gen_ms, _) = time_ms(|| {
+                let fact = lcg_fact_table(n, d);
+                // Day-sorted clone for the RLE scenario: same rows, long
+                // constant runs in the BY dimension.
                 catalog
-                    .create_table("fact", lcg_fact_table(n, d))
-                    .expect("fresh")
+                    .create_table("fact_sorted", fact.sorted_by(&[1]))
+                    .expect("fresh");
+                catalog.create_table("fact", fact).expect("fresh")
             });
             println!("\nn={n} d={d} (generated in {gen_ms:.0} ms)");
             let engine = PercentageEngine::new(&catalog);
@@ -247,9 +309,12 @@ fn main() {
                     println!(
                         "  {strategy:<14} threads={threads:<2} {ms:>9.1} ms \
                          {:>12.0} rows/s  x{speedup:.2}  \
-                         group_path={} combo_hit_rate={:.2}",
+                         group_path={} kernel_path={} pack_width={} \
+                         combo_hit_rate={:.2}",
                         n as f64 / (ms / 1e3),
                         telemetry.group_path(),
+                        telemetry.kernel_path(),
+                        telemetry.pack_width,
                         telemetry.combo_hit_rate(),
                     );
                     rows.push((strategy, n, d, threads, ms, speedup, telemetry, operators));
@@ -275,9 +340,15 @@ fn main() {
              \"rows_per_s\": {rows_per_s:.0}, \
              \"speedup_vs_serial\": {speedup:.3}, \
              \"group_path\": \"{}\", \
+             \"kernel_path\": \"{}\", \
+             \"pack_width\": {}, \
+             \"rle_runs\": {}, \
              \"combo_cache_hit_rate\": {:.3}, \
              \"operators\": {operators}}}",
             telemetry.group_path(),
+            telemetry.kernel_path(),
+            telemetry.pack_width,
+            telemetry.rle_runs,
             telemetry.combo_hit_rate(),
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -319,6 +390,56 @@ fn main() {
         }
         if failed {
             eprintln!("code-path gate failed: case_direct exceeded the allowed factor");
+            std::process::exit(1);
+        }
+    }
+
+    // CI gate: vectorized kernels must keep case_direct under the recorded
+    // scalar-baseline-derived ceiling in every measured cell.
+    if args.assert_case_max_ms > 0.0 {
+        let mut failed = false;
+        for (strategy, n, d, threads, ms, ..) in &rows {
+            if *strategy != "case_direct" {
+                continue;
+            }
+            let ok = *ms <= args.assert_case_max_ms;
+            println!(
+                "kernel gate n={n} d={d} threads={threads}: case_direct {ms:.1} ms \
+                 (limit {:.1} ms) {}",
+                args.assert_case_max_ms,
+                if ok { "OK" } else { "FAIL" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("kernel gate failed: case_direct exceeded the wall-time ceiling");
+            std::process::exit(1);
+        }
+    }
+
+    // CI smoke: the vectorized path must actually engage — a silent fall
+    // back to scalar kernels would pass the byte-identity oracles and only
+    // show up as a perf regression much later.
+    if args.assert_vectorized {
+        let mut failed = false;
+        for (strategy, n, d, threads, _, _, telemetry, _) in &rows {
+            let path = telemetry.kernel_path();
+            let ok = match *strategy {
+                "case_direct" => path == "vectorized" || path == "rle",
+                "case_sorted" => path == "rle",
+                _ => continue,
+            };
+            println!(
+                "kernel-path smoke n={n} d={d} threads={threads}: {strategy} \
+                 kernel_path={path} pack_width={} rle_runs={} {}",
+                telemetry.pack_width,
+                telemetry.rle_runs,
+                if ok { "OK" } else { "FAIL" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("kernel-path smoke failed: vectorized kernels did not engage");
             std::process::exit(1);
         }
     }

@@ -22,8 +22,8 @@
 
 use crate::error::Result;
 use pa_engine::{
-    Acc, AggFunc, DenseKeySpace, ExecStats, Expr, GroupMap, ParallelConfig, ResourceGuard,
-    RowKeyMap, SpanHandle,
+    raw_acc, Acc, AggFunc, BlockCoder, DenseGroupMap, DenseKeySpace, ExecStats, Expr, GroupMap,
+    LaneSrc, NumSlice, ParallelConfig, RawLane, ResourceGuard, RowKeyMap, SpanHandle, BLOCK_ROWS,
 };
 use pa_storage::{Column, DataType, Field, Schema, Table, Value};
 
@@ -158,12 +158,260 @@ struct PivotCtx<'a> {
     extra_base: usize,
     width: usize,
     template: &'a [Acc],
+    /// Aggregate function at each accumulator-matrix position, parallel to
+    /// `template` (the fused path converts raw sums/counts through it).
+    template_funcs: &'a [AggFunc],
     lane_kernels: &'a [Vec<LaneKernel>],
     total_kernels: &'a [Option<LaneKernel>],
     extra_kernels: &'a [LaneKernel],
+    /// Typed views of `src`'s numeric columns, resolved once so the scalar
+    /// loop stops re-matching the column enum per row.
+    col_slices: Vec<Option<NumSlice<'a>>>,
 }
 
-impl PivotCtx<'_> {
+/// Per-worker state for the fused vectorized pivot scan (DESIGN.md §12):
+/// every path dense, every lane typed — built by [`PivotCtx::try_fused`].
+struct FusedPivot<'a> {
+    group_coder: BlockCoder<'a>,
+    /// Per task: cell-code coder plus its jump table.
+    cell_tables: Vec<(BlockCoder<'a>, &'a [u32])>,
+    lane_srcs: Vec<Vec<LaneSrc<'a>>>,
+    total_srcs: Vec<Option<LaneSrc<'a>>>,
+    extra_srcs: Vec<LaneSrc<'a>>,
+}
+
+impl FusedPivot<'_> {
+    /// Widest bit-packed dimension across the group and cell coders.
+    fn pack_width(&self) -> u32 {
+        self.cell_tables
+            .iter()
+            .map(|(c, _)| c.pack_width())
+            .fold(self.group_coder.pack_width(), u32::max)
+    }
+}
+
+/// Scatter one lane of a block into flat accumulator indices `idx[k] + off`
+/// (`usize::MAX` skips the row), one update per row in row order — the same
+/// update sequence the scalar `Acc` loop performs, so float sums match bit
+/// for bit.
+fn scatter_lane(lane: &mut RawLane, src: &LaneSrc<'_>, start: usize, idx: &[usize], off: usize) {
+    match src {
+        LaneSrc::CountStar => {
+            for &f in idx {
+                if f != usize::MAX {
+                    lane.counts[f + off] += 1;
+                }
+            }
+        }
+        LaneSrc::Col(NumSlice::Float(data, vwords)) => {
+            for (k, &f) in idx.iter().enumerate() {
+                if f == usize::MAX {
+                    continue;
+                }
+                let row = start + k;
+                // Branch on validity: the NaN placeholder must never reach
+                // the sum, and adding 0.0 for NULLs would flip a -0.0.
+                if vwords[row >> 6] >> (row & 63) & 1 == 1 {
+                    lane.sums[f + off] += data[row];
+                    lane.counts[f + off] += 1;
+                }
+            }
+        }
+        LaneSrc::Col(NumSlice::Int(data, vwords)) => {
+            for (k, &f) in idx.iter().enumerate() {
+                if f == usize::MAX {
+                    continue;
+                }
+                let row = start + k;
+                if vwords[row >> 6] >> (row & 63) & 1 == 1 {
+                    lane.sums[f + off] += data[row] as f64;
+                    lane.counts[f + off] += 1;
+                }
+            }
+        }
+    }
+}
+
+impl<'a> PivotCtx<'a> {
+    /// Build the fused scan state when every path vectorizes: dense group
+    /// and cell spaces whose dimensions all read through packed/typed
+    /// vectors, and only typed numeric / `count(*)` lanes. `None` sends the
+    /// scan down the (hoisted) scalar loop. Deterministic, so every worker
+    /// and the planning pass agree.
+    fn try_fused(&self, config: &ParallelConfig) -> Option<FusedPivot<'a>> {
+        if !config.vector || self.j_cols.is_empty() {
+            return None;
+        }
+        let group_coder = BlockCoder::try_new(self.src, self.group_space.as_ref()?)?;
+        let mut cell_tables = Vec::with_capacity(self.cell_maps.len());
+        for m in self.cell_maps {
+            let CellMap::Dense {
+                space,
+                code_to_cell,
+            } = m
+            else {
+                return None;
+            };
+            cell_tables.push((
+                BlockCoder::try_new(self.src, space)?,
+                code_to_cell.as_slice(),
+            ));
+        }
+        let lane_src = |k: &LaneKernel| -> Option<LaneSrc<'a>> {
+            match k {
+                LaneKernel::NumericCol(c) => LaneSrc::for_column(self.src.column(*c)),
+                LaneKernel::CountStar => Some(LaneSrc::CountStar),
+                LaneKernel::Generic => None,
+            }
+        };
+        let lane_srcs: Option<Vec<Vec<LaneSrc<'a>>>> = self
+            .lane_kernels
+            .iter()
+            .map(|ks| ks.iter().map(lane_src).collect())
+            .collect();
+        let total_srcs: Option<Vec<Option<LaneSrc<'a>>>> = self
+            .total_kernels
+            .iter()
+            .map(|k| match k {
+                None => Some(None),
+                Some(k) => lane_src(k).map(Some),
+            })
+            .collect();
+        let extra_srcs: Option<Vec<LaneSrc<'a>>> =
+            self.extra_kernels.iter().map(lane_src).collect();
+        Some(FusedPivot {
+            group_coder,
+            cell_tables,
+            lane_srcs: lane_srcs?,
+            total_srcs: total_srcs?,
+            extra_srcs: extra_srcs?,
+        })
+    }
+
+    /// Vectorized scan of one chunk: block-at-a-time group codes → gids,
+    /// jump-table cell dispatch over code blocks, and raw sum/count
+    /// accumulation, converted to the scalar path's `Acc` matrix at the
+    /// end. Guard/span cadence matches the scalar scan (one charge per
+    /// morsel plus one per fresh group), so budgets and traces are
+    /// path-independent.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_fused(
+        &self,
+        fused: &FusedPivot<'a>,
+        chunk: std::ops::Range<usize>,
+        guard: &ResourceGuard,
+        stats: &mut ExecStats,
+        config: &ParallelConfig,
+        span: &mut SpanHandle,
+    ) -> Result<(GroupMap, Vec<Acc>)> {
+        let space = self
+            .group_space
+            .clone()
+            .expect("fused pivot requires a dense group space");
+        let mut map = DenseGroupMap::new(space);
+        let width = self.width;
+        let mut lanes = RawLane::default();
+        let mut gcodes = [0u32; BLOCK_ROWS];
+        let mut gids = [0u32; BLOCK_ROWS];
+        let mut ccodes = [0u32; BLOCK_ROWS];
+        let mut idx = [usize::MAX; BLOCK_ROWS];
+        let mut tidx = [usize::MAX; BLOCK_ROWS];
+        stats.pack_width = stats.pack_width.max(fused.pack_width() as u64);
+        for morsel in config.morsels(chunk) {
+            guard.charge(morsel.len() as u64)?;
+            span.add_morsels(1);
+            span.add_rows(morsel.len() as u64);
+            let mut start = morsel.start;
+            while start < morsel.end {
+                let blen = BLOCK_ROWS.min(morsel.end - start);
+                stats.vectorized_kernel_rows += blen as u64;
+
+                // Group codes → gids; fresh groups charge one output row
+                // each, exactly like the scalar loop's discovery charge.
+                fused.group_coder.fill(start, &mut gcodes[..blen]);
+                let before = map.len();
+                for k in 0..blen {
+                    gids[k] = map.get_or_insert_code(gcodes[k] as usize) as u32;
+                }
+                let fresh = map.len() - before;
+                if fresh > 0 {
+                    guard.charge(fresh as u64)?;
+                    span.add_rows(fresh as u64);
+                }
+                lanes.ensure(map.len() * width);
+
+                for (t, task) in self.tasks.iter().enumerate() {
+                    let (coder, code_to_cell) = &fused.cell_tables[t];
+                    let nlanes = task.lanes.len();
+                    let base_off = self.task_base[t];
+                    let total_off = base_off + nlanes * task.combos.len();
+                    let has_total = task.total.is_some();
+                    coder.fill(start, &mut ccodes[..blen]);
+                    // RLE fast path: a constant cell-code block (sorted or
+                    // low-cardinality BY column) resolves the jump table
+                    // once for the whole block.
+                    let constant = ccodes[..blen].iter().all(|&c| c == ccodes[0]);
+                    if constant {
+                        stats.rle_runs += 1;
+                        let cell = code_to_cell[ccodes[0] as usize];
+                        if cell == u32::MAX {
+                            continue; // no listed combo: the whole block skips this task
+                        }
+                        let cell_off = base_off + cell as usize * nlanes;
+                        for k in 0..blen {
+                            let g = gids[k] as usize * width;
+                            idx[k] = g + cell_off;
+                            tidx[k] = g + total_off;
+                        }
+                    } else {
+                        for k in 0..blen {
+                            let cell = code_to_cell[ccodes[k] as usize];
+                            if cell == u32::MAX {
+                                idx[k] = usize::MAX;
+                                tidx[k] = usize::MAX;
+                            } else {
+                                let g = gids[k] as usize * width;
+                                idx[k] = g + base_off + cell as usize * nlanes;
+                                tidx[k] = g + total_off;
+                            }
+                        }
+                    }
+                    for (l, src) in fused.lane_srcs[t].iter().enumerate() {
+                        scatter_lane(&mut lanes, src, start, &idx[..blen], l);
+                    }
+                    if has_total {
+                        let src = fused.total_srcs[t]
+                            .as_ref()
+                            .expect("total lane classified for fused scan");
+                        scatter_lane(&mut lanes, src, start, &tidx[..blen], 0);
+                    }
+                }
+
+                if !fused.extra_srcs.is_empty() {
+                    for k in 0..blen {
+                        idx[k] = gids[k] as usize * width + self.extra_base;
+                    }
+                    for (x, src) in fused.extra_srcs.iter().enumerate() {
+                        scatter_lane(&mut lanes, src, start, &idx[..blen], x);
+                    }
+                }
+                start += blen;
+            }
+        }
+        // Collapse into the Acc matrix the scalar scan produces, so the
+        // merge/materialize machinery — and the output bytes — are shared.
+        let n = map.len();
+        lanes.ensure(n * width);
+        let mut accs = Vec::with_capacity(n * width);
+        for gid in 0..n {
+            for (w, func) in self.template_funcs.iter().enumerate() {
+                let f = gid * width + w;
+                accs.push(raw_acc(*func, lanes.sums[f], lanes.counts[f]));
+            }
+        }
+        Ok((GroupMap::Dense(map), accs))
+    }
+
     /// Scan one contiguous chunk morsel by morsel into a thread-local
     /// partial matrix. One guard charge per morsel meters the budget and
     /// observes cancellation; each freshly discovered group charges one
@@ -178,12 +426,16 @@ impl PivotCtx<'_> {
         config: &ParallelConfig,
         span: &mut SpanHandle,
     ) -> Result<(GroupMap, Vec<Acc>)> {
+        if let Some(fused) = self.try_fused(config) {
+            return self.scan_fused(&fused, chunk, guard, stats, config, span);
+        }
         let mut groups = GroupMap::for_space(self.group_space.clone());
         let mut accs: Vec<Acc> = Vec::new();
         for morsel in config.morsels(chunk) {
             guard.charge(morsel.len() as u64)?;
             span.add_morsels(1);
             span.add_rows(morsel.len() as u64);
+            stats.scalar_kernel_rows += morsel.len() as u64;
             for row in morsel {
                 let gid = if self.j_cols.is_empty() {
                     if groups.is_empty() {
@@ -250,7 +502,12 @@ impl PivotCtx<'_> {
     ) -> Result<()> {
         match kernel {
             LaneKernel::CountStar => acc.update_f64(None),
-            LaneKernel::NumericCol(c) => acc.update_f64(self.src.column(c).get_f64(row)),
+            LaneKernel::NumericCol(c) => {
+                let s = self.col_slices[c]
+                    .as_ref()
+                    .expect("numeric lane has a typed slice");
+                acc.update_f64(s.get_f64(row));
+            }
             LaneKernel::Generic => {
                 let v = input.eval(self.src, row, stats)?;
                 acc.update(&v)?;
@@ -393,6 +650,28 @@ pub fn pivot_aggregate_with_config(
         .iter()
         .map(|(func, input)| classify_lane(*func, input, src))
         .collect();
+    // Function at each matrix position, parallel to `template`: the fused
+    // path converts its raw sums/counts through these.
+    let template_funcs: Vec<AggFunc> = {
+        let mut t = Vec::with_capacity(width);
+        for task in tasks {
+            for _combo in &task.combos {
+                for (func, _) in &task.lanes {
+                    t.push(*func);
+                }
+            }
+            if task.total.is_some() {
+                t.push(AggFunc::Sum);
+            }
+        }
+        for (func, _) in extra_lanes {
+            t.push(*func);
+        }
+        t
+    };
+    let col_slices: Vec<Option<NumSlice<'_>>> = (0..src.num_columns())
+        .map(|c| NumSlice::for_column(src.column(c)))
+        .collect();
 
     let ctx = PivotCtx {
         src,
@@ -405,15 +684,25 @@ pub fn pivot_aggregate_with_config(
         extra_base,
         width,
         template: &template,
+        template_funcs: &template_funcs,
         lane_kernels: &lane_kernels,
         total_kernels: &total_kernels,
         extra_kernels: &extra_kernels,
+        col_slices,
     };
 
     let n = src.num_rows();
     stats.rows_scanned += n as u64;
     let chunks = config.chunks(n);
     let mut span = guard.span("pivot");
+    // Probing here (a) labels the trace with the chosen kernel path and
+    // (b) warms the lazy packed code vectors serially, before workers race
+    // on the per-column build cell.
+    span.set_detail(if ctx.try_fused(config).is_some() {
+        "vectorized"
+    } else {
+        "scalar"
+    });
 
     let (mut groups, mut accs) = if chunks.len() <= 1 {
         ctx.scan(0..n, guard, stats, config, &mut span)?

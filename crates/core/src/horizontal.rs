@@ -183,7 +183,10 @@ pub fn eval_horizontal_guarded(
     // One parallelism decision per query, sized on the fact table; every
     // aggregation pass of this evaluation shares it (the engine still
     // drops small intermediate inputs like FV to the serial path).
-    let par = crate::optimizer::choose_parallelism(opts.parallel, f_guard.num_rows());
+    let mut par = crate::optimizer::choose_parallelism(opts.parallel, f_guard.num_rows());
+    if opts.scalar_kernels {
+        par.vector = false;
+    }
 
     for term in &q.terms {
         for b in &term.by {

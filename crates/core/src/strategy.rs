@@ -187,6 +187,11 @@ pub struct HorizontalOptions {
     /// [`crate::CoreError::DeadlineExceeded`] at the next morsel boundary
     /// after `d` elapses.
     pub deadline: Option<std::time::Duration>,
+    /// Force the per-row scalar kernels even where the vectorized
+    /// bit-packed block path (DESIGN.md §12) is eligible. Ablation and
+    /// differential-test knob — equivalent to `PA_VECTOR=0` but scoped to
+    /// one query instead of racing on process env.
+    pub scalar_kernels: bool,
 }
 
 impl Default for HorizontalOptions {
@@ -199,6 +204,7 @@ impl Default for HorizontalOptions {
             allow_partitioning: false,
             parallel: ParallelMode::Auto,
             deadline: None,
+            scalar_kernels: false,
         }
     }
 }

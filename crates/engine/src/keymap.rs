@@ -180,7 +180,7 @@ impl RowKeyMap {
 /// How one key dimension maps to a slot in `0..radix`. Slot 0 is always the
 /// NULL slot, so NULL groups exactly like the hash path's `key_eq`.
 #[derive(Debug, Clone, Copy)]
-enum DimCoder {
+pub(crate) enum DimCoder {
     /// Dictionary-encoded string column: slot = code + 1.
     Str,
     /// Integer column with observed range `[min, min + radix - 2]`:
@@ -201,9 +201,9 @@ enum DimCoder {
 #[derive(Debug, Clone)]
 pub struct DenseKeySpace {
     cols: Vec<usize>,
-    dims: Vec<DimCoder>,
+    pub(crate) dims: Vec<DimCoder>,
     radices: Vec<usize>,
-    strides: Vec<usize>,
+    pub(crate) strides: Vec<usize>,
     size: usize,
 }
 
@@ -444,6 +444,16 @@ impl GroupMap {
         match self {
             GroupMap::Hash(_) => "hash",
             GroupMap::Dense(_) => "dense",
+        }
+    }
+
+    /// Mutable access to the dense map, when this is the dense path — the
+    /// vectorized kernels feed precomputed composite codes straight into
+    /// [`DenseGroupMap::get_or_insert_code`].
+    pub fn as_dense_mut(&mut self) -> Option<&mut DenseGroupMap> {
+        match self {
+            GroupMap::Hash(_) => None,
+            GroupMap::Dense(m) => Some(m),
         }
     }
 

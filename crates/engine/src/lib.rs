@@ -22,6 +22,7 @@ pub mod keymap;
 pub mod ops;
 pub mod parallel;
 pub mod stats;
+pub mod vector;
 
 pub use clock::{Clock, SystemClock, TestClock};
 pub use error::{EngineError, Result};
@@ -44,3 +45,4 @@ pub use ops::window::window_aggregate;
 pub use pa_obs::{MetricsRegistry, SpanHandle, SpanRecord, TraceReport, Tracer};
 pub use parallel::ParallelConfig;
 pub use stats::{AbortCause, Degradation, ExecStats};
+pub use vector::{raw_acc, BlockCoder, LaneSrc, NumSlice, RawLane, BLOCK_ROWS};

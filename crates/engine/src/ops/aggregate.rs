@@ -25,6 +25,7 @@ use crate::keymap::{DenseKeySpace, GroupMap};
 use crate::ops::acc::Acc;
 use crate::parallel::ParallelConfig;
 use crate::stats::ExecStats;
+use crate::vector::{BlockCoder, FusedAgg, LaneSrc, NumSlice};
 use pa_obs::SpanHandle;
 use pa_storage::{Column, DataType, Field, Schema, Table};
 
@@ -146,6 +147,26 @@ fn classify_kernels(aggs: &[AggSpec], input: &Table) -> Vec<Kernel> {
         .collect()
 }
 
+/// Typed column views for the scalar loop, resolved once per chunk instead
+/// of re-matching the column enum per row (`None` for non-column lanes).
+fn lane_slices<'a>(kernels: &[Kernel], input: &'a Table) -> Vec<Option<NumSlice<'a>>> {
+    kernels
+        .iter()
+        .map(|k| match k {
+            Kernel::NumericCol(c) => NumSlice::for_column(input.column(*c)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// How one level executes over one worker chunk, decided once per chunk
+/// (DESIGN.md §12): the fused block pipeline when eligible, otherwise the
+/// scalar per-row loop over typed slices hoisted out of the row loop.
+enum LevelExec<'a> {
+    Fused(Box<FusedAgg<'a>>),
+    Scalar(Vec<Option<NumSlice<'a>>>),
+}
+
 /// One grouping level inside a (possibly multi-level) aggregation pass.
 #[derive(Debug)]
 struct Level {
@@ -157,7 +178,73 @@ struct Level {
 }
 
 impl Level {
-    fn absorb(&mut self, input: &Table, row: usize, stats: &mut ExecStats) -> Result<()> {
+    /// Whether this level can run the fused vectorized pipeline: a dense
+    /// group map whose every dimension reads through a packed/typed vector,
+    /// and only typed numeric / `count(*)` lanes. The decision is a pure
+    /// function of the (level, input, config) triple, so every worker chunk
+    /// agrees with the planning pass in [`multi_hash_aggregate_with_config`].
+    fn fused_coder<'a>(&self, input: &'a Table, config: &ParallelConfig) -> Option<BlockCoder<'a>> {
+        if !config.vector || self.group_cols.is_empty() {
+            return None;
+        }
+        if self.kernels.iter().any(|k| matches!(k, Kernel::Generic)) {
+            return None;
+        }
+        let GroupMap::Dense(map) = &self.map else {
+            return None;
+        };
+        BlockCoder::try_new(input, map.space())
+    }
+
+    /// Pick this level's execution mode for one worker chunk.
+    fn begin_chunk<'a>(
+        &mut self,
+        input: &'a Table,
+        config: &ParallelConfig,
+        stats: &mut ExecStats,
+    ) -> LevelExec<'a> {
+        if let Some(coder) = self.fused_coder(input, config) {
+            let srcs: Vec<LaneSrc<'a>> = self
+                .kernels
+                .iter()
+                .map(|k| match k {
+                    Kernel::NumericCol(c) => LaneSrc::for_column(input.column(*c))
+                        .expect("classified numeric lane has a numeric column"),
+                    Kernel::CountStar => LaneSrc::CountStar,
+                    Kernel::Generic => unreachable!("fused_coder rejects generic lanes"),
+                })
+                .collect();
+            stats.pack_width = stats.pack_width.max(coder.pack_width() as u64);
+            // The fused state owns the dense map for the duration of the
+            // chunk; end_chunk puts it back along with the accumulators.
+            let GroupMap::Dense(map) = std::mem::replace(&mut self.map, GroupMap::for_space(None))
+            else {
+                unreachable!("fused_coder requires the dense path");
+            };
+            debug_assert!(self.accs.is_empty(), "fused chunks start from empty state");
+            LevelExec::Fused(Box::new(FusedAgg::new(coder, map, srcs)))
+        } else {
+            LevelExec::Scalar(lane_slices(&self.kernels, input))
+        }
+    }
+
+    /// Fold a chunk's fused state back into the level (no-op for scalar).
+    fn end_chunk(&mut self, exec: LevelExec<'_>) {
+        if let LevelExec::Fused(fused) = exec {
+            let funcs: Vec<AggFunc> = self.aggs.iter().map(|s| s.func).collect();
+            let (map, accs) = fused.into_accs(&funcs);
+            self.map = GroupMap::Dense(map);
+            self.accs = accs;
+        }
+    }
+
+    fn absorb(
+        &mut self,
+        input: &Table,
+        row: usize,
+        slices: &[Option<NumSlice<'_>>],
+        stats: &mut ExecStats,
+    ) -> Result<()> {
         let gid = if self.group_cols.is_empty() {
             if self.map.is_empty() {
                 self.map.get_or_insert_key(&[], stats)
@@ -177,8 +264,9 @@ impl Level {
         for (i, spec) in self.aggs.iter().enumerate() {
             match self.kernels[i] {
                 Kernel::CountStar => self.accs[base + i].update_f64(None),
-                Kernel::NumericCol(c) => {
-                    self.accs[base + i].update_f64(input.column(c).get_f64(row));
+                Kernel::NumericCol(_) => {
+                    let s = slices[i].as_ref().expect("numeric lane has a typed slice");
+                    self.accs[base + i].update_f64(s.get_f64(row));
                 }
                 Kernel::Generic => {
                     let v = spec.input.eval(input, row, stats)?;
@@ -344,6 +432,11 @@ pub fn multi_hash_aggregate_guarded(
 /// One guard charge per morsel: the charge both meters the budget and
 /// observes cancellation, so a cancelled guard stops the scan within one
 /// morsel on whichever worker runs this chunk.
+///
+/// Each level picks its execution mode once per chunk: the fused vectorized
+/// pipeline where eligible, the hoisted scalar loop otherwise. The guard /
+/// span cadence is identical on both, so budgets, cancellation latency, and
+/// trace rollups do not depend on the kernel path.
 fn scan_chunk(
     input: &Table,
     lvls: &mut [Level],
@@ -353,17 +446,35 @@ fn scan_chunk(
     config: &ParallelConfig,
     span: &mut SpanHandle,
 ) -> Result<()> {
-    for morsel in config.morsels(chunk) {
-        guard.charge(morsel.len() as u64)?;
-        span.add_morsels(1);
-        span.add_rows(morsel.len() as u64);
-        for row in morsel {
-            for lvl in lvls.iter_mut() {
-                lvl.absorb(input, row, stats)?;
+    let mut execs: Vec<LevelExec> = lvls
+        .iter_mut()
+        .map(|lvl| lvl.begin_chunk(input, config, stats))
+        .collect();
+    let result = (|| -> Result<()> {
+        for morsel in config.morsels(chunk) {
+            guard.charge(morsel.len() as u64)?;
+            span.add_morsels(1);
+            span.add_rows(morsel.len() as u64);
+            for (lvl, exec) in lvls.iter_mut().zip(execs.iter_mut()) {
+                match exec {
+                    LevelExec::Fused(fused) => fused.absorb_morsel(morsel.clone(), stats),
+                    LevelExec::Scalar(slices) => {
+                        stats.scalar_kernel_rows += morsel.len() as u64;
+                        for row in morsel.clone() {
+                            lvl.absorb(input, row, slices, stats)?;
+                        }
+                    }
+                }
             }
         }
+        Ok(())
+    })();
+    // Fold fused state back even on early exit, so a budget/cancellation
+    // error never leaves a level with its map swapped out.
+    for (lvl, exec) in lvls.iter_mut().zip(execs) {
+        lvl.end_chunk(exec);
     }
-    Ok(())
+    result
 }
 
 /// [`multi_hash_aggregate_guarded`] with an explicit [`ParallelConfig`].
@@ -428,6 +539,31 @@ pub fn multi_hash_aggregate_with_config(
     stats.rows_scanned += n as u64;
     let chunks = config.chunks(n);
     let mut span = guard.span("aggregate");
+
+    // Plan-level kernel-path summary — the same predicate as
+    // `Level::fused_coder`, evaluated once up front. Probing the coder here
+    // also builds any lazy packed vectors serially, before workers race to
+    // share them.
+    let n_fused = levels
+        .iter()
+        .zip(&kernels)
+        .zip(&spaces)
+        .filter(|(((cols, _), ks), space)| {
+            config.vector
+                && !cols.is_empty()
+                && !ks.iter().any(|k| matches!(k, Kernel::Generic))
+                && space
+                    .as_ref()
+                    .is_some_and(|s| BlockCoder::try_new(input, s).is_some())
+        })
+        .count();
+    span.set_detail(if n_fused == levels.len() {
+        "vectorized"
+    } else if n_fused > 0 {
+        "mixed"
+    } else {
+        "scalar"
+    });
 
     let mut lvls: Vec<Level> = if chunks.len() <= 1 {
         let mut lvls = make_levels();

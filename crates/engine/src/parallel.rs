@@ -11,7 +11,9 @@
 //! `PA_THREADS`, default [`std::thread::available_parallelism`]), morsel
 //! size (env `PA_MORSEL_ROWS`), and the input size below which the exact
 //! serial code path runs (env `PA_MIN_PARALLEL_ROWS`). `PA_THREADS=1`
-//! always selects the serial path.
+//! always selects the serial path. Two further knobs gate the code-path
+//! layers: `PA_DENSE_BUDGET` for the dense group path (DESIGN.md §10) and
+//! `PA_VECTOR` for the fused vectorized kernels (DESIGN.md §12).
 
 use std::ops::Range;
 
@@ -38,6 +40,10 @@ pub struct ParallelConfig {
     /// (env `PA_DENSE_BUDGET`; `0` disables dense grouping entirely).
     /// See [`crate::keymap::DenseKeySpace`].
     pub dense_budget: usize,
+    /// Allow the fused vectorized kernels (DESIGN.md §12). Env
+    /// `PA_VECTOR=0` forces the scalar per-row loops everywhere —
+    /// the ablation knob the differential oracle and benches flip.
+    pub vector: bool,
 }
 
 impl Default for ParallelConfig {
@@ -54,6 +60,7 @@ impl ParallelConfig {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
             dense_budget: crate::keymap::DEFAULT_DENSE_BUDGET,
+            vector: true,
         }
     }
 
@@ -89,6 +96,7 @@ impl ParallelConfig {
                 .ok()
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .unwrap_or(crate::keymap::DEFAULT_DENSE_BUDGET),
+            vector: std::env::var("PA_VECTOR").map_or(true, |v| v.trim() != "0"),
         }
     }
 

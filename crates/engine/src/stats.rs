@@ -105,6 +105,18 @@ pub struct ExecStats {
     pub combo_cache_hits: u64,
     /// Combination-catalog lookups that missed and ran the discovery pass.
     pub combo_cache_misses: u64,
+    /// Rows scanned through the fused vectorized kernels (DESIGN.md §12):
+    /// block unpack → composite code → dense scatter, no per-row dispatch.
+    pub vectorized_kernel_rows: u64,
+    /// Rows scanned through the scalar per-row fallback of a path that
+    /// *could* vectorize (ineligible columns, disabled via `PA_VECTOR=0`).
+    pub scalar_kernel_rows: u64,
+    /// RLE runs absorbed by the run-level fast path (one group lookup and
+    /// register-resident accumulation per run).
+    pub rle_runs: u64,
+    /// Widest bit-packed dimension read by the vectorized kernels, in bits
+    /// (0 when no packed dimension was read; max-merged, not summed).
+    pub pack_width: u64,
     /// What the degradation ladder changed, when this result came from a
     /// degraded retry.
     pub degraded_to: Option<Degradation>,
@@ -129,6 +141,12 @@ impl AddAssign for ExecStats {
         self.hash_group_ops += rhs.hash_group_ops;
         self.combo_cache_hits += rhs.combo_cache_hits;
         self.combo_cache_misses += rhs.combo_cache_misses;
+        self.vectorized_kernel_rows += rhs.vectorized_kernel_rows;
+        self.scalar_kernel_rows += rhs.scalar_kernel_rows;
+        self.rle_runs += rhs.rle_runs;
+        // Width is a property of the widest dimension read, not a volume:
+        // merging worker stats keeps the max.
+        self.pack_width = self.pack_width.max(rhs.pack_width);
         // Markers: first set wins, so folding partial stats into a query
         // total never erases what the service recorded.
         self.degraded_to = self.degraded_to.or(rhs.degraded_to);
@@ -140,7 +158,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} materialized={} probes={} built={} case_evals={} updated={} sort_cmps={} stmts={} wal_recs={} wal_bytes={} charged={} dense_ops={} hash_ops={} combo_hits={} combo_misses={} degraded={} abort={}",
+            "scanned={} materialized={} probes={} built={} case_evals={} updated={} sort_cmps={} stmts={} wal_recs={} wal_bytes={} charged={} dense_ops={} hash_ops={} combo_hits={} combo_misses={} vec_rows={} scalar_rows={} rle_runs={} pack_width={} degraded={} abort={}",
             self.rows_scanned,
             self.rows_materialized,
             self.hash_probes,
@@ -156,6 +174,10 @@ impl fmt::Display for ExecStats {
             self.hash_group_ops,
             self.combo_cache_hits,
             self.combo_cache_misses,
+            self.vectorized_kernel_rows,
+            self.scalar_kernel_rows,
+            self.rle_runs,
+            self.pack_width,
             self.degraded_to.map_or("none", |d| d.label()),
             self.abort_cause.map_or("none", |c| c.label()),
         )
@@ -184,6 +206,10 @@ mod tests {
             hash_group_ops: 13,
             combo_cache_hits: 14,
             combo_cache_misses: 15,
+            vectorized_kernel_rows: 16,
+            scalar_kernel_rows: 17,
+            rle_runs: 18,
+            pack_width: 19,
             degraded_to: None,
             abort_cause: None,
         };
@@ -196,6 +222,28 @@ mod tests {
         assert_eq!(a.hash_group_ops, 26);
         assert_eq!(a.combo_cache_hits, 28);
         assert_eq!(a.combo_cache_misses, 30);
+        assert_eq!(a.vectorized_kernel_rows, 32);
+        assert_eq!(a.scalar_kernel_rows, 34);
+        assert_eq!(a.rle_runs, 36);
+        assert_eq!(a.pack_width, 19, "width max-merges, it does not sum");
+    }
+
+    #[test]
+    fn pack_width_merges_by_max() {
+        let mut a = ExecStats {
+            pack_width: 7,
+            ..ExecStats::default()
+        };
+        a += ExecStats {
+            pack_width: 3,
+            ..ExecStats::default()
+        };
+        assert_eq!(a.pack_width, 7);
+        a += ExecStats {
+            pack_width: 12,
+            ..ExecStats::default()
+        };
+        assert_eq!(a.pack_width, 12);
     }
 
     #[test]
@@ -233,6 +281,10 @@ mod tests {
             "hash_ops",
             "combo_hits",
             "combo_misses",
+            "vec_rows",
+            "scalar_rows",
+            "rle_runs",
+            "pack_width",
             "degraded",
             "abort",
         ] {

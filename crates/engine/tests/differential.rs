@@ -114,12 +114,15 @@ fn first_divergence(name_a: &str, a: &Table, name_b: &str, b: &Table) -> Option<
 }
 
 /// Every horizontal plan variant under test: the four strategies (the CASE
-/// pair defaulting to the dense jump-table group path), the hash-dispatch
+/// pair defaulting to the dense jump-table group path, which on dense
+/// inputs runs the vectorized bit-packed kernels), the hash-dispatch
 /// ablation of each CASE strategy (hash group path through the same pivot),
-/// and the legacy O(N)-per-row CASE chain of each (jump table off). The
-/// three CASE code paths — dense pivot, hash pivot, legacy chain — all
-/// appear, so every oracle that consumes this list is also a
-/// dense-vs-hash-vs-legacy differential.
+/// the legacy O(N)-per-row CASE chain of each (jump table off), and the
+/// scalar-kernel ablation of each (vectorized path forced off, same dense
+/// plan). The four CASE code paths — vectorized dense pivot, scalar dense
+/// pivot, hash pivot, legacy chain — all appear, so every oracle that
+/// consumes this list is also a vectorized-vs-scalar-vs-hash-vs-legacy
+/// differential.
 fn horizontal_variants() -> Vec<(String, HorizontalOptions)> {
     let mut v = Vec::new();
     for strategy in HorizontalStrategy::all() {
@@ -145,6 +148,14 @@ fn horizontal_variants() -> Vec<(String, HorizontalOptions)> {
             HorizontalOptions {
                 strategy,
                 jump_table: false,
+                ..HorizontalOptions::default()
+            },
+        ));
+        v.push((
+            format!("{}+scalar-kernels", strategy.label()),
+            HorizontalOptions {
+                strategy,
+                scalar_kernels: true,
                 ..HorizontalOptions::default()
             },
         ));
@@ -442,6 +453,99 @@ fn group_paths_agree_on_both_sides_of_the_dense_budget() {
                     panic!("{diff}");
                 }
             }
+        }
+    }
+}
+
+/// Vectorized vs scalar kernels on RLE-friendly input: the fact table is
+/// sorted by the BY dimension, so the fused pivot sees long constant
+/// cell-code blocks and takes its run-level fast path. The result must be
+/// byte-identical to the forced-scalar plan at every thread count, and the
+/// kernel-path counters must prove which path each plan actually ran —
+/// NULL measures included, so the validity-branch in the scatter kernels is
+/// exercised, not just the happy path.
+#[test]
+fn vectorized_rle_path_matches_scalar_kernels_on_sorted_input() {
+    const N: usize = 200_000; // 4 morsels: real fan-out at Threads(4)
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[
+        ("g", DataType::Int),
+        ("d", DataType::Str),
+        ("a", DataType::Float),
+    ])
+    .unwrap()
+    .into_shared();
+    let mut t = Table::with_capacity(schema, N);
+    let mut state = 0x0123_4567_89ab_cdefu64;
+    for i in 0..N {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let g = ((state >> 33) % 101) as i64;
+        // Sorted string dimension: 7 runs of ~28.5k rows each, far longer
+        // than the 1024-row kernel blocks — and dictionary-coded, so the
+        // fused pivot reads it through the bit-packed code vector.
+        let d = format!("d{}", i * 7 / N);
+        let a = if state.is_multiple_of(10) {
+            Value::Null
+        } else {
+            Value::from(((state >> 3) % 1000) as f64)
+        };
+        t.push_row(&[Value::from(g), Value::str(&d), a]).unwrap();
+    }
+    catalog.create_table("f", t).unwrap();
+    let engine = PercentageEngine::with_unique_temps(&catalog);
+    let q = HorizontalQuery::hpct("f", &["g"], "a", &["d"]);
+
+    let scalar = engine
+        .horizontal_with(
+            &q,
+            &HorizontalOptions {
+                scalar_kernels: true,
+                parallel: ParallelMode::Serial,
+                ..HorizontalOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(
+        scalar.stats.scalar_kernel_rows > 0 && scalar.stats.vectorized_kernel_rows == 0,
+        "forced-scalar plan must not touch the vectorized kernels: {:?}",
+        scalar.stats
+    );
+    let scalar = scalar.snapshot();
+
+    for threads in [1usize, 2, 4] {
+        let vectorized = engine
+            .horizontal_with(
+                &q,
+                &HorizontalOptions {
+                    parallel: ParallelMode::Threads(threads),
+                    ..HorizontalOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            vectorized.stats.vectorized_kernel_rows >= N as u64,
+            "dense sorted input must run the vectorized kernels: {:?}",
+            vectorized.stats
+        );
+        assert!(
+            vectorized.stats.rle_runs > 0,
+            "sorted BY dimension must hit the RLE fast path: {:?}",
+            vectorized.stats
+        );
+        assert!(
+            vectorized.stats.pack_width > 0,
+            "vectorized plan must record its pack width: {:?}",
+            vectorized.stats
+        );
+        if let Some(diff) = first_divergence(
+            "scalar-kernels/serial",
+            &scalar,
+            &format!("vectorized/threads={threads}"),
+            &vectorized.snapshot(),
+        ) {
+            panic!("{diff}");
         }
     }
 }

@@ -40,6 +40,10 @@ pub struct SpanRecord {
     pub rows: u64,
     /// Morsels this span processed (not including child spans).
     pub morsels: u64,
+    /// Free-form execution detail (e.g. the kernel path an aggregation
+    /// chose: `"vectorized"`, `"scalar"`, `"mixed"`); `None` when the
+    /// operator recorded nothing.
+    pub detail: Option<&'static str>,
 }
 
 impl SpanRecord {
@@ -110,6 +114,7 @@ impl Tracer {
             start_ns: inner.clock.now().as_nanos() as u64,
             rows: 0,
             morsels: 0,
+            detail: None,
             done: false,
         }
     }
@@ -139,6 +144,7 @@ pub struct SpanHandle {
     start_ns: u64,
     rows: u64,
     morsels: u64,
+    detail: Option<&'static str>,
     done: bool,
 }
 
@@ -153,6 +159,7 @@ impl SpanHandle {
             start_ns: 0,
             rows: 0,
             morsels: 0,
+            detail: None,
             done: true,
         }
     }
@@ -178,6 +185,7 @@ impl SpanHandle {
             start_ns: inner.clock.now().as_nanos() as u64,
             rows: 0,
             morsels: 0,
+            detail: None,
             done: false,
         }
     }
@@ -190,6 +198,13 @@ impl SpanHandle {
     /// Count `n` morsels of work against this span.
     pub fn add_morsels(&mut self, n: u64) {
         self.morsels += n;
+    }
+
+    /// Attach an execution detail (e.g. the chosen kernel path). Last
+    /// write wins; recorded on the closed span and surfaced in
+    /// [`TraceReport::to_json`].
+    pub fn set_detail(&mut self, detail: &'static str) {
+        self.detail = Some(detail);
     }
 
     /// Close the span now, recording it.
@@ -216,6 +231,7 @@ impl Drop for SpanHandle {
                 end_ns,
                 rows: self.rows,
                 morsels: self.morsels,
+                detail: self.detail,
             });
         }
     }
@@ -283,15 +299,20 @@ impl TraceReport {
                 Some(p) => p.to_string(),
                 None => "null".to_string(),
             };
+            let detail = match s.detail {
+                Some(d) => format!(",\"detail\":\"{d}\""),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "{{\"id\":{},\"parent\":{},\"op\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"rows\":{},\"morsels\":{}}}",
+                "{{\"id\":{},\"parent\":{},\"op\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"rows\":{},\"morsels\":{}{}}}",
                 s.id,
                 parent,
                 s.name(),
                 s.start_ns,
                 s.end_ns,
                 s.rows,
-                s.morsels
+                s.morsels,
+                detail
             ));
         }
         out.push(']');

@@ -286,6 +286,7 @@ fn put_column(buf: &mut Vec<u8>, col: &Column) {
             dict,
             codes,
             validity,
+            ..
         } => {
             put_u32(buf, dict.len() as u32);
             for s in dict.values() {
@@ -446,6 +447,7 @@ fn read_column(r: &mut Reader<'_>, dtype: DataType, rows: usize) -> Decoded<Colu
                 dict,
                 codes,
                 validity,
+                packed: Default::default(),
             })
         }
     }

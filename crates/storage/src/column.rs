@@ -3,6 +3,7 @@
 use crate::bitmap::Bitmap;
 use crate::dictionary::Dictionary;
 use crate::error::{Result, StorageError};
+use crate::packed::{PackedCell, PackedCodes};
 use crate::value::{DataType, Value};
 
 /// A column of values, stored as a typed vector plus a validity bitmap.
@@ -33,6 +34,9 @@ pub enum Column {
         codes: Vec<u32>,
         /// Validity bitmap.
         validity: Bitmap,
+        /// Lazily built bit-packed slot vector for the vectorized kernels
+        /// (DESIGN.md §12); reset by every mutation, shared by clones.
+        packed: PackedCell,
     },
 }
 
@@ -57,6 +61,7 @@ impl Column {
                 dict: Dictionary::new(),
                 codes: Vec::with_capacity(capacity),
                 validity: Bitmap::with_capacity(capacity),
+                packed: PackedCell::new(),
             },
         }
     }
@@ -126,6 +131,7 @@ impl Column {
                 dict,
                 codes,
                 validity,
+                ..
             } => {
                 if validity.get(i) {
                     Value::Str(std::sync::Arc::clone(dict.resolve(codes[i])))
@@ -161,6 +167,54 @@ impl Column {
         }
     }
 
+    /// Raw `i64` data slice (NULL rows hold a 0 placeholder), or `None` for
+    /// non-integer columns. Kernels pair it with [`Column::validity`].
+    #[inline]
+    pub fn int_data(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Raw `f64` data slice (NULL rows hold a NaN placeholder), or `None`
+    /// for non-float columns. Kernels pair it with [`Column::validity`].
+    #[inline]
+    pub fn float_data(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Raw dictionary-code slice (NULL rows hold a 0 placeholder), or
+    /// `None` for non-string columns.
+    #[inline]
+    pub fn str_codes(&self) -> Option<&[u32]> {
+        match self {
+            Column::Str { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
+    /// Bit-packed NULL-folded slot vector for a string column: slot 0 for
+    /// NULL rows, `code + 1` otherwise, at the width the dictionary's
+    /// cardinality needs ([`crate::packed::width_for`]). Built lazily on
+    /// first use and cached per column version — mutations reset the cache,
+    /// clones (CoW snapshots) share the built vector. `None` for
+    /// non-string columns or unpackable (> 32-bit slot) dictionaries.
+    pub fn packed_slots(&self) -> Option<&std::sync::Arc<PackedCodes>> {
+        match self {
+            Column::Str {
+                dict,
+                codes,
+                validity,
+                packed,
+            } => packed.get_or_build(codes, validity, dict.len()),
+            _ => None,
+        }
+    }
+
     /// Append a value, enforcing the column type. NULL is accepted anywhere.
     pub fn push(&mut self, value: Value) -> Result<()> {
         match (self, value) {
@@ -190,20 +244,26 @@ impl Column {
                     dict,
                     codes,
                     validity,
+                    packed,
                 },
                 Value::Str(s),
             ) => {
                 codes.push(dict.intern_arc(&s));
                 validity.push(true);
+                packed.invalidate();
             }
             (
                 Column::Str {
-                    codes, validity, ..
+                    codes,
+                    validity,
+                    packed,
+                    ..
                 },
                 Value::Null,
             ) => {
                 codes.push(0);
                 validity.push(false);
+                packed.invalidate();
             }
             (col, value) => {
                 return Err(StorageError::TypeMismatch {
@@ -250,20 +310,26 @@ impl Column {
                     dict,
                     codes,
                     validity,
+                    packed,
                 },
                 Value::Str(s),
             ) => {
                 codes[i] = dict.intern_arc(&s);
                 validity.set(i, true);
+                packed.invalidate();
             }
             (
                 Column::Str {
-                    codes, validity, ..
+                    codes,
+                    validity,
+                    packed,
+                    ..
                 },
                 Value::Null,
             ) => {
                 codes[i] = 0;
                 validity.set(i, false);
+                packed.invalidate();
             }
             (col, value) => {
                 return Err(StorageError::TypeMismatch {
@@ -306,17 +372,20 @@ impl Column {
                     dict,
                     codes,
                     validity,
+                    packed,
                 },
                 Column::Str {
                     dict: odict,
                     codes: ocodes,
                     validity: ov,
+                    ..
                 },
             ) => {
                 // Remap the other column's codes into this dictionary.
                 let remap: Vec<u32> = odict.values().iter().map(|s| dict.intern_arc(s)).collect();
                 codes.extend(ocodes.iter().map(|&c| remap[c as usize]));
                 validity.extend_from(ov);
+                packed.invalidate();
             }
             (me, other) => {
                 return Err(StorageError::TypeMismatch {
@@ -360,6 +429,7 @@ impl Column {
                 dict,
                 codes,
                 validity,
+                ..
             } => {
                 let mut out = Vec::with_capacity(rows.len());
                 let mut v = Bitmap::with_capacity(rows.len());
@@ -371,6 +441,7 @@ impl Column {
                     dict: dict.clone(),
                     codes: out,
                     validity: v,
+                    packed: PackedCell::new(),
                 }
             }
         }
@@ -424,6 +495,7 @@ impl Column {
                 dict,
                 codes,
                 validity,
+                ..
             } => {
                 let mut out = Vec::with_capacity(rows.len());
                 let mut v = Bitmap::with_capacity(rows.len());
@@ -443,6 +515,7 @@ impl Column {
                     dict: dict.clone(),
                     codes: out,
                     validity: v,
+                    packed: PackedCell::new(),
                 }
             }
         }
@@ -476,6 +549,7 @@ impl Column {
             dict,
             codes,
             validity,
+            ..
         } = self
         {
             for (i, &code) in codes.iter().enumerate() {

@@ -61,6 +61,7 @@ pub fn write_csv(table: &Table, out: &mut impl Write) -> Result<()> {
                     dict,
                     codes,
                     validity,
+                    ..
                 } => {
                     if validity.get(row) {
                         write_field(out, dict.resolve(codes[row])).map_err(io_err)?;

@@ -24,6 +24,7 @@ pub mod fault;
 pub mod hash;
 pub mod index;
 pub mod log;
+pub mod packed;
 pub mod retry;
 pub mod schema;
 pub mod table;
@@ -45,6 +46,7 @@ pub use fault::{FaultInjector, FaultPlan};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
 pub use log::{FileLogStore, LogStore, MemLogStore};
+pub use packed::{width_for, PackedCell, PackedCodes, MAX_PACK_WIDTH};
 pub use retry::RetryPolicy;
 pub use schema::{Field, Schema};
 pub use table::Table;

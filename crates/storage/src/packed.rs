@@ -1,0 +1,299 @@
+//! Bit-packed dictionary-code vectors.
+//!
+//! The vectorized kernel layer (DESIGN.md §12) reads dictionary-encoded
+//! string columns through a fixed-width bit-packed vector instead of the
+//! unpacked `Vec<u32>` code array. Each row stores one *slot* — the
+//! NULL-folded value `code + 1` for valid rows, `0` for NULL rows — in
+//! `width` bits, where the width is chosen from the dictionary cardinality
+//! ([`width_for`]). Folding the validity bitmap into the slot at build time
+//! means the scan kernels read exactly one stream per dimension, and the
+//! slot is precisely the digit a [`DenseKeySpace`] composite code needs
+//! (NULL slot 0, value slots 1..), so unpack output feeds the mixed-radix
+//! group-code computation with no further translation.
+//!
+//! The layout is a flat little-endian bit stream over `u64` words with one
+//! padding word at the end, so any row's slot can be loaded branchlessly as
+//! a `u128` straddling two words. [`PackedCodes::unpack_into`] expands a
+//! block of rows into a stack buffer with a tight, autovectorizable loop —
+//! the block-at-a-time shape the MonetDB/X100 lineage prescribes.
+//!
+//! [`DenseKeySpace`]: https://en.wikipedia.org/wiki/Mixed_radix
+
+use crate::bitmap::Bitmap;
+
+/// Widest supported pack width. Slots are produced into `u32` buffers, so a
+/// dictionary whose NULL-folded domain needs more than 32 bits (> `u32::MAX`
+/// distinct values) is not packable and scans fall back to the scalar path.
+pub const MAX_PACK_WIDTH: u32 = 32;
+
+/// Bits needed to store every slot in `0..=max_slot` (at least 1).
+#[inline]
+pub fn width_for(max_slot: u64) -> u32 {
+    (u64::BITS - max_slot.leading_zeros()).max(1)
+}
+
+/// A fixed-width bit-packed vector of `u32` slots.
+///
+/// Built once per column version and shared (via `Arc`) across every query
+/// that scans that version; see [`crate::Column::packed_slots`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedCodes {
+    /// Little-endian bit stream plus one zero padding word, so the two-word
+    /// `u128` load in [`PackedCodes::get`]/[`PackedCodes::unpack_into`]
+    /// never reads past the end.
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl PackedCodes {
+    /// Pack `slots` at `width` bits each. Panics if `width` is outside
+    /// `1..=32` or any slot needs more than `width` bits (caller bugs — the
+    /// widths come from [`width_for`] over the same domain).
+    pub fn pack(slots: &[u32], width: u32) -> PackedCodes {
+        assert!(
+            (1..=MAX_PACK_WIDTH).contains(&width),
+            "pack width {width} outside 1..=32"
+        );
+        let mask = ((1u64 << width) - 1) as u32;
+        let n_words = (slots.len() * width as usize).div_ceil(64) + 1;
+        let mut words = vec![0u64; n_words];
+        let mut bit = 0usize;
+        for &slot in slots {
+            assert!(slot & !mask == 0, "slot {slot} exceeds pack width {width}");
+            let w = bit >> 6;
+            let sh = bit & 63;
+            words[w] |= (slot as u64) << sh;
+            if sh + width as usize > 64 {
+                words[w + 1] |= (slot as u64) >> (64 - sh);
+            }
+            bit += width as usize;
+        }
+        PackedCodes {
+            words,
+            width,
+            len: slots.len(),
+        }
+    }
+
+    /// Pack a dictionary-code column into NULL-folded slots: `code + 1` per
+    /// valid row, `0` per NULL row. `dict_len` fixes the slot domain (and
+    /// therefore the width) independently of which codes happen to appear.
+    /// Returns `None` when the domain does not fit [`MAX_PACK_WIDTH`] bits.
+    pub fn from_codes(codes: &[u32], validity: &Bitmap, dict_len: usize) -> Option<PackedCodes> {
+        // Max slot is dict_len (code dict_len-1 folds to dict_len).
+        let max_slot = u64::try_from(dict_len).ok()?;
+        let width = width_for(max_slot);
+        if width > MAX_PACK_WIDTH {
+            return None;
+        }
+        debug_assert_eq!(codes.len(), validity.len());
+        let vwords = validity.words();
+        let slots: Vec<u32> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let valid = (vwords[i >> 6] >> (i & 63)) & 1;
+                // Branchless fold: the multiply by validity zeroes NULL rows,
+                // so their placeholder codes never reach the stream (wrapping
+                // add keeps even a hostile placeholder from overflowing).
+                c.wrapping_add(1) * valid as u32
+            })
+            .collect();
+        Some(PackedCodes::pack(&slots, width))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pack width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The slot at row `i`. Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.len, "row {i} out of bounds ({})", self.len);
+        let width = self.width as usize;
+        let mask = ((1u64 << width) - 1) as u32;
+        let bit = i * width;
+        let w = bit >> 6;
+        let pair = (self.words[w] as u128) | ((self.words[w + 1] as u128) << 64);
+        ((pair >> (bit & 63)) as u32) & mask
+    }
+
+    /// Unpack rows `start..start + out.len()` into `out` — the block kernel.
+    /// Each slot is one shift-and-mask over a two-word window; the padding
+    /// word makes the tail iteration branch-free. Panics when the range
+    /// exceeds the vector.
+    #[inline]
+    pub fn unpack_into(&self, start: usize, out: &mut [u32]) {
+        assert!(
+            start + out.len() <= self.len,
+            "rows {start}..{} out of bounds ({})",
+            start + out.len(),
+            self.len
+        );
+        let width = self.width as usize;
+        let mask = ((1u64 << width) - 1) as u32;
+        let words = &self.words[..];
+        let mut bit = start * width;
+        for o in out.iter_mut() {
+            let w = bit >> 6;
+            let pair = (words[w] as u128) | ((words[w + 1] as u128) << 64);
+            *o = ((pair >> (bit & 63)) as u32) & mask;
+            bit += width;
+        }
+    }
+
+    /// Approximate heap bytes held (intermediate-table sizing).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Lazily built, version-scoped cache slot for a column's [`PackedCodes`].
+///
+/// Lives inside [`crate::Column::Str`]. The first scan that wants the packed
+/// vector builds it ([`PackedCell::get_or_build`], thread-safe via
+/// `OnceLock`); later scans — and clones of the column, e.g. CoW snapshot
+/// views — share the same `Arc`. Mutations (`push`/`set`/`extend_from`)
+/// reset the cell, so a packed vector always describes exactly the column
+/// version it was built from. `None` is cached too: a dictionary past the
+/// 32-bit slot domain stays on the scalar path without re-probing.
+#[derive(Debug, Clone, Default)]
+pub struct PackedCell(std::sync::OnceLock<Option<std::sync::Arc<PackedCodes>>>);
+
+impl PackedCell {
+    /// Fresh, unbuilt cell.
+    pub fn new() -> PackedCell {
+        PackedCell::default()
+    }
+
+    /// The packed vector for (`codes`, `validity`, `dict_len`), building and
+    /// caching it on first use. `None` when the domain is unpackable.
+    pub fn get_or_build(
+        &self,
+        codes: &[u32],
+        validity: &Bitmap,
+        dict_len: usize,
+    ) -> Option<&std::sync::Arc<PackedCodes>> {
+        self.0
+            .get_or_init(|| {
+                PackedCodes::from_codes(codes, validity, dict_len).map(std::sync::Arc::new)
+            })
+            .as_ref()
+    }
+
+    /// Drop any cached vector (the column version changed).
+    pub fn invalidate(&mut self) {
+        self.0.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_for_covers_the_domain() {
+        assert_eq!(width_for(0), 1);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 2);
+        assert_eq!(width_for(3), 2);
+        assert_eq!(width_for(4), 3);
+        assert_eq!(width_for(u32::MAX as u64), 32);
+        assert_eq!(
+            width_for(u32::MAX as u64 + 1),
+            33,
+            "past the packable domain"
+        );
+    }
+
+    #[test]
+    fn pack_get_round_trip_every_width() {
+        for width in 1..=MAX_PACK_WIDTH {
+            let max = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            // Values spanning the width's domain, lengths that straddle word
+            // boundaries.
+            let slots: Vec<u32> = (0..131u64)
+                .map(|i| ((i * 2654435761) % (max as u64 + 1)) as u32)
+                .collect();
+            let packed = PackedCodes::pack(&slots, width);
+            assert_eq!(packed.len(), slots.len());
+            assert_eq!(packed.width(), width);
+            for (i, &s) in slots.iter().enumerate() {
+                assert_eq!(packed.get(i), s, "width {width} row {i}");
+            }
+            let mut out = vec![0u32; slots.len()];
+            packed.unpack_into(0, &mut out);
+            assert_eq!(out, slots, "width {width}");
+        }
+    }
+
+    #[test]
+    fn unpack_into_partial_blocks() {
+        let slots: Vec<u32> = (0..300).map(|i| i % 7).collect();
+        let packed = PackedCodes::pack(&slots, 3);
+        let mut out = [0u32; 64];
+        packed.unpack_into(100, &mut out);
+        assert_eq!(&out[..], &slots[100..164]);
+        let mut tail = vec![0u32; 5];
+        packed.unpack_into(295, &mut tail);
+        assert_eq!(&tail[..], &slots[295..300]);
+    }
+
+    #[test]
+    fn from_codes_folds_nulls_into_slot_zero() {
+        let codes = vec![0, 1, 0, 2, 1];
+        let validity: Bitmap = [true, true, false, true, true].into_iter().collect();
+        let packed = PackedCodes::from_codes(&codes, &validity, 3).unwrap();
+        assert_eq!(packed.width(), 2, "slots 0..=3 fit 2 bits");
+        let mut out = vec![0u32; 5];
+        packed.unpack_into(0, &mut out);
+        assert_eq!(out, vec![1, 2, 0, 3, 2]);
+    }
+
+    #[test]
+    fn empty_and_all_null_columns_pack() {
+        let empty = PackedCodes::from_codes(&[], &Bitmap::new(), 0).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.width(), 1);
+
+        let codes = vec![0u32; 70];
+        let validity = Bitmap::filled(70, false);
+        let packed = PackedCodes::from_codes(&codes, &validity, 0).unwrap();
+        let mut out = vec![9u32; 70];
+        packed.unpack_into(0, &mut out);
+        assert!(out.iter().all(|&s| s == 0), "all rows are the NULL slot");
+    }
+
+    #[test]
+    fn cell_builds_once_and_invalidates() {
+        let codes = vec![0, 1];
+        let validity = Bitmap::filled(2, true);
+        let mut cell = PackedCell::new();
+        let a = cell.get_or_build(&codes, &validity, 2).unwrap().clone();
+        let b = cell.get_or_build(&codes, &validity, 2).unwrap().clone();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "second call reuses the Arc");
+        cell.invalidate();
+        let c = cell.get_or_build(&codes, &validity, 2).unwrap().clone();
+        assert!(
+            !std::sync::Arc::ptr_eq(&a, &c),
+            "rebuilt after invalidation"
+        );
+        assert_eq!(a, c, "same contents");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the bit-packed slot vectors (DESIGN.md §12): packing
+//! followed by `get`/`unpack_into` must reproduce the source slots exactly,
+//! at every width, for every block alignment — the vectorized kernels'
+//! correctness rests on this round trip.
+
+use pa_storage::{width_for, Bitmap, PackedCodes, MAX_PACK_WIDTH};
+use proptest::prelude::*;
+
+/// Mask raw values down to `width` bits and force the boundary value into
+/// slot 0, so every width exercises its overflow edge rather than only the
+/// values the RNG happened on.
+fn slots_at_width(raw: &[u32], width: u32) -> Vec<u32> {
+    let max = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let mut slots: Vec<u32> = raw.iter().map(|&v| v & max).collect();
+    if !slots.is_empty() {
+        slots[0] = max;
+    }
+    slots
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pack_get_roundtrip(
+        width in 1u32..=MAX_PACK_WIDTH,
+        raw in prop::collection::vec(any::<u32>(), 0..300),
+    ) {
+        let slots = slots_at_width(&raw, width);
+        let p = PackedCodes::pack(&slots, width);
+        prop_assert_eq!(p.len(), slots.len());
+        prop_assert_eq!(p.width(), width);
+        for (i, &s) in slots.iter().enumerate() {
+            prop_assert_eq!(p.get(i), s);
+        }
+    }
+
+    #[test]
+    fn unpack_into_matches_source_at_any_offset(
+        width in 1u32..=MAX_PACK_WIDTH,
+        raw in prop::collection::vec(any::<u32>(), 1..300),
+        start in 0usize..300,
+        blen in 1usize..128,
+    ) {
+        let slots = slots_at_width(&raw, width);
+        let p = PackedCodes::pack(&slots, width);
+        let start = start % slots.len();
+        let blen = blen.min(slots.len() - start);
+        let mut out = vec![u32::MAX; blen];
+        p.unpack_into(start, &mut out);
+        prop_assert_eq!(&out[..], &slots[start..start + blen]);
+    }
+
+    #[test]
+    fn from_codes_folds_nulls_and_roundtrips(
+        rows in prop::collection::vec((0u32..50, any::<bool>()), 0..300),
+        extra_dict in 0usize..8,
+    ) {
+        // NULL rows carry a placeholder code 0 that must never surface.
+        let codes: Vec<u32> = rows.iter().map(|&(c, v)| if v { c } else { 0 }).collect();
+        let validity: Bitmap = rows.iter().map(|&(_, v)| v).collect();
+        let dict_len = 50 + extra_dict;
+        let p = PackedCodes::from_codes(&codes, &validity, dict_len)
+            .expect("small dictionary always packs");
+        prop_assert_eq!(p.width(), width_for(dict_len as u64));
+        for (i, &(c, valid)) in rows.iter().enumerate() {
+            let expect = if valid { c + 1 } else { 0 };
+            prop_assert_eq!(p.get(i), expect);
+        }
+    }
+
+    #[test]
+    fn rle_runs_survive_block_boundaries(
+        run_lens in prop::collection::vec(1usize..200, 1..8),
+        vals in prop::collection::vec(0u32..7, 8),
+    ) {
+        // Runs deliberately sized to straddle 64-slot unpack blocks and
+        // word boundaries: run structure must be preserved verbatim.
+        let slots: Vec<u32> = run_lens
+            .iter()
+            .zip(&vals)
+            .flat_map(|(&n, &v)| std::iter::repeat_n(v, n))
+            .collect();
+        let p = PackedCodes::pack(&slots, 3);
+        let mut out = vec![0u32; slots.len()];
+        p.unpack_into(0, &mut out);
+        prop_assert_eq!(&out, &slots);
+    }
+}
+
+#[test]
+fn all_null_column_packs_to_zero_slots() {
+    let codes = vec![0u32; 150];
+    let validity: Bitmap = (0..150).map(|_| false).collect();
+    let p = PackedCodes::from_codes(&codes, &validity, 1000).expect("packs");
+    for i in 0..150 {
+        assert_eq!(p.get(i), 0);
+    }
+}
+
+#[test]
+fn single_value_column_is_width_one() {
+    // dict_len 1 → max slot 1 → 1 bit.
+    let codes = vec![0u32; 97];
+    let validity: Bitmap = (0..97).map(|_| true).collect();
+    let p = PackedCodes::from_codes(&codes, &validity, 1).expect("packs");
+    assert_eq!(p.width(), 1);
+    for i in 0..97 {
+        assert_eq!(p.get(i), 1);
+    }
+}
+
+#[test]
+fn dictionary_over_32_bit_domain_refuses_to_pack() {
+    let codes = vec![0u32];
+    let validity: Bitmap = std::iter::once(true).collect();
+    // Folded domain u32::MAX + 1 needs 33 bits.
+    assert!(PackedCodes::from_codes(&codes, &validity, u32::MAX as usize + 1).is_none());
+    // One below the boundary still packs, at exactly 32 bits.
+    let p = PackedCodes::from_codes(&codes, &validity, u32::MAX as usize).expect("packs");
+    assert_eq!(p.width(), 32);
+}

@@ -35,6 +35,7 @@ pub fn uniform_str_col(rng: &mut impl Rng, n: usize, labels: &[&str]) -> Column 
         dict,
         codes: (0..n).map(|_| dist.sample(rng)).collect(),
         validity: Bitmap::filled(n, true),
+        packed: Default::default(),
     }
 }
 
@@ -96,6 +97,7 @@ pub fn zipf_str_col(rng: &mut impl Rng, n: usize, labels: &[&str], s: f64) -> Co
             .map(|i| i as u32)
             .collect(),
         validity: Bitmap::filled(n, true),
+        packed: Default::default(),
     }
 }
 

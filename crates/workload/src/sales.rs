@@ -89,11 +89,13 @@ pub fn sales_table(config: &SalesConfig) -> Table {
             dict: city_dict,
             codes: city_codes,
             validity: Bitmap::filled(n, true),
+            packed: Default::default(),
         },
         Column::Str {
             dict: state_dict,
             codes: state_codes,
             validity: Bitmap::filled(n, true),
+            packed: Default::default(),
         },
         uniform_int_col(&mut rng, n, 100, 1),
         uniform_float_col(&mut rng, n, 1.0, 500.0),
