@@ -47,6 +47,27 @@ PA_THREADS=4 cargo test -q -p pa-storage --lib checkpoint
 PA_THREADS=1 cargo test -q -p pa-engine --test combo_regressions --test snapshot_oracle
 PA_THREADS=4 cargo test -q -p pa-engine --test combo_regressions --test snapshot_oracle
 
+echo "==> replication chaos gate: shipped-WAL replicas, failover, split-brain"
+# Seeded end-to-end replication suites at both thread counts:
+# * storage replication — chaos transports (drop/dup/corrupt/reorder) must
+#   still converge to byte identity; compacted primaries force the
+#   checkpoint-image bootstrap; stale-term streams are refused;
+# * file_faults — FileLogStore/FileCheckpointStore through the same
+#   FaultInjector (torn temp-file renames, failed fsyncs, bit rot);
+# * replica_set — lag-aware routing with staleness fallback, seeded
+#   primary-kill failover promoting the most-caught-up replica, the
+#   deposed primary's writes refused (split-brain seal), and the
+#   differential oracle under writer + transport + failover chaos.
+PA_THREADS=1 cargo test -q -p pa-storage --test replication --test file_faults
+PA_THREADS=4 cargo test -q -p pa-storage --test replication --test file_faults
+PA_THREADS=1 cargo test -q -p pa-service --test replica_set
+PA_THREADS=4 cargo test -q -p pa-service --test replica_set
+
+echo "==> replication bench gate: image bootstrap >= 2x full-history ship (n=1M)"
+cargo run --release -p pa-bench --bin replication -- \
+  --n 1000000 --gate 2.0 \
+  --out results/BENCH_replication.json
+
 echo "==> recovery bench gate: checkpoint+suffix >= 5x full replay (n=1M)"
 cargo run --release -p pa-bench --bin recovery -- \
   --n 1000000 --gate 5.0 \

@@ -43,6 +43,10 @@ pub enum CoreError {
         /// The configured allowance.
         limit_ms: u64,
     },
+    /// A DML call reached an engine serving in read-only replica mode.
+    /// Replicas apply mutations only through the replication stream;
+    /// clients must route writes to the primary.
+    ReadOnlyReplica,
     /// A worker thread panicked mid-plan. The panic was contained at the
     /// operator boundary; the engine and catalog remain usable.
     WorkerPanicked {
@@ -77,6 +81,10 @@ impl fmt::Display for CoreError {
             } => write!(
                 f,
                 "deadline exceeded: {elapsed_ms}ms elapsed against a {limit_ms}ms allowance"
+            ),
+            CoreError::ReadOnlyReplica => write!(
+                f,
+                "engine is serving as a read-only replica: route writes to the primary"
             ),
             CoreError::WorkerPanicked { operator, payload } => {
                 write!(f, "worker panicked in {operator}: {payload}")

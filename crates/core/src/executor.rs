@@ -15,7 +15,7 @@ use crate::vertical::{eval_vpct_guarded, QueryResult};
 use pa_engine::{Clock, Deadline, ResourceGuard, TraceReport, Tracer};
 use pa_storage::Catalog;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -110,6 +110,7 @@ pub struct PercentageEngine<'a> {
     clock: Arc<dyn Clock>,
     deadline: Option<Duration>,
     temp_cleanup: bool,
+    read_only: AtomicBool,
 }
 
 impl<'a> PercentageEngine<'a> {
@@ -125,6 +126,7 @@ impl<'a> PercentageEngine<'a> {
             clock: pa_engine::SystemClock::shared(),
             deadline: None,
             temp_cleanup: false,
+            read_only: AtomicBool::new(false),
         }
     }
 
@@ -199,6 +201,95 @@ impl<'a> PercentageEngine<'a> {
     /// The catalog this engine runs against.
     pub fn catalog(&self) -> &Catalog {
         self.catalog
+    }
+
+    /// Serve as a read-only replica: every DML helper returns
+    /// [`CoreError::ReadOnlyReplica`]. Read queries still run (they may
+    /// create temporary tables, which are not user DML).
+    pub fn with_read_only(self) -> Self {
+        self.read_only.store(true, Ordering::Relaxed);
+        self
+    }
+
+    /// Flip replica mode at runtime — failover promotes a replica's engine
+    /// to primary by clearing this flag (`&self`: the serving layer shares
+    /// the engine across threads).
+    pub fn set_read_only(&self, read_only: bool) {
+        self.read_only.store(read_only, Ordering::Relaxed);
+    }
+
+    /// Whether DML is currently refused.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Relaxed)
+    }
+
+    /// The write gate every DML helper passes: replica mode first (typed
+    /// core error), then the catalog's split-brain seal (a deposed primary
+    /// surfaces [`pa_storage::StorageError::Sealed`]).
+    fn ensure_primary(&self) -> Result<()> {
+        if self.is_read_only() {
+            return Err(CoreError::ReadOnlyReplica);
+        }
+        self.catalog.ensure_writable()?;
+        Ok(())
+    }
+
+    /// Append `rows` to `table` through the primary write path — WAL-logged
+    /// bulk insert via the catalog's invalidation funnel, then a checkpoint
+    /// if the cut policy is due. Returns the table's new row count.
+    pub fn append_rows(&self, table: &str, rows: &[Vec<pa_storage::Value>]) -> Result<u64> {
+        self.ensure_primary()?;
+        let shared = self.catalog.table(table)?;
+        let total = {
+            let mut t = shared.write();
+            let start = t.num_rows();
+            t.push_rows(rows)?;
+            self.catalog
+                .with_wal_mutating(table, |w| w.log_bulk_insert(table, &t, start))?;
+            t.num_rows() as u64
+        };
+        self.catalog.maybe_checkpoint();
+        Ok(total)
+    }
+
+    /// Update one row's cells in place through the primary write path,
+    /// logging before/after images (the expensive per-row WAL path the
+    /// paper's UPDATE asymmetry measures).
+    pub fn update_cells(
+        &self,
+        table: &str,
+        row: usize,
+        cols: &[usize],
+        values: &[pa_storage::Value],
+    ) -> Result<()> {
+        self.ensure_primary()?;
+        let shared = self.catalog.table(table)?;
+        {
+            let mut t = shared.write();
+            if row >= t.num_rows() {
+                return Err(pa_storage::StorageError::RowOutOfBounds {
+                    index: row,
+                    len: t.num_rows(),
+                }
+                .into());
+            }
+            let before: Vec<pa_storage::Value> = cols
+                .iter()
+                .map(|&c| {
+                    if c >= t.num_columns() {
+                        return Err(pa_storage::StorageError::ColumnNotFound(format!(
+                            "column index {c} out of range for {table}"
+                        )));
+                    }
+                    Ok(t.column(c).get(row))
+                })
+                .collect::<std::result::Result<_, _>>()?;
+            t.set_cells(row, cols, values)?;
+            self.catalog
+                .with_wal_mutating(table, |w| w.log_update(table, row, cols, &before, values))?;
+        }
+        self.catalog.maybe_checkpoint();
+        Ok(())
     }
 
     fn prefix(&self) -> String {

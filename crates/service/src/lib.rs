@@ -42,7 +42,10 @@
 
 #![warn(missing_docs)]
 
+pub mod replica;
 pub mod semaphore;
+
+pub use replica::{NodeRole, NodeStatus, ReplicaSet, ReplicaSetConfig, RoutedResponse};
 
 use pa_core::{
     CoreError, HorizontalOptions, HorizontalQuery, HorizontalStrategy, ParallelMode,
@@ -90,6 +93,13 @@ impl Default for ServiceConfig {
 pub struct SessionOptions {
     /// This session's limits; `None` fields inherit the service defaults.
     pub limits: QueryLimits,
+    /// Replication-staleness bound for routed reads (see
+    /// [`ReplicaSet::execute_sql_routed`]): the session accepts a replica
+    /// only if it applied the primary's stream within this long ago;
+    /// otherwise the read falls back to the primary. `None` inherits the
+    /// replica set's default. Ignored by single-node [`QueryService`]
+    /// calls.
+    pub max_staleness: Option<Duration>,
 }
 
 impl SessionOptions {
@@ -100,6 +110,7 @@ impl SessionOptions {
                 row_budget: Some(rows),
                 deadline: None,
             },
+            max_staleness: None,
         }
     }
 
@@ -110,6 +121,16 @@ impl SessionOptions {
                 row_budget: None,
                 deadline: Some(allow),
             },
+            max_staleness: None,
+        }
+    }
+
+    /// A session that tolerates replica reads at most `bound` behind the
+    /// primary (`Duration::ZERO` forces every read to the primary).
+    pub fn with_max_staleness(bound: Duration) -> SessionOptions {
+        SessionOptions {
+            max_staleness: Some(bound),
+            ..SessionOptions::default()
         }
     }
 }
@@ -308,6 +329,9 @@ impl<'a> QueryService<'a> {
     ) -> QueryService<'a> {
         let sem = FifoSemaphore::new(config.max_concurrent.max(1));
         let metrics = ServiceMetrics::register(&registry);
+        // Surface the storage-side counters (checkpoints, snapshots, WAL,
+        // combo cache) through this service's scrape endpoint too.
+        engine.catalog().attach_metrics(&registry);
         QueryService {
             engine,
             sem,

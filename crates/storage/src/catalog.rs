@@ -18,7 +18,9 @@
 //!   compacts the log prefix behind it; [`Catalog::recover_with_checkpoint`]
 //!   loads the newest valid image and replays only the WAL suffix.
 
-use crate::checkpoint::{encode_image, scan_checkpoints, CheckpointPolicy, CheckpointStore};
+use crate::checkpoint::{
+    encode_image, scan_checkpoints, CheckpointImage, CheckpointPolicy, CheckpointStore,
+};
 use crate::combos::ComboCache;
 use crate::error::{Result, StorageError};
 use crate::index::HashIndex;
@@ -207,6 +209,15 @@ pub struct Catalog {
     /// whole checkpoint attempt to serialize checkpointers.
     checkpoint: Mutex<Option<CheckpointState>>,
     metrics: RwLock<Option<CatalogMetrics>>,
+    /// Replication term this catalog last wrote or applied (0 = never
+    /// participated in a replica set). Monotonic; raised by
+    /// [`Catalog::begin_term`] and by replaying / applying `TermBump`
+    /// records.
+    term: AtomicU64,
+    /// Non-zero once [`Catalog::seal`] fenced this catalog off (the value
+    /// is the deposing term): [`Catalog::ensure_writable`] then refuses
+    /// DML, so a deposed primary cannot diverge after a failover.
+    sealed_at: AtomicU64,
 }
 
 impl Catalog {
@@ -669,6 +680,187 @@ impl Catalog {
         }
     }
 
+    // ---- replication: terms, sealing, image export -----------------------
+
+    /// The replication term this catalog last observed (0 when it never
+    /// joined a replica set).
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Relaxed)
+    }
+
+    /// Raise the replication term to `term` and record it in the WAL, the
+    /// promotion fence: replicas subscribed to this catalog learn the new
+    /// term in-stream, and any older primary's stream is refused from then
+    /// on. Errors with [`StorageError::Replication`] unless `term` is
+    /// strictly larger than the current one (terms never regress or tie —
+    /// two primaries at one term is exactly the split-brain this refuses).
+    pub fn begin_term(&self, term: u64) -> Result<u64> {
+        let current = self.term.load(Ordering::Relaxed);
+        if term <= current {
+            return Err(StorageError::Replication(format!(
+                "term {term} is not past the current term {current}"
+            )));
+        }
+        self.wal.lock().log_term_bump(term)?;
+        self.term.store(term, Ordering::Relaxed);
+        // Winning a later term unfences a previously deposed catalog: the
+        // seal existed to keep the *old* term's writes out, and this node
+        // now owns a newer one.
+        self.sealed_at.store(0, Ordering::Relaxed);
+        Ok(term)
+    }
+
+    /// Merge an observed term (from a replayed or applied `TermBump`
+    /// record) into this catalog's term: terms only ratchet up.
+    fn observe_term(&self, term: u64) {
+        self.term.fetch_max(term, Ordering::Relaxed);
+    }
+
+    /// Fence this catalog off as a deposed primary: `term` is the
+    /// deposing promotion's term. After sealing,
+    /// [`Catalog::ensure_writable`] refuses with [`StorageError::Sealed`].
+    pub fn seal(&self, term: u64) {
+        self.sealed_at.store(term.max(1), Ordering::Relaxed);
+        self.observe_term(term);
+    }
+
+    /// True once [`Catalog::seal`] fenced this catalog off.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed_at.load(Ordering::Relaxed) != 0
+    }
+
+    /// Refuse DML on a sealed (deposed) catalog. The engine's write paths
+    /// call this before mutating user tables; replica apply does not (a
+    /// replica's catalog is never sealed, and the shipped records already
+    /// passed the primary's check).
+    pub fn ensure_writable(&self) -> Result<()> {
+        match self.sealed_at.load(Ordering::Relaxed) {
+            0 => Ok(()),
+            term => Err(StorageError::Sealed { term }),
+        }
+    }
+
+    /// Serialize every user table into one checkpoint-format image frame at
+    /// a stable WAL LSN fence, without touching the checkpoint store — the
+    /// replica-bootstrap export. Returns `(frame, fence, term)`: every
+    /// record below `fence` is inside the image, so a replica installing it
+    /// resumes the stream at `fence`. Uses the same fence-retry protocol as
+    /// [`Catalog::checkpoint_now`] and reports
+    /// [`StorageError::CheckpointContended`] under persistent write
+    /// pressure (callers retry on the next sync round).
+    pub fn export_image(&self) -> Result<(Vec<u8>, u64, u64)> {
+        const FENCE_ATTEMPTS: usize = 3;
+        for _ in 0..FENCE_ATTEMPTS {
+            let fence = self.wal.lock().next_lsn();
+            let tables: Vec<(String, Table)> = {
+                let map = self.tables.read();
+                map.iter()
+                    .filter(|(n, _)| !n.starts_with(SNAP_PREFIX))
+                    .map(|(n, t)| (n.clone(), t.read().clone()))
+                    .collect()
+            };
+            let epoch = self.epoch();
+            if self.wal.lock().next_lsn() != fence {
+                continue;
+            }
+            let refs: Vec<(String, &Table)> = tables.iter().map(|(n, t)| (n.clone(), t)).collect();
+            let frame = encode_image(&refs, epoch, fence)?;
+            return Ok((frame, fence, self.term()));
+        }
+        Err(StorageError::CheckpointContended)
+    }
+
+    /// Register or replace `name` *without* logging to this catalog's WAL,
+    /// routing invalidation exactly as a live write would: version and
+    /// epoch bump, indexes and cached combinations die. The replica apply
+    /// path — the shipped record was already logged by the primary, and
+    /// re-logging here would interleave replicated LSNs with this
+    /// catalog's own (e.g. temp-table) records.
+    fn install_unlogged(&self, name: &str, table: Table) {
+        let mut tables = self.tables.write();
+        self.bump_version(name);
+        self.invalidate_indexes(name);
+        self.combos.invalidate_table(name);
+        tables.insert(name.to_string(), Arc::new(RwLock::new(table)));
+    }
+
+    /// Drop `name` without logging; same invalidation as a live drop.
+    fn drop_unlogged(&self, name: &str) -> bool {
+        let removed = self.tables.write().remove(name).is_some();
+        if removed {
+            self.bump_version(name);
+            self.invalidate_indexes(name);
+            self.combos.invalidate_table(name);
+        }
+        removed
+    }
+
+    /// Apply one replicated WAL record to this catalog through the same
+    /// invalidation funnel live writes use — versions and the global epoch
+    /// bump, cached combinations and indexes for the touched table die, so
+    /// the next [`Catalog::pin_table`] freezes a fresh view — but without
+    /// re-logging to this catalog's own WAL. Returns `false` for a valid
+    /// record that cannot apply to the current state (skip-and-count, the
+    /// same contract as recovery replay); application is atomic either way.
+    pub fn apply_shipped(&self, record: &WalRecord) -> bool {
+        match record {
+            WalRecord::CreateTable { name, schema } => {
+                self.install_unlogged(name, Table::empty(schema.clone().into_shared()));
+                true
+            }
+            WalRecord::DropTable { name } => self.drop_unlogged(name),
+            WalRecord::BulkInsert { name, rows } => {
+                let Ok(shared) = self.table(name) else {
+                    return false;
+                };
+                // Hold the write guard across both the mutation and the
+                // funnel bump, mirroring the live writer protocol.
+                let mut t = shared.write();
+                if t.push_rows(rows).is_err() {
+                    return false;
+                }
+                self.with_wal_mutating(name, |_| {});
+                true
+            }
+            WalRecord::UpdateRow {
+                name,
+                row,
+                cols,
+                after,
+                ..
+            } => {
+                let Ok(shared) = self.table(name) else {
+                    return false;
+                };
+                let mut t = shared.write();
+                let cols: Vec<usize> = cols.iter().map(|&c| c as usize).collect();
+                if t.set_cells(*row as usize, &cols, after).is_err() {
+                    return false;
+                }
+                self.with_wal_mutating(name, |_| {});
+                true
+            }
+            WalRecord::TermBump { term } => {
+                self.observe_term(*term);
+                true
+            }
+        }
+    }
+
+    /// Replace every user table with the contents of a bootstrap image
+    /// (see [`Catalog::export_image`]), unlogged and through the same
+    /// invalidation funnel as [`Catalog::apply_shipped`]. Hidden snapshot
+    /// aliases survive — pins taken before the install stay frozen.
+    pub fn install_image(&self, image: CheckpointImage) {
+        let existing: Vec<String> = self.table_names();
+        for name in existing {
+            self.drop_unlogged(&name);
+        }
+        for (name, table) in image.tables {
+            self.install_unlogged(&name, table);
+        }
+    }
+
     /// The checkpoint protocol, called with the `checkpoint` mutex held.
     ///
     /// Writers take a table write guard *then* the WAL lock, so the
@@ -812,8 +1004,14 @@ impl Catalog {
         let mut replayed = 0u64;
         let mut skipped = 0u64;
         let mut pre_checkpoint = 0u64;
+        let mut term = 0u64;
         let lsns = scan.lsns;
         for (record, lsn) in scan.records.into_iter().zip(lsns.iter().copied()) {
+            // Terms ratchet regardless of the checkpoint fence: a TermBump
+            // below the fence still happened.
+            if let WalRecord::TermBump { term: t } = &record {
+                term = term.max(*t);
+            }
             if lsn < start_lsn {
                 // Already inside the checkpoint image (a crash can land
                 // between image save and WAL compaction).
@@ -858,6 +1056,7 @@ impl Catalog {
             ..Catalog::default()
         };
         catalog.epoch.store(image_epoch, Ordering::Relaxed);
+        catalog.term.store(term, Ordering::Relaxed);
         // Route the install through the same funnel live mutations use, so
         // the combo cache is verifiably cold for every installed table.
         for name in catalog.table_names() {
@@ -942,6 +1141,9 @@ fn apply_record(tables: &mut BTreeMap<String, SharedTable>, record: WalRecord) -
             let cols: Vec<usize> = cols.into_iter().map(|c| c as usize).collect();
             table.write().set_cells(row as usize, &cols, &after).is_ok()
         }
+        // Terms are tracked by the replay loop itself; the record touches
+        // no table state.
+        WalRecord::TermBump { .. } => true,
     }
 }
 

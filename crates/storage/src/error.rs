@@ -53,6 +53,18 @@ pub enum StorageError {
     /// writers and gave up; the WAL keeps the state, try again when the
     /// write rate drops.
     CheckpointContended,
+    /// The catalog was sealed (fenced off) when a newer primary was
+    /// promoted at this term; its writes are refused to prevent
+    /// split-brain. Permanent for this catalog instance.
+    Sealed {
+        /// The term of the promotion that deposed this catalog.
+        term: u64,
+    },
+    /// A replication protocol failure: a stale primary's stream was
+    /// refused (term regression), a bootstrap image did not decode, or
+    /// the stream could not make progress. Permanent: the subscriber
+    /// must re-bootstrap from a live primary.
+    Replication(String),
 }
 
 impl StorageError {
@@ -102,6 +114,10 @@ impl fmt::Display for StorageError {
             StorageError::CheckpointContended => {
                 write!(f, "checkpoint lost its LSN fence to concurrent writers")
             }
+            StorageError::Sealed { term } => {
+                write!(f, "catalog sealed: deposed by a primary at term {term}")
+            }
+            StorageError::Replication(msg) => write!(f, "replication error: {msg}"),
         }
     }
 }

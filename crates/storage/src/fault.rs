@@ -29,6 +29,10 @@ pub struct FaultPlan {
     pub flip_bit_on_read: Option<u64>,
     /// Cap every `read_all` result at this many bytes.
     pub short_read_at: Option<u64>,
+    /// Fail the Nth `sync` call (0-based count over syncs only) with a
+    /// transient I/O error, once; later syncs succeed again. Models an
+    /// fsync that fails under memory pressure and clears on retry.
+    pub error_on_sync: Option<u64>,
 }
 
 /// SplitMix64 step — the only randomness fault derivation needs, inlined so
@@ -75,8 +79,10 @@ pub struct FaultInjector<S> {
     plan: FaultPlan,
     seed: Option<u64>,
     ops: u64,
+    syncs: u64,
     written: u64,
     errored_once: bool,
+    sync_errored_once: bool,
     dead: bool,
 }
 
@@ -88,8 +94,10 @@ impl<S: LogStore> FaultInjector<S> {
             plan,
             seed: None,
             ops: 0,
+            syncs: 0,
             written: 0,
             errored_once: false,
+            sync_errored_once: false,
             dead: false,
         }
     }
@@ -233,6 +241,25 @@ impl<S: LogStore> LogStore for FaultInjector<S> {
             )));
         }
         self.inner.discard_front(n)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if self.dead {
+            return Err(StorageError::Io(format!(
+                "log device offline after torn write{}",
+                self.tag()
+            )));
+        }
+        let sync = self.syncs;
+        self.syncs += 1;
+        if self.plan.error_on_sync == Some(sync) && !self.sync_errored_once {
+            self.sync_errored_once = true;
+            return Err(StorageError::TransientIo(format!(
+                "injected fsync failure on sync {sync}{}",
+                self.tag()
+            )));
+        }
+        self.inner.sync()
     }
 }
 

@@ -25,6 +25,7 @@ pub mod hash;
 pub mod index;
 pub mod log;
 pub mod packed;
+pub mod replication;
 pub mod retry;
 pub mod schema;
 pub mod table;
@@ -47,6 +48,10 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
 pub use log::{FileLogStore, LogStore, MemLogStore};
 pub use packed::{width_for, PackedCell, PackedCodes, MAX_PACK_WIDTH};
+pub use replication::{
+    ApplyReport, ChaosStats, ChaosTransport, DirectTransport, ReplicaApplier, ReplicaStats,
+    ReplicationStream, ShipTransport, SyncReport,
+};
 pub use retry::RetryPolicy;
 pub use schema::{Field, Schema};
 pub use table::Table;

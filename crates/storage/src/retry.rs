@@ -227,6 +227,24 @@ mod tests {
     }
 
     #[test]
+    fn seeded_schedule_is_pinned_across_runs() {
+        // Golden values for seed 0xDECAF under the default policy. Seeded
+        // chaos tests reproduce failures from one printed seed only if the
+        // jitter stream is a pure function of it — any drift in the
+        // splitmix constants, the mixing of `seed` and `retry`, or the
+        // modulo reduction shows up here as a changed schedule.
+        let p = RetryPolicy::seeded(0xDECAF);
+        let golden_us = [56, 130, 230, 417];
+        for (retry, &want) in golden_us.iter().enumerate() {
+            assert_eq!(
+                p.delay_for(retry as u32).as_micros(),
+                want,
+                "retry {retry} drifted from the pinned schedule"
+            );
+        }
+    }
+
+    #[test]
     fn classify_labels() {
         assert_eq!(
             classify(&StorageError::TransientIo("x".into())),

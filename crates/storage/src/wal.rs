@@ -46,7 +46,12 @@ use std::sync::Arc;
 /// checkpoint-aware recovery can skip records already captured by a
 /// checkpoint image, and [`Wal::compact`] can truncate the log prefix a
 /// checkpoint made redundant.
-pub const FORMAT_VERSION: u8 = 3;
+///
+/// v4: adds the `TermBump` record kind — a monotonic replication
+/// term/epoch written at promotion time, so a replica can refuse frames
+/// shipped by a deposed primary (split-brain fencing) and recovery can
+/// restore the term a catalog held when it crashed.
+pub const FORMAT_VERSION: u8 = 4;
 
 /// Byte offset of the LSN field inside a payload (after version + kind).
 const LSN_OFFSET: usize = 2;
@@ -73,6 +78,8 @@ pub enum RecordKind {
     CreateTable = 3,
     /// Table dropped.
     DropTable = 4,
+    /// Replication term raised (payload carries the new term).
+    TermBump = 5,
 }
 
 impl RecordKind {
@@ -82,6 +89,7 @@ impl RecordKind {
             2 => Some(RecordKind::UpdateRow),
             3 => Some(RecordKind::CreateTable),
             4 => Some(RecordKind::DropTable),
+            5 => Some(RecordKind::TermBump),
             _ => None,
         }
     }
@@ -321,16 +329,25 @@ pub enum WalRecord {
         /// Images of the touched columns after the update.
         after: Vec<Value>,
     },
+    /// The replication term was raised to `term`. Written when a node is
+    /// promoted to primary; replicas refuse streams whose term regresses
+    /// (split-brain fencing), and recovery restores the largest term seen.
+    TermBump {
+        /// The new (strictly larger) term.
+        term: u64,
+    },
 }
 
 impl WalRecord {
-    /// The table this record concerns.
+    /// The table this record concerns (empty for table-less records such
+    /// as [`WalRecord::TermBump`]).
     pub fn table_name(&self) -> &str {
         match self {
             WalRecord::CreateTable { name, .. }
             | WalRecord::DropTable { name }
             | WalRecord::BulkInsert { name, .. }
             | WalRecord::UpdateRow { name, .. } => name,
+            WalRecord::TermBump { .. } => "",
         }
     }
 }
@@ -399,6 +416,7 @@ fn decode_payload(payload: &[u8]) -> Decoded<(u64, WalRecord)> {
                 after,
             }
         }
+        RecordKind::TermBump => WalRecord::TermBump { term: c.u64()? },
     };
     if !c.done() {
         return Err(format!(
@@ -884,6 +902,73 @@ impl Wal {
         }
         self.append_payload(payload)
     }
+
+    /// Log a replication-term raise (promotion fencing; see
+    /// [`WalRecord::TermBump`]).
+    pub fn log_term_bump(&mut self, term: u64) -> Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let mut payload = Self::payload_header(RecordKind::TermBump, "");
+        put_u64(&mut payload, term);
+        self.append_payload(payload)
+    }
+
+    /// Oldest LSN still retained by the log, `None` when no frames are
+    /// retained (empty, recycled, or compacted away).
+    pub fn oldest_retained_lsn(&self) -> Option<u64> {
+        self.frames.front().map(|&(lsn, _)| lsn)
+    }
+
+    /// Copy every retained frame with LSN `>= from_lsn`, header included,
+    /// for shipping to a replica. Returns `None` when the request reaches
+    /// below the retained window (the prefix was recycled or compacted
+    /// away) — the caller must bootstrap from a checkpoint image instead.
+    /// `Some(vec![])` means the replica is already caught up.
+    pub fn ship_since(&mut self, from_lsn: u64) -> Result<Option<Vec<ShippedFrame>>> {
+        let Some(&(oldest, _)) = self.frames.front() else {
+            // Nothing retained: fine if the caller is at (or past) the next
+            // LSN, otherwise the history it needs is gone.
+            return Ok((from_lsn >= self.next_lsn).then(Vec::new));
+        };
+        if from_lsn < oldest {
+            return Ok(None);
+        }
+        let data = self.store.read_all()?;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        for &(lsn, len) in &self.frames {
+            let end = pos + len as usize;
+            if end > data.len() {
+                return Err(StorageError::Wal(format!(
+                    "retained frame index runs past the store: frame at lsn {lsn} \
+                     ends at byte {end}, store holds {}",
+                    data.len()
+                )));
+            }
+            if lsn >= from_lsn {
+                out.push(ShippedFrame {
+                    lsn,
+                    bytes: data[pos..end].to_vec(),
+                });
+            }
+            pos = end;
+        }
+        Ok(Some(out))
+    }
+}
+
+/// One WAL frame copied out for replication: the full frame bytes
+/// (length + checksum header included, so the replica re-verifies the CRC
+/// on apply) plus the LSN the primary recorded for it. The LSN rides
+/// outside the bytes purely as transport metadata — the replica trusts
+/// only the LSN it decodes from the checksummed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShippedFrame {
+    /// LSN the primary stamped into this frame.
+    pub lsn: u64,
+    /// The whole frame: `[len][crc32][payload]`.
+    pub bytes: Vec<u8>,
 }
 
 #[cfg(test)]
