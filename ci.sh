@@ -73,6 +73,18 @@ cargo run --release -p pa-bench --bin recovery -- \
   --n 1000000 --gate 5.0 \
   --out results/BENCH_recovery.json
 
+echo "==> merge-oracle gate: shard-merge protocol, sketch bounds, SQL e2e"
+# The mergeable partial-state protocol (DESIGN.md §14) at both thread
+# counts: k-way random shard splits with shuffled merges must be
+# byte-identical to the single pass for every aggregate (holistic ones
+# included), merge algebra laws hold down to the serialized bytes,
+# t-digest/HLL stay inside their documented error bounds, and the holistic
+# aggregates work end to end through SQL under every legal strategy.
+PA_THREADS=1 cargo test -q -p pa-engine --test merge_oracle --test sketch_accuracy
+PA_THREADS=4 cargo test -q -p pa-engine --test merge_oracle --test sketch_accuracy
+PA_THREADS=1 cargo test -q -p pa-core --test shard_oracle_sql
+PA_THREADS=4 cargo test -q -p pa-core --test shard_oracle_sql
+
 echo "==> oracle gates: differential, golden, parser fuzz"
 # Covered by the workspace run above, but named here so a divergence fails
 # as its own step with the harness's actionable message (strategy pair +

@@ -17,9 +17,10 @@
 
 use pa_bench::{lcg_fact_table, operator_breakdown, time_ms};
 use pa_core::{
-    HorizontalOptions, HorizontalQuery, HorizontalStrategy, PercentageEngine, VpctQuery,
+    ExtraAgg, HorizontalOptions, HorizontalQuery, HorizontalStrategy, PercentageEngine, VpctQuery,
     VpctStrategy,
 };
+use pa_engine::{AggFunc, PBits};
 use pa_storage::Catalog;
 use std::fmt::Write as _;
 
@@ -184,6 +185,33 @@ impl CellTelemetry {
     }
 }
 
+/// The `percentile` scenario: a CaseDirect `Hpct` carrying three holistic
+/// extra lanes — exact `percentile(amt, 0.5)` (spills to a t-digest past
+/// the per-group budget), `approx_percentile(amt, 0.95)` and
+/// `approx_count_distinct(day)` — so the mergeable partial-state protocol
+/// (DESIGN.md §14) is what scales with the thread count.
+fn percentile_query() -> HorizontalQuery {
+    let mut q = HorizontalQuery::hpct("fact", &["store"], "amt", &["day"]);
+    q.extra = vec![
+        ExtraAgg {
+            func: AggFunc::Percentile(PBits::new(0.5)),
+            measure: Some("amt".into()),
+            name: "p50".into(),
+        },
+        ExtraAgg {
+            func: AggFunc::ApproxPercentile(PBits::new(0.95)),
+            measure: Some("amt".into()),
+            name: "p95_approx".into(),
+        },
+        ExtraAgg {
+            func: AggFunc::ApproxCountDistinct,
+            measure: Some("day".into()),
+            name: "days".into(),
+        },
+    ];
+    q
+}
+
 /// One (strategy, n, d) cell, timed at one thread count. Returns the best
 /// wall time plus the last run's group-path/cache telemetry (identical
 /// across iterations except that the first run of a fresh catalog misses
@@ -229,6 +257,14 @@ fn run_cell(engine: &PercentageEngine<'_>, strategy: &str, iters: usize) -> (f64
                 telemetry = CellTelemetry::of(&r.stats);
             })
         }
+        "percentile" => {
+            let q = percentile_query();
+            let opts = HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect);
+            best_ms(iters, || {
+                let r = engine.horizontal_with(&q, &opts).expect("bench query");
+                telemetry = CellTelemetry::of(&r.stats);
+            })
+        }
         other => unreachable!("unknown strategy {other}"),
     };
     (ms, telemetry)
@@ -260,12 +296,23 @@ fn trace_cell(engine: &PercentageEngine<'_>, strategy: &str) -> String {
             let opts = HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect);
             engine.horizontal_traced(&q, &opts).expect("bench query").1
         }
+        "percentile" => {
+            let q = percentile_query();
+            let opts = HorizontalOptions::with_strategy(HorizontalStrategy::CaseDirect);
+            engine.horizontal_traced(&q, &opts).expect("bench query").1
+        }
         other => unreachable!("unknown strategy {other}"),
     };
     operator_breakdown(&report)
 }
 
-const STRATEGIES: [&str; 4] = ["vpct_best", "case_direct", "hash_dispatch", "case_sorted"];
+const STRATEGIES: [&str; 5] = [
+    "vpct_best",
+    "case_direct",
+    "hash_dispatch",
+    "case_sorted",
+    "percentile",
+];
 
 fn main() {
     let args = parse_args();

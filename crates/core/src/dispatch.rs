@@ -42,8 +42,13 @@ pub struct PivotTask {
 
 fn lane_dtype(func: AggFunc, input: &Expr, schema: &Schema) -> DataType {
     match func {
-        AggFunc::Sum | AggFunc::Avg => DataType::Float,
-        AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar => DataType::Int,
+        AggFunc::Sum | AggFunc::Avg | AggFunc::Percentile(_) | AggFunc::ApproxPercentile(_) => {
+            DataType::Float
+        }
+        AggFunc::Count
+        | AggFunc::CountDistinct
+        | AggFunc::CountStar
+        | AggFunc::ApproxCountDistinct => DataType::Int,
         AggFunc::Min | AggFunc::Max => input.output_type(schema).unwrap_or(DataType::Float),
     }
 }
@@ -576,6 +581,13 @@ pub fn pivot_aggregate_with_config(
     config: &ParallelConfig,
 ) -> Result<Table> {
     stats.statements += 1;
+    stats.holistic_lanes += tasks
+        .iter()
+        .flat_map(|t| &t.lanes)
+        .map(|(func, _)| func)
+        .chain(extra_lanes.iter().map(|(func, _)| func))
+        .filter(|func| func.is_holistic())
+        .count() as u64;
     guard.check()?;
     // Group-key code space and per-task cell lookups, built once before the
     // fan-out and shared read-only across scan workers (workers clone the

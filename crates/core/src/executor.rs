@@ -795,7 +795,12 @@ impl<'a> PercentageEngine<'a> {
         if let Some(root) = report.root() {
             render_span_lines(&report, root, 0, &mut lines);
         }
-        lines.push(self.guard_comment(Some(outcome.stats().rows_charged)));
+        let stats = outcome.stats();
+        lines.push(format!(
+            "-- aggregates: holistic_lanes={} sketch_spills={}",
+            stats.holistic_lanes, stats.sketch_spills
+        ));
+        lines.push(self.guard_comment(Some(stats.rows_charged)));
         Ok(lines)
     }
 
@@ -1213,6 +1218,13 @@ mod tests {
         // per-query meter's actual total.
         let guard_line = lines.last().unwrap();
         assert!(guard_line.starts_with("-- guard:"), "{guard_line}");
+        // The aggregate-protocol summary precedes the guard line.
+        let agg_line = &lines[lines.len() - 2];
+        assert!(
+            agg_line.starts_with("-- aggregates: holistic_lanes=")
+                && agg_line.contains("sketch_spills="),
+            "{agg_line}"
+        );
         let charged: u64 = guard_line
             .split("charged=")
             .nth(1)

@@ -129,8 +129,11 @@ fn reagg_func(func: AggFunc) -> AggFunc {
         AggFunc::Min => AggFunc::Min,
         AggFunc::Max => AggFunc::Max,
         AggFunc::Avg => unreachable!("avg is handled as a sum/count pair"),
-        AggFunc::CountDistinct => {
-            unreachable!("count(distinct) is holistic; FV strategies reject it upstream")
+        AggFunc::CountDistinct
+        | AggFunc::Percentile(_)
+        | AggFunc::ApproxPercentile(_)
+        | AggFunc::ApproxCountDistinct => {
+            unreachable!("holistic aggregates are rejected by FV strategies upstream")
         }
     }
 }
@@ -214,21 +217,21 @@ pub fn eval_horizontal_guarded(
         // Holistic aggregates cannot be re-aggregated from the FV partial
         // (Gray et al.): reject rather than silently double-count.
         for term in q.terms.iter() {
-            if term.func == AggFunc::CountDistinct {
-                return Err(CoreError::Unsupported(
-                    "count(DISTINCT ..) is holistic and cannot use an FV-based \
-                     strategy; evaluate it with CaseDirect or SpjDirect"
-                        .into(),
-                ));
+            if term.func.is_holistic() {
+                return Err(CoreError::Unsupported(format!(
+                    "{} is holistic and cannot use an FV-based strategy; \
+                     evaluate it with CaseDirect or SpjDirect",
+                    term.func.display_name()
+                )));
             }
         }
         for extra in &q.extra {
-            if extra.func == AggFunc::CountDistinct {
-                return Err(CoreError::Unsupported(
-                    "count(DISTINCT ..) is holistic and cannot use an FV-based \
-                     strategy; evaluate it with CaseDirect or SpjDirect"
-                        .into(),
-                ));
+            if extra.func.is_holistic() {
+                return Err(CoreError::Unsupported(format!(
+                    "{} is holistic and cannot use an FV-based strategy; \
+                     evaluate it with CaseDirect or SpjDirect",
+                    extra.func.display_name()
+                )));
             }
         }
         // FV keys: group_by then each term's by columns (deduped).
@@ -525,7 +528,10 @@ pub fn eval_horizontal_guarded(
             // strategies (the outer-join variants produce NULL there).
             let count_term = matches!(
                 term.func,
-                AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar
+                AggFunc::Count
+                    | AggFunc::CountDistinct
+                    | AggFunc::CountStar
+                    | AggFunc::ApproxCountDistinct
             );
             if term.default_zero || (count_term && !term.percentage) {
                 cell = Expr::Case {
@@ -535,9 +541,14 @@ pub fn eval_horizontal_guarded(
             }
             let dtype = match (term.percentage, plan.combine, term.func) {
                 (true, _, _) | (_, Combine::AvgPair, _) => DataType::Float,
-                (_, _, AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar) => {
-                    DataType::Int
-                }
+                (
+                    _,
+                    _,
+                    AggFunc::Count
+                    | AggFunc::CountDistinct
+                    | AggFunc::CountStar
+                    | AggFunc::ApproxCountDistinct,
+                ) => DataType::Int,
                 _ => raw.schema().field_at(cell_base + i * lanes).dtype,
             };
             // Re-aggregated counts come back as float sums; keep the
@@ -557,7 +568,13 @@ pub fn eval_horizontal_guarded(
         };
         let dtype = match (combine, extra.func) {
             (Combine::AvgPair, _) | (_, AggFunc::Avg | AggFunc::Sum) => DataType::Float,
-            (_, AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar) => DataType::Int,
+            (
+                _,
+                AggFunc::Count
+                | AggFunc::CountDistinct
+                | AggFunc::CountStar
+                | AggFunc::ApproxCountDistinct,
+            ) => DataType::Int,
             _ => raw.schema().field_at(pos).dtype,
         };
         if dtype == DataType::Int {

@@ -118,12 +118,7 @@ pub fn choose_horizontal_strategy(
     q: &HorizontalQuery,
 ) -> Result<HorizontalStrategy> {
     // Holistic aggregates cannot re-aggregate from FV at all.
-    if q.terms
-        .iter()
-        .any(|t| t.func == pa_engine::AggFunc::CountDistinct)
-        || q.extra
-            .iter()
-            .any(|e| e.func == pa_engine::AggFunc::CountDistinct)
+    if q.terms.iter().any(|t| t.func.is_holistic()) || q.extra.iter().any(|e| e.func.is_holistic())
     {
         return Ok(HorizontalStrategy::CaseDirect);
     }

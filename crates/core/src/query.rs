@@ -343,7 +343,8 @@ fn measure_from_ast(e: &AstExpr) -> Result<Measure> {
     }
 }
 
-fn agg_func_of(name: AggName, distinct: bool) -> AggFunc {
+fn agg_func_of(name: AggName, distinct: bool, param: Option<f64>) -> AggFunc {
+    use pa_engine::PBits;
     match name {
         AggName::Sum | AggName::Vpct | AggName::Hpct => AggFunc::Sum,
         AggName::Count if distinct => AggFunc::CountDistinct,
@@ -351,6 +352,12 @@ fn agg_func_of(name: AggName, distinct: bool) -> AggFunc {
         AggName::Avg => AggFunc::Avg,
         AggName::Min => AggFunc::Min,
         AggName::Max => AggFunc::Max,
+        // median is sugar for the exact 50th percentile.
+        AggName::Median => AggFunc::Percentile(PBits::new(0.5)),
+        // The validator guarantees the rank is present and in [0, 1].
+        AggName::Percentile => AggFunc::Percentile(PBits::new(param.unwrap_or(0.5))),
+        AggName::ApproxPercentile => AggFunc::ApproxPercentile(PBits::new(param.unwrap_or(0.5))),
+        AggName::ApproxCountDistinct => AggFunc::ApproxCountDistinct,
     }
 }
 
@@ -385,7 +392,7 @@ pub fn from_sql(stmt: &SelectStmt) -> Result<Query> {
                     let func = if matches!(call.arg, AstExpr::Star) {
                         AggFunc::CountStar
                     } else {
-                        agg_func_of(call.func, call.distinct)
+                        agg_func_of(call.func, call.distinct, call.param)
                     };
                     q.extra.push(ExtraAgg {
                         func,
@@ -416,7 +423,7 @@ pub fn from_sql(stmt: &SelectStmt) -> Result<Query> {
                         func: if matches!(call.arg, AstExpr::Star) {
                             AggFunc::CountStar
                         } else {
-                            agg_func_of(call.func, call.distinct)
+                            agg_func_of(call.func, call.distinct, call.param)
                         },
                         measure,
                         by: call.by.clone(),
@@ -437,7 +444,7 @@ pub fn from_sql(stmt: &SelectStmt) -> Result<Query> {
                     let func = if matches!(call.arg, AstExpr::Star) {
                         AggFunc::CountStar
                     } else {
-                        agg_func_of(call.func, call.distinct)
+                        agg_func_of(call.func, call.distinct, call.param)
                     };
                     q.extra.push(ExtraAgg {
                         func,

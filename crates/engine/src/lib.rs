@@ -21,6 +21,7 @@ pub mod guard;
 pub mod keymap;
 pub mod ops;
 pub mod parallel;
+pub mod sketch;
 pub mod stats;
 pub mod vector;
 
@@ -29,20 +30,23 @@ pub use error::{EngineError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use guard::{Deadline, ResourceGuard, CANCEL_CHECK_INTERVAL};
 pub use keymap::{DenseGroupMap, DenseKeySpace, GroupMap, RowKeyMap, DEFAULT_DENSE_BUDGET};
-pub use ops::acc::Acc;
+pub use ops::acc::{Acc, PartialState, PctState, DEFAULT_PERCENTILE_BUDGET};
 pub use ops::aggregate::{
     hash_aggregate, hash_aggregate_guarded, hash_aggregate_with_config, multi_hash_aggregate,
     multi_hash_aggregate_guarded, multi_hash_aggregate_with_config, resolve_cols, AggFunc, AggSpec,
+    PBits,
 };
 pub use ops::distinct::{distinct, distinct_keys};
 pub use ops::filter::filter;
 pub use ops::insert::{create_table_as, insert_into};
 pub use ops::join::{hash_join, hash_join_guarded, JoinType};
+pub use ops::partial::{partial_aggregate, ShardPartial};
 pub use ops::project::{project, ProjSpec};
 pub use ops::sort::{sort, sort_permutation};
 pub use ops::update::{update_from, SetClause};
 pub use ops::window::window_aggregate;
 pub use pa_obs::{MetricsRegistry, SpanHandle, SpanRecord, TraceReport, Tracer};
 pub use parallel::ParallelConfig;
+pub use sketch::{Hll, TDigest, HLL_REGISTERS, HLL_STD_ERROR, TDIGEST_RANK_EPSILON};
 pub use stats::{AbortCause, Degradation, ExecStats};
 pub use vector::{raw_acc, BlockCoder, LaneSrc, NumSlice, RawLane, BLOCK_ROWS};

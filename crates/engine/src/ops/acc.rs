@@ -1,17 +1,73 @@
-//! Aggregate accumulators, shared by hash aggregation and the pivot
-//! operator.
+//! Aggregate accumulators and the partial/merge/finalize protocol.
 //!
 //! One [`Acc`] holds the running state of a single aggregate over one
-//! group. All functions here have *distributive or algebraic* partial
-//! state (Gray et al.'s Data Cube classification): `sum`/`min`/`max`/
-//! `count(*)` re-aggregate from partials directly, `avg` carries a
-//! `(sum, n)` pair, and `count(DISTINCT)` carries its value set — so
-//! thread-local partials can always be [merged](Acc::merge) into the
-//! global result, which is what the morsel-parallel scan relies on.
+//! group. The state is a *partial* in Gray et al.'s Data Cube sense:
+//! distributive (`sum`/`min`/`max`/`count(*)`) and algebraic (`avg`)
+//! functions carry their obvious partials, while the holistic ones carry
+//! either their full value set (`count(DISTINCT)`, exact `percentile`) or
+//! a mergeable sketch ([t-digest](crate::sketch::TDigest),
+//! [HLL](crate::sketch::Hll)) once the exact state outgrows its budget.
+//!
+//! The [`PartialState`] trait names the contract every variant honors
+//! (DESIGN.md §14): `update` absorbs one input, `merge` folds a disjoint
+//! partial in, `finalize` produces the SQL value, and `serialize`/
+//! `deserialize` move the partial across process boundaries in a
+//! versioned, CRC-guarded frame ([`pa_storage::partial`]). Thread-local
+//! morsel partials, shard partials, and replica partials all merge
+//! through the same code path, which is what the shard-merge differential
+//! oracle proves end to end.
+//!
+//! Determinism classes (pinned by the oracle and the property suite):
+//! - **Order-insensitive** (byte-identical under any merge order): every
+//!   exact variant plus HLL. Exact set-carrying states serialize in
+//!   [`Value::total_cmp`] order so their bytes are canonical regardless
+//!   of insertion order.
+//! - **Ordered-deterministic**: t-digest states are byte-identical for a
+//!   fixed merge order and rank-error-bounded under any other order.
 
 use crate::error::{EngineError, Result};
-use crate::ops::aggregate::AggFunc;
-use pa_storage::Value;
+use crate::ops::aggregate::{AggFunc, PBits};
+use crate::sketch::{Hll, TDigest};
+use pa_storage::partial::{frame, put_f64, put_i64, put_u32, put_u64, put_value, unframe, Cursor};
+use pa_storage::{StorageError, Value};
+
+/// Default per-group sample budget for exact `percentile` before the
+/// state spills to a t-digest (override with `PA_PERCENTILE_BUDGET`).
+pub const DEFAULT_PERCENTILE_BUDGET: usize = 65_536;
+
+fn percentile_budget() -> usize {
+    std::env::var("PA_PERCENTILE_BUDGET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_PERCENTILE_BUDGET)
+}
+
+/// The two-step aggregation contract: accumulate partials shard-locally,
+/// then merge and finalize anywhere — with a versioned byte form in
+/// between so "anywhere" includes other processes (DESIGN.md §14).
+pub trait PartialState: Sized {
+    /// Absorb one input value.
+    fn update(&mut self, v: &Value) -> Result<()>;
+    /// Fold a partial computed over a disjoint input slice into this one.
+    fn merge(&mut self, other: Self) -> Result<()>;
+    /// Produce the final SQL value.
+    fn finalize(&self) -> Value;
+    /// Encode the partial as a versioned, CRC-guarded byte frame.
+    fn serialize(&self) -> Vec<u8>;
+    /// Decode a frame produced by [`PartialState::serialize`]. Corrupted
+    /// or truncated input yields a typed error, never a panic.
+    fn deserialize(bytes: &[u8]) -> Result<Self>;
+}
+
+/// Exact-vs-spilled state of an exact `percentile` accumulator.
+#[derive(Debug, Clone)]
+pub enum PctState {
+    /// All samples retained; finalize sorts and interpolates exactly.
+    Exact(Vec<f64>),
+    /// Over budget: samples folded into a t-digest.
+    Spilled(TDigest),
+}
 
 /// Running state of one aggregate over one group.
 #[derive(Debug, Clone)]
@@ -40,6 +96,56 @@ pub enum Acc {
     Min(Value),
     /// `max(expr)` (NULL until a value arrives).
     Max(Value),
+    /// Exact `percentile(expr, p)` / `median(expr)`: retains samples up
+    /// to `budget`, then spills to a t-digest.
+    Percentile {
+        /// Interpolation fraction in `[0, 1]`.
+        p: f64,
+        /// Sample budget before spilling.
+        budget: usize,
+        /// Exact samples or the spilled digest.
+        state: PctState,
+    },
+    /// `approx_percentile(expr, p)`: always a t-digest.
+    ApproxPercentile {
+        /// Interpolation fraction in `[0, 1]`.
+        p: f64,
+        /// The digest.
+        digest: TDigest,
+    },
+    /// `approx_count_distinct(expr)`: HyperLogLog registers.
+    ApproxCountDistinct(Hll),
+}
+
+/// PERCENTILE_CONT over a sorted sample: linear interpolation between the
+/// two nearest ranks (p=0 → min, p=1 → max, p=0.5 of `[10,20,30,40]` →
+/// `25.0`).
+fn percentile_cont(sorted: &[f64], p: f64) -> Value {
+    if sorted.is_empty() {
+        return Value::Null;
+    }
+    let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Value::Float(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Representation tie-break for min/max: [`Value::total_cmp`] calls
+/// `Int(x)` and `Float(x)` equal, so without a rule the surviving
+/// representation would depend on arrival (and merge) order and leak into
+/// the serialized partial. On a numeric tie the `Int` form wins,
+/// deterministically, whichever side it arrives on.
+fn prefer_repr(candidate: &Value, incumbent: &Value) -> bool {
+    matches!((candidate, incumbent), (Value::Int(_), Value::Float(_)))
+}
+
+fn digest_of(values: &[f64]) -> TDigest {
+    let mut d = TDigest::new();
+    for &x in values {
+        d.update(x);
+    }
+    d
 }
 
 impl Acc {
@@ -56,11 +162,50 @@ impl Acc {
             AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
             AggFunc::Min => Acc::Min(Value::Null),
             AggFunc::Max => Acc::Max(Value::Null),
+            AggFunc::Percentile(p) => Acc::Percentile {
+                p: p.value(),
+                budget: percentile_budget(),
+                state: PctState::Exact(Vec::new()),
+            },
+            AggFunc::ApproxPercentile(p) => Acc::ApproxPercentile {
+                p: p.value(),
+                digest: TDigest::new(),
+            },
+            AggFunc::ApproxCountDistinct => Acc::ApproxCountDistinct(Hll::new()),
         }
     }
 
+    /// The aggregate function this accumulator computes.
+    pub fn func(&self) -> AggFunc {
+        match self {
+            Acc::Sum { .. } => AggFunc::Sum,
+            Acc::Count(_) => AggFunc::Count,
+            Acc::CountDistinct(_) => AggFunc::CountDistinct,
+            Acc::CountStar(_) => AggFunc::CountStar,
+            Acc::Avg { .. } => AggFunc::Avg,
+            Acc::Min(_) => AggFunc::Min,
+            Acc::Max(_) => AggFunc::Max,
+            Acc::Percentile { p, .. } => AggFunc::Percentile(PBits::new(*p)),
+            Acc::ApproxPercentile { p, .. } => AggFunc::ApproxPercentile(PBits::new(*p)),
+            Acc::ApproxCountDistinct(_) => AggFunc::ApproxCountDistinct,
+        }
+    }
+
+    /// Whether an exact `percentile` state has spilled to its digest
+    /// (surfaced as [`crate::ExecStats::sketch_spills`]).
+    pub fn spilled(&self) -> bool {
+        matches!(
+            self,
+            Acc::Percentile {
+                state: PctState::Spilled(_),
+                ..
+            }
+        )
+    }
+
     /// Absorb one input value. NULLs are skipped by everything except
-    /// `count(*)`; non-numeric input to `sum`/`avg` is a type error.
+    /// `count(*)`; non-numeric input to `sum`/`avg`/percentiles is a
+    /// type error.
     pub fn update(&mut self, v: &Value) -> Result<()> {
         match self {
             Acc::CountStar(n) => *n += 1,
@@ -88,23 +233,54 @@ impl Acc {
                 }
             },
             Acc::Min(m) => {
-                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Less {
+                if m.is_null()
+                    || v.total_cmp(m) == std::cmp::Ordering::Less
+                    || (v.total_cmp(m) == std::cmp::Ordering::Equal && prefer_repr(v, m))
+                {
                     *m = v.clone();
                 }
             }
             Acc::Max(m) => {
-                if m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Greater {
+                if m.is_null()
+                    || v.total_cmp(m) == std::cmp::Ordering::Greater
+                    || (v.total_cmp(m) == std::cmp::Ordering::Equal && prefer_repr(v, m))
+                {
                     *m = v.clone();
                 }
             }
+            Acc::Percentile { budget, state, .. } => match v.as_f64() {
+                Some(x) => match state {
+                    PctState::Exact(vals) => {
+                        vals.push(x);
+                        if vals.len() > *budget {
+                            *state = PctState::Spilled(digest_of(vals));
+                        }
+                    }
+                    PctState::Spilled(d) => d.update(x),
+                },
+                None => {
+                    return Err(EngineError::ExprType(format!(
+                        "percentile of non-numeric {v}"
+                    )));
+                }
+            },
+            Acc::ApproxPercentile { digest, .. } => match v.as_f64() {
+                Some(x) => digest.update(x),
+                None => {
+                    return Err(EngineError::ExprType(format!(
+                        "approx_percentile of non-numeric {v}"
+                    )));
+                }
+            },
+            Acc::ApproxCountDistinct(hll) => hll.insert(v),
         }
         Ok(())
     }
 
     /// Typed fast path for numeric lanes: absorb a raw `f64` (`None` =
     /// NULL) without constructing a [`Value`]. Only `sum`/`avg`/`count`/
-    /// `count(*)` take this path — callers route `min`/`max`/
-    /// `count(DISTINCT)` and non-column expressions through [`update`].
+    /// `count(*)` take this path — callers route everything else and
+    /// non-column expressions through [`update`].
     ///
     /// [`update`]: Acc::update
     #[inline]
@@ -149,15 +325,53 @@ impl Acc {
                 *n += n2;
             }
             (Acc::Min(m), Acc::Min(v)) => {
-                if !v.is_null() && (m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Less) {
+                if !v.is_null()
+                    && (m.is_null()
+                        || v.total_cmp(m) == std::cmp::Ordering::Less
+                        || (v.total_cmp(m) == std::cmp::Ordering::Equal && prefer_repr(&v, m)))
+                {
                     *m = v;
                 }
             }
             (Acc::Max(m), Acc::Max(v)) => {
-                if !v.is_null() && (m.is_null() || v.total_cmp(m) == std::cmp::Ordering::Greater) {
+                if !v.is_null()
+                    && (m.is_null()
+                        || v.total_cmp(m) == std::cmp::Ordering::Greater
+                        || (v.total_cmp(m) == std::cmp::Ordering::Equal && prefer_repr(&v, m)))
+                {
                     *m = v;
                 }
             }
+            (
+                Acc::Percentile { p, budget, state },
+                Acc::Percentile {
+                    p: p2,
+                    state: state2,
+                    ..
+                },
+            ) if p.to_bits() == p2.to_bits() => match (&mut *state, state2) {
+                (PctState::Exact(vals), PctState::Exact(vals2)) => {
+                    vals.extend_from_slice(&vals2);
+                    if vals.len() > *budget {
+                        *state = PctState::Spilled(digest_of(vals));
+                    }
+                }
+                (PctState::Exact(vals), PctState::Spilled(d2)) => {
+                    let mut d = digest_of(vals);
+                    d.merge(&d2);
+                    *state = PctState::Spilled(d);
+                }
+                (PctState::Spilled(d), PctState::Exact(vals2)) => {
+                    d.merge(&digest_of(&vals2));
+                }
+                (PctState::Spilled(d), PctState::Spilled(d2)) => d.merge(&d2),
+            },
+            (Acc::ApproxPercentile { p, digest }, Acc::ApproxPercentile { p: p2, digest: d2 })
+                if p.to_bits() == p2.to_bits() =>
+            {
+                digest.merge(&d2)
+            }
+            (Acc::ApproxCountDistinct(hll), Acc::ApproxCountDistinct(h2)) => hll.merge(&h2),
             (a, b) => {
                 return Err(EngineError::InvalidOperator(format!(
                     "cannot merge mismatched accumulators {a:?} and {b:?}"
@@ -187,7 +401,199 @@ impl Acc {
                 }
             }
             Acc::Min(v) | Acc::Max(v) => v.clone(),
+            Acc::Percentile { p, state, .. } => match state {
+                PctState::Exact(vals) => {
+                    let mut sorted = vals.clone();
+                    sorted.sort_by(f64::total_cmp);
+                    percentile_cont(&sorted, *p)
+                }
+                PctState::Spilled(d) => d.quantile(*p).map_or(Value::Null, Value::Float),
+            },
+            Acc::ApproxPercentile { p, digest } => {
+                digest.quantile(*p).map_or(Value::Null, Value::Float)
+            }
+            Acc::ApproxCountDistinct(hll) => {
+                if hll.registers().iter().all(|&r| r == 0) {
+                    Value::Int(0)
+                } else {
+                    Value::Int(hll.estimate().round() as i64)
+                }
+            }
         }
+    }
+
+    /// Versioned byte form of this partial (see [`PartialState`]).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let tag = match self {
+            Acc::Sum { sum, any } => {
+                put_f64(&mut payload, *sum);
+                payload.push(*any as u8);
+                1
+            }
+            Acc::Count(n) => {
+                put_i64(&mut payload, *n);
+                2
+            }
+            Acc::CountDistinct(seen) => {
+                // Canonical order: a hash set's iteration order must never
+                // leak into the wire bytes (the satellite-4 regression).
+                let mut vals: Vec<&Value> = seen.iter().collect();
+                vals.sort_by(|a, b| a.total_cmp(b));
+                put_u32(&mut payload, vals.len() as u32);
+                for v in vals {
+                    put_value(&mut payload, v);
+                }
+                3
+            }
+            Acc::CountStar(n) => {
+                put_i64(&mut payload, *n);
+                4
+            }
+            Acc::Avg { sum, n } => {
+                put_f64(&mut payload, *sum);
+                put_i64(&mut payload, *n);
+                5
+            }
+            Acc::Min(v) => {
+                put_value(&mut payload, v);
+                6
+            }
+            Acc::Max(v) => {
+                put_value(&mut payload, v);
+                7
+            }
+            Acc::Percentile { p, budget, state } => {
+                put_f64(&mut payload, *p);
+                put_u64(&mut payload, *budget as u64);
+                match state {
+                    PctState::Exact(vals) => {
+                        payload.push(0);
+                        // Canonical (sorted) order: exact partial bytes are
+                        // insertion-order-independent, like the finalize.
+                        let mut sorted = vals.clone();
+                        sorted.sort_by(f64::total_cmp);
+                        put_u32(&mut payload, sorted.len() as u32);
+                        for x in sorted {
+                            put_f64(&mut payload, x);
+                        }
+                    }
+                    PctState::Spilled(d) => {
+                        payload.push(1);
+                        d.write_payload(&mut payload);
+                    }
+                }
+                8
+            }
+            Acc::ApproxPercentile { p, digest } => {
+                put_f64(&mut payload, *p);
+                digest.write_payload(&mut payload);
+                9
+            }
+            Acc::ApproxCountDistinct(hll) => {
+                let regs = hll.registers();
+                put_u32(&mut payload, regs.len() as u32);
+                payload.extend_from_slice(regs);
+                10
+            }
+        };
+        frame(tag, &payload)
+    }
+
+    /// Decode a frame produced by [`Acc::serialize`]; corrupted input is
+    /// a typed [`StorageError::PartialCodec`], never a panic.
+    pub fn deserialize(bytes: &[u8]) -> Result<Acc> {
+        let (tag, payload) = unframe(bytes)?;
+        let mut cur = Cursor::new(payload);
+        let acc = match tag {
+            1 => {
+                let sum = cur.f64()?;
+                let any = cur.u8()? != 0;
+                Acc::Sum { sum, any }
+            }
+            2 => Acc::Count(cur.i64()?),
+            3 => {
+                let n = cur.u32()? as usize;
+                let mut seen = pa_storage::FxHashSet::default();
+                for _ in 0..n {
+                    seen.insert(cur.value()?);
+                }
+                Acc::CountDistinct(seen)
+            }
+            4 => Acc::CountStar(cur.i64()?),
+            5 => {
+                let sum = cur.f64()?;
+                let n = cur.i64()?;
+                Acc::Avg { sum, n }
+            }
+            6 => Acc::Min(cur.value()?),
+            7 => Acc::Max(cur.value()?),
+            8 => {
+                let p = cur.f64()?;
+                let budget = cur.u64()? as usize;
+                let state = match cur.u8()? {
+                    0 => {
+                        let n = cur.u32()? as usize;
+                        let mut vals = Vec::with_capacity(n.min(1 << 20));
+                        for _ in 0..n {
+                            vals.push(cur.f64()?);
+                        }
+                        PctState::Exact(vals)
+                    }
+                    1 => PctState::Spilled(TDigest::read_payload(&mut cur)?),
+                    t => {
+                        return Err(EngineError::Storage(StorageError::PartialCodec(format!(
+                            "unknown percentile state tag {t}"
+                        ))));
+                    }
+                };
+                Acc::Percentile { p, budget, state }
+            }
+            9 => {
+                let p = cur.f64()?;
+                let digest = TDigest::read_payload(&mut cur)?;
+                Acc::ApproxPercentile { p, digest }
+            }
+            10 => {
+                let n = cur.u32()? as usize;
+                if n != crate::sketch::HLL_REGISTERS {
+                    return Err(EngineError::Storage(StorageError::PartialCodec(format!(
+                        "HLL register count {n} does not match this build"
+                    ))));
+                }
+                let regs = cur.take(n)?.to_vec();
+                Acc::ApproxCountDistinct(Hll::from_registers(regs)?)
+            }
+            t => {
+                return Err(EngineError::Storage(StorageError::PartialCodec(format!(
+                    "unknown accumulator tag {t}"
+                ))));
+            }
+        };
+        cur.finish()?;
+        Ok(acc)
+    }
+}
+
+impl PartialState for Acc {
+    fn update(&mut self, v: &Value) -> Result<()> {
+        Acc::update(self, v)
+    }
+
+    fn merge(&mut self, other: Acc) -> Result<()> {
+        Acc::merge(self, other)
+    }
+
+    fn finalize(&self) -> Value {
+        Acc::finish(self)
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        Acc::serialize(self)
+    }
+
+    fn deserialize(bytes: &[u8]) -> Result<Acc> {
+        Acc::deserialize(bytes)
     }
 }
 
@@ -203,6 +609,21 @@ mod tests {
         acc
     }
 
+    fn all_exact_funcs() -> Vec<AggFunc> {
+        vec![
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::CountDistinct,
+            AggFunc::CountStar,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Percentile(PBits::new(0.5)),
+            AggFunc::Percentile(PBits::new(0.95)),
+            AggFunc::ApproxCountDistinct,
+        ]
+    }
+
     #[test]
     fn merge_equals_sequential_update_for_every_func() {
         let values: Vec<Value> = vec![
@@ -212,15 +633,7 @@ mod tests {
             Value::Int(3),
             Value::Int(7),
         ];
-        for func in [
-            AggFunc::Sum,
-            AggFunc::Count,
-            AggFunc::CountDistinct,
-            AggFunc::CountStar,
-            AggFunc::Avg,
-            AggFunc::Min,
-            AggFunc::Max,
-        ] {
+        for func in all_exact_funcs() {
             let whole = filled(func, &values);
             for split in 0..=values.len() {
                 let mut left = filled(func, &values[..split]);
@@ -245,6 +658,12 @@ mod tests {
     fn merge_rejects_mismatched_functions() {
         let mut a = Acc::new(AggFunc::Sum);
         assert!(a.merge(Acc::new(AggFunc::Count)).is_err());
+        let mut p50 = Acc::new(AggFunc::Percentile(PBits::new(0.5)));
+        assert!(
+            p50.merge(Acc::new(AggFunc::Percentile(PBits::new(0.9))))
+                .is_err(),
+            "different p is a different aggregate"
+        );
     }
 
     #[test]
@@ -270,5 +689,132 @@ mod tests {
         let mut acc = Acc::new(AggFunc::Sum);
         assert!(acc.update(&Value::str("x")).is_err());
         assert!(acc.update(&Value::Null).is_ok(), "NULL still skips");
+        let mut acc = Acc::new(AggFunc::Percentile(PBits::new(0.5)));
+        assert!(acc.update(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn percentile_matches_snippet_plan() {
+        // The PERCENTILE_CONT reference points: p50 of [10,20,30,40] = 25,
+        // p0 = min, p100 = max.
+        let vals: Vec<Value> = [10.0, 20.0, 30.0, 40.0]
+            .iter()
+            .map(|&x| Value::Float(x))
+            .collect();
+        let cases = [(0.5, 25.0), (0.0, 10.0), (1.0, 40.0), (0.25, 17.5)];
+        for (p, want) in cases {
+            let acc = filled(AggFunc::Percentile(PBits::new(p)), &vals);
+            assert_eq!(acc.finish(), Value::Float(want), "p={p}");
+        }
+        let empty = Acc::new(AggFunc::Percentile(PBits::new(0.5)));
+        assert_eq!(empty.finish(), Value::Null);
+    }
+
+    #[test]
+    fn percentile_finalize_is_insertion_order_independent() {
+        let fwd: Vec<Value> = (0..100).map(Value::Int).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let f = AggFunc::Percentile(PBits::new(0.9));
+        assert_eq!(filled(f, &fwd).finish(), filled(f, &rev).finish());
+        assert_eq!(filled(f, &fwd).serialize(), filled(f, &rev).serialize());
+    }
+
+    #[test]
+    fn percentile_spills_to_digest_past_budget() {
+        std::env::set_var("PA_PERCENTILE_BUDGET", "64");
+        let mut acc = Acc::new(AggFunc::Percentile(PBits::new(0.5)));
+        std::env::remove_var("PA_PERCENTILE_BUDGET");
+        for i in 0..1000 {
+            acc.update(&Value::Int(i)).unwrap();
+        }
+        assert!(acc.spilled());
+        let med = match acc.finish() {
+            Value::Float(x) => x,
+            v => panic!("expected float, got {v}"),
+        };
+        assert!((med - 499.5).abs() < 50.0, "spilled median ~499.5: {med}");
+    }
+
+    #[test]
+    fn count_distinct_serialization_is_iteration_order_independent() {
+        // Satellite 4: the FxHashSet union's iteration order must not
+        // leak into the canonical partial bytes.
+        let vals: Vec<Value> = (0..200)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Value::str(format!("s{i}"))
+                } else {
+                    Value::Int(i)
+                }
+            })
+            .collect();
+        let mut shuffled = vals.clone();
+        shuffled.reverse();
+        shuffled.rotate_left(17);
+        let a = filled(AggFunc::CountDistinct, &vals);
+        let b = filled(AggFunc::CountDistinct, &shuffled);
+        assert_eq!(a.serialize(), b.serialize());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_serialize() {
+        let vals: Vec<Value> = vec![
+            Value::Int(5),
+            Value::Float(-2.5),
+            Value::Null,
+            Value::Int(5),
+            Value::str("tx"),
+        ];
+        let numeric: Vec<Value> = vec![Value::Int(5), Value::Float(-2.5), Value::Null];
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::CountDistinct,
+            AggFunc::CountStar,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Percentile(PBits::new(0.75)),
+            AggFunc::ApproxPercentile(PBits::new(0.75)),
+            AggFunc::ApproxCountDistinct,
+        ] {
+            let input = match func {
+                AggFunc::Sum
+                | AggFunc::Avg
+                | AggFunc::Percentile(_)
+                | AggFunc::ApproxPercentile(_) => &numeric,
+                _ => &vals,
+            };
+            let acc = filled(func, input);
+            let bytes = acc.serialize();
+            let back = Acc::deserialize(&bytes).unwrap();
+            assert_eq!(back.finish(), acc.finish(), "{func:?}");
+            assert_eq!(back.serialize(), bytes, "{func:?} canonical bytes");
+            assert_eq!(back.func(), acc.func(), "{func:?}");
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage_without_panicking() {
+        assert!(Acc::deserialize(&[]).is_err());
+        assert!(Acc::deserialize(b"not a frame at all").is_err());
+        let bytes = filled(AggFunc::Avg, &[Value::Int(2)]).serialize();
+        for cut in 0..bytes.len() {
+            assert!(Acc::deserialize(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn partial_state_trait_is_object_usable_via_generics() {
+        fn roundtrip<P: PartialState>(p: &P) -> P {
+            P::deserialize(&p.serialize()).unwrap()
+        }
+        let acc = filled(
+            AggFunc::ApproxCountDistinct,
+            &[Value::Int(1), Value::Int(2)],
+        );
+        assert_eq!(roundtrip(&acc).finalize(), acc.finalize());
     }
 }

@@ -29,6 +29,24 @@ use crate::vector::{BlockCoder, FusedAgg, LaneSrc, NumSlice};
 use pa_obs::SpanHandle;
 use pa_storage::{Column, DataType, Field, Schema, Table};
 
+/// A percentile fraction carried as its IEEE-754 bit pattern, so
+/// [`AggFunc`] stays `Copy + Eq` (f64 itself is not `Eq`). Two percentile
+/// aggregates are the same function exactly when their bits agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PBits(u64);
+
+impl PBits {
+    /// Wrap a fraction (callers validate the `[0, 1]` range).
+    pub fn new(p: f64) -> PBits {
+        PBits(p.to_bits())
+    }
+
+    /// The fraction back as an `f64`.
+    pub fn value(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
 /// Aggregate functions. All skip NULL inputs except `CountStar`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
@@ -50,6 +68,16 @@ pub enum AggFunc {
     Min,
     /// `max(expr)`.
     Max,
+    /// `percentile(expr, p)` — exact PERCENTILE_CONT (linear
+    /// interpolation). `median(expr)` is sugar for `p = 0.5`. Holistic:
+    /// the partial retains its samples, spilling to a t-digest past the
+    /// per-group budget (`PA_PERCENTILE_BUDGET`).
+    Percentile(PBits),
+    /// `approx_percentile(expr, p)` — t-digest estimate, bounded state.
+    ApproxPercentile(PBits),
+    /// `approx_count_distinct(expr)` — HyperLogLog estimate,
+    /// fixed-size mergeable state.
+    ApproxCountDistinct,
 }
 
 impl AggFunc {
@@ -63,6 +91,19 @@ impl AggFunc {
             AggFunc::Avg => "avg",
             AggFunc::Min => "min",
             AggFunc::Max => "max",
+            AggFunc::Percentile(_) => "percentile",
+            AggFunc::ApproxPercentile(_) => "approx_percentile",
+            AggFunc::ApproxCountDistinct => "approx_count_distinct",
+        }
+    }
+
+    /// Display name carrying the parameter, for plans and EXPLAIN output
+    /// (`percentile(0.95)` rather than just `percentile`).
+    pub fn display_name(&self) -> String {
+        match self {
+            AggFunc::Percentile(p) => format!("percentile({})", p.value()),
+            AggFunc::ApproxPercentile(p) => format!("approx_percentile({})", p.value()),
+            other => other.sql_name().to_string(),
         }
     }
 
@@ -72,6 +113,22 @@ impl AggFunc {
         matches!(
             self,
             AggFunc::Sum | AggFunc::Min | AggFunc::Max | AggFunc::CountStar
+        )
+    }
+
+    /// Holistic per Gray et al.: the *finalized* value of a sub-group
+    /// cannot be re-aggregated into a coarser group, so the FV-based
+    /// strategies (which re-aggregate finalized `Fk` rows) reject these.
+    /// Their *partials* still merge exactly through the
+    /// [`PartialState`](crate::ops::acc::PartialState) protocol — the
+    /// sketch-backed ones with a fixed-size state.
+    pub fn is_holistic(&self) -> bool {
+        matches!(
+            self,
+            AggFunc::CountDistinct
+                | AggFunc::Percentile(_)
+                | AggFunc::ApproxPercentile(_)
+                | AggFunc::ApproxCountDistinct
         )
     }
 }
@@ -102,10 +159,15 @@ impl AggSpec {
         Ok(AggSpec::new(AggFunc::Sum, Expr::col(schema, col)?, out))
     }
 
-    fn output_type(&self, schema: &Schema) -> DataType {
+    pub(crate) fn output_type(&self, schema: &Schema) -> DataType {
         match self.func {
-            AggFunc::Sum | AggFunc::Avg => DataType::Float,
-            AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar => DataType::Int,
+            AggFunc::Sum | AggFunc::Avg | AggFunc::Percentile(_) | AggFunc::ApproxPercentile(_) => {
+                DataType::Float
+            }
+            AggFunc::Count
+            | AggFunc::CountDistinct
+            | AggFunc::CountStar
+            | AggFunc::ApproxCountDistinct => DataType::Int,
             AggFunc::Min | AggFunc::Max => {
                 self.input.output_type(schema).unwrap_or(DataType::Float)
             }
@@ -322,7 +384,11 @@ impl Level {
         for (i, spec) in self.aggs.iter().enumerate() {
             let mut col = Column::new(spec.output_type(input_schema));
             for gid in 0..n_groups {
-                col.push(self.accs[gid * self.aggs.len() + i].finish())?;
+                let acc = &self.accs[gid * self.aggs.len() + i];
+                if acc.spilled() {
+                    stats.sketch_spills += 1;
+                }
+                col.push(acc.finish())?;
             }
             columns.push(col);
         }
@@ -500,6 +566,11 @@ pub fn multi_hash_aggregate_with_config(
         }
     }
     stats.statements += 1;
+    stats.holistic_lanes += levels
+        .iter()
+        .flat_map(|(_, aggs)| aggs)
+        .filter(|s| s.func.is_holistic())
+        .count() as u64;
     guard.check()?;
 
     let kernels: Vec<Vec<Kernel>> = levels
@@ -948,6 +1019,38 @@ mod tests {
     }
 
     #[test]
+    fn percentile_and_sketch_aggregates_group_correctly() {
+        let f = sales();
+        let a = Expr::col(f.schema(), "salesAmt").unwrap();
+        let specs = vec![
+            AggSpec::new(AggFunc::Percentile(PBits::new(0.5)), a.clone(), "med"),
+            AggSpec::new(
+                AggFunc::ApproxPercentile(PBits::new(0.5)),
+                a.clone(),
+                "amed",
+            ),
+            AggSpec::new(AggFunc::ApproxCountDistinct, a, "adx"),
+        ];
+        let mut st = ExecStats::default();
+        let out = hash_aggregate(&f, &[0], &specs, &mut st)
+            .unwrap()
+            .sorted_by(&[0]);
+        // CA amounts: 3, 13, 23, 67 → median (13+23)/2 = 18.
+        assert_eq!(out.get(0, 1), Value::Float(18.0));
+        // TX amounts: 5, 10, 14, 32, 35, 53 → median (14+32)/2 = 23.
+        assert_eq!(out.get(1, 1), Value::Float(23.0));
+        // Tiny groups: the digest holds raw samples, so it is exact too.
+        assert_eq!(out.get(0, 2), Value::Float(18.0));
+        // All amounts are distinct; HLL is exact at these cardinalities.
+        assert_eq!(out.get(0, 3), Value::Int(4));
+        assert_eq!(out.get(1, 3), Value::Int(6));
+        assert_eq!(st.holistic_lanes, 3, "three holistic lanes planned");
+        assert_eq!(st.sketch_spills, 0, "nothing over budget");
+        assert!(AggFunc::Percentile(PBits::new(0.5)).is_holistic());
+        assert!(!AggFunc::Percentile(PBits::new(0.5)).is_distributive());
+    }
+
+    #[test]
     fn validates_inputs() {
         let f = sales();
         assert!(hash_aggregate(&f, &[99], &[sum_a(&f)], &mut ExecStats::default()).is_err());
@@ -1012,8 +1115,11 @@ mod tests {
             AggSpec::new(AggFunc::CountStar, Expr::lit(1), "n"),
             AggSpec::new(AggFunc::Avg, a.clone(), "avg"),
             AggSpec::new(AggFunc::Min, a.clone(), "mn"),
-            AggSpec::new(AggFunc::Max, a, "mx"),
+            AggSpec::new(AggFunc::Max, a.clone(), "mx"),
             AggSpec::new(AggFunc::CountDistinct, Expr::Col(1), "dx"),
+            AggSpec::new(AggFunc::Percentile(PBits::new(0.5)), a.clone(), "med"),
+            AggSpec::new(AggFunc::Percentile(PBits::new(0.9)), a, "p90"),
+            AggSpec::new(AggFunc::ApproxCountDistinct, Expr::Col(1), "adx"),
         ];
         let levels = vec![(vec![0, 1], specs.clone()), (vec![1], specs)];
         let mut serial_stats = ExecStats::default();

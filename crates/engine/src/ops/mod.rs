@@ -6,6 +6,7 @@ pub mod distinct;
 pub mod filter;
 pub mod insert;
 pub mod join;
+pub mod partial;
 pub mod project;
 pub mod sort;
 pub mod update;

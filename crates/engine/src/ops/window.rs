@@ -70,8 +70,13 @@ pub fn window_aggregate(
     // Phase 3: materialize the n-row result (the expensive part at scale).
     let mut fields: Vec<Field> = input.schema().fields().to_vec();
     let out_type = match func {
-        AggFunc::Sum | AggFunc::Avg => DataType::Float,
-        AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar => DataType::Int,
+        AggFunc::Sum | AggFunc::Avg | AggFunc::Percentile(_) | AggFunc::ApproxPercentile(_) => {
+            DataType::Float
+        }
+        AggFunc::Count
+        | AggFunc::CountDistinct
+        | AggFunc::CountStar
+        | AggFunc::ApproxCountDistinct => DataType::Int,
         AggFunc::Min | AggFunc::Max => input.schema().field_at(measure_col).dtype,
     };
     fields.push(Field::new(out_name.to_string(), out_type));
@@ -142,6 +147,15 @@ fn aggregate_run(t: &Table, rows: &[usize], func: AggFunc, col: usize) -> Result
                 }
             }
             Ok(best)
+        }
+        AggFunc::Percentile(_) | AggFunc::ApproxPercentile(_) | AggFunc::ApproxCountDistinct => {
+            // The holistic functions run through the shared accumulator
+            // protocol rather than a bespoke run loop.
+            let mut acc = crate::ops::acc::Acc::new(func);
+            for &r in rows {
+                acc.update(&t.column(col).get(r))?;
+            }
+            Ok(acc.finish())
         }
     }
 }
@@ -228,6 +242,25 @@ mod tests {
             Value::Null,
             "all-NULL partition sums to NULL"
         );
+    }
+
+    #[test]
+    fn median_window_replicates_partition_median() {
+        use crate::ops::aggregate::PBits;
+        let t = sales();
+        let mut st = ExecStats::default();
+        let out = window_aggregate(
+            &t,
+            &[0],
+            AggFunc::Percentile(PBits::new(0.5)),
+            2,
+            "med",
+            &mut st,
+        )
+        .unwrap();
+        // CA: 3, 13 → 8.0; TX: 5, 35, 53 → 35.0.
+        assert_eq!(out.get(0, 3), Value::Float(8.0));
+        assert_eq!(out.get(2, 3), Value::Float(35.0));
     }
 
     #[test]

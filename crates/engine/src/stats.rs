@@ -117,6 +117,14 @@ pub struct ExecStats {
     /// Widest bit-packed dimension read by the vectorized kernels, in bits
     /// (0 when no packed dimension was read; max-merged, not summed).
     pub pack_width: u64,
+    /// Holistic aggregate lanes planned (percentile, count(DISTINCT),
+    /// sketch aggregates) — the lanes whose partials carry more than a
+    /// few scalars (DESIGN.md §14).
+    pub holistic_lanes: u64,
+    /// Exact-percentile group states that outgrew `PA_PERCENTILE_BUDGET`
+    /// and spilled to a t-digest (the result is approximate for those
+    /// groups).
+    pub sketch_spills: u64,
     /// What the degradation ladder changed, when this result came from a
     /// degraded retry.
     pub degraded_to: Option<Degradation>,
@@ -144,6 +152,8 @@ impl AddAssign for ExecStats {
         self.vectorized_kernel_rows += rhs.vectorized_kernel_rows;
         self.scalar_kernel_rows += rhs.scalar_kernel_rows;
         self.rle_runs += rhs.rle_runs;
+        self.holistic_lanes += rhs.holistic_lanes;
+        self.sketch_spills += rhs.sketch_spills;
         // Width is a property of the widest dimension read, not a volume:
         // merging worker stats keeps the max.
         self.pack_width = self.pack_width.max(rhs.pack_width);
@@ -158,7 +168,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} materialized={} probes={} built={} case_evals={} updated={} sort_cmps={} stmts={} wal_recs={} wal_bytes={} charged={} dense_ops={} hash_ops={} combo_hits={} combo_misses={} vec_rows={} scalar_rows={} rle_runs={} pack_width={} degraded={} abort={}",
+            "scanned={} materialized={} probes={} built={} case_evals={} updated={} sort_cmps={} stmts={} wal_recs={} wal_bytes={} charged={} dense_ops={} hash_ops={} combo_hits={} combo_misses={} vec_rows={} scalar_rows={} rle_runs={} pack_width={} holistic_lanes={} sketch_spills={} degraded={} abort={}",
             self.rows_scanned,
             self.rows_materialized,
             self.hash_probes,
@@ -178,6 +188,8 @@ impl fmt::Display for ExecStats {
             self.scalar_kernel_rows,
             self.rle_runs,
             self.pack_width,
+            self.holistic_lanes,
+            self.sketch_spills,
             self.degraded_to.map_or("none", |d| d.label()),
             self.abort_cause.map_or("none", |c| c.label()),
         )
@@ -210,6 +222,8 @@ mod tests {
             scalar_kernel_rows: 17,
             rle_runs: 18,
             pack_width: 19,
+            holistic_lanes: 20,
+            sketch_spills: 21,
             degraded_to: None,
             abort_cause: None,
         };
@@ -226,6 +240,8 @@ mod tests {
         assert_eq!(a.scalar_kernel_rows, 34);
         assert_eq!(a.rle_runs, 36);
         assert_eq!(a.pack_width, 19, "width max-merges, it does not sum");
+        assert_eq!(a.holistic_lanes, 40);
+        assert_eq!(a.sketch_spills, 42);
     }
 
     #[test]
@@ -285,6 +301,8 @@ mod tests {
             "scalar_rows",
             "rle_runs",
             "pack_width",
+            "holistic_lanes",
+            "sketch_spills",
             "degraded",
             "abort",
         ] {

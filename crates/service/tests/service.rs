@@ -396,3 +396,77 @@ fn degradation_rungs_are_counted_in_metrics() {
         "{text}"
     );
 }
+
+#[test]
+fn sharded_aggregate_matches_single_pass_for_every_aggregate() {
+    use pa_engine::{AggFunc, PBits};
+
+    let catalog = sales_catalog(1500);
+    let service = QueryService::new(&catalog, ServiceConfig::default());
+    // Sum/avg lanes use integer measures: integer-valued f64 addition is
+    // exact, so resharding cannot perturb the totals (float measures would
+    // reassociate the additions and drift in the last ulp). The percentile
+    // lanes sort at finalize, so they are byte-identical on any measure.
+    let aggs: &[(AggFunc, Option<&str>, &str)] = &[
+        (AggFunc::Sum, Some("dept"), "total"),
+        (AggFunc::Avg, Some("monthNo"), "mean"),
+        (AggFunc::Min, Some("salesAmt"), "lo"),
+        (AggFunc::Max, Some("salesAmt"), "hi"),
+        (AggFunc::CountStar, None, "n"),
+        (AggFunc::CountDistinct, Some("city"), "cities"),
+        (
+            AggFunc::Percentile(PBits::new(0.5)),
+            Some("salesAmt"),
+            "med",
+        ),
+        (
+            AggFunc::Percentile(PBits::new(0.95)),
+            Some("salesAmt"),
+            "p95",
+        ),
+        (
+            AggFunc::ApproxCountDistinct,
+            Some("transactionId"),
+            "approx_tids",
+        ),
+    ];
+
+    // One shard is the single-pass reference; more shards must reproduce
+    // it exactly — the holistic lanes included.
+    let want = service
+        .aggregate_sharded("sales", &["state"], aggs, 1)
+        .unwrap();
+    assert_eq!(want.table.num_rows(), 5, "five states");
+    assert!(
+        want.stats.holistic_lanes >= 3,
+        "percentiles and sketches counted: {}",
+        want.stats.holistic_lanes
+    );
+    let want_rows: Vec<Vec<Value>> = want.table.rows().collect();
+    for shards in [2, 3, 4, 7] {
+        let got = service
+            .aggregate_sharded("sales", &["state"], aggs, shards)
+            .unwrap();
+        assert_eq!(
+            got.table.rows().collect::<Vec<_>>(),
+            want_rows,
+            "{shards} shards"
+        );
+    }
+
+    // Global (no GROUP BY) keeps SQL's one-row shape across shards, even
+    // when some shards are empty.
+    let global = service.aggregate_sharded("sales", &[], aggs, 4).unwrap();
+    assert_eq!(global.table.num_rows(), 1);
+    assert_eq!(global.table.get(0, 4), Value::Int(1500));
+
+    // Errors stay typed, and admission permits are returned on every path.
+    assert!(service
+        .aggregate_sharded("nope", &["state"], aggs, 2)
+        .is_err());
+    assert!(service
+        .aggregate_sharded("sales", &["bogus"], aggs, 2)
+        .is_err());
+    assert!(service.aggregate_sharded("sales", &[], aggs, 0).is_err());
+    assert_eq!(service.available_permits(), service.config().max_concurrent);
+}

@@ -121,6 +121,14 @@ pub enum AggName {
     Min,
     /// `max`.
     Max,
+    /// `median` — exact 50th percentile (holistic).
+    Median,
+    /// `percentile(expr, p)` — exact PERCENTILE_CONT at rank `p` (holistic).
+    Percentile,
+    /// `approx_percentile(expr, p)` — t-digest approximate percentile.
+    ApproxPercentile,
+    /// `approx_count_distinct(expr)` — HyperLogLog distinct-count sketch.
+    ApproxCountDistinct,
 }
 
 impl AggName {
@@ -134,6 +142,10 @@ impl AggName {
             "avg" => Some(AggName::Avg),
             "min" => Some(AggName::Min),
             "max" => Some(AggName::Max),
+            "median" => Some(AggName::Median),
+            "percentile" => Some(AggName::Percentile),
+            "approx_percentile" => Some(AggName::ApproxPercentile),
+            "approx_count_distinct" => Some(AggName::ApproxCountDistinct),
             _ => None,
         }
     }
@@ -148,12 +160,21 @@ impl AggName {
             AggName::Avg => "avg",
             AggName::Min => "min",
             AggName::Max => "max",
+            AggName::Median => "median",
+            AggName::Percentile => "percentile",
+            AggName::ApproxPercentile => "approx_percentile",
+            AggName::ApproxCountDistinct => "approx_count_distinct",
         }
     }
 
     /// True for the two percentage aggregations.
     pub fn is_percentage(&self) -> bool {
         matches!(self, AggName::Vpct | AggName::Hpct)
+    }
+
+    /// True when the call takes a second numeric argument (the rank `p`).
+    pub fn takes_param(&self) -> bool {
+        matches!(self, AggName::Percentile | AggName::ApproxPercentile)
     }
 }
 
@@ -167,6 +188,9 @@ pub struct AggCall {
     pub distinct: bool,
     /// Argument expression (`Star` only for `count(*)`).
     pub arg: AstExpr,
+    /// Second numeric argument: the rank `p` of `percentile(expr, p)` /
+    /// `approx_percentile(expr, p)`. `None` for every other function.
+    pub param: Option<f64>,
     /// Subgrouping columns from the `BY` clause (empty when absent).
     pub by: Vec<String>,
     /// `DEFAULT 0` present: missing horizontal cells become 0 instead of
@@ -254,6 +278,14 @@ impl fmt::Display for AggCall {
             write!(f, "DISTINCT ")?;
         }
         write!(f, "{}", self.arg)?;
+        if let Some(p) = self.param {
+            // Keep a decimal point so the literal re-parses as a float.
+            if p.fract() == 0.0 && p.is_finite() {
+                write!(f, ", {p:.1}")?;
+            } else {
+                write!(f, ", {p}")?;
+            }
+        }
         if !self.by.is_empty() {
             write!(f, " BY {}", self.by.join(", "))?;
         }
@@ -331,7 +363,15 @@ mod tests {
         assert_eq!(AggName::from_ident("VPCT"), Some(AggName::Vpct));
         assert_eq!(AggName::from_ident("Hpct"), Some(AggName::Hpct));
         assert_eq!(AggName::from_ident("SUM"), Some(AggName::Sum));
-        assert_eq!(AggName::from_ident("median"), None);
+        assert_eq!(AggName::from_ident("median"), Some(AggName::Median));
+        assert_eq!(AggName::from_ident("PERCENTILE"), Some(AggName::Percentile));
+        assert_eq!(
+            AggName::from_ident("approx_count_distinct"),
+            Some(AggName::ApproxCountDistinct)
+        );
+        assert_eq!(AggName::from_ident("quantile"), None);
+        assert!(AggName::Percentile.takes_param());
+        assert!(!AggName::Median.takes_param());
         assert!(AggName::Vpct.is_percentage());
         assert!(!AggName::Sum.is_percentage());
     }
@@ -360,6 +400,7 @@ mod tests {
                         func: AggName::Vpct,
                         distinct: false,
                         arg: AstExpr::Column("a".into()),
+                        param: None,
                         by: vec!["city".into()],
                         default_zero: false,
                     },

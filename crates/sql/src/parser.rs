@@ -245,6 +245,20 @@ impl Parser {
         } else {
             self.or_expr()?
         };
+        // Optional second argument: the rank of percentile(expr, p) /
+        // approx_percentile(expr, p). Must be a numeric literal.
+        let param = if self.accept(&Token::Comma) {
+            let offset = self.peek().map(|t| t.offset).unwrap_or(0);
+            match self.primary()? {
+                AstExpr::Int(i) => Some(i as f64),
+                AstExpr::Float(x) => Some(x),
+                _ => {
+                    return Err(self.err_at(offset, "expected a numeric percentile rank"));
+                }
+            }
+        } else {
+            None
+        };
         let by = if self.accept_kw("BY") {
             let mut cols = vec![self.column_name()?];
             while self.accept(&Token::Comma) {
@@ -273,6 +287,7 @@ impl Parser {
             func,
             distinct,
             arg,
+            param,
             by,
             default_zero,
         })
@@ -539,6 +554,49 @@ mod tests {
         let stmt = parse("SELECT sum(price * qty BY region) FROM t GROUP BY s").unwrap();
         let agg = stmt.aggregates().next().unwrap();
         assert!(matches!(agg.arg, AstExpr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn percentile_and_sketch_calls() {
+        let stmt = parse(
+            "SELECT state, median(a), percentile(a, 0.95), approx_count_distinct(city) \
+             FROM f GROUP BY state",
+        )
+        .unwrap();
+        let aggs: Vec<_> = stmt.aggregates().collect();
+        assert_eq!(aggs.len(), 3);
+        assert_eq!(aggs[0].func, AggName::Median);
+        assert_eq!(aggs[0].param, None);
+        assert_eq!(aggs[1].func, AggName::Percentile);
+        assert_eq!(aggs[1].param, Some(0.95));
+        assert_eq!(aggs[2].func, AggName::ApproxCountDistinct);
+
+        // Integer rank literals parse (validated for range later).
+        let stmt = parse("SELECT percentile(a, 1) FROM f").unwrap();
+        assert_eq!(stmt.aggregates().next().unwrap().param, Some(1.0));
+
+        // Percentile calls nest in a BY clause like any other aggregate.
+        let stmt = parse("SELECT s, approx_percentile(a, 0.5 BY city) FROM f GROUP BY s").unwrap();
+        let agg = stmt.aggregates().next().unwrap();
+        assert_eq!(agg.param, Some(0.5));
+        assert_eq!(agg.by, vec!["city"]);
+
+        // A non-numeric rank is a parse error.
+        assert!(parse("SELECT percentile(a, b) FROM f").is_err());
+    }
+
+    #[test]
+    fn percentile_call_round_trips_through_display() {
+        for q in [
+            "SELECT state, percentile(a, 0.95) AS p95 FROM f GROUP BY state;",
+            "SELECT median(a) FROM f;",
+            "SELECT approx_count_distinct(city) FROM f;",
+        ] {
+            let stmt = parse_statement(q).unwrap();
+            let printed = stmt.to_string();
+            assert_eq!(parse_statement(&printed).unwrap(), stmt, "{q}");
+            assert_eq!(printed, q, "canonical form is stable");
+        }
     }
 
     #[test]

@@ -118,6 +118,31 @@ fn validate_call(call: &AggCall, stmt: &SelectStmt) -> Result<()> {
     if call.default_zero && call.func == AggName::Vpct {
         return Err(rule("DEFAULT 0 is not applicable to Vpct"));
     }
+    // Percentile rank argument: required and in [0, 1] exactly where the
+    // function takes one, rejected everywhere else.
+    if call.func.takes_param() {
+        match call.param {
+            None => {
+                return Err(rule(format!(
+                    "{} requires a rank argument, e.g. {}(x, 0.95)",
+                    call.func.sql_name(),
+                    call.func.sql_name()
+                )));
+            }
+            Some(p) if !(0.0..=1.0).contains(&p) => {
+                return Err(rule(format!(
+                    "{} rank must be between 0 and 1, got {p}",
+                    call.func.sql_name()
+                )));
+            }
+            Some(_) => {}
+        }
+    } else if call.param.is_some() {
+        return Err(rule(format!(
+            "{} does not take a second argument",
+            call.func.sql_name()
+        )));
+    }
 
     match call.func {
         AggName::Vpct => {
@@ -295,6 +320,38 @@ mod tests {
     fn default_zero_only_horizontal() {
         assert!(kind("SELECT t, max(1 BY d DEFAULT 0) FROM f GROUP BY t").is_ok());
         assert!(kind("SELECT t, d, Vpct(a BY d DEFAULT 0) FROM f GROUP BY t, d").is_err());
+    }
+
+    #[test]
+    fn percentile_param_rules() {
+        // Rank required where the function takes one.
+        let err = kind("SELECT s, percentile(a) FROM f GROUP BY s").unwrap_err();
+        assert!(err.to_string().contains("rank argument"), "{err}");
+        let err = kind("SELECT s, approx_percentile(a) FROM f GROUP BY s").unwrap_err();
+        assert!(err.to_string().contains("rank argument"), "{err}");
+        // Rank must be in [0, 1].
+        let err = kind("SELECT s, percentile(a, 1.5) FROM f GROUP BY s").unwrap_err();
+        assert!(err.to_string().contains("between 0 and 1"), "{err}");
+        assert!(kind("SELECT s, percentile(a, 0.95) FROM f GROUP BY s").is_ok());
+        assert!(kind("SELECT s, percentile(a, 0) FROM f GROUP BY s").is_ok());
+        assert!(kind("SELECT s, percentile(a, 1) FROM f GROUP BY s").is_ok());
+        // No other function takes a second argument.
+        let err = kind("SELECT s, median(a, 0.5) FROM f GROUP BY s").unwrap_err();
+        assert!(err.to_string().contains("second argument"), "{err}");
+        let err = kind("SELECT s, sum(a, 0.5) FROM f GROUP BY s").unwrap_err();
+        assert!(err.to_string().contains("second argument"), "{err}");
+        // Star / DISTINCT rules extend to the new functions.
+        assert!(kind("SELECT s, median(*) FROM f GROUP BY s").is_err());
+        assert!(kind("SELECT s, approx_count_distinct(DISTINCT a) FROM f GROUP BY s").is_err());
+        // Classified like any other standard aggregate.
+        assert_eq!(
+            kind("SELECT s, median(a) FROM f GROUP BY s"),
+            Ok(QueryKind::PlainAggregate)
+        );
+        assert_eq!(
+            kind("SELECT s, approx_count_distinct(a BY d) FROM f GROUP BY s"),
+            Ok(QueryKind::Horizontal)
+        );
     }
 
     #[test]

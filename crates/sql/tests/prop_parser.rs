@@ -29,6 +29,7 @@ fn ident() -> impl Strategy<Value = String> {
                 | "max"
                 | "vpct"
                 | "hpct"
+                | "median"
         )
     })
 }
@@ -76,6 +77,10 @@ fn agg_call() -> impl Strategy<Value = AggCall> {
             Just(AggName::Avg),
             Just(AggName::Min),
             Just(AggName::Max),
+            Just(AggName::Median),
+            Just(AggName::Percentile),
+            Just(AggName::ApproxPercentile),
+            Just(AggName::ApproxCountDistinct),
         ],
         any::<bool>(),
         prop_oneof![
@@ -83,22 +88,26 @@ fn agg_call() -> impl Strategy<Value = AggCall> {
             (1i64..10).prop_map(AstExpr::Int),
             Just(AstExpr::Star),
         ],
+        0u32..=100,
         prop::collection::vec(ident(), 0..3),
         any::<bool>(),
     )
-        .prop_map(|(func, distinct, arg, by, default_zero)| {
+        .prop_map(|(func, distinct, arg, rank, by, default_zero)| {
             // Keep the combination syntactically valid for the renderer:
-            // DISTINCT and '*' belong to count.
+            // DISTINCT and '*' belong to count, the rank argument to the
+            // percentile functions.
             let distinct = distinct && func == AggName::Count && !matches!(arg, AstExpr::Star);
             let arg = if matches!(arg, AstExpr::Star) && func != AggName::Count {
                 AstExpr::Int(1)
             } else {
                 arg
             };
+            let param = func.takes_param().then(|| rank as f64 / 100.0);
             AggCall {
                 func,
                 distinct,
                 arg,
+                param,
                 by,
                 default_zero,
             }

@@ -65,6 +65,10 @@ pub enum StorageError {
     /// the stream could not make progress. Permanent: the subscriber
     /// must re-bootstrap from a live primary.
     Replication(String),
+    /// A serialized partial-aggregate state failed to decode: bad magic,
+    /// unknown version, truncated payload, or CRC mismatch. Permanent:
+    /// the shard must recompute and re-ship its partial.
+    PartialCodec(String),
 }
 
 impl StorageError {
@@ -118,6 +122,7 @@ impl fmt::Display for StorageError {
                 write!(f, "catalog sealed: deposed by a primary at term {term}")
             }
             StorageError::Replication(msg) => write!(f, "replication error: {msg}"),
+            StorageError::PartialCodec(msg) => write!(f, "partial codec error: {msg}"),
         }
     }
 }

@@ -25,6 +25,7 @@ pub mod hash;
 pub mod index;
 pub mod log;
 pub mod packed;
+pub mod partial;
 pub mod replication;
 pub mod retry;
 pub mod schema;
@@ -48,6 +49,7 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::HashIndex;
 pub use log::{FileLogStore, LogStore, MemLogStore};
 pub use packed::{width_for, PackedCell, PackedCodes, MAX_PACK_WIDTH};
+pub use partial::{PARTIAL_MAGIC, PARTIAL_VERSION};
 pub use replication::{
     ApplyReport, ChaosStats, ChaosTransport, DirectTransport, ReplicaApplier, ReplicaStats,
     ReplicationStream, ShipTransport, SyncReport,
